@@ -1,0 +1,258 @@
+package spinngo_test
+
+// Benchmark harness: one benchmark per experiment in DESIGN.md's
+// per-experiment index (E1-E14 plus the two ablations), each reporting
+// the experiment's headline figure as a custom metric, plus micro
+// benchmarks of the simulator's hot paths. `cmd/spinnbench` prints the
+// full paper-style tables; EXPERIMENTS.md records paper-vs-measured.
+
+import (
+	"strings"
+	"testing"
+
+	"spinngo"
+	"spinngo/internal/experiments"
+	"spinngo/internal/neural"
+	"spinngo/internal/packet"
+	"spinngo/internal/phy"
+	"spinngo/internal/router"
+	"spinngo/internal/sim"
+	"spinngo/internal/topo"
+)
+
+func requireMatches(b *testing.B, t *experiments.Table, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !strings.HasPrefix(t.Verdict, "MATCHES PAPER") {
+		b.Fatalf("%s: %s", t.ID, t.Verdict)
+	}
+}
+
+func BenchmarkE1LinkCodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatches(b, experiments.E1LinkCodes(), nil)
+	}
+	nrz := phy.LinkParams{Code: phy.NRZ2of7, WireDelay: 4, LogicDelay: 2, EnergyPerTransition: 6}
+	rtz := phy.LinkParams{Code: phy.RTZ3of6, WireDelay: 4, LogicDelay: 2, EnergyPerTransition: 6}
+	b.ReportMetric(nrz.ThroughputMbps()/rtz.ThroughputMbps(), "throughput-ratio")
+	b.ReportMetric(nrz.SymbolEnergy()/rtz.SymbolEnergy(), "energy-ratio")
+}
+
+func BenchmarkE2GlitchDeadlock(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ex := phy.RunGlitchExperiment(2, 42+uint64(i))
+		ratio, _ = ex.DeadlockRatio()
+	}
+	b.ReportMetric(ratio, "deadlock-reduction-x")
+}
+
+func BenchmarkE3TokenReset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatches(b, experiments.E3TokenReset(500, uint64(i)+1), nil)
+	}
+}
+
+func BenchmarkE4EventKernel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatches(b, experiments.E4EventKernel(uint64(i)+1), nil)
+	}
+}
+
+func BenchmarkE5DeliveryLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E5DeliveryLatency([]int{8, 16, 32}, 40, uint64(i)+1)
+		requireMatches(b, t, err)
+	}
+}
+
+func BenchmarkE6EmergencyRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E6EmergencyRouting(uint64(i) + 1)
+		requireMatches(b, t, err)
+	}
+}
+
+func BenchmarkE7DropPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E7DropPolicy(uint64(i) + 1)
+		requireMatches(b, t, err)
+	}
+}
+
+func BenchmarkE8MonitorElection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatches(b, experiments.E8MonitorElection(100, uint64(i)+1), nil)
+	}
+}
+
+func BenchmarkE9FloodFill(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E9FloodFill([]int{4, 8, 16}, []int{1}, uint64(i)+1)
+		requireMatches(b, t, err)
+	}
+}
+
+func BenchmarkE10Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatches(b, experiments.E10Energy(), nil)
+	}
+}
+
+func BenchmarkE11MulticastVsBroadcast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E11MulticastVsBroadcast(12, []int{10, 100, 1000}, uint64(i)+1)
+		requireMatches(b, t, err)
+	}
+}
+
+func BenchmarkE12RetinaFaultTolerance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E12Retina([]float64{0.1, 0.3}, uint64(i)+1)
+		requireMatches(b, t, err)
+	}
+}
+
+func BenchmarkE13DeferredEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E13DeferredEvents(uint64(i) + 1)
+		requireMatches(b, t, err)
+	}
+}
+
+func BenchmarkE14BoundedAsynchrony(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E14BoundedAsynchrony()
+		requireMatches(b, t, err)
+	}
+}
+
+func BenchmarkAblationTableMinimisation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationTableMinimisation(uint64(i) + 1)
+		requireMatches(b, t, err)
+	}
+}
+
+func BenchmarkAblationPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationPlacement(uint64(i) + 1)
+		requireMatches(b, t, err)
+	}
+}
+
+// --- Micro benchmarks of the simulator's hot paths ---
+
+func BenchmarkRouterLookup(b *testing.B) {
+	tb := router.NewTable(1024)
+	for i := 0; i < 1024; i++ {
+		tb.Add(router.Entry{
+			Match: packet.KeyMask{Key: uint32(i) << 8, Mask: 0xffffff00},
+			Route: router.LinkRoute(topo.East),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(uint32(i%1024) << 8)
+	}
+}
+
+func BenchmarkLIFStep(b *testing.B) {
+	n := neural.NewLIF(neural.DefaultLIF())
+	in := neural.F(0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step(in)
+	}
+}
+
+func BenchmarkIzhikevichStep(b *testing.B) {
+	n := neural.NewIzhikevich(neural.RegularSpiking())
+	in := neural.F(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step(in)
+	}
+}
+
+func BenchmarkRingDepositAdvance(b *testing.B) {
+	r := neural.NewInputRing(256, neural.MaxSynDelay)
+	w := neural.F(0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Deposit(1+i%neural.MaxSynDelay, i%256, w)
+		if i%256 == 0 {
+			r.Advance()
+			r.ClearCurrent()
+		}
+	}
+}
+
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	eng := sim.New(1)
+	b.ResetTimer()
+	count := 0
+	var fn func()
+	fn = func() {
+		count++
+		if count < b.N {
+			eng.After(1, fn)
+		}
+	}
+	eng.After(1, fn)
+	eng.Run()
+}
+
+func BenchmarkFabricPacketHop(b *testing.B) {
+	eng := sim.New(1)
+	fab, err := router.NewFabric(eng, router.DefaultParams(8, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := topo.Coord{X: 0, Y: 0}
+	dst := topo.Coord{X: 4, Y: 0}
+	km := packet.KeyMask{Key: 1, Mask: 0xffffffff}
+	fab.Node(src).Table.Add(router.Entry{Match: km, Route: router.LinkRoute(topo.East)})
+	fab.Node(dst).Table.Add(router.Entry{Match: km, Route: router.CoreRoute(0)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fab.InjectMC(src, packet.NewMC(1))
+		eng.Run()
+	}
+	b.ReportMetric(float64(fab.DeliveredMC), "delivered")
+}
+
+// BenchmarkMachineBioSecond measures end-to-end simulation throughput: a
+// 3x3 machine running a stimulus-driven network for one biological
+// second per iteration.
+func BenchmarkMachineBioSecond(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := spinngo.NewMachine(spinngo.MachineConfig{Width: 3, Height: 3, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Boot(); err != nil {
+			b.Fatal(err)
+		}
+		model := spinngo.NewModel()
+		stim := model.AddPoisson("stim", 100, 100)
+		exc := model.AddLIF("exc", 300, spinngo.DefaultLIFConfig())
+		if err := model.Connect(stim, exc, spinngo.Conn{Rule: spinngo.RandomRule, P: 0.1, WeightNA: 1, DelayMS: 2}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Load(model); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		rep, err := m.Run(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rep.TotalSpikes), "spikes")
+		}
+	}
+}

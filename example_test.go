@@ -1,0 +1,64 @@
+package spinngo_test
+
+import (
+	"fmt"
+
+	"spinngo"
+)
+
+// Example demonstrates the canonical workflow: describe, boot, load,
+// run, inspect.
+func Example() {
+	model := spinngo.NewModel()
+	stim := model.AddPoisson("stim", 50, 100)
+	exc := model.AddLIF("exc", 100, spinngo.DefaultLIFConfig())
+	if err := model.Connect(stim, exc, spinngo.Conn{
+		Rule: spinngo.RandomRule, P: 0.1, WeightNA: 1.0, DelayMS: 2,
+	}); err != nil {
+		panic(err)
+	}
+
+	machine, err := spinngo.NewMachine(spinngo.MachineConfig{Width: 2, Height: 2, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := machine.Boot(); err != nil {
+		panic(err)
+	}
+	if _, err := machine.Load(model); err != nil {
+		panic(err)
+	}
+	report, err := machine.Run(100)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ran", report.BioTimeMS, "ms biological time")
+	fmt.Println("real time:", report.RealTime)
+	fmt.Println("packets dropped:", report.PacketsDropped)
+	// Output:
+	// ran 100 ms biological time
+	// real time: true
+	// packets dropped: 0
+}
+
+// ExampleMachine_FailLink shows fault injection: emergency routing keeps
+// a network running across a broken link.
+func ExampleMachine_FailLink() {
+	machine, _ := spinngo.NewMachine(spinngo.MachineConfig{
+		Width: 3, Height: 3, Seed: 7, MaxAppCoresPerChip: 1,
+	})
+	machine.Boot()
+	model := spinngo.NewModel()
+	stim := model.AddPoisson("stim", 30, 200)
+	sink := model.AddLIF("sink", 300, spinngo.DefaultLIFConfig())
+	model.Connect(stim, sink, spinngo.Conn{Rule: spinngo.RandomRule, P: 0.2, WeightNA: 1, DelayMS: 1})
+	machine.Load(model)
+
+	if err := machine.FailLink(0, 0, "E"); err != nil {
+		panic(err)
+	}
+	report, _ := machine.Run(100)
+	fmt.Println("still real time:", report.RealTime)
+	// Output:
+	// still real time: true
+}

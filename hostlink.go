@@ -1,0 +1,94 @@
+package spinngo
+
+import (
+	"fmt"
+
+	"spinngo/internal/host"
+	"spinngo/internal/sim"
+	"spinngo/internal/topo"
+)
+
+// HostLink is the Host System of paper Fig 1 attached to the machine: an
+// Ethernet connection to chip (0,0) through which any chip can be
+// reached with point-to-point packet bursts (section 5.2). Operations
+// are synchronous from the caller's perspective; each one advances the
+// machine's simulated clock by the time the command genuinely takes
+// (Ethernet + fabric + response), so host traffic and neural traffic
+// share the machine honestly.
+type HostLink struct {
+	m *Machine
+	h *host.Host
+}
+
+// AttachHost connects a host to a booted machine.
+func (m *Machine) AttachHost() (*HostLink, error) {
+	if !m.booted {
+		return nil, fmt.Errorf("spinngo: boot the machine before attaching a host")
+	}
+	return &HostLink{m: m, h: host.New(m.eng, m.fab, m.boot, host.DefaultConfig())}, nil
+}
+
+// hostOpTimeout bounds how long a command may take before the link
+// reports it lost.
+const hostOpTimeout = 100 * sim.Millisecond
+
+// await runs the machine until the response arrives or times out.
+func (hl *HostLink) await(done *bool) error {
+	deadline := hl.m.eng.Now() + hostOpTimeout
+	for !*done && hl.m.eng.Now() < deadline {
+		if !hl.m.eng.Step() {
+			// Queue drained with no response pending: nothing more
+			// will happen.
+			break
+		}
+	}
+	if !*done {
+		return fmt.Errorf("spinngo: host command timed out")
+	}
+	return nil
+}
+
+// Ping checks chip (x, y) responds, returning the round-trip time in
+// microseconds.
+func (hl *HostLink) Ping(x, y int) (rttUS float64, err error) {
+	start := hl.m.eng.Now()
+	done := false
+	hl.h.Ping(topo.Coord{X: x, Y: y}, func(r host.Response) {
+		err = r.Err
+		done = true
+	})
+	if werr := hl.await(&done); werr != nil {
+		return 0, werr
+	}
+	return (hl.m.eng.Now() - start).Micros(), err
+}
+
+// WriteMem stores data into chip (x, y)'s SDRAM at addr.
+func (hl *HostLink) WriteMem(x, y int, addr uint32, data []byte) error {
+	done := false
+	var opErr error
+	hl.h.WriteMem(topo.Coord{X: x, Y: y}, addr, data, func(r host.Response) {
+		opErr = r.Err
+		done = true
+	})
+	if err := hl.await(&done); err != nil {
+		return err
+	}
+	return opErr
+}
+
+// ReadMem fetches n bytes from chip (x, y)'s SDRAM at addr.
+func (hl *HostLink) ReadMem(x, y int, addr uint32, n int) ([]byte, error) {
+	done := false
+	var opErr error
+	var data []byte
+	hl.h.ReadMem(topo.Coord{X: x, Y: y}, addr, n, func(r host.Response) {
+		opErr = r.Err
+		data = r.Data
+		done = true
+	})
+	if err := hl.await(&done); err != nil {
+		return nil, err
+	}
+	return data, opErr
+}

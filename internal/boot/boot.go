@@ -1,0 +1,401 @@
+// Package boot implements the SpiNNaker bootstrap of paper section 5.2:
+//
+//  1. Every core self-tests; survivors bid for Monitor Processor through
+//     the System Controller's read-sensitive register.
+//  2. Each booted chip probes its six neighbours with nearest-neighbour
+//     (nn) packets; a neighbour that fails to respond is rescued — boot
+//     code is copied into its System RAM over nn packets and it is
+//     instructed to reboot with a forced monitor choice.
+//  3. Symmetry is broken at system level: the Ethernet-attached chip
+//     becomes (0,0) and coordinates flood outward over nn packets.
+//  4. Each node then configures its p2p routing, making it reachable
+//     from the host via node (0,0).
+//  5. The application is loaded by nn flood-fill, with a redundancy
+//     parameter trading load time against fault-tolerance; load time is
+//     almost independent of machine size (experiment E9).
+package boot
+
+import (
+	"fmt"
+
+	"spinngo/internal/chip"
+	"spinngo/internal/packet"
+	"spinngo/internal/router"
+	"spinngo/internal/sim"
+	"spinngo/internal/topo"
+)
+
+// nn command words.
+const (
+	cmdPing uint32 = iota + 1
+	cmdPong
+	cmdReboot // payload: forced monitor core
+	cmdCoord  // payload: packed claimed coordinate
+	cmdBlock  // payload: block index
+)
+
+// Config parameterises a boot run.
+type Config struct {
+	// Cores per chip.
+	Cores int
+	// CoreFaultProb is the per-core probability of failing self-test.
+	CoreFaultProb float64
+	// DeadChips fail to boot on their own and need neighbour rescue.
+	DeadChips map[topo.Coord]bool
+	// HardDeadChips cannot be rescued at all.
+	HardDeadChips map[topo.Coord]bool
+	// ProbeTimeout is how long a chip waits for a ping response before
+	// starting a rescue.
+	ProbeTimeout sim.Time
+	// ImageBlocks is the number of flood-fill blocks in the boot image.
+	ImageBlocks int
+	// BlockBytes is the size of each block (stored to SDRAM).
+	BlockBytes int
+	// Redundancy is how many copies of each block a node forwards
+	// before going quiet (the fault-tolerance/load-time trade-off).
+	Redundancy int
+	// HostGap is the interval between successive block injections at
+	// the origin.
+	HostGap sim.Time
+}
+
+// DefaultConfig returns paper-scale boot parameters.
+func DefaultConfig() Config {
+	return Config{
+		Cores:        chip.CoresPerChip,
+		ProbeTimeout: 50 * sim.Microsecond,
+		ImageBlocks:  32,
+		BlockBytes:   256,
+		Redundancy:   1,
+		HostGap:      2 * sim.Microsecond,
+	}
+}
+
+// nodeState is one chip's boot progress.
+type nodeState struct {
+	chip     *chip.Chip
+	alive    bool
+	rescued  bool
+	hasCoord bool
+	derived  topo.Coord
+	p2pReady bool
+	// blocks maps block index -> copies seen.
+	blocks     map[uint32]int
+	loadedAt   sim.Time
+	coordAt    sim.Time
+	everLoaded bool
+}
+
+// Result summarises a boot run.
+type Result struct {
+	// Alive chips after local boot (before rescue).
+	BootedLocally int
+	// Rescued chips brought up by neighbours.
+	Rescued int
+	// DeadForever chips that never came up.
+	DeadForever int
+	// Monitors maps chip -> elected monitor core.
+	Monitors map[topo.Coord]int
+	// CoordCorrect reports all derived coordinates matched reality.
+	CoordCorrect bool
+	// CoordTime is when the last alive node learned its coordinates.
+	CoordTime sim.Time
+	// P2PReady chips configured point-to-point tables.
+	P2PReady int
+	// Loaded chips received the complete image.
+	Loaded int
+	// LoadTime is when the last chip completed loading (from load
+	// start).
+	LoadTime sim.Time
+	// NNPackets counts all nearest-neighbour traffic.
+	NNPackets uint64
+}
+
+// Controller orchestrates a boot over a fabric.
+type Controller struct {
+	eng   *sim.Engine
+	fab   *router.Fabric
+	cfg   Config
+	torus topo.Torus
+	nodes map[topo.Coord]*nodeState
+
+	loadStart sim.Time
+	res       Result
+}
+
+// NewController builds the boot orchestrator for an existing fabric.
+func NewController(eng *sim.Engine, fab *router.Fabric, cfg Config) *Controller {
+	c := &Controller{
+		eng:   eng,
+		fab:   fab,
+		cfg:   cfg,
+		torus: fab.Params().Torus,
+		nodes: make(map[topo.Coord]*nodeState),
+	}
+	for _, n := range fab.Nodes() {
+		c.nodes[n.Coord] = &nodeState{
+			chip:   chip.New(eng, n.Coord, cfg.Cores),
+			blocks: make(map[uint32]int),
+		}
+	}
+	fab.OnNN = c.handleNN
+	return c
+}
+
+// Chip exposes a node's chip (for inspection in tests and the host).
+func (c *Controller) Chip(at topo.Coord) *chip.Chip { return c.nodes[at].chip }
+
+// send wraps fabric nn transmission with accounting.
+func (c *Controller) send(from topo.Coord, d topo.Dir, cmd, payload uint32) {
+	c.res.NNPackets++
+	c.fab.SendNN(from, d, packet.NewNN(cmd, payload))
+}
+
+// Run executes the whole boot sequence and reports the result. The
+// engine is run to quiescence inside.
+func (c *Controller) Run() (*Result, error) {
+	if c.cfg.Redundancy < 1 {
+		return nil, fmt.Errorf("boot: redundancy must be >= 1")
+	}
+	c.phaseLocalBoot()
+	c.phaseProbeAndRescue()
+	c.eng.Run()
+	c.phaseCoordinates()
+	c.eng.Run()
+	c.phaseLoad()
+	c.eng.Run()
+	c.finalise()
+	return &c.res, nil
+}
+
+// phaseLocalBoot: self-test and monitor election on every healthy chip.
+func (c *Controller) phaseLocalBoot() {
+	c.res.Monitors = make(map[topo.Coord]int)
+	for coord, st := range c.nodes {
+		if c.cfg.DeadChips[coord] || c.cfg.HardDeadChips[coord] {
+			continue
+		}
+		for _, core := range st.chip.Cores {
+			if c.eng.RNG().Bool(c.cfg.CoreFaultProb) {
+				core.InjectedFault = true
+			}
+		}
+		if id, err := st.chip.ElectMonitor(c.eng.RNG()); err == nil {
+			st.alive = true
+			c.res.Monitors[coord] = id
+			c.res.BootedLocally++
+		}
+	}
+}
+
+// phaseProbeAndRescue: alive chips ping all six neighbours; missing
+// responses trigger a rescue reboot over nn.
+func (c *Controller) phaseProbeAndRescue() {
+	for coord, st := range c.nodes {
+		if !st.alive {
+			continue
+		}
+		coord := coord
+		for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
+			d := d
+			c.eng.After(sim.Time(c.eng.RNG().Intn(1000)), func() {
+				c.send(coord, d, cmdPing, 0)
+			})
+			// If the neighbour stays silent, attempt the rescue: copy
+			// boot code (abstracted) and force a reboot.
+			nb := c.torus.Neighbor(coord, d)
+			c.eng.After(c.cfg.ProbeTimeout, func() {
+				if !c.nodes[nb].alive && !c.cfg.HardDeadChips[nb] {
+					c.send(coord, d, cmdReboot, 0)
+				}
+			})
+		}
+	}
+}
+
+// phaseCoordinates: the origin claims (0,0) and floods coordinates.
+func (c *Controller) phaseCoordinates() {
+	origin := topo.Coord{X: 0, Y: 0}
+	st := c.nodes[origin]
+	if !st.alive {
+		return
+	}
+	st.hasCoord = true
+	st.derived = origin
+	st.coordAt = c.eng.Now()
+	st.p2pReady = true
+	c.fab.Node(origin).ConfigureP2P()
+	c.propagateCoord(origin)
+}
+
+func (c *Controller) propagateCoord(from topo.Coord) {
+	st := c.nodes[from]
+	for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
+		nb := c.torus.Neighbor(st.derived, d)
+		c.send(from, d, cmdCoord, uint32(packet.P2PAddr(nb.X, nb.Y)))
+	}
+}
+
+// phaseLoad: flood-fill the application image from the origin.
+func (c *Controller) phaseLoad() {
+	origin := topo.Coord{X: 0, Y: 0}
+	if !c.nodes[origin].alive {
+		return
+	}
+	c.loadStart = c.eng.Now()
+	for b := 0; b < c.cfg.ImageBlocks; b++ {
+		b := b
+		c.eng.After(sim.Time(b)*c.cfg.HostGap, func() {
+			c.receiveBlock(origin, uint32(b))
+		})
+	}
+}
+
+// handleNN is the fabric's nearest-neighbour delivery callback.
+func (c *Controller) handleNN(n *router.Node, from topo.Dir, pkt packet.Packet) {
+	st := c.nodes[n.Coord]
+	switch pkt.Key {
+	case cmdPing:
+		if st.alive {
+			c.send(n.Coord, from, cmdPong, 0)
+		}
+	case cmdPong:
+		// Liveness confirmed; nothing further needed in this model.
+	case cmdReboot:
+		if st.alive || c.cfg.HardDeadChips[n.Coord] {
+			return
+		}
+		// Boot code arrives over nn; the neighbour forces the monitor
+		// choice and the chip reboots.
+		if id, err := st.chip.ElectMonitor(c.eng.RNG()); err == nil {
+			st.alive = true
+			st.rescued = true
+			c.res.Monitors[n.Coord] = id
+			c.res.Rescued++
+			// A late riser must learn its coordinates too.
+			if nbSt := c.nodes[c.torus.Neighbor(n.Coord, from)]; nbSt.hasCoord {
+				c.propagateCoord(c.torus.Neighbor(n.Coord, from))
+			}
+		}
+	case cmdCoord:
+		if !st.alive || st.hasCoord {
+			return
+		}
+		x, y := packet.P2PCoords(uint16(pkt.Payload))
+		st.hasCoord = true
+		st.derived = c.torus.Wrap(topo.Coord{X: x, Y: y})
+		st.coordAt = c.eng.Now()
+		st.p2pReady = true
+		n.ConfigureP2P() // "only then can each node configure its p2p routing tables"
+		c.propagateCoord(n.Coord)
+	case cmdBlock:
+		if !st.alive {
+			return
+		}
+		c.receiveBlock(n.Coord, pkt.Payload)
+	}
+}
+
+// receiveBlock handles one flood-fill block arriving at a chip: store it
+// once, forward while the copy count is within the redundancy budget.
+func (c *Controller) receiveBlock(at topo.Coord, blockIdx uint32) {
+	st := c.nodes[at]
+	st.blocks[blockIdx]++
+	if st.blocks[blockIdx] == 1 {
+		// First copy: store the block in SDRAM (content is generated
+		// deterministically from the index; any sender's copy is
+		// identical).
+		data := blockContent(blockIdx, c.cfg.BlockBytes)
+		if err := st.chip.SDRAM.Store(blockAddr(blockIdx), data); err == nil {
+			if len(st.blocks) == c.cfg.ImageBlocks && !st.everLoaded {
+				st.everLoaded = true
+				st.loadedAt = c.eng.Now()
+			}
+		}
+	}
+	if st.blocks[blockIdx] <= c.cfg.Redundancy {
+		for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
+			c.send(at, d, cmdBlock, blockIdx)
+		}
+	}
+}
+
+// blockAddr maps a block index to its SDRAM load address.
+func blockAddr(idx uint32) uint32 { return 0x4000_0000 + idx*0x1000 }
+
+// blockContent generates the deterministic content of a boot-image
+// block.
+func blockContent(idx uint32, size int) []byte {
+	out := make([]byte, size)
+	x := idx*2654435761 + 1
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		out[i] = byte(x)
+	}
+	return out
+}
+
+// finalise computes the result summary.
+func (c *Controller) finalise() {
+	coordOK := true
+	var lastCoord, lastLoad sim.Time
+	for coord, st := range c.nodes {
+		if !st.alive {
+			c.res.DeadForever++
+			continue
+		}
+		if st.hasCoord {
+			if st.derived != coord {
+				coordOK = false
+			}
+			if st.coordAt > lastCoord {
+				lastCoord = st.coordAt
+			}
+		} else {
+			coordOK = false
+		}
+		if st.p2pReady {
+			c.res.P2PReady++
+		}
+		if st.everLoaded {
+			c.res.Loaded++
+			if st.loadedAt > lastLoad {
+				lastLoad = st.loadedAt
+			}
+		}
+	}
+	c.res.CoordCorrect = coordOK
+	c.res.CoordTime = lastCoord
+	if lastLoad > c.loadStart {
+		c.res.LoadTime = lastLoad - c.loadStart
+	}
+}
+
+// VerifyImage checks a chip's SDRAM holds the full, correct image.
+func (c *Controller) VerifyImage(at topo.Coord) error {
+	st := c.nodes[at]
+	for b := uint32(0); b < uint32(c.cfg.ImageBlocks); b++ {
+		data, ok := st.chip.SDRAM.Load(blockAddr(b))
+		if !ok {
+			return fmt.Errorf("boot: chip %v missing block %d", at, b)
+		}
+		want := blockContent(b, c.cfg.BlockBytes)
+		if len(data) != len(want) {
+			return fmt.Errorf("boot: chip %v block %d truncated", at, b)
+		}
+		for i := range want {
+			if data[i] != want[i] {
+				return fmt.Errorf("boot: chip %v block %d corrupt at byte %d", at, b, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Alive reports whether the chip ended the boot alive.
+func (c *Controller) Alive(at topo.Coord) bool { return c.nodes[at].alive }
+
+// Rescued reports whether the chip was brought up by a neighbour.
+func (c *Controller) Rescued(at topo.Coord) bool { return c.nodes[at].rescued }

@@ -1,0 +1,167 @@
+package chip
+
+import (
+	"fmt"
+
+	"spinngo/internal/sim"
+)
+
+// SDRAM models the node's shared 1 Gbit mobile DDR SDRAM as a single
+// server with fixed access latency and finite bandwidth: transfers from
+// the per-core DMA controllers are serialised over the System NoC, so
+// concurrent requests queue and see contention — the behaviour that
+// matters for the Fig-7 event-driven model, where synaptic-row fetches
+// race the 1 ms real-time deadline.
+//
+// It also provides a small segment store so boot images and application
+// data can actually be written and read back in boot and host tests.
+type SDRAM struct {
+	eng *sim.Engine
+	// Latency is the fixed setup cost per transfer.
+	Latency sim.Time
+	// BytesPerUS is the sustained bandwidth in bytes per microsecond.
+	BytesPerUS float64
+
+	busyUntil sim.Time
+	segments  map[uint32][]byte
+	used      int
+
+	// Counters for the energy model.
+	Transfers      uint64
+	BytesMoved     uint64
+	ContentionBusy sim.Time // cumulative time requests spent queued
+}
+
+// NewSDRAM returns a mobile-DDR-class SDRAM model: ~1 GB/s sustained,
+// ~150 ns first-word latency.
+func NewSDRAM(eng *sim.Engine) *SDRAM {
+	return &SDRAM{
+		eng:        eng,
+		Latency:    150 * sim.Nanosecond,
+		BytesPerUS: 1000, // 1 GB/s
+		segments:   make(map[uint32][]byte),
+	}
+}
+
+// TransferTime reports the service time for size bytes, excluding
+// queueing.
+func (s *SDRAM) TransferTime(size int) sim.Time {
+	return s.Latency + sim.Time(float64(size)/s.BytesPerUS*float64(sim.Microsecond))
+}
+
+// Transfer schedules a transfer of size bytes; done runs when it
+// completes. Contention: transfers are serialised in arrival order.
+func (s *SDRAM) Transfer(size int, done func()) {
+	if size < 0 {
+		panic("chip: negative transfer size")
+	}
+	now := s.eng.Now()
+	start := now
+	if s.busyUntil > start {
+		start = s.busyUntil
+		s.ContentionBusy += s.busyUntil - now
+	}
+	end := start + s.TransferTime(size)
+	s.busyUntil = end
+	s.Transfers++
+	s.BytesMoved += uint64(size)
+	s.eng.At(end, done)
+}
+
+// Store writes data at the given address in the segment store. It fails
+// when the SDRAM would overflow.
+func (s *SDRAM) Store(addr uint32, data []byte) error {
+	old := len(s.segments[addr])
+	if s.used-old+len(data) > SDRAMBytes {
+		return fmt.Errorf("chip: SDRAM overflow storing %d bytes at %#x", len(data), addr)
+	}
+	s.used += len(data) - old
+	s.segments[addr] = append([]byte(nil), data...)
+	return nil
+}
+
+// Load reads back a segment stored at addr.
+func (s *SDRAM) Load(addr uint32) ([]byte, bool) {
+	d, ok := s.segments[addr]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}
+
+// Used reports the bytes held in the segment store.
+func (s *SDRAM) Used() int { return s.used }
+
+// DMARequest is one queued DMA operation.
+type DMARequest struct {
+	// Size in bytes.
+	Size int
+	// Write is true for processor->SDRAM transfers.
+	Write bool
+	// Tag is opaque to the controller (e.g. which synaptic row).
+	Tag uint32
+	// Done runs at completion (the Fig-7 "DMA complete" interrupt).
+	Done func()
+}
+
+// DMAController is one processor subsystem's DMA engine: a FIFO of
+// requests issued to the shared SDRAM one at a time (Fig 4). The Fig-7
+// kernel enqueues a synaptic-data fetch per incoming spike and processes
+// rows on the completion interrupt.
+type DMAController struct {
+	eng   *sim.Engine
+	sdram *SDRAM
+	queue []DMARequest
+	busy  bool
+
+	// Completed counts finished requests.
+	Completed uint64
+	// MaxQueue records the high-water mark (detects overload).
+	MaxQueue int
+}
+
+// NewDMAController returns a controller bound to the shared SDRAM.
+func NewDMAController(eng *sim.Engine, sdram *SDRAM) *DMAController {
+	return &DMAController{eng: eng, sdram: sdram}
+}
+
+// Enqueue adds a request; it is served after all earlier ones.
+func (d *DMAController) Enqueue(req DMARequest) {
+	d.queue = append(d.queue, req)
+	occupancy := len(d.queue)
+	if d.busy {
+		occupancy++
+	}
+	if occupancy > d.MaxQueue {
+		d.MaxQueue = occupancy
+	}
+	if !d.busy {
+		d.next()
+	}
+}
+
+// QueueLen reports outstanding requests (including the active one).
+func (d *DMAController) QueueLen() int {
+	n := len(d.queue)
+	if d.busy {
+		n++
+	}
+	return n
+}
+
+func (d *DMAController) next() {
+	if len(d.queue) == 0 {
+		d.busy = false
+		return
+	}
+	d.busy = true
+	req := d.queue[0]
+	d.queue = d.queue[1:]
+	d.sdram.Transfer(req.Size, func() {
+		d.Completed++
+		if req.Done != nil {
+			req.Done()
+		}
+		d.next()
+	})
+}

@@ -1,0 +1,81 @@
+// Package experiments contains the reproduction harness: one runner per
+// quantitative claim of the paper (see DESIGN.md's per-experiment
+// index). Each runner builds its workload, executes it on the simulated
+// machine, and returns a Table whose rows mirror what the paper reports;
+// cmd/spinnbench prints them and bench_test.go benchmarks them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID    string
+	Title string
+	// Claim quotes or paraphrases the paper's statement under test.
+	Claim   string
+	Columns []string
+	Rows    [][]string
+	// Verdict summarises whether the measured shape matches the claim.
+	Verdict string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render produces an aligned text table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "paper claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Verdict != "" {
+		fmt.Fprintf(&b, "verdict: %s\n", t.Verdict)
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }
+func u(v uint64) string   { return fmt.Sprintf("%d", v) }
+
+func verdict(ok bool, okMsg, badMsg string) string {
+	if ok {
+		return "MATCHES PAPER — " + okMsg
+	}
+	return "DIVERGES — " + badMsg
+}

@@ -1,0 +1,88 @@
+package gals
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBoundedAsynchronySkew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	cfg := DefaultConfig(3, 3)
+	cfg.Ticks = 40
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With crystal-class drift (100 ppm) chips must stay within a few
+	// ticks of each other over the whole run without any global
+	// synchronisation. The bound is generous to tolerate scheduler
+	// jitter on loaded CI machines; typical skew is well under one
+	// tick.
+	if res.MaxSkew > 3*cfg.TickPeriod {
+		t.Errorf("max skew %v exceeds 3 ticks (%v)", res.MaxSkew, 3*cfg.TickPeriod)
+	}
+}
+
+func TestSynfireTokenCirculates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	cfg := DefaultConfig(2, 2) // 4 chips in the ring
+	cfg.Ticks = 60
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The token advances one chip per tick: 60 ticks / 4 chips = up to
+	// 15 laps; requires cross-goroutine spike delivery to keep up with
+	// the free-running timers.
+	if res.TokenLaps < 5 {
+		t.Errorf("token completed %d laps, want >= 5", res.TokenLaps)
+	}
+	if res.Delivered < 4*res.TokenLaps {
+		t.Errorf("delivered %d spikes for %d laps", res.Delivered, res.TokenLaps)
+	}
+}
+
+func TestRunRejectsEmptyConfig(t *testing.T) {
+	cfg := DefaultConfig(2, 2)
+	cfg.Ticks = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero ticks accepted")
+	}
+}
+
+func TestDriftAffectsPeriods(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	// Sanity: with extreme drift the run still completes and skew
+	// grows relative to the near-zero-drift case (monotonicity checked
+	// loosely — absolute values depend on the host).
+	lo := DefaultConfig(2, 2)
+	lo.DriftPPM = 0
+	lo.Ticks = 30
+	hi := DefaultConfig(2, 2)
+	hi.DriftPPM = 50000 // 5%: grossly out-of-spec oscillators
+	hi.Ticks = 30
+	hi.Seed = 3
+	rlo, err := Run(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhi, err := Run(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5% drift over 30 ticks of 2 ms = up to 3 ms of accumulated skew;
+	// it should exceed the zero-drift skew unless the host is very
+	// noisy, in which case log rather than fail.
+	if rhi.MaxSkew <= rlo.MaxSkew {
+		t.Logf("note: high-drift skew %v not above low-drift %v (host jitter)", rhi.MaxSkew, rlo.MaxSkew)
+	}
+	if rhi.MaxSkew > time.Second {
+		t.Errorf("absurd skew %v", rhi.MaxSkew)
+	}
+}

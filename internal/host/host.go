@@ -1,0 +1,230 @@
+// Package host models the Host System of paper Fig 1: one or more
+// workstations attached by Ethernet to node (0,0), able to reach every
+// chip in the machine with point-to-point packets once the boot sequence
+// has configured coordinates and p2p tables (section 5.2: "the Host
+// System [can] communicate with any node using p2p packets via Ethernet
+// and node (0,0)").
+//
+// Commands (ping, memory read/write, application start) travel as p2p
+// packet bursts — one packet per 32-bit word plus a header packet — so
+// their timing reflects real fabric traffic; payload bytes ride an
+// out-of-band table keyed by sequence number, standing in for the SDP
+// protocol's payload framing.
+package host
+
+import (
+	"fmt"
+
+	"spinngo/internal/boot"
+	"spinngo/internal/packet"
+	"spinngo/internal/router"
+	"spinngo/internal/sim"
+	"spinngo/internal/topo"
+)
+
+// Op is a host command opcode.
+type Op uint8
+
+const (
+	// OpPing checks a chip's monitor is responsive.
+	OpPing Op = iota + 1
+	// OpWrite stores bytes into a chip's SDRAM.
+	OpWrite
+	// OpRead fetches bytes from a chip's SDRAM.
+	OpRead
+	// OpStart signals application start on a chip.
+	OpStart
+)
+
+// Response is the completion of one command.
+type Response struct {
+	Seq  uint32
+	Op   Op
+	From topo.Coord
+	Data []byte // read results
+	Err  error
+	At   sim.Time
+}
+
+// Config shapes the Ethernet attachment.
+type Config struct {
+	// EthLatency is the one-way host <-> (0,0) latency.
+	EthLatency sim.Time
+	// EthBytesPerUS is Ethernet throughput (100 Mbit/s ~ 12.5 B/us).
+	EthBytesPerUS float64
+}
+
+// DefaultConfig returns 100 Mbit Ethernet with LAN latency.
+func DefaultConfig() Config {
+	return Config{EthLatency: 50 * sim.Microsecond, EthBytesPerUS: 12.5}
+}
+
+// command tracks an in-flight operation.
+type command struct {
+	op        Op
+	target    topo.Coord
+	addr      uint32
+	data      []byte
+	length    int
+	remaining int // p2p packets still to arrive at the target
+	done      func(Response)
+}
+
+// Host drives the machine through node (0,0).
+type Host struct {
+	eng    *sim.Engine
+	fab    *router.Fabric
+	ctl    *boot.Controller
+	cfg    Config
+	origin topo.Coord
+
+	seq      uint32
+	inflight map[uint32]*command
+	started  map[topo.Coord]bool
+
+	// PacketsSent counts p2p packets injected on the machine side.
+	PacketsSent uint64
+}
+
+// New attaches a host to a booted machine's fabric.
+func New(eng *sim.Engine, fab *router.Fabric, ctl *boot.Controller, cfg Config) *Host {
+	h := &Host{
+		eng: eng, fab: fab, ctl: ctl, cfg: cfg,
+		origin:   topo.Coord{X: 0, Y: 0},
+		inflight: make(map[uint32]*command),
+		started:  make(map[topo.Coord]bool),
+	}
+	fab.OnDeliverP2P = h.onP2P
+	return h
+}
+
+// ethTime is the Ethernet serialisation plus latency for n bytes.
+func (h *Host) ethTime(n int) sim.Time {
+	return h.cfg.EthLatency + sim.Time(float64(n)/h.cfg.EthBytesPerUS*float64(sim.Microsecond))
+}
+
+// submit launches a command: Ethernet to (0,0), then a p2p burst to the
+// target (one packet per 32-bit word of payload, plus a header packet).
+func (h *Host) submit(cmd *command) uint32 {
+	h.seq++
+	seq := h.seq
+	h.inflight[seq] = cmd
+	packets := 1 + (len(cmd.data)+3)/4
+	cmd.remaining = packets
+	h.eng.After(h.ethTime(len(cmd.data)+16), func() {
+		for i := 0; i < packets; i++ {
+			h.PacketsSent++
+			h.fab.InjectP2P(h.origin, cmd.target, seq)
+		}
+	})
+	return seq
+}
+
+// Ping checks a chip is reachable and alive.
+func (h *Host) Ping(target topo.Coord, done func(Response)) uint32 {
+	return h.submit(&command{op: OpPing, target: target, done: done})
+}
+
+// WriteMem stores data at addr in the target chip's SDRAM.
+func (h *Host) WriteMem(target topo.Coord, addr uint32, data []byte, done func(Response)) uint32 {
+	return h.submit(&command{op: OpWrite, target: target, addr: addr,
+		data: append([]byte(nil), data...), done: done})
+}
+
+// ReadMem fetches length bytes from addr in the target chip's SDRAM.
+func (h *Host) ReadMem(target topo.Coord, addr uint32, length int, done func(Response)) uint32 {
+	return h.submit(&command{op: OpRead, target: target, addr: addr,
+		length: length, done: done})
+}
+
+// Start signals application start on the target chip.
+func (h *Host) Start(target topo.Coord, done func(Response)) uint32 {
+	return h.submit(&command{op: OpStart, target: target, done: done})
+}
+
+// Started reports whether the chip has received a start signal.
+func (h *Host) Started(at topo.Coord) bool { return h.started[at] }
+
+// onP2P handles p2p deliveries machine-wide: commands arriving at their
+// target chip's monitor, and (conceptually) responses arriving back at
+// the origin — the response path is modelled by a return p2p packet plus
+// the Ethernet hop before the callback fires.
+func (h *Host) onP2P(n *router.Node, pkt packet.Packet, _ sim.Time) {
+	seq := pkt.Key
+	cmd := h.inflight[seq]
+	if cmd == nil {
+		return
+	}
+	if n.Coord == h.origin && cmd.target != h.origin {
+		// Response packet back at the gateway: forward over Ethernet.
+		h.eng.After(h.ethTime(len(cmd.data)+4), func() { h.complete(seq, n.Coord) })
+		return
+	}
+	if n.Coord != cmd.target {
+		return
+	}
+	cmd.remaining--
+	if cmd.remaining > 0 {
+		return
+	}
+	// Whole burst received: the monitor executes the command.
+	resp := h.execute(cmd, n.Coord)
+	if cmd.target == h.origin {
+		// Local gateway command: only the Ethernet hop remains.
+		h.eng.After(h.ethTime(len(resp)+4), func() { h.complete(seq, n.Coord) })
+		return
+	}
+	// Send the response back to the gateway as p2p traffic.
+	h.fab.InjectP2P(cmd.target, h.origin, seq)
+}
+
+// execute performs the command on the chip and returns read data.
+func (h *Host) execute(cmd *command, at topo.Coord) []byte {
+	ch := h.ctl.Chip(at)
+	switch cmd.op {
+	case OpWrite:
+		if err := ch.SDRAM.Store(cmd.addr, cmd.data); err != nil {
+			cmd.data = nil
+		}
+	case OpRead:
+		if data, ok := ch.SDRAM.Load(cmd.addr); ok {
+			if cmd.length < len(data) {
+				data = data[:cmd.length]
+			}
+			cmd.data = data
+		} else {
+			cmd.data = nil
+		}
+	case OpStart:
+		h.started[at] = true
+	}
+	return cmd.data
+}
+
+// complete fires the caller's callback and retires the sequence number.
+func (h *Host) complete(seq uint32, from topo.Coord) {
+	cmd := h.inflight[seq]
+	if cmd == nil {
+		return
+	}
+	delete(h.inflight, seq)
+	resp := Response{Seq: seq, Op: cmd.op, From: cmd.target, At: h.eng.Now()}
+	switch cmd.op {
+	case OpRead:
+		if cmd.data == nil {
+			resp.Err = fmt.Errorf("host: read from %v failed", cmd.target)
+		} else {
+			resp.Data = cmd.data
+		}
+	case OpWrite:
+		if cmd.data == nil {
+			resp.Err = fmt.Errorf("host: write to %v failed", cmd.target)
+		}
+	}
+	if cmd.done != nil {
+		cmd.done(resp)
+	}
+}
+
+// Inflight reports commands awaiting completion.
+func (h *Host) Inflight() int { return len(h.inflight) }

@@ -1,0 +1,144 @@
+package host
+
+import (
+	"bytes"
+	"testing"
+
+	"spinngo/internal/boot"
+	"spinngo/internal/router"
+	"spinngo/internal/sim"
+	"spinngo/internal/topo"
+)
+
+// bootedMachine brings up a w x h fabric with a completed boot.
+func bootedMachine(t *testing.T, w, h int) (*sim.Engine, *router.Fabric, *boot.Controller) {
+	t.Helper()
+	eng := sim.New(1)
+	fab, err := router.NewFabric(eng, router.DefaultParams(w, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := boot.NewController(eng, fab, boot.DefaultConfig())
+	if _, err := ctl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return eng, fab, ctl
+}
+
+func TestPingEveryChip(t *testing.T) {
+	eng, fab, ctl := bootedMachine(t, 4, 4)
+	h := New(eng, fab, ctl, DefaultConfig())
+	got := map[topo.Coord]bool{}
+	for i := 0; i < 16; i++ {
+		c := fab.Params().Torus.CoordOf(i)
+		h.Ping(c, func(r Response) {
+			if r.Err != nil {
+				t.Errorf("ping %v: %v", c, r.Err)
+			}
+			got[r.From] = true
+		})
+	}
+	eng.Run()
+	if len(got) != 16 {
+		t.Errorf("pinged %d chips, want 16", len(got))
+	}
+	if h.Inflight() != 0 {
+		t.Errorf("%d commands stuck in flight", h.Inflight())
+	}
+}
+
+func TestWriteThenReadBack(t *testing.T) {
+	eng, fab, ctl := bootedMachine(t, 4, 4)
+	h := New(eng, fab, ctl, DefaultConfig())
+	target := topo.Coord{X: 3, Y: 2}
+	payload := []byte("synaptic data block for core 7")
+
+	var read []byte
+	h.WriteMem(target, 0x7000_0000, payload, func(r Response) {
+		if r.Err != nil {
+			t.Errorf("write: %v", r.Err)
+		}
+		h.ReadMem(target, 0x7000_0000, len(payload), func(r Response) {
+			if r.Err != nil {
+				t.Errorf("read: %v", r.Err)
+			}
+			read = r.Data
+		})
+	})
+	eng.Run()
+	if !bytes.Equal(read, payload) {
+		t.Errorf("read back %q, want %q", read, payload)
+	}
+	// The data must actually live in the target chip's SDRAM.
+	stored, ok := ctl.Chip(target).SDRAM.Load(0x7000_0000)
+	if !ok || !bytes.Equal(stored, payload) {
+		t.Error("payload not present in target SDRAM")
+	}
+}
+
+func TestReadMissingAddressFails(t *testing.T) {
+	eng, fab, ctl := bootedMachine(t, 2, 2)
+	h := New(eng, fab, ctl, DefaultConfig())
+	var gotErr error
+	h.ReadMem(topo.Coord{X: 1, Y: 1}, 0xdead0000, 16, func(r Response) { gotErr = r.Err })
+	eng.Run()
+	if gotErr == nil {
+		t.Error("read of unwritten address succeeded")
+	}
+}
+
+func TestStartSignal(t *testing.T) {
+	eng, fab, ctl := bootedMachine(t, 3, 3)
+	h := New(eng, fab, ctl, DefaultConfig())
+	target := topo.Coord{X: 2, Y: 2}
+	done := false
+	h.Start(target, func(r Response) { done = true })
+	eng.Run()
+	if !done || !h.Started(target) {
+		t.Error("start signal not delivered")
+	}
+	if h.Started(topo.Coord{X: 0, Y: 1}) {
+		t.Error("unrelated chip marked started")
+	}
+}
+
+func TestCommandToOriginItself(t *testing.T) {
+	eng, fab, ctl := bootedMachine(t, 2, 2)
+	h := New(eng, fab, ctl, DefaultConfig())
+	done := false
+	h.Ping(topo.Coord{X: 0, Y: 0}, func(r Response) { done = true })
+	eng.Run()
+	if !done {
+		t.Error("self-ping of the gateway never completed")
+	}
+}
+
+func TestLatencyGrowsWithDistanceButEthernetDominates(t *testing.T) {
+	eng, fab, ctl := bootedMachine(t, 8, 8)
+	h := New(eng, fab, ctl, DefaultConfig())
+	var near, far sim.Time
+	h.Ping(topo.Coord{X: 1, Y: 0}, func(r Response) { near = r.At })
+	eng.Run()
+	start := eng.Now()
+	h.Ping(topo.Coord{X: 4, Y: 4}, func(r Response) { far = r.At - start })
+	eng.Run()
+	if far <= 0 || near <= 0 {
+		t.Fatal("pings missing")
+	}
+	// Both should be dominated by the two Ethernet hops (~100 us), with
+	// the fabric contributing microseconds.
+	if far > 2*near+sim.Millisecond {
+		t.Errorf("far ping %v wildly slower than near %v", far, near)
+	}
+}
+
+func TestBurstAccounting(t *testing.T) {
+	eng, fab, ctl := bootedMachine(t, 2, 2)
+	h := New(eng, fab, ctl, DefaultConfig())
+	h.WriteMem(topo.Coord{X: 1, Y: 0}, 0x100, make([]byte, 64), nil)
+	eng.Run()
+	// 1 header + 16 data words.
+	if h.PacketsSent != 17 {
+		t.Errorf("packets sent = %d, want 17", h.PacketsSent)
+	}
+}

@@ -1,0 +1,239 @@
+// Package kernel implements the SpiNNaker real-time event-driven
+// application model of paper Fig 7 and section 5.3. Every active
+// application processor executes the same three tasks in response to
+// interrupt events, in fixed priority order:
+//
+//	priority 1: incoming multicast packet (schedule a synaptic-data DMA)
+//	priority 2: DMA completion          (process the synaptic row)
+//	priority 3: 1 ms timer              (integrate the neuron equations)
+//
+// When all tasks are done the processor enters the low-power
+// wait-for-interrupt state; the kernel accounts busy and sleep time so
+// the energy model can price them, and it detects real-time overruns
+// (a timer tick arriving while the previous tick's work is still queued).
+package kernel
+
+import (
+	"fmt"
+
+	"spinngo/internal/packet"
+	"spinngo/internal/sim"
+)
+
+// EventType is a Fig-7 interrupt source.
+type EventType int
+
+// Event priorities follow Fig 7: lower value = higher priority.
+const (
+	// EvPacket is the packet-received interrupt (priority 1).
+	EvPacket EventType = iota
+	// EvDMADone is the DMA-completion interrupt (priority 2).
+	EvDMADone
+	// EvTimer is the millisecond timer interrupt (priority 3).
+	EvTimer
+	numEventTypes
+)
+
+func (e EventType) String() string {
+	switch e {
+	case EvPacket:
+		return "packet"
+	case EvDMADone:
+		return "dma-done"
+	case EvTimer:
+		return "timer"
+	default:
+		return fmt.Sprintf("event(%d)", int(e))
+	}
+}
+
+// Event is one queued interrupt.
+type Event struct {
+	Type EventType
+	// Pkt is valid for EvPacket.
+	Pkt packet.Packet
+	// Tag is valid for EvDMADone (identifies the transfer).
+	Tag uint32
+	// Tick is valid for EvTimer.
+	Tick uint64
+}
+
+// Handler processes one event and returns the number of ARM instructions
+// the real handler would have executed; the kernel converts that to
+// modelled busy time.
+type Handler func(ev Event) (instructions uint64)
+
+// Config parameterises one modelled core.
+type Config struct {
+	// MIPS is the core's sustained instruction throughput in millions
+	// of instructions per second. The ARM968 at 200 MHz sustains
+	// roughly 200.
+	MIPS float64
+	// TimerPeriod is the real-time tick (1 ms in the paper).
+	TimerPeriod sim.Time
+	// DispatchOverhead is the fixed interrupt-entry/exit cost in
+	// instructions, added to every event.
+	DispatchOverhead uint64
+}
+
+// DefaultConfig returns paper-scale core parameters.
+func DefaultConfig() Config {
+	return Config{MIPS: 200, TimerPeriod: sim.Millisecond, DispatchOverhead: 100}
+}
+
+// Core is one application processor running the event-driven kernel.
+type Core struct {
+	eng *sim.Engine
+	cfg Config
+
+	handlers [numEventTypes]Handler
+	queues   [numEventTypes][]Event
+	running  bool
+	stopped  bool
+
+	idleSince sim.Time
+	startAt   sim.Time
+	stopTimer func()
+
+	// Instrumentation.
+	BusyTime     sim.Time
+	SleepTime    sim.Time // accumulated WFI time (finalised by Stop)
+	Instructions uint64
+	EventCounts  [numEventTypes]uint64
+	// Overruns counts timer ticks that arrived while a previous timer
+	// event was still pending — missed real-time deadlines.
+	Overruns uint64
+	// MaxBacklog is the high-water mark of queued events.
+	MaxBacklog int
+}
+
+// NewCore returns a core on the engine. Call On to install handlers,
+// then Start.
+func NewCore(eng *sim.Engine, cfg Config) *Core {
+	if cfg.MIPS <= 0 {
+		panic("kernel: MIPS must be positive")
+	}
+	if cfg.TimerPeriod <= 0 {
+		panic("kernel: timer period must be positive")
+	}
+	return &Core{eng: eng, cfg: cfg}
+}
+
+// On installs the handler for an event type (like spin1 callback
+// registration). Must be called before Start.
+func (c *Core) On(t EventType, h Handler) { c.handlers[t] = h }
+
+// Start begins the free-running millisecond timer — "time models
+// itself": there is no global synchronisation, only local ticks
+// (section 3.1).
+func (c *Core) Start() {
+	c.startAt = c.eng.Now()
+	c.idleSince = c.eng.Now()
+	c.stopTimer = c.eng.Ticker(c.cfg.TimerPeriod, func(tick uint64) {
+		if c.stopped {
+			return
+		}
+		if len(c.queues[EvTimer]) > 0 {
+			c.Overruns++
+		}
+		c.Post(Event{Type: EvTimer, Tick: tick})
+	})
+}
+
+// Stop halts the timer and finalises sleep accounting.
+func (c *Core) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	if c.stopTimer != nil {
+		c.stopTimer()
+	}
+	if !c.running {
+		c.SleepTime += c.eng.Now() - c.idleSince
+		c.idleSince = c.eng.Now()
+	}
+}
+
+// Post delivers an interrupt to the core.
+func (c *Core) Post(ev Event) {
+	if c.stopped {
+		return
+	}
+	c.queues[ev.Type] = append(c.queues[ev.Type], ev)
+	if b := c.backlog(); b > c.MaxBacklog {
+		c.MaxBacklog = b
+	}
+	if !c.running {
+		// Waking from WFI.
+		c.SleepTime += c.eng.Now() - c.idleSince
+		c.dispatch()
+	}
+}
+
+// PostPacket is a convenience for the fabric delivery callback.
+func (c *Core) PostPacket(pkt packet.Packet) { c.Post(Event{Type: EvPacket, Pkt: pkt}) }
+
+// PostDMADone is a convenience for the DMA completion callback.
+func (c *Core) PostDMADone(tag uint32) { c.Post(Event{Type: EvDMADone, Tag: tag}) }
+
+func (c *Core) backlog() int {
+	n := 0
+	for i := range c.queues {
+		n += len(c.queues[i])
+	}
+	return n
+}
+
+// Backlog reports currently queued events.
+func (c *Core) Backlog() int { return c.backlog() }
+
+// dispatch pops the highest-priority pending event and models its
+// execution time; further events queue while the core is busy.
+func (c *Core) dispatch() {
+	var ev Event
+	found := false
+	for t := EventType(0); t < numEventTypes; t++ {
+		if len(c.queues[t]) > 0 {
+			ev = c.queues[t][0]
+			c.queues[t] = c.queues[t][1:]
+			found = true
+			break
+		}
+	}
+	if !found {
+		// All tasks complete: enter wait-for-interrupt (Fig 7
+		// goto_Sleep).
+		c.running = false
+		c.idleSince = c.eng.Now()
+		return
+	}
+	c.running = true
+	c.EventCounts[ev.Type]++
+	instr := c.cfg.DispatchOverhead
+	if h := c.handlers[ev.Type]; h != nil {
+		instr += h(ev)
+	}
+	c.Instructions += instr
+	dur := c.instrTime(instr)
+	c.BusyTime += dur
+	c.eng.After(dur, c.dispatch)
+}
+
+// instrTime converts an instruction count to modelled time.
+func (c *Core) instrTime(instr uint64) sim.Time {
+	return sim.Time(float64(instr) / c.cfg.MIPS * 1e3) // MIPS = instr/us
+}
+
+// SleepFraction reports the share of elapsed time spent in WFI since
+// Start; call after Stop for exact accounting.
+func (c *Core) SleepFraction() float64 {
+	elapsed := c.eng.Now() - c.startAt
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.SleepTime) / float64(elapsed)
+}
+
+// RealTime reports whether the core kept up with its timer: no overruns.
+func (c *Core) RealTime() bool { return c.Overruns == 0 }

@@ -1,0 +1,125 @@
+package mapping
+
+import (
+	"fmt"
+
+	"spinngo/internal/neural"
+	"spinngo/internal/topo"
+)
+
+// CoreData is everything one application core needs loaded before start:
+// which population slice it simulates and its SDRAM synaptic matrix.
+type CoreData struct {
+	Frag *Fragment
+	// Matrix maps each presynaptic neuron's full AER key to its
+	// synaptic row targeting this core's neurons.
+	Matrix *neural.Matrix
+	// PlasticKeys marks the rows subject to STDP.
+	PlasticKeys map[uint32]bool
+	// STDP is the (single) plasticity rule for rows targeting this
+	// core, nil when all rows are static.
+	STDP *neural.STDPConfig
+}
+
+// DataPlan is the loadable image of the whole network: per chip, per
+// application core slot.
+type DataPlan struct {
+	Cores map[topo.Coord]map[int]*CoreData
+	// TotalSynapses counts expanded synapses.
+	TotalSynapses int
+	// TotalBytes counts synaptic storage.
+	TotalBytes int
+}
+
+// BuildData expands every projection into per-core synaptic matrices
+// ("connectivity data constructed", section 5.3).
+func BuildData(net *Network, frags []*Fragment) (*DataPlan, error) {
+	plan := &DataPlan{Cores: make(map[topo.Coord]map[int]*CoreData)}
+	coreData := func(f *Fragment) *CoreData {
+		chip := plan.Cores[f.Chip]
+		if chip == nil {
+			chip = make(map[int]*CoreData)
+			plan.Cores[f.Chip] = chip
+		}
+		cd := chip[f.Core]
+		if cd == nil {
+			cd = &CoreData{Frag: f, Matrix: neural.NewMatrix(), PlasticKeys: make(map[uint32]bool)}
+			chip[f.Core] = cd
+		}
+		return cd
+	}
+	// Make sure every fragment has a (possibly empty) core image.
+	for _, f := range frags {
+		coreData(f)
+	}
+	// Accumulate rows: rows[(postFrag, preKey)] -> []SynWord.
+	type rowKey struct {
+		frag   *Fragment
+		preKey uint32
+	}
+	rows := make(map[rowKey]neural.Row)
+	plastic := make(map[rowKey]*neural.STDPConfig)
+	var order []rowKey
+	for _, pr := range net.Projs {
+		preFrags := FragmentsOf(frags, pr.Pre)
+		postFrags := FragmentsOf(frags, pr.Post)
+		for _, conn := range pr.Expand() {
+			pre, err := FragmentForNeuron(preFrags, pr.Pre, conn.PreIdx)
+			if err != nil {
+				return nil, err
+			}
+			post, err := FragmentForNeuron(postFrags, pr.Post, conn.PostIdx)
+			if err != nil {
+				return nil, err
+			}
+			k := rowKey{post, pre.KeyFor(conn.PreIdx)}
+			if _, ok := rows[k]; !ok {
+				order = append(order, k)
+			}
+			rows[k] = append(rows[k], neural.MakeSynWord(
+				conn.Weight, conn.Delay, conn.Inhibitory, conn.PostIdx-post.Lo))
+			if pr.STDP != nil {
+				plastic[k] = pr.STDP
+			}
+			plan.TotalSynapses++
+		}
+	}
+	for _, k := range order {
+		cd := coreData(k.frag)
+		cd.Matrix.AddRow(k.preKey, rows[k])
+		plan.TotalBytes += rows[k].SizeBytes()
+		if cfg := plastic[k]; cfg != nil {
+			cd.PlasticKeys[k.preKey] = true
+			if cd.STDP != nil && *cd.STDP != *cfg {
+				return nil, fmt.Errorf("mapping: conflicting STDP rules target %q fragment %d",
+					k.frag.Pop.Name, k.frag.Index)
+			}
+			cd.STDP = cfg
+		}
+	}
+	return plan, nil
+}
+
+// Compile runs the full pipeline: partition, place, route, build data,
+// validate. This is the one-call front end the public API uses.
+func Compile(net *Network, spec MachineSpec, strategy PlacementStrategy, opts RouteOptions, seed uint64) (*RoutingPlan, *DataPlan, error) {
+	frags, err := Partition(net, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := Place(frags, spec, strategy, seed); err != nil {
+		return nil, nil, err
+	}
+	rplan, err := Route(net, frags, spec, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := rplan.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("mapping: generated plan failed validation: %w", err)
+	}
+	dplan, err := BuildData(net, frags)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rplan, dplan, nil
+}

@@ -1,0 +1,163 @@
+package neural
+
+import (
+	"fmt"
+
+	"spinngo/internal/sim"
+)
+
+// Spike records one firing event.
+type Spike struct {
+	Tick   uint64
+	Neuron int
+}
+
+// Recorder accumulates a spike raster.
+type Recorder struct {
+	Spikes []Spike
+	counts []uint64
+}
+
+// NewRecorder returns a recorder for n neurons.
+func NewRecorder(n int) *Recorder { return &Recorder{counts: make([]uint64, n)} }
+
+// Record adds one spike.
+func (r *Recorder) Record(tick uint64, neuron int) {
+	r.Spikes = append(r.Spikes, Spike{tick, neuron})
+	r.counts[neuron]++
+}
+
+// Count reports spikes for one neuron.
+func (r *Recorder) Count(neuron int) uint64 { return r.counts[neuron] }
+
+// Total reports all spikes.
+func (r *Recorder) Total() int { return len(r.Spikes) }
+
+// Rate reports a neuron's mean firing rate in Hz over the given ticks
+// (1 ms ticks).
+func (r *Recorder) Rate(neuron int, ticks uint64) float64 {
+	if ticks == 0 {
+		return 0
+	}
+	return float64(r.counts[neuron]) / (float64(ticks) / 1000.0)
+}
+
+// Population is the set of neurons simulated by one core: the neurons,
+// their deferred-event input ring, the SDRAM synaptic matrix, and a
+// recorder. It provides the three Fig-7 task bodies; the machine layer
+// wires them to kernel events.
+type Population struct {
+	Neurons []Neuron
+	Ring    *InputRing
+	Matrix  *Matrix
+	Rec     *Recorder
+	// Bias is a constant background current per neuron.
+	Bias Fix
+	// WeightScale converts SynWord weights to currents.
+	WeightScale Fix
+
+	tick uint64
+	// OnSpike is invoked for each local neuron that fires; the machine
+	// layer turns this into a multicast packet (AER).
+	OnSpike func(neuron int)
+}
+
+// NewPopulation builds a population of n neurons from a factory.
+func NewPopulation(n, maxDelay int, factory func(i int) Neuron) *Population {
+	if n <= 0 {
+		panic("neural: empty population")
+	}
+	p := &Population{
+		Ring:        NewInputRing(n, maxDelay),
+		Matrix:      NewMatrix(),
+		Rec:         NewRecorder(n),
+		WeightScale: F(1.0 / 256), // weights stored as 1/256 nA units
+	}
+	for i := 0; i < n; i++ {
+		p.Neurons = append(p.Neurons, factory(i))
+	}
+	return p
+}
+
+// Size reports the neuron count.
+func (p *Population) Size() int { return len(p.Neurons) }
+
+// Tick reports the current tick number.
+func (p *Population) Tick() uint64 { return p.tick }
+
+// SeedTick sets the tick counter, aligning a freshly built population
+// with machine time — used when a migrated core resumes a fragment.
+func (p *Population) SeedTick(t uint64) { p.tick = t }
+
+// ProcessRow applies one DMA-fetched synaptic row: each synapse deposits
+// its weight into the ring slot its delay selects (the deferred-event
+// model, section 3.2). It reports the instruction cost for the kernel's
+// time accounting (~10 instructions per synapse on the ARM).
+func (p *Population) ProcessRow(row Row) (instructions uint64) {
+	for _, w := range row {
+		p.Ring.Deposit(w.Delay(), w.Target(), w.WeightFix(p.WeightScale))
+	}
+	return uint64(10*len(row) + 40)
+}
+
+// StepTick advances all neurons one millisecond (Fig 7 update_Neurons):
+// consume the ring slot due now, integrate, fire. It reports the
+// instruction cost (~30 instructions per quiet neuron, ~100 extra per
+// spike, matching published SpiNNaker kernel budgets).
+func (p *Population) StepTick() (instructions uint64) {
+	inputs := p.Ring.Advance()
+	p.tick++
+	var cost uint64 = 60
+	for i, n := range p.Neurons {
+		if n == nil { // dead neuron (fault-injection experiments)
+			cost += 2
+			continue
+		}
+		if n.Step(inputs[i] + p.Bias) {
+			p.Rec.Record(p.tick, i)
+			if p.OnSpike != nil {
+				p.OnSpike(i)
+			}
+			cost += 130
+		} else {
+			cost += 30
+		}
+	}
+	p.Ring.ClearCurrent()
+	return cost
+}
+
+// KillNeuron removes a neuron (the biological fault-tolerance
+// experiments of section 5.4: "the average adult human loses a neuron
+// every second").
+func (p *Population) KillNeuron(i int) error {
+	if i < 0 || i >= len(p.Neurons) {
+		return fmt.Errorf("neural: no neuron %d", i)
+	}
+	p.Neurons[i] = nil
+	return nil
+}
+
+// PoissonSource emits independent Poisson spike trains for n virtual
+// neurons at the given rate; used as stimulus (Fig 7 update_Stimulus).
+type PoissonSource struct {
+	rng  *sim.RNG
+	n    int
+	prob float64 // per-tick spike probability
+}
+
+// NewPoissonSource builds a source of n trains at rateHz (1 ms ticks).
+func NewPoissonSource(rng *sim.RNG, n int, rateHz float64) *PoissonSource {
+	return &PoissonSource{rng: rng, n: n, prob: rateHz / 1000.0}
+}
+
+// Tick returns the indices that spike this tick.
+func (s *PoissonSource) Tick() []int {
+	var out []int
+	for i := 0; i < s.n; i++ {
+		if s.rng.Bool(s.prob) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

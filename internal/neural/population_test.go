@@ -1,0 +1,137 @@
+package neural
+
+import (
+	"testing"
+
+	"spinngo/internal/sim"
+)
+
+func newLIFPopulation(n int) *Population {
+	return NewPopulation(n, MaxSynDelay, func(int) Neuron { return NewLIF(DefaultLIF()) })
+}
+
+func TestPopulationBiasDrivesFiring(t *testing.T) {
+	p := newLIFPopulation(10)
+	p.Bias = F(1.0)
+	var spikes int
+	p.OnSpike = func(int) { spikes++ }
+	for tick := 0; tick < 500; tick++ {
+		p.StepTick()
+	}
+	if spikes == 0 {
+		t.Fatal("no spikes with strong bias")
+	}
+	if p.Rec.Total() != spikes {
+		t.Errorf("recorder total %d != callback count %d", p.Rec.Total(), spikes)
+	}
+}
+
+func TestPopulationRowDelivery(t *testing.T) {
+	// One strong row targeting neuron 3 with delay 2: neuron 3 must be
+	// the only one influenced, exactly 2 ticks later.
+	p := newLIFPopulation(8)
+	row := Row{MakeSynWord(65535, 2, false, 3)} // huge weight
+	p.Matrix.AddRow(0xabc, row)
+	r, ok := p.Matrix.Row(0xabc)
+	if !ok {
+		t.Fatal("row missing")
+	}
+	p.ProcessRow(r)
+	fired := map[int]bool{}
+	p.OnSpike = func(i int) { fired[i] = true }
+	p.StepTick() // tick 1: nothing yet
+	if len(fired) != 0 {
+		t.Fatal("input arrived a tick early")
+	}
+	p.StepTick() // tick 2: the deposit lands
+	if !fired[3] {
+		t.Error("neuron 3 did not fire on its delayed input")
+	}
+	for i := range fired {
+		if i != 3 {
+			t.Errorf("neuron %d fired spuriously", i)
+		}
+	}
+}
+
+func TestPopulationKillNeuron(t *testing.T) {
+	p := newLIFPopulation(4)
+	p.Bias = F(2)
+	if err := p.KillNeuron(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.KillNeuron(99); err == nil {
+		t.Error("killing nonexistent neuron succeeded")
+	}
+	fired := map[int]bool{}
+	p.OnSpike = func(i int) { fired[i] = true }
+	for tick := 0; tick < 200; tick++ {
+		p.StepTick()
+	}
+	if fired[1] {
+		t.Error("dead neuron fired")
+	}
+	if !fired[0] || !fired[2] || !fired[3] {
+		t.Error("surviving neurons should fire")
+	}
+}
+
+func TestPopulationCostAccounting(t *testing.T) {
+	p := newLIFPopulation(100)
+	quiet := p.StepTick()
+	p.Bias = F(5)
+	// Drive everything to fire; the busiest tick must exceed the quiet
+	// tick (refractory periods make firing periodic, so take the max).
+	var busy uint64
+	for tick := 0; tick < 50; tick++ {
+		if c := p.StepTick(); c > busy {
+			busy = c
+		}
+	}
+	if busy <= quiet {
+		t.Errorf("busiest firing tick cost %d <= quiet cost %d", busy, quiet)
+	}
+}
+
+func TestPoissonSourceRate(t *testing.T) {
+	rng := sim.NewRNG(5)
+	src := NewPoissonSource(rng, 100, 50) // 100 trains at 50 Hz
+	total := 0
+	const ticks = 2000
+	for i := 0; i < ticks; i++ {
+		total += len(src.Tick())
+	}
+	// Expect 100 * 50 Hz * 2 s = 10000 spikes, +/- 10%.
+	if total < 9000 || total > 11000 {
+		t.Errorf("Poisson total = %d, want ~10000", total)
+	}
+}
+
+func TestRecorderRate(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 50; i++ {
+		r.Record(uint64(i), 0)
+	}
+	if got := r.Rate(0, 1000); got != 50 {
+		t.Errorf("rate = %g Hz, want 50", got)
+	}
+	if got := r.Rate(1, 1000); got != 0 {
+		t.Errorf("silent neuron rate = %g", got)
+	}
+	if r.Count(0) != 50 {
+		t.Errorf("Count = %d", r.Count(0))
+	}
+}
+
+func TestPopulationTickCounter(t *testing.T) {
+	p := newLIFPopulation(1)
+	for i := 0; i < 7; i++ {
+		p.StepTick()
+	}
+	if p.Tick() != 7 {
+		t.Errorf("Tick = %d, want 7", p.Tick())
+	}
+	if p.Size() != 1 {
+		t.Errorf("Size = %d", p.Size())
+	}
+}

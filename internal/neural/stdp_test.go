@@ -1,0 +1,162 @@
+package neural
+
+import (
+	"math"
+	"testing"
+)
+
+func plasticRow(weight uint16) Row {
+	return Row{MakeSynWord(weight, 1, false, 0)}
+}
+
+func TestSTDPPotentiationPrePost(t *testing.T) {
+	// Pre at 10, post at 15, next pre at 30: the pairing pre(10)->
+	// post(15) must potentiate when the row is next fetched.
+	s := NewSTDPState(1, DefaultSTDP())
+	row := plasticRow(1000)
+	s.ProcessRow(1, row, 10) // establishes lastPre = 10
+	s.RecordPost(0, 15)
+	dirty, _ := s.ProcessRow(1, row, 30)
+	if !dirty {
+		t.Fatal("row not marked dirty")
+	}
+	// Expected: +APlus*exp(-5/20) then depression -AMinus*exp(-15/20).
+	cfg := DefaultSTDP()
+	want := 1000.0 + cfg.APlus*math.Exp(-5.0/20) - cfg.AMinus*math.Exp(-15.0/20)
+	got := float64(row[0].Weight())
+	if math.Abs(got-want) > 1.0 {
+		t.Errorf("weight = %g, want ~%g", got, want)
+	}
+	if s.Potentiations != 1 || s.Depressions != 1 {
+		t.Errorf("pot/dep = %d/%d, want 1/1", s.Potentiations, s.Depressions)
+	}
+}
+
+func TestSTDPDepressionPostPre(t *testing.T) {
+	// Post at 5, pre at 10: depression only.
+	s := NewSTDPState(1, DefaultSTDP())
+	row := plasticRow(1000)
+	s.RecordPost(0, 5)
+	dirty, _ := s.ProcessRow(1, row, 10)
+	if !dirty {
+		t.Fatal("row not dirty after depression")
+	}
+	cfg := DefaultSTDP()
+	want := 1000 - cfg.AMinus*math.Exp(-5.0/20)
+	if got := float64(row[0].Weight()); math.Abs(got-want) > 1.0 {
+		t.Errorf("weight = %g, want ~%g", got, want)
+	}
+	if s.Potentiations != 0 {
+		t.Errorf("unexpected potentiation")
+	}
+}
+
+func TestSTDPCausalOrderingNetEffect(t *testing.T) {
+	// Repeated pre->post pairing at +5 ms must strengthen; repeated
+	// post->pre pairing at -5 ms must weaken.
+	run := func(postOffset int64) uint16 {
+		s := NewSTDPState(1, DefaultSTDP())
+		row := plasticRow(30000)
+		tick := uint64(100)
+		for i := 0; i < 50; i++ {
+			// Events apply in time order: a post spike preceding the
+			// pre spike is already in the history when the row is
+			// fetched.
+			if postOffset < 0 {
+				s.RecordPost(0, uint64(int64(tick)+postOffset))
+				s.ProcessRow(1, row, tick)
+			} else {
+				s.ProcessRow(1, row, tick)
+				s.RecordPost(0, uint64(int64(tick)+postOffset))
+			}
+			tick += 100 // well beyond both windows
+		}
+		return row[0].Weight()
+	}
+	strengthened := run(+5)
+	weakened := run(-5)
+	if strengthened <= 30000 {
+		t.Errorf("causal pairing did not strengthen: %d", strengthened)
+	}
+	if weakened >= 30000 {
+		t.Errorf("anti-causal pairing did not weaken: %d", weakened)
+	}
+}
+
+func TestSTDPClamping(t *testing.T) {
+	cfg := DefaultSTDP()
+	cfg.WMax = 1005
+	s := NewSTDPState(1, cfg)
+	row := plasticRow(1000)
+	tick := uint64(10)
+	for i := 0; i < 100; i++ {
+		s.ProcessRow(1, row, tick)
+		s.RecordPost(0, tick+1)
+		tick += 100
+	}
+	if w := row[0].Weight(); w > 1005 {
+		t.Errorf("weight %d exceeded WMax", w)
+	}
+	// Drive to the floor.
+	cfg = DefaultSTDP()
+	cfg.WMin = 995
+	s = NewSTDPState(1, cfg)
+	row = plasticRow(1000)
+	tick = uint64(10)
+	for i := 0; i < 100; i++ {
+		s.RecordPost(0, tick-1)
+		s.ProcessRow(1, row, tick)
+		tick += 100
+	}
+	if w := row[0].Weight(); w < 995 {
+		t.Errorf("weight %d fell below WMin", w)
+	}
+}
+
+func TestSTDPWindowDecay(t *testing.T) {
+	// A +2 ms pairing must potentiate more than a +15 ms pairing.
+	gain := func(dt uint64) float64 {
+		s := NewSTDPState(1, DefaultSTDP())
+		row := plasticRow(1000)
+		s.ProcessRow(1, row, 10)
+		s.RecordPost(0, 10+dt)
+		s.ProcessRow(1, row, 200) // far away: negligible depression
+		return float64(row[0].Weight()) - 1000
+	}
+	if gain(2) <= gain(15) {
+		t.Errorf("gain(2ms)=%g not above gain(15ms)=%g", gain(2), gain(15))
+	}
+}
+
+func TestSTDPCleanRowNotDirty(t *testing.T) {
+	s := NewSTDPState(1, DefaultSTDP())
+	row := plasticRow(1000)
+	// No post activity at all: nothing to update.
+	dirty, _ := s.ProcessRow(1, row, 10)
+	if dirty {
+		t.Error("row dirty with no post spikes")
+	}
+	if row[0].Weight() != 1000 {
+		t.Error("weight changed with no post spikes")
+	}
+}
+
+func TestPostHistoryRing(t *testing.T) {
+	var h postHistory
+	for _, tk := range []uint64{10, 20, 30, 40, 50} {
+		h.add(tk)
+	}
+	if got, ok := h.latest(45); !ok || got != 40 {
+		t.Errorf("latest(45) = %d, %v", got, ok)
+	}
+	if got, ok := h.firstAfter(25); !ok || got != 30 {
+		t.Errorf("firstAfter(25) = %d, %v", got, ok)
+	}
+	if _, ok := h.firstAfter(60); ok {
+		t.Error("firstAfter beyond newest should fail")
+	}
+	// Oldest entry (10) fell off the 4-deep ring.
+	if _, ok := h.latest(15); ok {
+		t.Error("evicted entry still visible")
+	}
+}

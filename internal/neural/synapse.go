@@ -1,0 +1,175 @@
+package neural
+
+import "fmt"
+
+// SynWord is one packed synapse, in the layout SpiNNaker kernels use so
+// a whole row fits a DMA burst:
+//
+//	bits 31..16  weight   (unsigned 16-bit, fixed-point scaled)
+//	bits 15..13  unused
+//	bit  12      inhibitory flag
+//	bits 11..8   delay    (1..15 ticks)
+//	bits  7..0   target neuron index within the core's population slice
+//
+// The 4-bit delay field is why axonal delays above 15 ms need the
+// deferred-event ring to be sized accordingly (section 3.2: delay
+// re-insertion is "one of the most expensive functions ... in terms of
+// the cost of data storage").
+type SynWord uint32
+
+// MaxSynDelay is the largest representable delay in ticks.
+const MaxSynDelay = 15
+
+// MaxRowTargets is the largest target index per core.
+const MaxRowTargets = 256
+
+// MakeSynWord packs a synapse. It panics on out-of-range fields, which
+// indicate a toolchain bug, not a runtime condition.
+func MakeSynWord(weight uint16, delay int, inhibitory bool, target int) SynWord {
+	if delay < 1 || delay > MaxSynDelay {
+		panic(fmt.Sprintf("neural: synapse delay %d out of range 1..%d", delay, MaxSynDelay))
+	}
+	if target < 0 || target >= MaxRowTargets {
+		panic(fmt.Sprintf("neural: synapse target %d out of range", target))
+	}
+	w := SynWord(weight) << 16
+	if inhibitory {
+		w |= 1 << 12
+	}
+	w |= SynWord(delay&0xf) << 8
+	w |= SynWord(target & 0xff)
+	return w
+}
+
+// Weight reports the unsigned weight field.
+func (w SynWord) Weight() uint16 { return uint16(w >> 16) }
+
+// Delay reports the delay in ticks.
+func (w SynWord) Delay() int { return int(w>>8) & 0xf }
+
+// Inhibitory reports the sign flag.
+func (w SynWord) Inhibitory() bool { return w&(1<<12) != 0 }
+
+// Target reports the target neuron index within the core.
+func (w SynWord) Target() int { return int(w & 0xff) }
+
+// WeightFix converts the weight field to a signed fixed-point current:
+// the stored 16-bit weight is an integer count of `scale` units (e.g.
+// scale = 1/256 nA), so the current is weight * scale.
+func (w SynWord) WeightFix(scale Fix) Fix {
+	v64 := int64(w.Weight()) * int64(scale)
+	if v64 > int64(1<<31-1) {
+		v64 = 1<<31 - 1
+	}
+	v := Fix(v64)
+	if w.Inhibitory() {
+		return -v
+	}
+	return v
+}
+
+// Row is the synaptic row for one presynaptic neuron: every synapse it
+// makes onto neurons resident on one core. Rows live in SDRAM and are
+// DMA-ed into DTCM when that neuron's spike packet arrives (Fig 7).
+type Row []SynWord
+
+// SizeBytes reports the DMA transfer size for the row.
+func (r Row) SizeBytes() int { return 4 * len(r) }
+
+// Matrix is a core's synaptic store: row per presynaptic key. It models
+// the SDRAM-resident connectivity block of section 5.3.
+type Matrix struct {
+	rows map[uint32]Row
+	// Bytes tracks total storage, checked against the SDRAM share.
+	Bytes int
+}
+
+// NewMatrix returns an empty synaptic store.
+func NewMatrix() *Matrix { return &Matrix{rows: make(map[uint32]Row)} }
+
+// AddRow installs the row for a presynaptic routing key.
+func (m *Matrix) AddRow(key uint32, row Row) {
+	if old, ok := m.rows[key]; ok {
+		m.Bytes -= old.SizeBytes()
+	}
+	m.rows[key] = row
+	m.Bytes += row.SizeBytes()
+}
+
+// Row fetches the row for a key.
+func (m *Matrix) Row(key uint32) (Row, bool) {
+	r, ok := m.rows[key]
+	return r, ok
+}
+
+// NumRows reports the number of stored rows.
+func (m *Matrix) NumRows() int { return len(m.rows) }
+
+// Keys lists the stored presynaptic keys in unspecified order.
+func (m *Matrix) Keys() []uint32 {
+	out := make([]uint32, 0, len(m.rows))
+	for k := range m.rows {
+		out = append(out, k)
+	}
+	return out
+}
+
+// InputRing is the deferred-event buffer (section 3.2): synaptic input
+// scheduled for future ticks accumulates in ring slots; slot (tick+d) %
+// size gathers everything due d ticks from now. Advance returns and
+// clears the current slot.
+//
+// One accumulator per neuron per slot; excitatory and inhibitory inputs
+// share the accumulator with signed weights.
+type InputRing struct {
+	slots   [][]Fix
+	neurons int
+	cur     int
+	// Dropped counts deposits with delays beyond the ring (lost input —
+	// the ablation in DESIGN.md measures this against ring size).
+	Dropped uint64
+}
+
+// NewInputRing sizes a ring for the given neuron count and maximum delay
+// in ticks (ring holds maxDelay+1 slots so delay maxDelay is exact).
+func NewInputRing(neurons, maxDelay int) *InputRing {
+	if neurons <= 0 || maxDelay < 1 {
+		panic("neural: invalid ring shape")
+	}
+	r := &InputRing{neurons: neurons, slots: make([][]Fix, maxDelay+1)}
+	for i := range r.slots {
+		r.slots[i] = make([]Fix, neurons)
+	}
+	return r
+}
+
+// Slots reports the ring depth.
+func (r *InputRing) Slots() int { return len(r.slots) }
+
+// Deposit adds weight w to the accumulator of neuron due in delay ticks
+// (delay >= 1: input lands on a future tick, never the current one).
+func (r *InputRing) Deposit(delay, neuron int, w Fix) {
+	if delay < 1 || delay >= len(r.slots) {
+		r.Dropped++
+		return
+	}
+	r.slots[(r.cur+delay)%len(r.slots)][neuron] += w
+}
+
+// Advance moves to the next tick, returning the inputs due now. The
+// returned slice is valid until the ring wraps back to this slot; the
+// caller consumes it immediately (as the timer handler does).
+func (r *InputRing) Advance() []Fix {
+	r.cur = (r.cur + 1) % len(r.slots)
+	slot := r.slots[r.cur]
+	return slot
+}
+
+// ClearCurrent zeroes the just-consumed slot; call after using the slice
+// from Advance.
+func (r *InputRing) ClearCurrent() {
+	slot := r.slots[r.cur]
+	for i := range slot {
+		slot[i] = 0
+	}
+}

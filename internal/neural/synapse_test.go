@@ -1,0 +1,162 @@
+package neural
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSynWordRoundTrip(t *testing.T) {
+	f := func(weight uint16, delay uint8, inhib bool, target uint8) bool {
+		d := int(delay%MaxSynDelay) + 1
+		w := MakeSynWord(weight, d, inhib, int(target))
+		return w.Weight() == weight && w.Delay() == d &&
+			w.Inhibitory() == inhib && w.Target() == int(target)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynWordRejectsBadDelay(t *testing.T) {
+	for _, d := range []int{0, 16, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("delay %d accepted", d)
+				}
+			}()
+			MakeSynWord(1, d, false, 0)
+		}()
+	}
+}
+
+func TestSynWordWeightSign(t *testing.T) {
+	scale := F(1.0 / 256)
+	exc := MakeSynWord(256, 1, false, 0)
+	inh := MakeSynWord(256, 1, true, 0)
+	if got := exc.WeightFix(scale).Float(); got <= 0 {
+		t.Errorf("excitatory weight %g, want positive", got)
+	}
+	if got := inh.WeightFix(scale).Float(); got >= 0 {
+		t.Errorf("inhibitory weight %g, want negative", got)
+	}
+	if exc.WeightFix(scale) != -inh.WeightFix(scale) {
+		t.Error("magnitudes differ between exc and inh")
+	}
+}
+
+func TestMatrixStore(t *testing.T) {
+	m := NewMatrix()
+	row := Row{MakeSynWord(100, 2, false, 1), MakeSynWord(50, 3, true, 2)}
+	m.AddRow(0x10, row)
+	if m.Bytes != 8 {
+		t.Errorf("Bytes = %d, want 8", m.Bytes)
+	}
+	got, ok := m.Row(0x10)
+	if !ok || len(got) != 2 {
+		t.Fatalf("Row lookup failed")
+	}
+	if _, ok := m.Row(0x11); ok {
+		t.Error("missing row found")
+	}
+	// Replacing a row must not leak byte accounting.
+	m.AddRow(0x10, Row{MakeSynWord(1, 1, false, 0)})
+	if m.Bytes != 4 {
+		t.Errorf("Bytes after replace = %d, want 4", m.Bytes)
+	}
+	if m.NumRows() != 1 {
+		t.Errorf("NumRows = %d", m.NumRows())
+	}
+}
+
+func TestInputRingExactDelays(t *testing.T) {
+	// E13 core property: a deposit with delay d arrives exactly d
+	// Advances later, never early, never late.
+	r := NewInputRing(4, MaxSynDelay)
+	for d := 1; d <= MaxSynDelay; d++ {
+		r.Deposit(d, 0, F(float64(d)))
+	}
+	for tick := 1; tick <= MaxSynDelay; tick++ {
+		in := r.Advance()
+		if got := in[0].Float(); got != float64(tick) {
+			t.Errorf("tick %d received %g, want %g", tick, got, float64(tick))
+		}
+		r.ClearCurrent()
+	}
+}
+
+func TestInputRingAccumulates(t *testing.T) {
+	r := NewInputRing(2, 8)
+	r.Deposit(3, 1, F(0.5))
+	r.Deposit(3, 1, F(0.25))
+	r.Advance()
+	r.ClearCurrent()
+	r.Advance()
+	r.ClearCurrent()
+	in := r.Advance()
+	if got := in[1].Float(); got != 0.75 {
+		t.Errorf("accumulated input = %g, want 0.75", got)
+	}
+}
+
+func TestInputRingDropsOutOfRange(t *testing.T) {
+	r := NewInputRing(1, 4)
+	r.Deposit(5, 0, One)  // beyond ring
+	r.Deposit(0, 0, One)  // delay 0 is not allowed (future ticks only)
+	r.Deposit(-1, 0, One) // nonsense
+	if r.Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3", r.Dropped)
+	}
+	for i := 0; i < 8; i++ {
+		in := r.Advance()
+		if in[0] != 0 {
+			t.Error("dropped deposit appeared in a slot")
+		}
+		r.ClearCurrent()
+	}
+}
+
+func TestInputRingSlotReuse(t *testing.T) {
+	// After the ring wraps, old slots must be clean.
+	r := NewInputRing(1, 3)
+	r.Deposit(1, 0, One)
+	in := r.Advance()
+	if in[0] != One {
+		t.Fatal("deposit missing")
+	}
+	r.ClearCurrent()
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < r.Slots(); i++ {
+			in := r.Advance()
+			if in[0] != 0 {
+				t.Fatalf("stale value %v after wrap", in[0])
+			}
+			r.ClearCurrent()
+		}
+	}
+}
+
+func TestInputRingDelayPropertyQuick(t *testing.T) {
+	f := func(delays []uint8) bool {
+		r := NewInputRing(1, MaxSynDelay)
+		// Deposit a distinguishable weight per delay; check arrival.
+		pending := map[int]Fix{}
+		for _, raw := range delays {
+			d := int(raw%MaxSynDelay) + 1
+			w := Fix(1) << 8
+			r.Deposit(d, 0, w)
+			pending[d] += w
+		}
+		for tick := 1; tick <= MaxSynDelay; tick++ {
+			in := r.Advance()
+			if in[0] != pending[tick] {
+				return false
+			}
+			r.ClearCurrent()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Package nofm implements the population codes of paper section 5.4:
+// N-of-M codes (information carried by which subset of a population is
+// active) and rank-order codes (additional information in the firing
+// order), plus the biologically derived retina model used to study them
+// — ganglion cells with centre-surround 'Mexican hat' receptive fields
+// at overlapping scales, lateral inhibition to reduce redundancy, and
+// the neuron-failure takeover behaviour that underlies the brain's fault
+// tolerance.
+package nofm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Code is a rank-order code: unit indices in firing order (earliest
+// first). Treated as a set, it is an N-of-M code.
+type Code []int
+
+// RankOrderEncode returns the indices of the n largest values in
+// descending order of value — the units that fire first in a rank-order
+// salvo. Ties break by index for determinism.
+func RankOrderEncode(values []float64, n int) Code {
+	if n > len(values) {
+		n = len(values)
+	}
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if values[idx[a]] != values[idx[b]] {
+			return values[idx[a]] > values[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return Code(append([]int(nil), idx[:n]...))
+}
+
+// SignificanceVector expands a rank-order code over m units: the unit
+// firing at rank k gets weight alpha^k (0 < alpha < 1), everything else
+// zero. This is the standard rank-order significance model [20].
+func (c Code) SignificanceVector(m int, alpha float64) []float64 {
+	v := make([]float64, m)
+	w := 1.0
+	for _, u := range c {
+		if u >= 0 && u < m {
+			v[u] = w
+		}
+		w *= alpha
+	}
+	return v
+}
+
+// Similarity compares two rank-order codes over m units as the cosine
+// of their significance vectors: 1 for identical codes (same units,
+// same order), decaying with order changes, lower still for unit
+// substitutions.
+func Similarity(a, b Code, m int, alpha float64) float64 {
+	va := a.SignificanceVector(m, alpha)
+	vb := b.SignificanceVector(m, alpha)
+	var dot, na, nb float64
+	for i := 0; i < m; i++ {
+		dot += va[i] * vb[i]
+		na += va[i] * va[i]
+		nb += vb[i] * vb[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Overlap compares the codes as plain N-of-M sets: |a ∩ b| / |a ∪ b|.
+func Overlap(a, b Code) float64 {
+	as := make(map[int]bool, len(a))
+	for _, u := range a {
+		as[u] = true
+	}
+	inter := 0
+	bs := make(map[int]bool, len(b))
+	for _, u := range b {
+		bs[u] = true
+		if as[u] {
+			inter++
+		}
+	}
+	union := len(as) + len(bs) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Capacity reports the information capacity in bits of an N-of-M code
+// (log2 of M choose N) and, for rank-order, log2(M!/(M-N)!) — the
+// paper's point that order adds substantial information.
+func Capacity(m, n int, rankOrder bool) (bits float64, err error) {
+	if n < 0 || m < 0 || n > m {
+		return 0, fmt.Errorf("nofm: invalid code shape %d-of-%d", n, m)
+	}
+	for i := 0; i < n; i++ {
+		bits += math.Log2(float64(m - i))
+		if !rankOrder {
+			bits -= math.Log2(float64(i + 1))
+		}
+	}
+	return bits, nil
+}

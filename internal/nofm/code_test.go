@@ -1,0 +1,129 @@
+package nofm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankOrderEncodeBasics(t *testing.T) {
+	v := []float64{0.1, 0.9, 0.5, 0.7}
+	c := RankOrderEncode(v, 3)
+	want := []int{1, 3, 2}
+	if len(c) != 3 {
+		t.Fatalf("code length %d", len(c))
+	}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Errorf("code = %v, want %v", c, want)
+		}
+	}
+}
+
+func TestRankOrderEncodeTiesDeterministic(t *testing.T) {
+	v := []float64{0.5, 0.5, 0.5}
+	c := RankOrderEncode(v, 3)
+	if c[0] != 0 || c[1] != 1 || c[2] != 2 {
+		t.Errorf("tie-break not by index: %v", c)
+	}
+}
+
+func TestRankOrderEncodeNClamped(t *testing.T) {
+	c := RankOrderEncode([]float64{1, 2}, 10)
+	if len(c) != 2 {
+		t.Errorf("length %d, want 2", len(c))
+	}
+}
+
+func TestSimilarityIdentity(t *testing.T) {
+	c := Code{3, 1, 4}
+	if s := Similarity(c, c, 10, 0.9); math.Abs(s-1) > 1e-12 {
+		t.Errorf("self-similarity = %g", s)
+	}
+}
+
+func TestSimilarityOrderSensitive(t *testing.T) {
+	a := Code{0, 1, 2}
+	b := Code{2, 1, 0} // same set, reversed order
+	c := Code{5, 6, 7} // disjoint
+	sab := Similarity(a, b, 10, 0.7)
+	sac := Similarity(a, c, 10, 0.7)
+	if sab >= 1 {
+		t.Errorf("reordered code similarity = %g, want < 1", sab)
+	}
+	if sab <= sac {
+		t.Errorf("same-set (%g) should beat disjoint (%g)", sab, sac)
+	}
+	if sac != 0 {
+		t.Errorf("disjoint similarity = %g, want 0", sac)
+	}
+}
+
+func TestSimilaritySymmetricProperty(t *testing.T) {
+	f := func(sa, sb [4]uint8) bool {
+		a := Code{int(sa[0]) % 16, int(sa[1]) % 16, int(sa[2]) % 16}
+		b := Code{int(sb[0]) % 16, int(sb[1]) % 16, int(sb[2]) % 16}
+		x := Similarity(a, b, 16, 0.8)
+		y := Similarity(b, a, 16, 0.8)
+		return math.Abs(x-y) < 1e-12 && x >= -1e-12 && x <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := Code{1, 2, 3}
+	b := Code{2, 3, 4}
+	if got := Overlap(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("overlap = %g, want 0.5 (2 of 4)", got)
+	}
+	if got := Overlap(a, a); got != 1 {
+		t.Errorf("self overlap = %g", got)
+	}
+	if got := Overlap(Code{}, Code{}); got != 1 {
+		t.Errorf("empty overlap = %g", got)
+	}
+}
+
+func TestCapacityKnownValues(t *testing.T) {
+	// 2-of-4 unordered: C(4,2)=6 -> log2(6).
+	bits, err := Capacity(4, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bits-math.Log2(6)) > 1e-9 {
+		t.Errorf("2-of-4 = %g bits", bits)
+	}
+	// Rank order 2-of-4: 4*3=12 -> log2(12).
+	bits, _ = Capacity(4, 2, true)
+	if math.Abs(bits-math.Log2(12)) > 1e-9 {
+		t.Errorf("rank 2-of-4 = %g bits", bits)
+	}
+}
+
+func TestCapacityRankOrderAlwaysRicher(t *testing.T) {
+	for _, m := range []int{8, 64, 256} {
+		for _, n := range []int{2, 4, 8} {
+			plain, _ := Capacity(m, n, false)
+			ranked, _ := Capacity(m, n, true)
+			if ranked <= plain {
+				t.Errorf("rank order %d-of-%d (%g bits) not richer than set (%g bits)",
+					n, m, ranked, plain)
+			}
+		}
+	}
+}
+
+func TestCapacityRejectsBadShape(t *testing.T) {
+	if _, err := Capacity(4, 5, false); err == nil {
+		t.Error("N > M accepted")
+	}
+}
+
+func TestSignificanceVector(t *testing.T) {
+	v := Code{2, 0}.SignificanceVector(4, 0.5)
+	if v[2] != 1 || v[0] != 0.5 || v[1] != 0 || v[3] != 0 {
+		t.Errorf("significance = %v", v)
+	}
+}

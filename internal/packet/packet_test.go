@@ -1,0 +1,174 @@
+package packet
+
+import (
+	"bytes"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestMCRoundTrip(t *testing.T) {
+	in := NewMC(0xdeadbeef)
+	in.Timestamp = 2
+	in.Emergency = EmFirstLeg
+	b, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 5 {
+		t.Errorf("mc frame is %d bytes, want 5 (40 bits as in the paper)", len(b))
+	}
+	var out Packet
+	if err := out.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != MC || out.Key != 0xdeadbeef || out.Timestamp != 2 || out.Emergency != EmFirstLeg {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestMCPayloadRoundTrip(t *testing.T) {
+	in := NewMCPayload(0x12345678, 0xcafebabe)
+	b, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 9 {
+		t.Errorf("mc+payload frame is %d bytes, want 9 (72 bits)", len(b))
+	}
+	var out Packet
+	if err := out.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !out.HasPayload || out.Payload != 0xcafebabe || out.Key != 0x12345678 {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestP2PRoundTrip(t *testing.T) {
+	in := NewP2P(P2PAddr(3, 4), P2PAddr(10, 20), 0xbeef)
+	b, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Packet
+	if err := out.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != P2P || out.SrcAddr != in.SrcAddr || out.DstAddr != in.DstAddr || out.Key != 0xbeef {
+		t.Errorf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	dx, dy := P2PCoords(out.DstAddr)
+	if dx != 10 || dy != 20 {
+		t.Errorf("coords = (%d,%d), want (10,20)", dx, dy)
+	}
+}
+
+func TestNNRoundTrip(t *testing.T) {
+	in := NewNN(7, 0x11223344)
+	b, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Packet
+	if err := out.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != NN || out.Key != 7 || out.Payload != 0x11223344 {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestParityIsOdd(t *testing.T) {
+	f := func(key, payload uint32, hasPayload bool) bool {
+		p := NewMC(key)
+		p.HasPayload = hasPayload
+		p.Payload = payload
+		b, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		ones := 0
+		for _, x := range b {
+			ones += bits.OnesCount8(x)
+		}
+		return ones%2 == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParityDetectsSingleBitFlip(t *testing.T) {
+	p := NewMCPayload(0x01020304, 0x05060708)
+	b, _ := p.MarshalBinary()
+	for byteIdx := range b {
+		for bit := 0; bit < 8; bit++ {
+			corrupted := append([]byte(nil), b...)
+			corrupted[byteIdx] ^= 1 << bit
+			var out Packet
+			if err := out.UnmarshalBinary(corrupted); err == nil {
+				t.Fatalf("flip of byte %d bit %d not detected", byteIdx, bit)
+			}
+		}
+	}
+}
+
+func TestUnmarshalShortFrame(t *testing.T) {
+	var p Packet
+	if err := p.UnmarshalBinary([]byte{1, 2}); err == nil {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(key, payload uint32, ts uint8, hasPayload bool) bool {
+		in := Packet{Type: MC, Key: key, Timestamp: ts & 3, Payload: payload, HasPayload: hasPayload}
+		b, err := in.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var out Packet
+		if err := out.UnmarshalBinary(b); err != nil {
+			return false
+		}
+		return out.Key == in.Key && out.Timestamp == in.Timestamp &&
+			out.HasPayload == in.HasPayload && (!in.HasPayload || out.Payload == in.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if MC.String() != "mc" || P2P.String() != "p2p" || NN.String() != "nn" {
+		t.Error("type names do not match the paper's mc/p2p/nn")
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	cases := []struct {
+		p    Packet
+		want int
+	}{
+		{NewMC(1), 5},
+		{NewMCPayload(1, 2), 9},
+		{NewP2P(0, 1, 2), 7},
+		{NewNN(1, 2), 9},
+	}
+	for _, c := range cases {
+		b, _ := c.p.MarshalBinary()
+		if len(b) != c.want || c.p.WireSize() != c.want {
+			t.Errorf("%v: wire size %d (reported %d), want %d", c.p, len(b), c.p.WireSize(), c.want)
+		}
+	}
+}
+
+func TestMarshalStable(t *testing.T) {
+	p := NewMCPayload(42, 43)
+	a, _ := p.MarshalBinary()
+	b, _ := p.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Error("marshal not deterministic")
+	}
+}

@@ -1,0 +1,48 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPacketStringForms(t *testing.T) {
+	cases := []struct {
+		p    Packet
+		want []string
+	}{
+		{NewMC(0xabc), []string{"mc", "0x00000abc"}},
+		{NewMCPayload(1, 2), []string{"mc", "payload"}},
+		{NewP2P(P2PAddr(1, 2), P2PAddr(3, 4), 9), []string{"p2p", "(1,2)", "(3,4)"}},
+		{NewNN(5, 6), []string{"nn", "cmd"}},
+	}
+	for _, c := range cases {
+		s := c.p.String()
+		for _, w := range c.want {
+			if !strings.Contains(s, w) {
+				t.Errorf("%q missing %q", s, w)
+			}
+		}
+	}
+	em := NewMC(1)
+	em.Emergency = EmFirstLeg
+	if !strings.Contains(em.String(), "em=1") {
+		t.Errorf("emergency mark missing: %q", em.String())
+	}
+	if !strings.Contains(Type(9).String(), "type(") {
+		t.Error("unknown type string")
+	}
+}
+
+func TestUnmarshalTruncatedPayload(t *testing.T) {
+	p := NewMCPayload(1, 2)
+	b, _ := p.MarshalBinary()
+	var out Packet
+	if err := out.UnmarshalBinary(b[:7]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	p2 := NewP2P(1, 2, 3)
+	b2, _ := p2.MarshalBinary()
+	if err := out.UnmarshalBinary(b2[:5]); err == nil {
+		t.Error("truncated p2p accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package phy
+
+import (
+	"fmt"
+
+	"spinngo/internal/sim"
+)
+
+// LinkParams characterise one self-timed link.
+type LinkParams struct {
+	Code Code
+	// WireDelay is the one-way propagation delay of the wires. Off-chip
+	// this dominates (paper: "chip-to-chip delays dominate
+	// performance"); on chip it is small.
+	WireDelay sim.Time
+	// LogicDelay is the fixed per-handshake logic overhead at each end.
+	LogicDelay sim.Time
+	// EnergyPerTransition is the energy (picojoules) of one wire
+	// transition; off-chip transitions cost far more than on-chip ones.
+	EnergyPerTransition float64
+}
+
+// DefaultInterChip returns parameters for a SpiNNaker inter-chip link
+// (2-of-7 NRZ over board traces).
+func DefaultInterChip() LinkParams {
+	return LinkParams{
+		Code:                NRZ2of7,
+		WireDelay:           4 * sim.Nanosecond,
+		LogicDelay:          2 * sim.Nanosecond,
+		EnergyPerTransition: 6.0, // pJ: off-chip trace + pad
+	}
+}
+
+// DefaultOnChip returns parameters for the on-chip CHAIN interconnect
+// (3-of-6 RTZ).
+func DefaultOnChip() LinkParams {
+	return LinkParams{
+		Code:                RTZ3of6,
+		WireDelay:           1 * sim.Nanosecond, // short on-chip CHAIN segment
+		LogicDelay:          1 * sim.Nanosecond, // RTZ completion detection is simple
+		EnergyPerTransition: 0.15,               // pJ: on-chip wire
+	}
+}
+
+// SymbolPeriod reports the time to transfer one 4-bit symbol: each
+// handshake round trip costs an out-and-return wire flight plus logic
+// overhead, and the code determines how many round trips a symbol needs.
+func (p LinkParams) SymbolPeriod() sim.Time {
+	perLoop := 2*p.WireDelay + p.LogicDelay
+	return sim.Time(p.Code.RoundTripsPerSymbol()) * perLoop
+}
+
+// SymbolEnergy reports the energy of one 4-bit symbol in picojoules.
+func (p LinkParams) SymbolEnergy() float64 {
+	return float64(p.Code.TransitionsPerSymbol()) * p.EnergyPerTransition
+}
+
+// ThroughputMbps reports the payload throughput in megabits per second.
+func (p LinkParams) ThroughputMbps() float64 {
+	return 4.0 / p.SymbolPeriod().Seconds() / 1e6
+}
+
+// TransferCost reports the time and energy to move n bytes (2 symbols per
+// byte, plus one EOP symbol per frame).
+type TransferCost struct {
+	Time        sim.Time
+	Transitions int
+	EnergyPJ    float64
+	Symbols     int
+}
+
+// FrameCost computes the cost of transferring one n-byte frame followed
+// by an end-of-packet symbol.
+func (p LinkParams) FrameCost(nBytes int) TransferCost {
+	symbols := nBytes*2 + 1 // 2 nibbles per byte + EOP
+	tr := symbols * p.Code.TransitionsPerSymbol()
+	return TransferCost{
+		Time:        sim.Time(symbols) * p.SymbolPeriod(),
+		Transitions: tr,
+		EnergyPJ:    float64(tr) * p.EnergyPerTransition,
+		Symbols:     symbols,
+	}
+}
+
+// Tx is a symbol-level transmitter feeding a wire bundle. It tracks the
+// NRZ wire state (for RTZ the state always returns to zero) and counts
+// transitions, so a byte stream can be replayed exactly.
+type Tx struct {
+	book        *Codebook
+	state       uint8 // current wire levels (NRZ)
+	Transitions int
+	Symbols     int
+}
+
+// NewTx returns a transmitter for the given code.
+func NewTx(code Code) *Tx { return &Tx{book: NewCodebook(code)} }
+
+// SendSymbol emits one symbol and returns the resulting wire state delta
+// (the mask of wires that changed).
+func (t *Tx) SendSymbol(symbol int) uint8 {
+	mask := t.book.Mask(symbol)
+	t.Symbols++
+	if t.book.code == RTZ3of6 {
+		// Wires pulse up then back down: 2 transitions per set wire.
+		t.Transitions += 2 * popcount8(mask)
+		return mask
+	}
+	// NRZ: the wires in the mask toggle.
+	t.state ^= mask
+	t.Transitions += popcount8(mask)
+	return mask
+}
+
+// SendByte emits the two nibbles of b, low nibble first (as on the wire).
+func (t *Tx) SendByte(b byte) {
+	t.SendSymbol(int(b & 0x0f))
+	t.SendSymbol(int(b >> 4))
+}
+
+// SendFrame emits a whole frame followed by EOP.
+func (t *Tx) SendFrame(frame []byte) {
+	for _, b := range frame {
+		t.SendByte(b)
+	}
+	t.SendSymbol(EOP)
+}
+
+// State reports the current NRZ wire levels.
+func (t *Tx) State() uint8 { return t.state }
+
+// Rx is the matching symbol-level receiver. Deliver wire-change masks to
+// Receive in order; completed frames are returned as byte slices.
+type Rx struct {
+	book    *Codebook
+	nibbles []byte
+	frames  [][]byte
+	Errors  int
+}
+
+// NewRx returns a receiver for the given code.
+func NewRx(code Code) *Rx { return &Rx{book: NewCodebook(code)} }
+
+// Receive consumes one wire-change mask. Invalid masks count as symbol
+// errors and are discarded (the paper's links pass data "albeit with
+// errors" under interference; upper layers use parity).
+func (r *Rx) Receive(mask uint8) {
+	sym, ok := r.book.Symbol(mask)
+	if !ok {
+		r.Errors++
+		return
+	}
+	if sym == EOP {
+		frame := make([]byte, 0, len(r.nibbles)/2)
+		for i := 0; i+1 < len(r.nibbles); i += 2 {
+			frame = append(frame, r.nibbles[i]|r.nibbles[i+1]<<4)
+		}
+		r.frames = append(r.frames, frame)
+		r.nibbles = r.nibbles[:0]
+		return
+	}
+	r.nibbles = append(r.nibbles, byte(sym))
+}
+
+// Frames returns and clears the completed frames.
+func (r *Rx) Frames() [][]byte {
+	f := r.frames
+	r.frames = nil
+	return f
+}
+
+// Validate sanity-checks link parameters.
+func (p LinkParams) Validate() error {
+	if p.WireDelay < 0 || p.LogicDelay < 0 {
+		return fmt.Errorf("phy: negative delay in %+v", p)
+	}
+	if p.EnergyPerTransition < 0 {
+		return fmt.Errorf("phy: negative energy in %+v", p)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package phy
+
+import "testing"
+
+func TestNoGlitchesNoDeadlock(t *testing.T) {
+	for _, kind := range []ConverterKind{Unprotected, Protected} {
+		cfg := DefaultGlitchConfig(kind)
+		cfg.GlitchRate = 1e-9 // effectively none within the run
+		cfg.Duration = 5e6    // 5 ms
+		r := RunGlitchTrial(cfg, 1)
+		if r.Deadlocks != 0 {
+			t.Errorf("%v deadlocked with no glitches", kind)
+		}
+		if r.HandshakesOK == 0 {
+			t.Errorf("%v made no progress", kind)
+		}
+	}
+}
+
+func TestUnprotectedDeadlocksUnderGlitches(t *testing.T) {
+	cfg := DefaultGlitchConfig(Unprotected)
+	cfg.Duration = 10e6 // 10 ms with 200k glitches/s -> ~2000 glitches
+	r := RunGlitchTrial(cfg, 2)
+	if r.Deadlocks == 0 {
+		t.Error("unprotected converter survived a heavy glitch storm")
+	}
+}
+
+func TestProtectedKeepsPassingData(t *testing.T) {
+	cfg := DefaultGlitchConfig(Protected)
+	cfg.Duration = 10e6
+	r := RunGlitchTrial(cfg, 3)
+	// Paper: "the circuit will keep passing data (albeit with errors)
+	// in the presence of quite high levels of interference".
+	if r.HandshakesOK < 10000 {
+		t.Errorf("protected converter passed only %d handshakes", r.HandshakesOK)
+	}
+	if r.SpuriousTokens == 0 {
+		t.Error("expected data corruption (spurious tokens) under glitches")
+	}
+}
+
+func TestE2DeadlockReductionFactor(t *testing.T) {
+	ex := RunGlitchExperiment(4, 42)
+	if ex.UnprotectedDeadlocks == 0 {
+		t.Fatal("experiment produced no unprotected deadlocks; cannot measure ratio")
+	}
+	ratio, exact := ex.DeadlockRatio()
+	// The paper reports a factor ~1,000. Accept a broad band — the
+	// point is orders of magnitude, not the third digit.
+	if exact && (ratio < 100 || ratio > 10000) {
+		t.Errorf("deadlock reduction ratio = %.0f, want within [100, 10000] (paper: ~1000)", ratio)
+	}
+	if !exact && ratio < 100 {
+		t.Errorf("lower-bound ratio = %.0f, want >= 100", ratio)
+	}
+}
+
+func TestGlitchTrialDeterminism(t *testing.T) {
+	cfg := DefaultGlitchConfig(Unprotected)
+	cfg.Duration = 5e6
+	a := RunGlitchTrial(cfg, 99)
+	b := RunGlitchTrial(cfg, 99)
+	if a != b {
+		t.Errorf("same seed produced different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestDeadlockRateScalesWithGlitchRate(t *testing.T) {
+	lo := DefaultGlitchConfig(Unprotected)
+	lo.GlitchRate = 5e4
+	lo.Duration = 20e6
+	hi := DefaultGlitchConfig(Unprotected)
+	hi.GlitchRate = 4e5
+	hi.Duration = 20e6
+	rl := RunGlitchTrial(lo, 5)
+	rh := RunGlitchTrial(hi, 5)
+	if rh.Deadlocks <= rl.Deadlocks {
+		t.Errorf("deadlocks did not increase with glitch rate: %d vs %d",
+			rl.Deadlocks, rh.Deadlocks)
+	}
+}

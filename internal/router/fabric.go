@@ -1,0 +1,474 @@
+package router
+
+import (
+	"fmt"
+
+	"spinngo/internal/packet"
+	"spinngo/internal/phy"
+	"spinngo/internal/sim"
+	"spinngo/internal/topo"
+)
+
+// Params configures a communications fabric.
+type Params struct {
+	Torus topo.Torus
+	// RouterLatency is the pipeline delay a packet spends in each
+	// router.
+	RouterLatency sim.Time
+	// Link carries the inter-chip self-timed link model; its FrameCost
+	// sets per-packet serialisation time and energy.
+	Link phy.LinkParams
+	// LinkQueueDepth is the output buffering per link; a full queue is
+	// a congested link.
+	LinkQueueDepth int
+	// EmergencyWait is the programmable time the router waits on a
+	// blocked link before invoking emergency routing (section 5.3).
+	EmergencyWait sim.Time
+	// EmergencyTry is the programmable time emergency routing is
+	// attempted before the packet is dropped.
+	EmergencyTry sim.Time
+	// RetryInterval is how often a waiting packet re-tests the link.
+	RetryInterval sim.Time
+	// EmergencyEnabled turns the Fig-8 mechanism on (the ablation for
+	// E6 turns it off).
+	EmergencyEnabled bool
+	// TableSize caps each router's multicast table.
+	TableSize int
+	// PhasePeriod is the rotation period of the 2-bit timestamp phase.
+	// A multicast packet two or more phases old is dropped, which is
+	// what stops mis-routed packets circulating the torus forever.
+	PhasePeriod sim.Time
+}
+
+// DefaultParams returns paper-scale fabric parameters for a w x h torus.
+func DefaultParams(w, h int) Params {
+	return Params{
+		Torus:            topo.MustTorus(w, h),
+		RouterLatency:    100 * sim.Nanosecond,
+		Link:             phy.DefaultInterChip(),
+		LinkQueueDepth:   16,
+		EmergencyWait:    1 * sim.Microsecond,
+		EmergencyTry:     4 * sim.Microsecond,
+		RetryInterval:    250 * sim.Nanosecond,
+		EmergencyEnabled: true,
+		TableSize:        DefaultTableSize,
+		PhasePeriod:      1 * sim.Millisecond,
+	}
+}
+
+// flit is a packet in flight with fabric instrumentation.
+type flit struct {
+	pkt        packet.Packet
+	injectedAt sim.Time
+}
+
+// outLink is one directed inter-chip link with its output queue.
+type outLink struct {
+	dir        topo.Dir
+	failed     bool
+	queue      []flit
+	busy       bool
+	Traversals uint64
+}
+
+// Node is one chip's router plus its six outgoing links.
+type Node struct {
+	fabric *Fabric
+	Coord  topo.Coord
+	Table  *Table
+	out    [topo.NumDirs]outLink
+
+	// Monitor-visible fault notifications (section 5.3: "the local
+	// Monitor Processor can be informed").
+	EmergencyNotices uint64
+	DropNotices      uint64
+	Dropped          []DroppedPacket // recoverable by the monitor
+	UnroutableMC     uint64          // locally injected mc with no table entry
+
+	// p2pReady records that the boot sequence has configured this
+	// node's point-to-point routing table (section 5.2: a node can
+	// route p2p traffic only after the coordinate flood has told it
+	// where it is).
+	p2pReady bool
+}
+
+// ConfigureP2P installs the node's point-to-point routing table, as the
+// monitor does once the coordinate flood has delivered the node's
+// position. Until then p2p packets arriving here are dropped.
+func (n *Node) ConfigureP2P() { n.p2pReady = true }
+
+// P2PConfigured reports the table state.
+func (n *Node) P2PConfigured() bool { return n.p2pReady }
+
+// DroppedPacket is a packet the router gave up on, together with the
+// output link it was bound for — the contents of the router's dropped
+// packet register, which the monitor reads to recover the packet.
+type DroppedPacket struct {
+	Pkt packet.Packet
+	Dir topo.Dir
+	// Aged marks packets killed by the timestamp-phase check; these
+	// have no meaningful output link and are not reinjected.
+	Aged bool
+}
+
+// Fabric is the machine-wide communications network: one Node per chip
+// on the torus, simulated on a shared discrete-event engine.
+type Fabric struct {
+	eng   *sim.Engine
+	p     Params
+	nodes []*Node
+
+	// OnDeliverMC is invoked for each local core a multicast packet
+	// reaches. latency is injection-to-delivery simulated time.
+	OnDeliverMC func(n *Node, core int, pkt packet.Packet, latency sim.Time)
+	// OnDeliverP2P is invoked when a p2p packet reaches its destination
+	// chip (handled by the monitor processor).
+	OnDeliverP2P func(n *Node, pkt packet.Packet, latency sim.Time)
+	// OnNN is invoked when a nearest-neighbour packet arrives, with the
+	// direction it came from.
+	OnNN func(n *Node, from topo.Dir, pkt packet.Packet)
+	// OnDrop is invoked when the router gives up on a packet.
+	OnDrop func(n *Node, pkt packet.Packet)
+
+	// Aggregate statistics.
+	DeliveredMC          uint64
+	DeliveredP2P         uint64
+	DroppedPackets       uint64
+	AgedPackets          uint64
+	P2PUnroutable        uint64 // p2p packets hitting unconfigured nodes
+	EmergencyInvocations uint64
+	LinkTraversals       uint64
+}
+
+// ConfigureAllP2P marks every node's p2p table as configured — the
+// state a fully booted machine is in. Standalone fabric users (tests,
+// experiments without a boot phase) call this once; the boot package
+// configures nodes one by one as the coordinate flood reaches them.
+func (f *Fabric) ConfigureAllP2P() {
+	for _, n := range f.nodes {
+		n.ConfigureP2P()
+	}
+}
+
+// phase reports the current 2-bit timestamp phase.
+func (f *Fabric) phase() uint8 {
+	if f.p.PhasePeriod <= 0 {
+		return 0
+	}
+	return uint8((f.eng.Now() / f.p.PhasePeriod) % 4)
+}
+
+// NewFabric builds the fabric on the given engine.
+func NewFabric(eng *sim.Engine, p Params) (*Fabric, error) {
+	if err := p.Link.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Torus.Size() == 0 {
+		return nil, fmt.Errorf("router: empty torus")
+	}
+	if p.LinkQueueDepth <= 0 {
+		return nil, fmt.Errorf("router: link queue depth must be positive")
+	}
+	f := &Fabric{eng: eng, p: p, nodes: make([]*Node, p.Torus.Size())}
+	for i := range f.nodes {
+		n := &Node{fabric: f, Coord: p.Torus.CoordOf(i), Table: NewTable(p.TableSize)}
+		for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
+			n.out[d].dir = d
+		}
+		f.nodes[i] = n
+	}
+	return f, nil
+}
+
+// Engine returns the fabric's simulation engine.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Params returns the fabric configuration.
+func (f *Fabric) Params() Params { return f.p }
+
+// Node returns the chip at c.
+func (f *Fabric) Node(c topo.Coord) *Node { return f.nodes[f.p.Torus.Index(c)] }
+
+// Nodes returns all chips in index order.
+func (f *Fabric) Nodes() []*Node { return f.nodes }
+
+// FailLink marks the directed link out of c in direction d as failed.
+func (f *Fabric) FailLink(c topo.Coord, d topo.Dir) { f.Node(c).out[d].failed = true }
+
+// RepairLink clears a failure.
+func (f *Fabric) RepairLink(c topo.Coord, d topo.Dir) { f.Node(c).out[d].failed = false }
+
+// FailLinkPair fails both directions between c and its d-neighbour.
+func (f *Fabric) FailLinkPair(c topo.Coord, d topo.Dir) {
+	f.FailLink(c, d)
+	f.FailLink(f.p.Torus.Neighbor(c, d), d.Opposite())
+}
+
+// LinkFailed reports the state of a directed link.
+func (f *Fabric) LinkFailed(c topo.Coord, d topo.Dir) bool { return f.Node(c).out[d].failed }
+
+// LinkTraversalCount reports how many packets crossed the directed link.
+func (f *Fabric) LinkTraversalCount(c topo.Coord, d topo.Dir) uint64 {
+	return f.Node(c).out[d].Traversals
+}
+
+// InjectMC injects a multicast packet from a local core of chip c.
+func (f *Fabric) InjectMC(c topo.Coord, pkt packet.Packet) {
+	n := f.Node(c)
+	pkt.Timestamp = f.phase()
+	fl := flit{pkt: pkt, injectedAt: f.eng.Now()}
+	f.eng.After(f.p.RouterLatency, func() { n.routeMC(fl, -1) })
+}
+
+// InjectP2P injects a point-to-point packet from chip src to chip dst.
+func (f *Fabric) InjectP2P(src, dst topo.Coord, data uint32) {
+	pkt := packet.NewP2P(packet.P2PAddr(src.X, src.Y), packet.P2PAddr(dst.X, dst.Y), data)
+	n := f.Node(src)
+	fl := flit{pkt: pkt, injectedAt: f.eng.Now()}
+	f.eng.After(f.p.RouterLatency, func() { n.routeP2P(fl) })
+}
+
+// SendNN sends a nearest-neighbour packet from chip c on link d.
+func (f *Fabric) SendNN(c topo.Coord, d topo.Dir, pkt packet.Packet) {
+	n := f.Node(c)
+	fl := flit{pkt: pkt, injectedAt: f.eng.Now()}
+	n.transmit(fl, d)
+}
+
+// receive handles a packet arriving at n having travelled direction
+// travel on its final hop.
+func (n *Node) receive(fl flit, travel topo.Dir) {
+	switch fl.pkt.Type {
+	case packet.MC:
+		n.routeMC(fl, int(travel))
+	case packet.P2P:
+		n.routeP2P(fl)
+	case packet.NN:
+		if n.fabric.OnNN != nil {
+			n.fabric.OnNN(n, travel.Opposite(), fl.pkt)
+		}
+	}
+}
+
+// routeMC implements multicast routing with default routing and the
+// emergency-routing protocol. travel is the direction of the final hop,
+// or -1 for locally injected packets.
+func (n *Node) routeMC(fl flit, travel int) {
+	if f := n.fabric; f.p.PhasePeriod > 0 && travel >= 0 {
+		if age := (f.phase() - fl.pkt.Timestamp) & 3; age >= 2 {
+			// Two or more timestamp phases old: the packet has been
+			// circulating (mis-route or loop); kill it here.
+			f.AgedPackets++
+			n.drop(fl, 0, true)
+			return
+		}
+	}
+	switch fl.pkt.Emergency {
+	case packet.EmFirstLeg:
+		// We are the inflection corner of the Fig-8 triangle: relay on
+		// the second leg without consulting the table.
+		orig := topo.Dir((travel + 5) % topo.NumDirs)
+		_, second := orig.Emergency()
+		fl.pkt.Emergency = packet.EmSecondLeg
+		n.forward(fl, second)
+		return
+	case packet.EmSecondLeg:
+		// Back on the normal path: behave as if we arrived over the
+		// blocked link, i.e. travelling in the original direction.
+		travel = (travel + 1) % topo.NumDirs
+		fl.pkt.Emergency = packet.EmNormal
+	}
+
+	route, ok := n.Table.Lookup(fl.pkt.Key)
+	if !ok {
+		if travel < 0 {
+			// Locally injected with no route: a configuration error
+			// the monitor should hear about.
+			n.UnroutableMC++
+			return
+		}
+		// Default routing: carry straight on (section 5.3, Fig 8 'D').
+		n.forward(fl, topo.Dir(travel))
+		return
+	}
+	for _, core := range route.Cores() {
+		n.deliverMC(fl, core)
+	}
+	for _, d := range route.Links() {
+		n.forward(fl, d)
+	}
+}
+
+func (n *Node) deliverMC(fl flit, core int) {
+	f := n.fabric
+	f.DeliveredMC++
+	if f.OnDeliverMC != nil {
+		f.OnDeliverMC(n, core, fl.pkt, f.eng.Now()-fl.injectedAt)
+	}
+}
+
+// routeP2P moves a p2p packet one step along the table route. Nodes
+// whose p2p tables have not been configured (boot incomplete) cannot
+// route and drop the packet.
+func (n *Node) routeP2P(fl flit) {
+	f := n.fabric
+	if !n.p2pReady {
+		f.P2PUnroutable++
+		f.DroppedPackets++
+		return
+	}
+	dx, dy := packet.P2PCoords(fl.pkt.DstAddr)
+	dst := topo.Coord{X: dx, Y: dy}
+	if dst == n.Coord {
+		f.DeliveredP2P++
+		if f.OnDeliverP2P != nil {
+			f.OnDeliverP2P(n, fl.pkt, f.eng.Now()-fl.injectedAt)
+		}
+		return
+	}
+	d, _ := f.p.Torus.NextDir(n.Coord, dst)
+	n.forward(fl, d)
+}
+
+// forward implements the blocked-link protocol: try the requested link;
+// wait EmergencyWait; try the emergency detour for EmergencyTry; then
+// drop and tell the monitor. "No Router will get into a state where it
+// persistently refuses to accept incoming packets" — every path through
+// this function terminates without blocking the router.
+func (n *Node) forward(fl flit, d topo.Dir) {
+	f := n.fabric
+	t0 := f.eng.Now()
+	var attempt func()
+	attempt = func() {
+		now := f.eng.Now()
+		if n.canSend(d) {
+			n.transmit(fl, d)
+			return
+		}
+		elapsed := now - t0
+		switch {
+		case elapsed < f.p.EmergencyWait:
+			f.eng.After(f.p.RetryInterval, attempt)
+		case f.p.EmergencyEnabled && fl.pkt.Type == packet.MC &&
+			fl.pkt.Emergency == packet.EmNormal &&
+			elapsed < f.p.EmergencyWait+f.p.EmergencyTry:
+			first, _ := d.Emergency()
+			if n.canSend(first) {
+				f.EmergencyInvocations++
+				n.EmergencyNotices++ // monitor is informed (section 5.3)
+				efl := fl
+				efl.pkt.Emergency = packet.EmFirstLeg
+				n.transmit(efl, first)
+				return
+			}
+			f.eng.After(f.p.RetryInterval, attempt)
+		case elapsed < f.p.EmergencyWait+f.p.EmergencyTry:
+			// Emergency routing unavailable for this packet (disabled,
+			// non-mc, or already diverted): keep waiting out the try
+			// window, then drop.
+			f.eng.After(f.p.RetryInterval, attempt)
+		default:
+			n.drop(fl, d, false)
+		}
+	}
+	attempt()
+}
+
+func (n *Node) canSend(d topo.Dir) bool {
+	l := &n.out[d]
+	return !l.failed && len(l.queue) < n.fabric.p.LinkQueueDepth
+}
+
+// transmit serialises the packet onto link d; delivery at the neighbour
+// happens one frame time plus router latency later.
+func (n *Node) transmit(fl flit, d topo.Dir) {
+	l := &n.out[d]
+	l.queue = append(l.queue, fl)
+	if !l.busy {
+		n.startTx(d)
+	}
+}
+
+// startTx arbitrates the output link: system-class packets (p2p, nn —
+// boot, management and host traffic) are served before neural mc
+// traffic, the admission-control idea the GALS interconnect supports
+// (section 4, ref [12]). Within a class the queue is FIFO.
+func (n *Node) startTx(d topo.Dir) {
+	f := n.fabric
+	l := &n.out[d]
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	pick := 0
+	for i, q := range l.queue {
+		if q.pkt.Type != packet.MC {
+			pick = i
+			break
+		}
+	}
+	fl := l.queue[pick]
+	l.queue = append(l.queue[:pick], l.queue[pick+1:]...)
+	frame := f.p.Link.FrameCost(fl.pkt.WireSize())
+	f.eng.After(frame.Time, func() {
+		if l.failed {
+			// The link died mid-flight; the frame is lost. The
+			// neighbour-side protocol (parity, monitor timeouts)
+			// handles recovery at higher layers.
+			f.DroppedPackets++
+		} else {
+			l.Traversals++
+			f.LinkTraversals++
+			fl.pkt.Hops++
+			if fl.pkt.Emergency != packet.EmNormal {
+				fl.pkt.EmergencyHops++
+			}
+			neighbor := f.Node(f.p.Torus.Neighbor(n.Coord, d))
+			f.eng.After(f.p.RouterLatency, func() { neighbor.receive(fl, d) })
+		}
+		n.startTx(d)
+	})
+}
+
+// drop abandons a packet, records it in the dropped-packet register for
+// the monitor, and notifies.
+func (n *Node) drop(fl flit, d topo.Dir, aged bool) {
+	f := n.fabric
+	f.DroppedPackets++
+	n.DropNotices++
+	n.Dropped = append(n.Dropped, DroppedPacket{Pkt: fl.pkt, Dir: d, Aged: aged})
+	if f.OnDrop != nil {
+		f.OnDrop(n, fl.pkt)
+	}
+}
+
+// ReinjectDropped re-issues the monitor's recovered packets onto the
+// output links they were bound for (section 5.3: "the local Monitor
+// Processor is informed of the failure, and can recover the packet and
+// re-issue it if appropriate"). Aged packets are discarded. It reports
+// how many packets were re-issued.
+func (n *Node) ReinjectDropped() int {
+	dropped := n.Dropped
+	n.Dropped = nil
+	count := 0
+	for _, dp := range dropped {
+		if dp.Aged {
+			continue
+		}
+		pkt := dp.Pkt
+		pkt.Emergency = packet.EmNormal
+		pkt.Timestamp = n.fabric.phase()
+		fl := flit{pkt: pkt, injectedAt: n.fabric.eng.Now()}
+		dir := dp.Dir
+		n.fabric.eng.After(n.fabric.p.RouterLatency, func() { n.forward(fl, dir) })
+		count++
+	}
+	return count
+}
+
+// QueueLen reports the occupancy of the output queue on link d of chip c
+// (useful to assert the lightly-loaded regime in tests).
+func (f *Fabric) QueueLen(c topo.Coord, d topo.Dir) int {
+	return len(f.Node(c).out[d].queue)
+}

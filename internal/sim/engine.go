@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// An event is a closure scheduled to run at a simulated instant. Events at
+// the same instant run in the order they were scheduled (seq breaks ties),
+// which makes runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler. The zero value is
+// not usable; construct with New.
+type Engine struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	rng       *RNG
+	processed uint64
+	stopped   bool
+}
+
+// New returns an Engine whose clock starts at 0 and whose random stream is
+// derived from seed.
+func New(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random number generator.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Processed reports how many events have been executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past panics: it indicates a causality bug in the model.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step executes the next event, if any, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, advancing the
+// clock to exactly deadline when the queue drains early or only later
+// events remain.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.events) == 0 || e.events[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Stop makes the current Run/RunUntil return after the executing event
+// completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Ticker invokes fn every period, starting at the next multiple of period
+// after now, until the engine stops or cancel is called. It returns a
+// cancel function. This models the free-running 1 ms timer interrupt of a
+// SpiNNaker core ("time models itself", paper section 3.1).
+func (e *Engine) Ticker(period Time, fn func(tick uint64)) (cancel func()) {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	cancelled := false
+	var tick uint64
+	var schedule func()
+	schedule = func() {
+		e.After(period, func() {
+			if cancelled {
+				return
+			}
+			t := tick
+			tick++
+			fn(t)
+			if !cancelled {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return func() { cancelled = true }
+}

@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("events at equal time not FIFO: got[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New(1)
+	count := 0
+	var recur func()
+	recur = func() {
+		count++
+		if count < 10 {
+			e.After(7, recur)
+		}
+	}
+	e.After(7, recur)
+	e.Run()
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+	if e.Now() != 70 {
+		t.Errorf("Now() = %v, want 70", e.Now())
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := New(1)
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now() = %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e.Pending())
+	}
+	// Deadline beyond all events advances the clock to the deadline.
+	e.RunUntil(100)
+	if e.Now() != 100 || ran != 3 {
+		t.Errorf("Now()=%v ran=%d, want 100, 3", e.Now(), ran)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(1)
+	ran := 0
+	e.At(10, func() { ran++; e.Stop() })
+	e.At(20, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1 (Stop should halt Run)", ran)
+	}
+	e.Run() // resumes
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2 after resume", ran)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := New(1)
+	var ticks []uint64
+	var cancel func()
+	cancel = e.Ticker(Millisecond, func(k uint64) {
+		ticks = append(ticks, k)
+		if k == 4 {
+			cancel()
+		}
+	})
+	e.RunUntil(20 * Millisecond)
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(ticks))
+	}
+	for i, k := range ticks {
+		if k != uint64(i) {
+			t.Errorf("tick %d has index %d", i, k)
+		}
+	}
+}
+
+func TestTickerPeriod(t *testing.T) {
+	e := New(1)
+	var at []Time
+	e.Ticker(Millisecond, func(uint64) { at = append(at, e.Now()) })
+	e.RunUntil(5 * Millisecond)
+	if len(at) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(at))
+	}
+	for i, ts := range at {
+		if want := Time(i+1) * Millisecond; ts != want {
+			t.Errorf("tick %d at %v, want %v", i, ts, want)
+		}
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed uint64) []float64 {
+		e := New(seed)
+		var out []float64
+		for i := 0; i < 50; i++ {
+			d := Time(e.RNG().Intn(1000))
+			e.After(d, func() { out = append(out, e.RNG().Float64()) })
+		}
+		e.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs with equal seed diverged at %d", i)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.5us"},
+		{2 * Millisecond, "2ms"},
+		{3 * Second, "3s"},
+		{Forever, "forever"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestRNGUniformProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		// Means of 1000 uniform draws should be near 0.5.
+		sum := 0.0
+		for i := 0; i < 1000; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+			sum += v
+		}
+		m := sum / 1000
+		return m > 0.4 && m < 0.6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for n := 1; n < 40; n++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(64)
+		seen := make([]bool, 64)
+		for _, v := range p {
+			if v < 0 || v >= 64 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGPoissonMean(t *testing.T) {
+	r := NewRNG(7)
+	for _, mean := range []float64{0.5, 3, 20, 200} {
+		sum := 0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if got < mean*0.9-0.2 || got > mean*1.1+0.2 {
+			t.Errorf("Poisson(%g) sample mean %g out of tolerance", mean, got)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(9)
+	const rate = 4.0
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(rate)
+	}
+	got := sum / n
+	if got < 0.22 || got > 0.28 {
+		t.Errorf("Exp(%g) sample mean %g, want ~0.25", rate, got)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	a := NewRNG(1)
+	b := a.Fork()
+	// Forked stream must not mirror the parent.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("fork produced %d/64 identical draws", same)
+	}
+}

@@ -1,0 +1,579 @@
+package spinngo
+
+import (
+	"fmt"
+
+	"spinngo/internal/boot"
+	"spinngo/internal/chip"
+	"spinngo/internal/kernel"
+	"spinngo/internal/mapping"
+	"spinngo/internal/neural"
+	"spinngo/internal/packet"
+	"spinngo/internal/router"
+	"spinngo/internal/sim"
+	"spinngo/internal/topo"
+)
+
+// Placement selects the fragment placement policy.
+type Placement int
+
+const (
+	// Serpentine keeps consecutive fragments on nearby chips (default).
+	Serpentine Placement = iota
+	// Random scatters fragments uniformly (the virtualised-topology
+	// ablation: still correct, costs more routing).
+	Random
+)
+
+// MachineConfig describes the simulated machine.
+type MachineConfig struct {
+	// Width and Height are the toroidal mesh dimensions in chips.
+	Width, Height int
+	// CoresPerChip is the full core complement (default 20).
+	CoresPerChip int
+	// MaxNeuronsPerCore bounds fragment sizes (default 256).
+	MaxNeuronsPerCore int
+	// CoreMIPS is per-core instruction throughput (default 200).
+	CoreMIPS float64
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// DisableEmergencyRouting turns off the Fig-8 mechanism (ablation).
+	DisableEmergencyRouting bool
+	// Placement policy (default Serpentine).
+	Placement Placement
+	// CoreFaultProb injects per-core self-test failures at boot.
+	CoreFaultProb float64
+	// MaxAppCoresPerChip caps how many application cores the mapper
+	// uses per chip (0 = all available). Lower values spread a small
+	// model over more chips, exercising the interconnect.
+	MaxAppCoresPerChip int
+}
+
+func (c *MachineConfig) fillDefaults() {
+	if c.CoresPerChip == 0 {
+		c.CoresPerChip = chip.CoresPerChip
+	}
+	if c.MaxNeuronsPerCore == 0 {
+		c.MaxNeuronsPerCore = 256
+	}
+	if c.CoreMIPS == 0 {
+		c.CoreMIPS = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// unit is one application core's runtime: kernel + neurons + synapses.
+type unit struct {
+	frag        *mapping.Fragment
+	slot        int // application-core slot actually occupied
+	tickBase    uint64
+	core        *kernel.Core
+	pop         *neural.Population
+	source      *neural.PoissonSource
+	dma         *chip.DMAController
+	stdp        *neural.STDPState
+	plasticKeys map[uint32]bool
+	failed      bool
+}
+
+// Machine is a simulated SpiNNaker machine.
+type Machine struct {
+	cfg  MachineConfig
+	eng  *sim.Engine
+	fab  *router.Fabric
+	boot *boot.Controller
+
+	booted bool
+	loaded bool
+
+	model *Model
+	rplan *mapping.RoutingPlan
+	dplan *mapping.DataPlan
+	units map[topo.Coord]map[int]*unit // chip -> app core slot -> unit
+	all   []*unit
+
+	latencies *sim.Stats
+	bioMS     uint64
+
+	migrations        uint64
+	migrationFailures uint64
+	writeBacks        uint64
+}
+
+// MigrationDetectMS is how long the monitor's watchdog takes to notice a
+// silent application core before starting a migration (abstract:
+// "run-time support for functional migration and real-time fault
+// mitigation").
+const MigrationDetectMS = 5
+
+// NewMachine builds a machine; Boot it before loading a model.
+func NewMachine(cfg MachineConfig) (*Machine, error) {
+	cfg.fillDefaults()
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("spinngo: invalid machine %dx%d", cfg.Width, cfg.Height)
+	}
+	eng := sim.New(cfg.Seed)
+	params := router.DefaultParams(cfg.Width, cfg.Height)
+	params.EmergencyEnabled = !cfg.DisableEmergencyRouting
+	fab, err := router.NewFabric(eng, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		cfg:       cfg,
+		eng:       eng,
+		fab:       fab,
+		units:     make(map[topo.Coord]map[int]*unit),
+		latencies: sim.NewSummaryStats(),
+	}, nil
+}
+
+// BootReport summarises the boot sequence (section 5.2).
+type BootReport struct {
+	Chips         int
+	BootedLocally int
+	Rescued       int
+	DeadForever   int
+	CoordCorrect  bool
+	LoadTimeMS    float64
+	AppCores      int
+}
+
+// Boot runs the section-5.2 sequence: self-test, monitor election,
+// neighbour rescue, coordinate flood, p2p configuration and flood-fill
+// load of the system image.
+func (m *Machine) Boot() (*BootReport, error) {
+	if m.booted {
+		return nil, fmt.Errorf("spinngo: already booted")
+	}
+	cfg := boot.DefaultConfig()
+	cfg.Cores = m.cfg.CoresPerChip
+	cfg.CoreFaultProb = m.cfg.CoreFaultProb
+	m.boot = boot.NewController(m.eng, m.fab, cfg)
+	res, err := m.boot.Run()
+	if err != nil {
+		return nil, err
+	}
+	appCores := 0
+	for _, n := range m.fab.Nodes() {
+		if m.boot.Alive(n.Coord) {
+			appCores += m.boot.Chip(n.Coord).AssignApplications()
+		}
+	}
+	m.booted = true
+	return &BootReport{
+		Chips:         m.cfg.Width * m.cfg.Height,
+		BootedLocally: res.BootedLocally,
+		Rescued:       res.Rescued,
+		DeadForever:   res.DeadForever,
+		CoordCorrect:  res.CoordCorrect,
+		LoadTimeMS:    res.LoadTime.Millis(),
+		AppCores:      appCores,
+	}, nil
+}
+
+// appCoreSlots returns the application cores of a chip in slot order.
+func (m *Machine) appCoreSlots(at topo.Coord) []*chip.Core {
+	return m.boot.Chip(at).ApplicationCores()
+}
+
+// minAppCores finds the smallest application-core count across alive
+// chips, which bounds what the mapper may use uniformly.
+func (m *Machine) minAppCores() int {
+	min := m.cfg.CoresPerChip
+	for _, n := range m.fab.Nodes() {
+		if !m.boot.Alive(n.Coord) {
+			return 0 // dead chip: conservative (mapper would avoid it)
+		}
+		if c := len(m.appCoreSlots(n.Coord)); c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// LoadReport summarises mapping and loading.
+type LoadReport struct {
+	Fragments    int
+	Synapses     int
+	SynapseBytes int
+	TableEntries int
+	MaxChipTable int
+	TreeLinks    int
+}
+
+// Load compiles the model (partition, place, route, generate data),
+// installs routing tables, and instantiates the event-driven runtime on
+// every application core used.
+func (m *Machine) Load(model *Model) (*LoadReport, error) {
+	if !m.booted {
+		return nil, fmt.Errorf("spinngo: boot the machine before loading")
+	}
+	if m.loaded {
+		return nil, fmt.Errorf("spinngo: a model is already loaded")
+	}
+	appCores := m.minAppCores()
+	if m.cfg.MaxAppCoresPerChip > 0 && m.cfg.MaxAppCoresPerChip < appCores {
+		appCores = m.cfg.MaxAppCoresPerChip
+	}
+	spec := mapping.MachineSpec{
+		Torus:             topo.MustTorus(m.cfg.Width, m.cfg.Height),
+		AppCoresPerChip:   appCores,
+		MaxNeuronsPerCore: m.cfg.MaxNeuronsPerCore,
+		TableSize:         router.DefaultTableSize,
+	}
+	if spec.AppCoresPerChip == 0 {
+		return nil, fmt.Errorf("spinngo: machine has dead chips; cannot map uniformly")
+	}
+	strategy := mapping.PlaceSerpentine
+	if m.cfg.Placement == Random {
+		strategy = mapping.PlaceRandom
+	}
+	rplan, dplan, err := mapping.Compile(model.net, spec, strategy,
+		mapping.RouteOptions{ElideDefault: true, Minimise: true}, m.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := rplan.InstallTables(m.fab); err != nil {
+		return nil, err
+	}
+	m.model = model
+	m.rplan = rplan
+	m.dplan = dplan
+
+	for _, f := range rplan.Frags {
+		if _, err := m.buildUnitAt(f, f.Core, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	// Deliver multicast packets to the right unit's kernel.
+	m.fab.OnDeliverMC = func(n *router.Node, coreSlot int, pkt packet.Packet, lat sim.Time) {
+		m.latencies.Add(lat.Micros())
+		if chipUnits := m.units[n.Coord]; chipUnits != nil {
+			if u := chipUnits[coreSlot]; u != nil {
+				u.core.PostPacket(pkt)
+			}
+		}
+	}
+	m.loaded = true
+	return &LoadReport{
+		Fragments:    len(rplan.Frags),
+		Synapses:     dplan.TotalSynapses,
+		SynapseBytes: dplan.TotalBytes,
+		TableEntries: rplan.Stats.EntriesFinal,
+		MaxChipTable: rplan.Stats.MaxChipTable,
+		TreeLinks:    rplan.Stats.TreeLinks,
+	}, nil
+}
+
+// buildUnitAt instantiates the Fig-7 runtime for one fragment on a given
+// application-core slot. tickBase aligns the new unit's clock with
+// machine time (non-zero when a migration resumes a fragment mid-run).
+func (m *Machine) buildUnitAt(f *mapping.Fragment, slot int, tickBase uint64) (*unit, error) {
+	slots := m.appCoreSlots(f.Chip)
+	if slot >= len(slots) {
+		return nil, fmt.Errorf("spinngo: chip %v has no application core slot %d", f.Chip, slot)
+	}
+	hw := slots[slot]
+	u := &unit{
+		frag:     f,
+		slot:     slot,
+		tickBase: tickBase,
+		dma:      hw.DMA,
+		core: kernel.NewCore(m.eng, kernel.Config{
+			MIPS: m.cfg.CoreMIPS, TimerPeriod: sim.Millisecond, DispatchOverhead: 100,
+		}),
+	}
+	cd := m.dplan.Cores[f.Chip][f.Core]
+
+	pop := f.Pop
+	switch pop.Kind {
+	case mapping.ModelPoisson:
+		u.source = neural.NewPoissonSource(m.eng.RNG().Fork(), f.Size(), pop.RateHz)
+		u.pop = neural.NewPopulation(f.Size(), neural.MaxSynDelay,
+			func(int) neural.Neuron { return nil })
+	case mapping.ModelIzhikevich:
+		u.pop = neural.NewPopulation(f.Size(), neural.MaxSynDelay,
+			func(int) neural.Neuron { return neural.NewIzhikevich(pop.Izh) })
+	default:
+		u.pop = neural.NewPopulation(f.Size(), neural.MaxSynDelay,
+			func(int) neural.Neuron { return neural.NewLIF(pop.LIF) })
+	}
+	u.pop.Bias = neural.F(pop.BiasNA)
+	u.pop.SeedTick(tickBase)
+	if cd != nil {
+		u.pop.Matrix = cd.Matrix
+		if cd.STDP != nil {
+			u.stdp = neural.NewSTDPState(f.Size(), *cd.STDP)
+			u.plasticKeys = cd.PlasticKeys
+		}
+	}
+
+	// AER out: a firing neuron becomes a multicast packet (section 4),
+	// and plastic populations record the post spike for deferred STDP.
+	chipCoord := f.Chip
+	u.pop.OnSpike = func(local int) {
+		if u.stdp != nil {
+			u.stdp.RecordPost(local, u.pop.Tick())
+		}
+		m.fab.InjectMC(chipCoord, packet.NewMC(u.frag.Key()|uint32(local)))
+	}
+
+	// Fig-7 task 1: packet received -> schedule the synaptic-row DMA.
+	u.core.On(kernel.EvPacket, func(ev kernel.Event) uint64 {
+		row, ok := u.pop.Matrix.Row(ev.Pkt.Key)
+		if !ok {
+			return 60 // no synapses here for that neuron
+		}
+		key := ev.Pkt.Key
+		u.dma.Enqueue(chip.DMARequest{
+			Size: row.SizeBytes(),
+			Tag:  key,
+			Done: func() { u.core.PostDMADone(key) },
+		})
+		return 80
+	})
+	// Fig-7 task 2: DMA complete -> process the row into the ring;
+	// plastic rows first get their deferred STDP update, and modified
+	// rows are written back to SDRAM by a further DMA ("if the
+	// connectivity data is modified, a DMA must be scheduled to write
+	// the changes back", section 5.3).
+	u.core.On(kernel.EvDMADone, func(ev kernel.Event) uint64 {
+		row, ok := u.pop.Matrix.Row(ev.Tag)
+		if !ok {
+			return 20
+		}
+		var cost uint64
+		if u.stdp != nil && u.plasticKeys[ev.Tag] {
+			dirty, c := u.stdp.ProcessRow(ev.Tag, row, u.pop.Tick())
+			cost += c
+			if dirty {
+				m.writeBacks++
+				u.dma.Enqueue(chip.DMARequest{Size: row.SizeBytes(), Write: true, Tag: ev.Tag})
+			}
+		}
+		return cost + u.pop.ProcessRow(row)
+	})
+	// Fig-7 task 3: millisecond timer -> neuron update (plus stimulus
+	// generation for Poisson units).
+	u.core.On(kernel.EvTimer, func(ev kernel.Event) uint64 {
+		if u.source != nil {
+			var cost uint64 = 40
+			for _, idx := range u.source.Tick() {
+				u.pop.Rec.Record(u.tickBase+ev.Tick+1, idx)
+				m.fab.InjectMC(chipCoord, packet.NewMC(u.frag.Key()|uint32(idx)))
+				cost += 30
+			}
+			return cost
+		}
+		return u.pop.StepTick()
+	})
+
+	if m.units[f.Chip] == nil {
+		m.units[f.Chip] = make(map[int]*unit)
+	}
+	m.units[f.Chip][slot] = u
+	m.all = append(m.all, u)
+
+	// Start the free-running local timer with a sub-millisecond phase
+	// offset: there is no global synchronisation (section 3.1).
+	m.eng.After(sim.Time(m.eng.RNG().Intn(int(sim.Millisecond))), u.core.Start)
+	return u, nil
+}
+
+// unitOf finds the live unit running a fragment.
+func (m *Machine) unitOf(frag *mapping.Fragment) *unit {
+	for _, u := range m.units[frag.Chip] {
+		if u.frag == frag && !u.failed {
+			return u
+		}
+	}
+	return nil
+}
+
+// FailCoreOf kills the application core simulating neuron idx of
+// population p, as a hardware fault would. The chip's monitor processor
+// notices the silence after MigrationDetectMS and performs a functional
+// migration: the fragment is rebuilt on a spare application core, its
+// synaptic matrix re-read from SDRAM, and the chip's multicast routing
+// entries repointed at the new core. Membrane state is lost (as on the
+// real machine without checkpointing); spikes in flight during the
+// outage are dropped at the dead core.
+func (m *Machine) FailCoreOf(p Pop, idx int) error {
+	if !m.loaded {
+		return fmt.Errorf("spinngo: no model loaded")
+	}
+	pop := m.model.net.Pops[p.idx]
+	frag, err := mapping.FragmentForNeuron(m.rplan.Frags, pop, idx)
+	if err != nil {
+		return err
+	}
+	u := m.unitOf(frag)
+	if u == nil {
+		return fmt.Errorf("spinngo: fragment of %q neuron %d has no live core", p.Name(), idx)
+	}
+	u.failed = true
+	u.core.Stop()
+	delete(m.units[frag.Chip], u.slot)
+	m.eng.After(MigrationDetectMS*sim.Millisecond, func() { m.migrate(u) })
+	return nil
+}
+
+// migrate moves a failed unit's fragment onto a spare core of the same
+// chip.
+func (m *Machine) migrate(old *unit) {
+	chipCoord := old.frag.Chip
+	slots := m.appCoreSlots(chipCoord)
+	spare := -1
+	for s := 0; s < len(slots); s++ {
+		if s == old.slot {
+			continue // the dead core itself
+		}
+		if _, used := m.units[chipCoord][s]; !used {
+			spare = s
+			break
+		}
+	}
+	if spare < 0 {
+		m.migrationFailures++
+		return
+	}
+	// Re-reading the synaptic matrix from SDRAM takes real time; the
+	// fragment resumes only after the copy completes.
+	bytes := old.pop.Matrix.Bytes
+	m.boot.Chip(chipCoord).SDRAM.Transfer(bytes, func() {
+		nu, err := m.buildUnitAt(old.frag, spare, uint64(m.eng.Now()/sim.Millisecond))
+		if err != nil {
+			m.migrationFailures++
+			return
+		}
+		m.fab.Node(chipCoord).Table.RewriteCore(old.slot, spare)
+		_ = nu
+		m.migrations++
+	})
+}
+
+// Run advances the machine by ms milliseconds of biological time and
+// returns the cumulative report.
+func (m *Machine) Run(ms int) (*RunReport, error) {
+	if !m.loaded {
+		return nil, fmt.Errorf("spinngo: load a model before running")
+	}
+	if ms <= 0 {
+		return nil, fmt.Errorf("spinngo: non-positive run length")
+	}
+	m.bioMS += uint64(ms)
+	m.eng.RunUntil(m.eng.Now() + sim.Time(ms)*sim.Millisecond)
+	return m.report(), nil
+}
+
+// Stop halts all application cores (their timers stop ticking).
+func (m *Machine) Stop() {
+	for _, u := range m.all {
+		u.core.Stop()
+	}
+}
+
+// Spike is one recorded firing, in population-global coordinates.
+type Spike struct {
+	TimeMS uint64
+	Neuron int
+}
+
+// Spikes returns the recorded raster of a population, merged across its
+// fragments, sorted by fragment then time.
+func (m *Machine) Spikes(p Pop) []Spike {
+	var out []Spike
+	for _, u := range m.all {
+		if u.frag.Pop != m.model.net.Pops[p.idx] {
+			continue
+		}
+		for _, s := range u.pop.Rec.Spikes {
+			out = append(out, Spike{TimeMS: s.Tick, Neuron: u.frag.Lo + s.Neuron})
+		}
+	}
+	return out
+}
+
+// MeanRateHz reports a population's mean firing rate over the run so
+// far.
+func (m *Machine) MeanRateHz(p Pop) float64 {
+	if m.bioMS == 0 {
+		return 0
+	}
+	total := len(m.Spikes(p))
+	n := p.Size()
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n) / (float64(m.bioMS) / 1000)
+}
+
+// FailLink kills both directions of the link leaving chip (x, y) in the
+// given direction ("E", "NE", "N", "W", "SW", "S") — the fault-injection
+// hook for the emergency-routing experiments.
+func (m *Machine) FailLink(x, y int, dir string) error {
+	for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
+		if d.String() == dir {
+			m.fab.FailLinkPair(topo.Coord{X: x, Y: y}, d)
+			return nil
+		}
+	}
+	return fmt.Errorf("spinngo: unknown direction %q", dir)
+}
+
+// InjectSpike forces neuron idx of population p to emit a spike at
+// biological time atMS (must be in the future).
+func (m *Machine) InjectSpike(p Pop, idx int, atMS int) error {
+	pop := m.model.net.Pops[p.idx]
+	frag, err := mapping.FragmentForNeuron(m.rplan.Frags, pop, idx)
+	if err != nil {
+		return err
+	}
+	at := sim.Time(atMS) * sim.Millisecond
+	if at < m.eng.Now() {
+		return fmt.Errorf("spinngo: injection time %dms is in the past", atMS)
+	}
+	m.eng.At(at, func() {
+		m.fab.InjectMC(frag.Chip, packet.NewMC(frag.KeyFor(idx)))
+	})
+	return nil
+}
+
+// MeanWeightNA reports the average synaptic weight (nA) across all rows
+// targeting population p — the observable for plasticity experiments.
+func (m *Machine) MeanWeightNA(p Pop) float64 {
+	pop := m.model.net.Pops[p.idx]
+	var sum float64
+	var n int
+	for _, u := range m.all {
+		if u.frag.Pop != pop || u.failed {
+			continue
+		}
+		for _, key := range u.pop.Matrix.Keys() {
+			row, _ := u.pop.Matrix.Row(key)
+			for _, syn := range row {
+				sum += float64(syn.Weight()) / 256
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// KillNeuron permanently disables neuron idx of population p (the
+// biological fault-tolerance experiment of section 5.4).
+func (m *Machine) KillNeuron(p Pop, idx int) error {
+	pop := m.model.net.Pops[p.idx]
+	frag, err := mapping.FragmentForNeuron(m.rplan.Frags, pop, idx)
+	if err != nil {
+		return err
+	}
+	return m.units[frag.Chip][frag.Core].pop.KillNeuron(idx - frag.Lo)
+}
