@@ -1,0 +1,28 @@
+# Tier-1 verification plus the race pass that continuously checks the
+# sharded parallel engine. `make check` is what CI runs.
+
+GO ?= go
+
+.PHONY: build test race vet bench-workers check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The sharded engine's concurrency is exercised by the determinism suite
+# (Workers>1) and the sim/router packages; keep them under the race
+# detector on every change.
+race:
+	$(GO) test -race ./internal/sim/ ./internal/router/
+	$(GO) test -race -run 'TestDeterminism|TestDifferentSeeds' .
+
+# Worker-count scaling sweep of the end-to-end machine benchmark.
+bench-workers:
+	$(GO) test -run '^$$' -bench 'BenchmarkMachineBioSecondWorkers' -benchtime 3x .
+
+check: build vet test race

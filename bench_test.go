@@ -7,6 +7,7 @@ package spinngo_test
 // full paper-style tables; EXPERIMENTS.md records paper-vs-measured.
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -221,7 +222,54 @@ func BenchmarkFabricPacketHop(b *testing.B) {
 		fab.InjectMC(src, packet.NewMC(1))
 		eng.Run()
 	}
-	b.ReportMetric(float64(fab.DeliveredMC), "delivered")
+	b.ReportMetric(float64(fab.DeliveredMC()), "delivered")
+}
+
+// BenchmarkMachineBioSecondWorkers measures how the sharded engine
+// scales: an 8x8 machine with fragments spread across all chips runs a
+// densely-active network for a quarter of a biological second per
+// iteration, swept over worker counts. With one worker this is exactly
+// the single-engine path, so the ns/op ratio between sub-benchmarks is
+// the parallel speedup (expect >1 at workers>=4 on a multi-core host;
+// the runs produce identical reports regardless — see
+// TestDeterminismAcrossWorkerCounts).
+func BenchmarkMachineBioSecondWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var spikes float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m, err := spinngo.NewMachine(spinngo.MachineConfig{
+					Width: 8, Height: 8, Seed: 1, Workers: workers,
+					MaxAppCoresPerChip: 2,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.Boot(); err != nil {
+					b.Fatal(err)
+				}
+				model := spinngo.NewModel()
+				stim := model.AddPoisson("stim", 400, 200)
+				exc := model.AddLIF("exc", 2000, spinngo.DefaultLIFConfig())
+				if err := model.Connect(stim, exc, spinngo.Conn{
+					Rule: spinngo.RandomRule, P: 0.05, WeightNA: 1.2, DelayMS: 2,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.Load(model); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				rep, err := m.Run(250)
+				if err != nil {
+					b.Fatal(err)
+				}
+				spikes = float64(rep.TotalSpikes)
+			}
+			b.ReportMetric(spikes, "spikes")
+		})
+	}
 }
 
 // BenchmarkMachineBioSecond measures end-to-end simulation throughput: a

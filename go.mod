@@ -1,0 +1,3 @@
+module spinngo
+
+go 1.24

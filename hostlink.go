@@ -25,24 +25,34 @@ func (m *Machine) AttachHost() (*HostLink, error) {
 	if !m.booted {
 		return nil, fmt.Errorf("spinngo: boot the machine before attaching a host")
 	}
-	return &HostLink{m: m, h: host.New(m.eng, m.fab, m.boot, host.DefaultConfig())}, nil
+	origin := topo.Coord{X: 0, Y: 0}
+	return &HostLink{m: m, h: host.New(m.fab.DomainAt(origin), m.fab, m.boot, host.DefaultConfig())}, nil
 }
 
 // hostOpTimeout bounds how long a command may take before the link
 // reports it lost.
 const hostOpTimeout = 100 * sim.Millisecond
 
-// await runs the machine until the response arrives or times out.
-func (hl *HostLink) await(done *bool) error {
-	deadline := hl.m.eng.Now() + hostOpTimeout
-	for !*done && hl.m.eng.Now() < deadline {
-		if !hl.m.eng.Step() {
+// await runs the machine until the response arrives or times out. Host
+// commands step the engine in deterministic sequential mode: the host
+// controller keeps cross-chip state, and commands are interactive
+// control-plane traffic, not the bulk-run hot path. On exit the shard
+// clocks are re-synchronised (so later relative scheduling does not
+// depend on the shard layout) and a timed-out command is aborted (so
+// its stray packets cannot touch host state from inside a later
+// parallel run).
+func (hl *HostLink) await(seq uint32, done *bool) error {
+	deadline := hl.m.pe.Now() + hostOpTimeout
+	for !*done && hl.m.pe.Now() < deadline {
+		if !hl.m.pe.Step() {
 			// Queue drained with no response pending: nothing more
 			// will happen.
 			break
 		}
 	}
+	hl.m.pe.SyncClocks()
 	if !*done {
+		hl.h.Abort(seq)
 		return fmt.Errorf("spinngo: host command timed out")
 	}
 	return nil
@@ -51,27 +61,27 @@ func (hl *HostLink) await(done *bool) error {
 // Ping checks chip (x, y) responds, returning the round-trip time in
 // microseconds.
 func (hl *HostLink) Ping(x, y int) (rttUS float64, err error) {
-	start := hl.m.eng.Now()
+	start := hl.m.pe.Now()
 	done := false
-	hl.h.Ping(topo.Coord{X: x, Y: y}, func(r host.Response) {
+	seq := hl.h.Ping(topo.Coord{X: x, Y: y}, func(r host.Response) {
 		err = r.Err
 		done = true
 	})
-	if werr := hl.await(&done); werr != nil {
+	if werr := hl.await(seq, &done); werr != nil {
 		return 0, werr
 	}
-	return (hl.m.eng.Now() - start).Micros(), err
+	return (hl.m.pe.Now() - start).Micros(), err
 }
 
 // WriteMem stores data into chip (x, y)'s SDRAM at addr.
 func (hl *HostLink) WriteMem(x, y int, addr uint32, data []byte) error {
 	done := false
 	var opErr error
-	hl.h.WriteMem(topo.Coord{X: x, Y: y}, addr, data, func(r host.Response) {
+	seq := hl.h.WriteMem(topo.Coord{X: x, Y: y}, addr, data, func(r host.Response) {
 		opErr = r.Err
 		done = true
 	})
-	if err := hl.await(&done); err != nil {
+	if err := hl.await(seq, &done); err != nil {
 		return err
 	}
 	return opErr
@@ -82,12 +92,12 @@ func (hl *HostLink) ReadMem(x, y int, addr uint32, n int) ([]byte, error) {
 	done := false
 	var opErr error
 	var data []byte
-	hl.h.ReadMem(topo.Coord{X: x, Y: y}, addr, n, func(r host.Response) {
+	seq := hl.h.ReadMem(topo.Coord{X: x, Y: y}, addr, n, func(r host.Response) {
 		opErr = r.Err
 		data = r.Data
 		done = true
 	})
-	if err := hl.await(&done); err != nil {
+	if err := hl.await(seq, &done); err != nil {
 		return nil, err
 	}
 	return data, opErr

@@ -111,9 +111,12 @@ type Result struct {
 	NNPackets uint64
 }
 
-// Controller orchestrates a boot over a fabric.
+// Controller orchestrates a boot over a fabric. It keeps cross-chip
+// state (counters, rescue bookkeeping), so the boot phases run in the
+// Runner's deterministic sequential mode; per-chip events are scheduled
+// on each chip's own (possibly sharded) engine.
 type Controller struct {
-	eng   *sim.Engine
+	run   sim.Runner
 	fab   *router.Fabric
 	cfg   Config
 	torus topo.Torus
@@ -124,9 +127,11 @@ type Controller struct {
 }
 
 // NewController builds the boot orchestrator for an existing fabric.
-func NewController(eng *sim.Engine, fab *router.Fabric, cfg Config) *Controller {
+// run drives the whole machine (a single Engine or a ParallelEngine);
+// each chip's hardware binds to its own node's engine.
+func NewController(run sim.Runner, fab *router.Fabric, cfg Config) *Controller {
 	c := &Controller{
-		eng:   eng,
+		run:   run,
 		fab:   fab,
 		cfg:   cfg,
 		torus: fab.Params().Torus,
@@ -134,7 +139,7 @@ func NewController(eng *sim.Engine, fab *router.Fabric, cfg Config) *Controller 
 	}
 	for _, n := range fab.Nodes() {
 		c.nodes[n.Coord] = &nodeState{
-			chip:   chip.New(eng, n.Coord, cfg.Cores),
+			chip:   chip.New(n.Domain(), n.Coord, cfg.Cores),
 			blocks: make(map[uint32]int),
 		}
 	}
@@ -159,28 +164,33 @@ func (c *Controller) Run() (*Result, error) {
 	}
 	c.phaseLocalBoot()
 	c.phaseProbeAndRescue()
-	c.eng.Run()
+	c.run.Run()
 	c.phaseCoordinates()
-	c.eng.Run()
+	c.run.Run()
 	c.phaseLoad()
-	c.eng.Run()
+	c.run.Run()
 	c.finalise()
 	return &c.res, nil
 }
 
 // phaseLocalBoot: self-test and monitor election on every healthy chip.
+// Chips are visited in node-index order: the control-plane RNG draws
+// must not depend on map iteration order, or the boot (and everything
+// seeded after it) stops being reproducible.
 func (c *Controller) phaseLocalBoot() {
 	c.res.Monitors = make(map[topo.Coord]int)
-	for coord, st := range c.nodes {
+	for _, n := range c.fab.Nodes() {
+		coord := n.Coord
+		st := c.nodes[coord]
 		if c.cfg.DeadChips[coord] || c.cfg.HardDeadChips[coord] {
 			continue
 		}
 		for _, core := range st.chip.Cores {
-			if c.eng.RNG().Bool(c.cfg.CoreFaultProb) {
+			if c.run.RNG().Bool(c.cfg.CoreFaultProb) {
 				core.InjectedFault = true
 			}
 		}
-		if id, err := st.chip.ElectMonitor(c.eng.RNG()); err == nil {
+		if id, err := st.chip.ElectMonitor(c.run.RNG()); err == nil {
 			st.alive = true
 			c.res.Monitors[coord] = id
 			c.res.BootedLocally++
@@ -191,20 +201,22 @@ func (c *Controller) phaseLocalBoot() {
 // phaseProbeAndRescue: alive chips ping all six neighbours; missing
 // responses trigger a rescue reboot over nn.
 func (c *Controller) phaseProbeAndRescue() {
-	for coord, st := range c.nodes {
+	for _, n := range c.fab.Nodes() {
+		coord := n.Coord
+		st := c.nodes[coord]
 		if !st.alive {
 			continue
 		}
-		coord := coord
+		dom := n.Domain()
 		for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
 			d := d
-			c.eng.After(sim.Time(c.eng.RNG().Intn(1000)), func() {
+			dom.After(sim.Time(c.run.RNG().Intn(1000)), func() {
 				c.send(coord, d, cmdPing, 0)
 			})
 			// If the neighbour stays silent, attempt the rescue: copy
 			// boot code (abstracted) and force a reboot.
 			nb := c.torus.Neighbor(coord, d)
-			c.eng.After(c.cfg.ProbeTimeout, func() {
+			dom.After(c.cfg.ProbeTimeout, func() {
 				if !c.nodes[nb].alive && !c.cfg.HardDeadChips[nb] {
 					c.send(coord, d, cmdReboot, 0)
 				}
@@ -222,7 +234,7 @@ func (c *Controller) phaseCoordinates() {
 	}
 	st.hasCoord = true
 	st.derived = origin
-	st.coordAt = c.eng.Now()
+	st.coordAt = c.fab.DomainAt(origin).Now()
 	st.p2pReady = true
 	c.fab.Node(origin).ConfigureP2P()
 	c.propagateCoord(origin)
@@ -242,10 +254,11 @@ func (c *Controller) phaseLoad() {
 	if !c.nodes[origin].alive {
 		return
 	}
-	c.loadStart = c.eng.Now()
+	dom := c.fab.DomainAt(origin)
+	c.loadStart = dom.Now()
 	for b := 0; b < c.cfg.ImageBlocks; b++ {
 		b := b
-		c.eng.After(sim.Time(b)*c.cfg.HostGap, func() {
+		dom.After(sim.Time(b)*c.cfg.HostGap, func() {
 			c.receiveBlock(origin, uint32(b))
 		})
 	}
@@ -267,7 +280,7 @@ func (c *Controller) handleNN(n *router.Node, from topo.Dir, pkt packet.Packet) 
 		}
 		// Boot code arrives over nn; the neighbour forces the monitor
 		// choice and the chip reboots.
-		if id, err := st.chip.ElectMonitor(c.eng.RNG()); err == nil {
+		if id, err := st.chip.ElectMonitor(c.run.RNG()); err == nil {
 			st.alive = true
 			st.rescued = true
 			c.res.Monitors[n.Coord] = id
@@ -284,7 +297,7 @@ func (c *Controller) handleNN(n *router.Node, from topo.Dir, pkt packet.Packet) 
 		x, y := packet.P2PCoords(uint16(pkt.Payload))
 		st.hasCoord = true
 		st.derived = c.torus.Wrap(topo.Coord{X: x, Y: y})
-		st.coordAt = c.eng.Now()
+		st.coordAt = n.Domain().Now()
 		st.p2pReady = true
 		n.ConfigureP2P() // "only then can each node configure its p2p routing tables"
 		c.propagateCoord(n.Coord)
@@ -309,7 +322,7 @@ func (c *Controller) receiveBlock(at topo.Coord, blockIdx uint32) {
 		if err := st.chip.SDRAM.Store(blockAddr(blockIdx), data); err == nil {
 			if len(st.blocks) == c.cfg.ImageBlocks && !st.everLoaded {
 				st.everLoaded = true
-				st.loadedAt = c.eng.Now()
+				st.loadedAt = c.fab.DomainAt(at).Now()
 			}
 		}
 	}
@@ -341,7 +354,9 @@ func blockContent(idx uint32, size int) []byte {
 func (c *Controller) finalise() {
 	coordOK := true
 	var lastCoord, lastLoad sim.Time
-	for coord, st := range c.nodes {
+	for _, n := range c.fab.Nodes() {
+		coord := n.Coord
+		st := c.nodes[coord]
 		if !st.alive {
 			c.res.DeadForever++
 			continue

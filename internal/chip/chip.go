@@ -115,8 +115,9 @@ type Chip struct {
 	monitor int // elected monitor core ID, -1 before election
 }
 
-// New builds a chip with n cores on the given engine.
-func New(eng *sim.Engine, coord topo.Coord, n int) *Chip {
+// New builds a chip with n cores on the given scheduler (an Engine,
+// or the chip's fabric-node Domain in the sharded machine).
+func New(eng sim.Scheduler, coord topo.Coord, n int) *Chip {
 	if n <= 0 || n > CoresPerChip {
 		panic(fmt.Sprintf("chip: invalid core count %d", n))
 	}

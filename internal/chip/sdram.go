@@ -16,7 +16,7 @@ import (
 // It also provides a small segment store so boot images and application
 // data can actually be written and read back in boot and host tests.
 type SDRAM struct {
-	eng *sim.Engine
+	eng sim.Scheduler
 	// Latency is the fixed setup cost per transfer.
 	Latency sim.Time
 	// BytesPerUS is the sustained bandwidth in bytes per microsecond.
@@ -34,7 +34,7 @@ type SDRAM struct {
 
 // NewSDRAM returns a mobile-DDR-class SDRAM model: ~1 GB/s sustained,
 // ~150 ns first-word latency.
-func NewSDRAM(eng *sim.Engine) *SDRAM {
+func NewSDRAM(eng sim.Scheduler) *SDRAM {
 	return &SDRAM{
 		eng:        eng,
 		Latency:    150 * sim.Nanosecond,
@@ -109,7 +109,7 @@ type DMARequest struct {
 // kernel enqueues a synaptic-data fetch per incoming spike and processes
 // rows on the completion interrupt.
 type DMAController struct {
-	eng   *sim.Engine
+	eng   sim.Scheduler
 	sdram *SDRAM
 	queue []DMARequest
 	busy  bool
@@ -121,7 +121,7 @@ type DMAController struct {
 }
 
 // NewDMAController returns a controller bound to the shared SDRAM.
-func NewDMAController(eng *sim.Engine, sdram *SDRAM) *DMAController {
+func NewDMAController(eng sim.Scheduler, sdram *SDRAM) *DMAController {
 	return &DMAController{eng: eng, sdram: sdram}
 }
 

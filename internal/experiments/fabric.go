@@ -136,7 +136,7 @@ func E6EmergencyRouting(seed uint64) (*Table, error) {
 		for _, node := range fab.Nodes() {
 			allNotices += node.EmergencyNotices
 		}
-		return fab.DeliveredMC, fab.DroppedPackets, fab.EmergencyInvocations,
+		return fab.DeliveredMC(), fab.DroppedPackets(), fab.EmergencyInvocations(),
 			extra.Mean(), allNotices, n, nil
 	}
 	ok := true
@@ -201,8 +201,8 @@ func E7DropPolicy(seed uint64) (*Table, error) {
 		}
 		eng.RunUntil(sim.Second)
 		injected := uint64(len(srcs) * perSrc)
-		firstDelivered := fab.DeliveredMC
-		firstDropped := fab.DroppedPackets
+		firstDelivered := fab.DeliveredMC()
+		firstDropped := fab.DroppedPackets()
 		stuck := injected - firstDelivered - firstDropped
 		// Monitor recovery: re-issue everything dropped, repeatedly,
 		// until the hotspot drains.
@@ -216,7 +216,7 @@ func E7DropPolicy(seed uint64) (*Table, error) {
 			}
 			eng.RunUntil(eng.Now() + 100*sim.Millisecond)
 		}
-		recovered := fab.DeliveredMC
+		recovered := fab.DeliveredMC()
 		if stuck != 0 {
 			ok = false
 		}

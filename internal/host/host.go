@@ -72,7 +72,7 @@ type command struct {
 
 // Host drives the machine through node (0,0).
 type Host struct {
-	eng    *sim.Engine
+	eng    sim.Scheduler
 	fab    *router.Fabric
 	ctl    *boot.Controller
 	cfg    Config
@@ -86,8 +86,9 @@ type Host struct {
 	PacketsSent uint64
 }
 
-// New attaches a host to a booted machine's fabric.
-func New(eng *sim.Engine, fab *router.Fabric, ctl *boot.Controller, cfg Config) *Host {
+// New attaches a host to a booted machine's fabric. eng is the
+// scheduler of the Ethernet-attached gateway chip (0,0).
+func New(eng sim.Scheduler, fab *router.Fabric, ctl *boot.Controller, cfg Config) *Host {
 	h := &Host{
 		eng: eng, fab: fab, ctl: ctl, cfg: cfg,
 		origin:   topo.Coord{X: 0, Y: 0},
@@ -144,6 +145,12 @@ func (h *Host) Start(target topo.Coord, done func(Response)) uint32 {
 
 // Started reports whether the chip has received a start signal.
 func (h *Host) Started(at topo.Coord) bool { return h.started[at] }
+
+// Abort retires an in-flight command without completing it. Callers
+// use it when a command times out: any of its packets still travelling
+// the fabric then find no command and are ignored, so they cannot
+// mutate host state from inside a later parallel run.
+func (h *Host) Abort(seq uint32) { delete(h.inflight, seq) }
 
 // onP2P handles p2p deliveries machine-wide: commands arriving at their
 // target chip's monitor, and (conceptually) responses arriving back at

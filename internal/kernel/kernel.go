@@ -83,7 +83,7 @@ func DefaultConfig() Config {
 
 // Core is one application processor running the event-driven kernel.
 type Core struct {
-	eng *sim.Engine
+	eng sim.Scheduler
 	cfg Config
 
 	handlers [numEventTypes]Handler
@@ -107,9 +107,10 @@ type Core struct {
 	MaxBacklog int
 }
 
-// NewCore returns a core on the engine. Call On to install handlers,
-// then Start.
-func NewCore(eng *sim.Engine, cfg Config) *Core {
+// NewCore returns a core on the scheduler (an Engine, or a chip's
+// Domain in the sharded machine). Call On to install handlers, then
+// Start.
+func NewCore(eng sim.Scheduler, cfg Config) *Core {
 	if cfg.MIPS <= 0 {
 		panic("kernel: MIPS must be positive")
 	}

@@ -147,8 +147,8 @@ func TestPlanRunsOnFabric(t *testing.T) {
 			t.Errorf("fragment %d: %d deliveries, want %d", f.Index, len(got[f.Key()]), total)
 		}
 	}
-	if fab.DroppedPackets != 0 {
-		t.Errorf("%d packets dropped on a healthy fabric", fab.DroppedPackets)
+	if fab.DroppedPackets() != 0 {
+		t.Errorf("%d packets dropped on a healthy fabric", fab.DroppedPackets())
 	}
 }
 

@@ -13,7 +13,9 @@ import (
 type Params struct {
 	Torus topo.Torus
 	// RouterLatency is the pipeline delay a packet spends in each
-	// router.
+	// router. It is also the minimum latency of a chip-to-chip hop and
+	// therefore the lookahead bound of the sharded engine: a packet
+	// leaving one shard cannot affect another sooner than this.
 	RouterLatency sim.Time
 	// Link carries the inter-chip self-timed link model; its FrameCost
 	// sets per-packet serialisation time and energy.
@@ -71,12 +73,21 @@ type outLink struct {
 	Traversals uint64
 }
 
-// Node is one chip's router plus its six outgoing links.
+// Node is one chip's router plus its six outgoing links. Every node is
+// owned by exactly one shard engine; all events touching its state run
+// on that engine, which is what makes the sharded execution race-free.
+// The node's scheduling domain stamps its events with the node index
+// and a node-local sequence, giving the machine a canonical event order
+// that is identical for every shard count.
 type Node struct {
-	fabric *Fabric
-	Coord  topo.Coord
-	Table  *Table
-	out    [topo.NumDirs]outLink
+	fabric  *Fabric
+	dom     *sim.Domain
+	shard   int
+	idx     int32
+	sendSeq uint64 // canonical per-sender key for link deliveries
+	Coord   topo.Coord
+	Table   *Table
+	out     [topo.NumDirs]outLink
 
 	// Monitor-visible fault notifications (section 5.3: "the local
 	// Monitor Processor can be informed").
@@ -85,12 +96,30 @@ type Node struct {
 	Dropped          []DroppedPacket // recoverable by the monitor
 	UnroutableMC     uint64          // locally injected mc with no table entry
 
+	// Shard-owned tallies, summed by the Fabric accessors. Keeping
+	// them per node lets shards run concurrently without shared
+	// counters, and integer sums are independent of merge order.
+	deliveredMC   uint64
+	deliveredP2P  uint64
+	dropped       uint64
+	aged          uint64
+	p2pUnroutable uint64
+	emergencies   uint64
+
 	// p2pReady records that the boot sequence has configured this
 	// node's point-to-point routing table (section 5.2: a node can
 	// route p2p traffic only after the coordinate flood has told it
 	// where it is).
 	p2pReady bool
 }
+
+// Domain returns the node's scheduling domain. All model components
+// living on this chip (cores, DMA, SDRAM) must schedule through it so
+// the chip's events carry one canonical identity.
+func (n *Node) Domain() *sim.Domain { return n.dom }
+
+// Shard reports the shard index owning this node.
+func (n *Node) Shard() int { return n.shard }
 
 // ConfigureP2P installs the node's point-to-point routing table, as the
 // monitor does once the coordinate flood has delivered the node's
@@ -112,14 +141,19 @@ type DroppedPacket struct {
 }
 
 // Fabric is the machine-wide communications network: one Node per chip
-// on the torus, simulated on a shared discrete-event engine.
+// on the torus. In single-engine mode every node shares one
+// discrete-event engine; in sharded mode each node binds to its
+// partition's shard engine and cross-shard link deliveries travel
+// through the ParallelEngine's barrier mailboxes.
 type Fabric struct {
-	eng   *sim.Engine
+	pe    *sim.ParallelEngine // nil in single-engine mode
 	p     Params
 	nodes []*Node
 
 	// OnDeliverMC is invoked for each local core a multicast packet
-	// reaches. latency is injection-to-delivery simulated time.
+	// reaches. latency is injection-to-delivery simulated time. In
+	// sharded mode it runs on the destination node's shard goroutine;
+	// handlers must only touch shard-owned state.
 	OnDeliverMC func(n *Node, core int, pkt packet.Packet, latency sim.Time)
 	// OnDeliverP2P is invoked when a p2p packet reaches its destination
 	// chip (handled by the monitor processor).
@@ -129,15 +163,6 @@ type Fabric struct {
 	OnNN func(n *Node, from topo.Dir, pkt packet.Packet)
 	// OnDrop is invoked when the router gives up on a packet.
 	OnDrop func(n *Node, pkt packet.Packet)
-
-	// Aggregate statistics.
-	DeliveredMC          uint64
-	DeliveredP2P         uint64
-	DroppedPackets       uint64
-	AgedPackets          uint64
-	P2PUnroutable        uint64 // p2p packets hitting unconfigured nodes
-	EmergencyInvocations uint64
-	LinkTraversals       uint64
 }
 
 // ConfigureAllP2P marks every node's p2p table as configured — the
@@ -150,38 +175,77 @@ func (f *Fabric) ConfigureAllP2P() {
 	}
 }
 
-// phase reports the current 2-bit timestamp phase.
-func (f *Fabric) phase() uint8 {
+// phaseAt reports the 2-bit timestamp phase by the node's local clock.
+func (f *Fabric) phaseAt(n *Node) uint8 {
 	if f.p.PhasePeriod <= 0 {
 		return 0
 	}
-	return uint8((f.eng.Now() / f.p.PhasePeriod) % 4)
+	return uint8((n.dom.Now() / f.p.PhasePeriod) % 4)
 }
 
-// NewFabric builds the fabric on the given engine.
-func NewFabric(eng *sim.Engine, p Params) (*Fabric, error) {
+func (f *Fabric) build(p Params, engOf func(i int) (*sim.Engine, int)) error {
 	if err := p.Link.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if p.Torus.Size() == 0 {
-		return nil, fmt.Errorf("router: empty torus")
+		return fmt.Errorf("router: empty torus")
 	}
 	if p.LinkQueueDepth <= 0 {
-		return nil, fmt.Errorf("router: link queue depth must be positive")
+		return fmt.Errorf("router: link queue depth must be positive")
 	}
-	f := &Fabric{eng: eng, p: p, nodes: make([]*Node, p.Torus.Size())}
+	f.p = p
+	f.nodes = make([]*Node, p.Torus.Size())
 	for i := range f.nodes {
-		n := &Node{fabric: f, Coord: p.Torus.CoordOf(i), Table: NewTable(p.TableSize)}
+		eng, shard := engOf(i)
+		n := &Node{fabric: f, dom: eng.Domain(i), shard: shard, idx: int32(i),
+			Coord: p.Torus.CoordOf(i), Table: NewTable(p.TableSize)}
 		for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
 			n.out[d].dir = d
 		}
 		f.nodes[i] = n
 	}
+	return nil
+}
+
+// NewFabric builds the fabric with every node on the given engine
+// (single-engine mode).
+func NewFabric(eng *sim.Engine, p Params) (*Fabric, error) {
+	f := &Fabric{}
+	if err := f.build(p, func(int) (*sim.Engine, int) { return eng, 0 }); err != nil {
+		return nil, err
+	}
 	return f, nil
 }
 
-// Engine returns the fabric's simulation engine.
-func (f *Fabric) Engine() *sim.Engine { return f.eng }
+// NewShardedFabric builds the fabric over a partitioned torus: each
+// node binds to its partition shard's engine, and deliveries between
+// shards go through the ParallelEngine's mailboxes with RouterLatency
+// lookahead.
+func NewShardedFabric(pe *sim.ParallelEngine, part topo.Partition, p Params) (*Fabric, error) {
+	if part.Torus() != p.Torus {
+		return nil, fmt.Errorf("router: partition torus %v does not match params torus %v",
+			part.Torus(), p.Torus)
+	}
+	if part.Shards() > pe.Shards() {
+		return nil, fmt.Errorf("router: partition needs %d shards, engine has %d",
+			part.Shards(), pe.Shards())
+	}
+	if p.RouterLatency < pe.Lookahead() {
+		return nil, fmt.Errorf("router: router latency %v below engine lookahead %v",
+			p.RouterLatency, pe.Lookahead())
+	}
+	f := &Fabric{pe: pe}
+	if err := f.build(p, func(i int) (*sim.Engine, int) {
+		s := part.ShardOfIndex(i)
+		return pe.Shard(s), s
+	}); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DomainAt returns the scheduling domain of the chip at c.
+func (f *Fabric) DomainAt(c topo.Coord) *sim.Domain { return f.Node(c).dom }
 
 // Params returns the fabric configuration.
 func (f *Fabric) Params() Params { return f.p }
@@ -191,6 +255,47 @@ func (f *Fabric) Node(c topo.Coord) *Node { return f.nodes[f.p.Torus.Index(c)] }
 
 // Nodes returns all chips in index order.
 func (f *Fabric) Nodes() []*Node { return f.nodes }
+
+// DeliveredMC counts multicast core deliveries machine-wide.
+func (f *Fabric) DeliveredMC() uint64 { return f.sum(func(n *Node) uint64 { return n.deliveredMC }) }
+
+// DeliveredP2P counts point-to-point deliveries machine-wide.
+func (f *Fabric) DeliveredP2P() uint64 { return f.sum(func(n *Node) uint64 { return n.deliveredP2P }) }
+
+// DroppedPackets counts packets the routers gave up on machine-wide.
+func (f *Fabric) DroppedPackets() uint64 { return f.sum(func(n *Node) uint64 { return n.dropped }) }
+
+// AgedPackets counts packets killed by the timestamp-phase check.
+func (f *Fabric) AgedPackets() uint64 { return f.sum(func(n *Node) uint64 { return n.aged }) }
+
+// P2PUnroutable counts p2p packets that hit unconfigured nodes.
+func (f *Fabric) P2PUnroutable() uint64 {
+	return f.sum(func(n *Node) uint64 { return n.p2pUnroutable })
+}
+
+// EmergencyInvocations counts Fig-8 detours machine-wide.
+func (f *Fabric) EmergencyInvocations() uint64 {
+	return f.sum(func(n *Node) uint64 { return n.emergencies })
+}
+
+// LinkTraversals counts packets crossing any directed link.
+func (f *Fabric) LinkTraversals() uint64 {
+	return f.sum(func(n *Node) uint64 {
+		var t uint64
+		for d := range n.out {
+			t += n.out[d].Traversals
+		}
+		return t
+	})
+}
+
+func (f *Fabric) sum(get func(n *Node) uint64) uint64 {
+	var t uint64
+	for _, n := range f.nodes {
+		t += get(n)
+	}
+	return t
+}
 
 // FailLink marks the directed link out of c in direction d as failed.
 func (f *Fabric) FailLink(c topo.Coord, d topo.Dir) { f.Node(c).out[d].failed = true }
@@ -215,23 +320,23 @@ func (f *Fabric) LinkTraversalCount(c topo.Coord, d topo.Dir) uint64 {
 // InjectMC injects a multicast packet from a local core of chip c.
 func (f *Fabric) InjectMC(c topo.Coord, pkt packet.Packet) {
 	n := f.Node(c)
-	pkt.Timestamp = f.phase()
-	fl := flit{pkt: pkt, injectedAt: f.eng.Now()}
-	f.eng.After(f.p.RouterLatency, func() { n.routeMC(fl, -1) })
+	pkt.Timestamp = f.phaseAt(n)
+	fl := flit{pkt: pkt, injectedAt: n.dom.Now()}
+	n.dom.After(f.p.RouterLatency, func() { n.routeMC(fl, -1) })
 }
 
 // InjectP2P injects a point-to-point packet from chip src to chip dst.
 func (f *Fabric) InjectP2P(src, dst topo.Coord, data uint32) {
 	pkt := packet.NewP2P(packet.P2PAddr(src.X, src.Y), packet.P2PAddr(dst.X, dst.Y), data)
 	n := f.Node(src)
-	fl := flit{pkt: pkt, injectedAt: f.eng.Now()}
-	f.eng.After(f.p.RouterLatency, func() { n.routeP2P(fl) })
+	fl := flit{pkt: pkt, injectedAt: n.dom.Now()}
+	n.dom.After(f.p.RouterLatency, func() { n.routeP2P(fl) })
 }
 
 // SendNN sends a nearest-neighbour packet from chip c on link d.
 func (f *Fabric) SendNN(c topo.Coord, d topo.Dir, pkt packet.Packet) {
 	n := f.Node(c)
-	fl := flit{pkt: pkt, injectedAt: f.eng.Now()}
+	fl := flit{pkt: pkt, injectedAt: n.dom.Now()}
 	n.transmit(fl, d)
 }
 
@@ -255,10 +360,10 @@ func (n *Node) receive(fl flit, travel topo.Dir) {
 // or -1 for locally injected packets.
 func (n *Node) routeMC(fl flit, travel int) {
 	if f := n.fabric; f.p.PhasePeriod > 0 && travel >= 0 {
-		if age := (f.phase() - fl.pkt.Timestamp) & 3; age >= 2 {
+		if age := (f.phaseAt(n) - fl.pkt.Timestamp) & 3; age >= 2 {
 			// Two or more timestamp phases old: the packet has been
 			// circulating (mis-route or loop); kill it here.
-			f.AgedPackets++
+			n.aged++
 			n.drop(fl, 0, true)
 			return
 		}
@@ -301,9 +406,9 @@ func (n *Node) routeMC(fl flit, travel int) {
 
 func (n *Node) deliverMC(fl flit, core int) {
 	f := n.fabric
-	f.DeliveredMC++
+	n.deliveredMC++
 	if f.OnDeliverMC != nil {
-		f.OnDeliverMC(n, core, fl.pkt, f.eng.Now()-fl.injectedAt)
+		f.OnDeliverMC(n, core, fl.pkt, n.dom.Now()-fl.injectedAt)
 	}
 }
 
@@ -313,16 +418,16 @@ func (n *Node) deliverMC(fl flit, core int) {
 func (n *Node) routeP2P(fl flit) {
 	f := n.fabric
 	if !n.p2pReady {
-		f.P2PUnroutable++
-		f.DroppedPackets++
+		n.p2pUnroutable++
+		n.dropped++
 		return
 	}
 	dx, dy := packet.P2PCoords(fl.pkt.DstAddr)
 	dst := topo.Coord{X: dx, Y: dy}
 	if dst == n.Coord {
-		f.DeliveredP2P++
+		n.deliveredP2P++
 		if f.OnDeliverP2P != nil {
-			f.OnDeliverP2P(n, fl.pkt, f.eng.Now()-fl.injectedAt)
+			f.OnDeliverP2P(n, fl.pkt, n.dom.Now()-fl.injectedAt)
 		}
 		return
 	}
@@ -337,10 +442,10 @@ func (n *Node) routeP2P(fl flit) {
 // this function terminates without blocking the router.
 func (n *Node) forward(fl flit, d topo.Dir) {
 	f := n.fabric
-	t0 := f.eng.Now()
+	t0 := n.dom.Now()
 	var attempt func()
 	attempt = func() {
-		now := f.eng.Now()
+		now := n.dom.Now()
 		if n.canSend(d) {
 			n.transmit(fl, d)
 			return
@@ -348,25 +453,25 @@ func (n *Node) forward(fl flit, d topo.Dir) {
 		elapsed := now - t0
 		switch {
 		case elapsed < f.p.EmergencyWait:
-			f.eng.After(f.p.RetryInterval, attempt)
+			n.dom.After(f.p.RetryInterval, attempt)
 		case f.p.EmergencyEnabled && fl.pkt.Type == packet.MC &&
 			fl.pkt.Emergency == packet.EmNormal &&
 			elapsed < f.p.EmergencyWait+f.p.EmergencyTry:
 			first, _ := d.Emergency()
 			if n.canSend(first) {
-				f.EmergencyInvocations++
+				n.emergencies++
 				n.EmergencyNotices++ // monitor is informed (section 5.3)
 				efl := fl
 				efl.pkt.Emergency = packet.EmFirstLeg
 				n.transmit(efl, first)
 				return
 			}
-			f.eng.After(f.p.RetryInterval, attempt)
+			n.dom.After(f.p.RetryInterval, attempt)
 		case elapsed < f.p.EmergencyWait+f.p.EmergencyTry:
 			// Emergency routing unavailable for this packet (disabled,
 			// non-mc, or already diverted): keep waiting out the try
 			// window, then drop.
-			f.eng.After(f.p.RetryInterval, attempt)
+			n.dom.After(f.p.RetryInterval, attempt)
 		default:
 			n.drop(fl, d, false)
 		}
@@ -411,31 +516,48 @@ func (n *Node) startTx(d topo.Dir) {
 	fl := l.queue[pick]
 	l.queue = append(l.queue[:pick], l.queue[pick+1:]...)
 	frame := f.p.Link.FrameCost(fl.pkt.WireSize())
-	f.eng.After(frame.Time, func() {
+	n.dom.After(frame.Time, func() {
 		if l.failed {
 			// The link died mid-flight; the frame is lost. The
 			// neighbour-side protocol (parity, monitor timeouts)
 			// handles recovery at higher layers.
-			f.DroppedPackets++
+			n.dropped++
 		} else {
 			l.Traversals++
-			f.LinkTraversals++
 			fl.pkt.Hops++
 			if fl.pkt.Emergency != packet.EmNormal {
 				fl.pkt.EmergencyHops++
 			}
 			neighbor := f.Node(f.p.Torus.Neighbor(n.Coord, d))
-			f.eng.After(f.p.RouterLatency, func() { neighbor.receive(fl, d) })
+			f.deliver(n, neighbor, d, fl)
 		}
 		n.startTx(d)
 	})
+}
+
+// deliver schedules the final RouterLatency hop of a link traversal at
+// the neighbour, keyed by the sender's node index and per-sender
+// sequence. The key — not insertion order — decides where the delivery
+// sorts among same-instant events at the receiver, so the event order
+// is identical whether the hop stayed inside one shard, crossed a
+// barrier mailbox, or the whole machine ran on a single engine.
+// RouterLatency is exactly the lookahead bound declared to the engine.
+func (f *Fabric) deliver(from, to *Node, d topo.Dir, fl flit) {
+	from.sendSeq++
+	at := from.dom.Now() + f.p.RouterLatency
+	fn := func() { to.receive(fl, d) }
+	if f.pe == nil || from.shard == to.shard {
+		to.dom.DeliverAt(at, from.idx, from.sendSeq, fn)
+		return
+	}
+	f.pe.Post(from.shard, to.shard, to.dom, at, from.idx, from.sendSeq, fn)
 }
 
 // drop abandons a packet, records it in the dropped-packet register for
 // the monitor, and notifies.
 func (n *Node) drop(fl flit, d topo.Dir, aged bool) {
 	f := n.fabric
-	f.DroppedPackets++
+	n.dropped++
 	n.DropNotices++
 	n.Dropped = append(n.Dropped, DroppedPacket{Pkt: fl.pkt, Dir: d, Aged: aged})
 	if f.OnDrop != nil {
@@ -458,10 +580,10 @@ func (n *Node) ReinjectDropped() int {
 		}
 		pkt := dp.Pkt
 		pkt.Emergency = packet.EmNormal
-		pkt.Timestamp = n.fabric.phase()
-		fl := flit{pkt: pkt, injectedAt: n.fabric.eng.Now()}
+		pkt.Timestamp = n.fabric.phaseAt(n)
+		fl := flit{pkt: pkt, injectedAt: n.dom.Now()}
 		dir := dp.Dir
-		n.fabric.eng.After(n.fabric.p.RouterLatency, func() { n.forward(fl, dir) })
+		n.dom.After(n.fabric.p.RouterLatency, func() { n.forward(fl, dir) })
 		count++
 	}
 	return count

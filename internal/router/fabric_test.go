@@ -55,8 +55,8 @@ func TestMCDeliveryWithDefaultRouting(t *testing.T) {
 	if lat <= 0 || lat > sim.Millisecond {
 		t.Errorf("latency %v out of the paper's <1ms window", lat)
 	}
-	if f.DeliveredMC != 1 {
-		t.Errorf("DeliveredMC = %d", f.DeliveredMC)
+	if f.DeliveredMC() != 1 {
+		t.Errorf("DeliveredMC = %d", f.DeliveredMC())
 	}
 }
 
@@ -110,14 +110,14 @@ func TestEmergencyRoutingAroundFailedLink(t *testing.T) {
 	if p.EmergencyHops != 2 {
 		t.Errorf("emergency hops = %d, want 2 (the two triangle legs)", p.EmergencyHops)
 	}
-	if f.EmergencyInvocations != 1 {
-		t.Errorf("EmergencyInvocations = %d, want 1", f.EmergencyInvocations)
+	if f.EmergencyInvocations() != 1 {
+		t.Errorf("EmergencyInvocations = %d, want 1", f.EmergencyInvocations())
 	}
 	if f.Node(blocked).EmergencyNotices != 1 {
 		t.Error("monitor at the blocked chip was not informed")
 	}
-	if f.DroppedPackets != 0 {
-		t.Errorf("dropped %d packets", f.DroppedPackets)
+	if f.DroppedPackets() != 0 {
+		t.Errorf("dropped %d packets", f.DroppedPackets())
 	}
 }
 
@@ -139,11 +139,11 @@ func TestEmergencyRoutingDisabledDrops(t *testing.T) {
 	f.InjectMC(src, packet.NewMC(0xaa))
 	eng.Run()
 
-	if f.DeliveredMC != 0 {
+	if f.DeliveredMC() != 0 {
 		t.Error("packet delivered despite failed link and no emergency routing")
 	}
-	if dropped != 1 || f.DroppedPackets != 1 {
-		t.Errorf("dropped = %d (fabric %d), want 1", dropped, f.DroppedPackets)
+	if dropped != 1 || f.DroppedPackets() != 1 {
+		t.Errorf("dropped = %d (fabric %d), want 1", dropped, f.DroppedPackets())
 	}
 }
 
@@ -162,8 +162,8 @@ func TestDropAfterEmergencyFails(t *testing.T) {
 	f.InjectMC(src, packet.NewMC(0xaa))
 	eng.Run()
 
-	if f.DeliveredMC != 0 || f.DroppedPackets != 1 {
-		t.Fatalf("delivered=%d dropped=%d, want 0/1", f.DeliveredMC, f.DroppedPackets)
+	if f.DeliveredMC() != 0 || f.DroppedPackets() != 1 {
+		t.Fatalf("delivered=%d dropped=%d, want 0/1", f.DeliveredMC(), f.DroppedPackets())
 	}
 	n := f.Node(blocked)
 	if n.DropNotices != 1 || len(n.Dropped) != 1 {
@@ -176,7 +176,7 @@ func TestDropAfterEmergencyFails(t *testing.T) {
 		t.Fatalf("ReinjectDropped = %d", got)
 	}
 	eng.Run()
-	if f.DeliveredMC != 1 {
+	if f.DeliveredMC() != 1 {
 		t.Error("recovered packet was not delivered after repair")
 	}
 }
@@ -201,8 +201,8 @@ func TestP2PDelivery(t *testing.T) {
 	if hops != want {
 		t.Errorf("p2p hops = %d, want distance %d", hops, want)
 	}
-	if f.DeliveredP2P != 1 {
-		t.Errorf("DeliveredP2P = %d", f.DeliveredP2P)
+	if f.DeliveredP2P() != 1 {
+		t.Errorf("DeliveredP2P = %d", f.DeliveredP2P())
 	}
 }
 
@@ -258,7 +258,7 @@ func TestUnroutableLocalInjection(t *testing.T) {
 	if f.Node(c).UnroutableMC != 1 {
 		t.Errorf("UnroutableMC = %d, want 1", f.Node(c).UnroutableMC)
 	}
-	if f.DeliveredMC != 0 {
+	if f.DeliveredMC() != 0 {
 		t.Error("unroutable packet was delivered")
 	}
 }
@@ -279,8 +279,8 @@ func TestAgedPacketIsKilled(t *testing.T) {
 	f.Node(src).Table.Add(Entry{packet.KeyMask{Key: 1, Mask: 0xffffffff}, LinkRoute(topo.East)})
 	f.InjectMC(src, packet.NewMC(1))
 	eng.RunUntil(10 * sim.Millisecond)
-	if f.AgedPackets != 1 {
-		t.Errorf("AgedPackets = %d, want 1", f.AgedPackets)
+	if f.AgedPackets() != 1 {
+		t.Errorf("AgedPackets = %d, want 1", f.AgedPackets())
 	}
 	if eng.Pending() != 0 {
 		t.Errorf("%d events still pending: packet still circulating", eng.Pending())
@@ -310,7 +310,7 @@ func TestHotspotNeverWedgesRouter(t *testing.T) {
 		f.InjectMC(topo.Coord{X: 0, Y: 3}, packet.NewMC(5))
 	}
 	eng.RunUntil(sim.Second)
-	total := f.DeliveredMC + f.DroppedPackets
+	total := f.DeliveredMC() + f.DroppedPackets()
 	if total != n {
 		t.Errorf("delivered+dropped = %d, want %d (no packet may be stuck)", total, n)
 	}
@@ -372,8 +372,8 @@ func TestP2PRequiresConfiguration(t *testing.T) {
 	if delivered != 0 {
 		t.Error("p2p delivered through unconfigured nodes")
 	}
-	if f.P2PUnroutable != 1 {
-		t.Errorf("P2PUnroutable = %d, want 1", f.P2PUnroutable)
+	if f.P2PUnroutable() != 1 {
+		t.Errorf("P2PUnroutable = %d, want 1", f.P2PUnroutable())
 	}
 	// Configure and retry: now it works.
 	f.ConfigureAllP2P()

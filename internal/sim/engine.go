@@ -5,24 +5,57 @@ import (
 	"fmt"
 )
 
-// An event is a closure scheduled to run at a simulated instant. Events at
-// the same instant run in the order they were scheduled (seq breaks ties),
-// which makes runs deterministic.
+// eventKey is the canonical ordering key of an event. Events execute in
+// (at, domain, class, k1, k2) order:
+//
+//   - at is the simulated timestamp;
+//   - domain identifies the model component (chip) owning the event, or
+//     -1 for events scheduled directly on the engine;
+//   - class separates domain-local events (0) from cross-domain
+//     deliveries (1), with local events first;
+//   - k1/k2 are (local sequence, 0) for class 0 and (source domain,
+//     source sequence) for class 1.
+//
+// The point of this key — rather than plain insertion order — is that
+// every field is derived from the simulation trajectory itself, never
+// from scheduling interleave: a sharded run inserting a delivery at a
+// window barrier and a single-engine run inserting it mid-stream give
+// the event the same key, so ties at equal timestamps resolve
+// identically for every worker count.
+type eventKey struct {
+	at     Time
+	domain int32
+	class  uint8
+	k1     uint64
+	k2     uint64
+}
+
+func (a eventKey) less(b eventKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.domain != b.domain {
+		return a.domain < b.domain
+	}
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	if a.k1 != b.k1 {
+		return a.k1 < b.k1
+	}
+	return a.k2 < b.k2
+}
+
+// An event is a closure scheduled to run at a simulated instant.
 type event struct {
-	at  Time
-	seq uint64
+	key eventKey
 	fn  func()
 }
 
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].key.less(h[j].key) }
 func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() interface{} {
@@ -31,6 +64,17 @@ func (h *eventHeap) Pop() interface{} {
 	e := old[n-1]
 	*h = old[:n-1]
 	return e
+}
+
+// Scheduler is the event-scheduling surface shared by Engine (anonymous
+// domain) and Domain (a chip-owned slice of an engine). Model
+// components take a Scheduler so the same code runs in single-engine
+// and sharded machines.
+type Scheduler interface {
+	Now() Time
+	At(t Time, fn func())
+	After(d Time, fn func())
+	Ticker(period Time, fn func(tick uint64)) (cancel func())
 }
 
 // Engine is a deterministic discrete-event scheduler. The zero value is
@@ -44,6 +88,9 @@ type Engine struct {
 	stopped   bool
 }
 
+var _ Scheduler = (*Engine)(nil)
+var _ Scheduler = (*Domain)(nil)
+
 // New returns an Engine whose clock starts at 0 and whose random stream is
 // derived from seed.
 func New(seed uint64) *Engine {
@@ -53,8 +100,17 @@ func New(seed uint64) *Engine {
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// RNG returns the engine's deterministic random number generator.
-func (e *Engine) RNG() *RNG { return e.rng }
+// RNG returns the engine's deterministic random number generator. On a
+// non-control shard of a ParallelEngine there is none — randomness
+// must come from the control stream or a per-component fork — and
+// asking for it panics rather than letting a shard-local draw make
+// results depend on the shard count.
+func (e *Engine) RNG() *RNG {
+	if e.rng == nil {
+		panic("sim: shard engine has no RNG; use the control-plane RNG (ParallelEngine.RNG) or a forked per-component stream")
+	}
+	return e.rng
+}
 
 // Processed reports how many events have been executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -62,14 +118,37 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending reports how many events are waiting in the queue.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// At schedules fn to run at absolute simulated time t. Scheduling in the
-// past panics: it indicates a causality bug in the model.
-func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
+// NextAt reports the timestamp of the earliest pending event, if any.
+func (e *Engine) NextAt() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
 	}
+	return e.events[0].key.at, true
+}
+
+// nextKey reports the full canonical key of the earliest pending event,
+// used by the ParallelEngine's sequential mode to pick the globally
+// least event across shards.
+func (e *Engine) nextKey() (eventKey, bool) {
+	if len(e.events) == 0 {
+		return eventKey{}, false
+	}
+	return e.events[0].key, true
+}
+
+func (e *Engine) push(key eventKey, fn func()) {
+	if key.at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", key.at, e.now))
+	}
+	heap.Push(&e.events, event{key: key, fn: fn})
+}
+
+// At schedules fn to run at absolute simulated time t, in the engine's
+// anonymous domain (FIFO among themselves at equal times). Scheduling
+// in the past panics: it indicates a causality bug in the model.
+func (e *Engine) At(t Time, fn func()) {
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.push(eventKey{at: t, domain: -1, k1: e.seq}, fn)
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -87,7 +166,7 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.events).(event)
-	e.now = ev.at
+	e.now = ev.key.at
 	e.processed++
 	ev.fn()
 	return true
@@ -106,7 +185,7 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.events) == 0 || e.events[0].at > deadline {
+		if len(e.events) == 0 || e.events[0].key.at > deadline {
 			break
 		}
 		e.Step()
@@ -114,6 +193,31 @@ func (e *Engine) RunUntil(deadline Time) {
 	if e.now < deadline {
 		e.now = deadline
 	}
+}
+
+// RunBefore executes events with timestamps strictly below limit. Unlike
+// RunUntil it does not advance the clock when the queue drains early, so
+// later events (or cross-shard deliveries) keep their exact ordering.
+// It is the per-window primitive of the sharded ParallelEngine.
+func (e *Engine) RunBefore(limit Time) {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 && e.events[0].key.at < limit {
+		e.Step()
+	}
+}
+
+// advanceTo moves the clock forward to t without executing anything.
+// It refuses to jump over pending events — callers synchronise clocks
+// only at quiescence, when the queue is empty.
+func (e *Engine) advanceTo(t Time) {
+	if t <= e.now {
+		return
+	}
+	if len(e.events) > 0 && e.events[0].key.at < t {
+		panic(fmt.Sprintf("sim: advancing clock to %v over pending event at %v",
+			t, e.events[0].key.at))
+	}
+	e.now = t
 }
 
 // Stop makes the current Run/RunUntil return after the executing event
@@ -125,6 +229,11 @@ func (e *Engine) Stop() { e.stopped = true }
 // cancel function. This models the free-running 1 ms timer interrupt of a
 // SpiNNaker core ("time models itself", paper section 3.1).
 func (e *Engine) Ticker(period Time, fn func(tick uint64)) (cancel func()) {
+	return schedTicker(e, period, fn)
+}
+
+// schedTicker implements Ticker over any Scheduler.
+func schedTicker(s Scheduler, period Time, fn func(tick uint64)) (cancel func()) {
 	if period <= 0 {
 		panic("sim: ticker period must be positive")
 	}
@@ -132,7 +241,7 @@ func (e *Engine) Ticker(period Time, fn func(tick uint64)) (cancel func()) {
 	var tick uint64
 	var schedule func()
 	schedule = func() {
-		e.After(period, func() {
+		s.After(period, func() {
 			if cancelled {
 				return
 			}
@@ -146,4 +255,63 @@ func (e *Engine) Ticker(period Time, fn func(tick uint64)) (cancel func()) {
 	}
 	schedule()
 	return func() { cancelled = true }
+}
+
+// Domain is one model component's (one chip's) scheduling identity on
+// an engine. All of a chip's events go through its single Domain, which
+// stamps them with the chip id and a chip-local sequence number — keys
+// that depend only on the chip's own trajectory, so the machine-wide
+// event order is identical whether chips share one engine or are
+// sharded across many. Create exactly one Domain per id; two Domains
+// with the same id would collide in the ordering key.
+type Domain struct {
+	eng *Engine
+	id  int32
+	seq uint64
+}
+
+// Domain returns a new scheduling domain with the given id (>= 0) on
+// this engine.
+func (e *Engine) Domain(id int) *Domain {
+	if id < 0 {
+		panic("sim: domain id must be non-negative")
+	}
+	return &Domain{eng: e, id: int32(id)}
+}
+
+// Engine returns the engine this domain schedules on.
+func (d *Domain) Engine() *Engine { return d.eng }
+
+// ID reports the domain id.
+func (d *Domain) ID() int { return int(d.id) }
+
+// Now reports the domain's engine clock.
+func (d *Domain) Now() Time { return d.eng.now }
+
+// At schedules a domain-local event at absolute time t.
+func (d *Domain) At(t Time, fn func()) {
+	d.seq++
+	d.eng.push(eventKey{at: t, domain: d.id, k1: d.seq}, fn)
+}
+
+// After schedules a domain-local event d nanoseconds from now.
+func (d *Domain) After(dur Time, fn func()) {
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", dur))
+	}
+	d.At(d.eng.now+dur, fn)
+}
+
+// Ticker is Engine.Ticker in this domain.
+func (d *Domain) Ticker(period Time, fn func(tick uint64)) (cancel func()) {
+	return schedTicker(d, period, fn)
+}
+
+// DeliverAt schedules a cross-domain delivery (class 1) at absolute
+// time t, keyed by the sender's domain id and per-sender sequence
+// number. The key is supplied by the sender, not drawn from this
+// domain, so the delivery sorts identically no matter when — or on
+// which engine — it was physically inserted.
+func (d *Domain) DeliverAt(t Time, src int32, srcSeq uint64, fn func()) {
+	d.eng.push(eventKey{at: t, domain: d.id, class: 1, k1: uint64(src), k2: srcSeq}, fn)
 }

@@ -282,3 +282,87 @@ func TestRNGForkIndependence(t *testing.T) {
 		t.Errorf("fork produced %d/64 identical draws", same)
 	}
 }
+
+func TestTickerCancelMidTick(t *testing.T) {
+	// Cancelling from inside the tick callback must suppress both the
+	// current rescheduling and any tick already in flight.
+	e := New(1)
+	ticks := 0
+	var cancel func()
+	cancel = e.Ticker(Millisecond, func(k uint64) {
+		ticks++
+		cancel()
+	})
+	e.RunUntil(10 * Millisecond)
+	if ticks != 1 {
+		t.Errorf("ticks = %d after mid-tick cancel, want 1", ticks)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("cancelled ticker left %d events queued past its cancellation", e.Pending())
+	}
+}
+
+func TestTickerCancelBeforeFirstTick(t *testing.T) {
+	e := New(1)
+	ticks := 0
+	cancel := e.Ticker(Millisecond, func(uint64) { ticks++ })
+	cancel()
+	e.RunUntil(5 * Millisecond)
+	if ticks != 0 {
+		t.Errorf("ticks = %d after immediate cancel, want 0", ticks)
+	}
+}
+
+func TestRunUntilEmptyQueueAdvancesClock(t *testing.T) {
+	// With nothing queued at all, RunUntil still moves time forward so
+	// "run for d" always means what it says.
+	e := New(1)
+	e.RunUntil(42 * Microsecond)
+	if e.Now() != 42*Microsecond {
+		t.Errorf("Now() = %v after RunUntil on empty queue, want 42us", e.Now())
+	}
+	// And never backwards.
+	e.RunUntil(10 * Microsecond)
+	if e.Now() != 42*Microsecond {
+		t.Errorf("Now() = %v, RunUntil with a past deadline moved the clock", e.Now())
+	}
+}
+
+func TestStopLeavesPendingEventsQueued(t *testing.T) {
+	e := New(1)
+	ran := 0
+	e.At(10, func() { ran++; e.Stop() })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1 (Stop should halt after the current event)", ran)
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending() = %d after Stop, want 2 (events must stay queued)", e.Pending())
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now() = %v after Stop, want 10", e.Now())
+	}
+	e.Run()
+	if ran != 3 || e.Pending() != 0 {
+		t.Errorf("resume ran %d events with %d pending, want 3 and 0", ran, e.Pending())
+	}
+}
+
+func TestRunBeforeIsStrictAndKeepsClock(t *testing.T) {
+	e := New(1)
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.RunBefore(20)
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1 (event at the limit must not run)", ran)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now() = %v, want 10 (RunBefore must not advance past the last event)", e.Now())
+	}
+	if at, ok := e.NextAt(); !ok || at != 20 {
+		t.Errorf("NextAt() = %v,%v, want 20,true", at, ok)
+	}
+}

@@ -1,0 +1,344 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Runner is the clock-and-execution interface shared by Engine (a single
+// event stream) and ParallelEngine (a sharded one). Components that
+// orchestrate a simulation — the boot controller, the host link, the
+// machine — program against Runner so the same code drives either.
+type Runner interface {
+	// Now reports the global simulated high-water mark: the timestamp
+	// of the latest event executed so far.
+	Now() Time
+	// RNG returns the deterministic control-plane random stream. All
+	// sequential (non-event) randomness must come from here so that
+	// results do not depend on the shard count.
+	RNG() *RNG
+	// Run executes events to quiescence in a deterministic global order.
+	Run()
+	// Step executes the single globally-earliest event, if any.
+	Step() bool
+	// RunUntil executes events with timestamps <= deadline and advances
+	// all clocks to exactly deadline.
+	RunUntil(deadline Time)
+}
+
+// Engine implements Runner directly.
+var _ Runner = (*Engine)(nil)
+var _ Runner = (*ParallelEngine)(nil)
+
+// mailMsg is one cross-shard delivery waiting for the next window
+// barrier. It carries the sender's canonical key (source domain id and
+// per-sender sequence), so insertion order into the destination heap is
+// irrelevant: the heap sorts deliveries by their keys.
+type mailMsg struct {
+	at     Time
+	dst    *Domain
+	src    int32
+	srcSeq uint64
+	fn     func()
+}
+
+// ParallelEngine is a sharded discrete-event scheduler implementing
+// conservative parallel discrete-event simulation (PDES). The model is
+// partitioned into shards, each driven by its own deterministic Engine;
+// shards advance together through lookahead windows no wider than the
+// minimum cross-shard event latency, so no shard can receive an event
+// from a peer inside the window it is currently executing — the same
+// bounded-asynchrony argument the paper makes for a GALS fabric of
+// locally-clocked chips (sections 3 and 5).
+//
+// Cross-shard events travel through per-(src,dst) mailboxes drained at
+// window barriers; every delivery carries a canonical (timestamp,
+// source domain, source sequence) key assigned by the sender, so the
+// merged event order — and therefore the whole simulation — is
+// independent of goroutine scheduling and of the shard count itself.
+//
+// Two execution modes share the shard state:
+//
+//   - RunUntil executes windows in parallel across worker goroutines
+//     (the hot path for long runs);
+//   - Run and Step execute one globally-earliest event at a time on the
+//     calling goroutine (used by boot and host-command phases, whose
+//     controllers keep cross-shard state and must not race).
+//
+// With a single shard every method degenerates to the plain Engine,
+// bit-for-bit.
+type ParallelEngine struct {
+	shards    []*Engine
+	workers   int
+	lookahead Time
+
+	// mail[src*K+dst] is appended only by shard src's goroutine during a
+	// window and drained only by the coordinator at the barrier.
+	mail [][]mailMsg
+
+	// curLimit/inWindow let Post assert the lookahead contract from any
+	// goroutine while a parallel window is executing.
+	curLimit atomic.Int64
+	inWindow atomic.Bool
+}
+
+// NewParallel returns a ParallelEngine with the given shard count.
+// Shard 0's random stream is seeded exactly as New(seed), so the
+// control-plane RNG draws the same sequence regardless of the shard
+// count; further shards get independent derived streams. workers bounds
+// how many shards execute concurrently within a window.
+func NewParallel(seed uint64, shards, workers int) *ParallelEngine {
+	if shards < 1 {
+		panic("sim: parallel engine needs at least one shard")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > shards {
+		workers = shards
+	}
+	pe := &ParallelEngine{
+		shards:    make([]*Engine, shards),
+		workers:   workers,
+		lookahead: 1,
+		mail:      make([][]mailMsg, shards*shards),
+	}
+	for i := range pe.shards {
+		pe.shards[i] = New(seed)
+		if i > 0 {
+			// Only the control-plane stream (shard 0's) may ever be
+			// drawn: a shard-local draw would depend on the shard
+			// count and silently break the determinism contract.
+			// Poison the others so any such draw fails loudly.
+			pe.shards[i].rng = nil
+		}
+	}
+	return pe
+}
+
+// SetLookahead declares the minimum latency of any cross-shard event:
+// an event executing at time t may only Post events with timestamps
+// >= t + d. Windows are bounded by this value; Post enforces it.
+func (pe *ParallelEngine) SetLookahead(d Time) {
+	if d < 1 {
+		d = 1
+	}
+	pe.lookahead = d
+}
+
+// Lookahead reports the configured cross-shard latency bound.
+func (pe *ParallelEngine) Lookahead() Time { return pe.lookahead }
+
+// Shards reports the shard count.
+func (pe *ParallelEngine) Shards() int { return len(pe.shards) }
+
+// Workers reports the execution parallelism bound.
+func (pe *ParallelEngine) Workers() int { return pe.workers }
+
+// Shard returns shard i's engine. Model components owned by a shard
+// schedule their local events directly on it.
+func (pe *ParallelEngine) Shard(i int) *Engine { return pe.shards[i] }
+
+// RNG returns the control-plane random stream (shard 0's), identical
+// for every shard count.
+func (pe *ParallelEngine) RNG() *RNG { return pe.shards[0].RNG() }
+
+// Now reports the global simulated high-water mark across shards.
+func (pe *ParallelEngine) Now() Time {
+	var now Time
+	for _, s := range pe.shards {
+		if t := s.Now(); t > now {
+			now = t
+		}
+	}
+	return now
+}
+
+// Processed reports events executed across all shards.
+func (pe *ParallelEngine) Processed() uint64 {
+	var n uint64
+	for _, s := range pe.shards {
+		n += s.Processed()
+	}
+	return n
+}
+
+// Pending reports events queued across all shards.
+func (pe *ParallelEngine) Pending() int {
+	n := 0
+	for _, s := range pe.shards {
+		n += s.Pending()
+	}
+	return n
+}
+
+// Post schedules a delivery into domain dstDom (owned by shard dst) at
+// absolute time at, on behalf of an event executing on shard src. The
+// (srcID, srcSeq) pair is the sender's canonical key — see
+// Domain.DeliverAt. During a parallel window the timestamp must respect
+// the lookahead bound (at >= window end); violating it is a causality
+// bug in the model, not a recoverable condition. Outside a window
+// (sequential mode) the delivery is inserted immediately.
+func (pe *ParallelEngine) Post(src, dst int, dstDom *Domain, at Time, srcID int32, srcSeq uint64, fn func()) {
+	if !pe.inWindow.Load() {
+		dstDom.DeliverAt(at, srcID, srcSeq, fn)
+		return
+	}
+	if at < Time(pe.curLimit.Load()) {
+		panic(fmt.Sprintf("sim: cross-shard post at %v violates lookahead window ending %v",
+			at, Time(pe.curLimit.Load())))
+	}
+	k := len(pe.shards)
+	pe.mail[src*k+dst] = append(pe.mail[src*k+dst],
+		mailMsg{at: at, dst: dstDom, src: srcID, srcSeq: srcSeq, fn: fn})
+}
+
+// nextEventAt reports the earliest pending timestamp across shards.
+func (pe *ParallelEngine) nextEventAt() (Time, bool) {
+	best := Forever
+	found := false
+	for _, s := range pe.shards {
+		if t, ok := s.NextAt(); ok && t < best {
+			best = t
+			found = true
+		}
+	}
+	return best, found
+}
+
+// drainMail moves barrier mailboxes into the destination engines.
+// Deliveries carry canonical (timestamp, source domain, source
+// sequence) keys, so the heaps order them identically no matter which
+// goroutine produced them first or in what order this loop inserts
+// them — execution interleaving cannot leak into the event order.
+func (pe *ParallelEngine) drainMail() {
+	k := len(pe.shards)
+	for src := 0; src < k; src++ {
+		for dst := 0; dst < k; dst++ {
+			box := pe.mail[src*k+dst]
+			if len(box) == 0 {
+				continue
+			}
+			for _, m := range box {
+				m.dst.DeliverAt(m.at, m.src, m.srcSeq, m.fn)
+			}
+			pe.mail[src*k+dst] = box[:0]
+		}
+	}
+}
+
+// Step executes the single globally-earliest event — least by the full
+// canonical (time, domain, class, key) order across every shard, so the
+// sequential schedule is exactly the one a single merged engine would
+// produce — and delivers any cross-shard events it generated. This is
+// the deterministic sequential mode used by boot and host phases.
+func (pe *ParallelEngine) Step() bool {
+	best := -1
+	var bk eventKey
+	for i, s := range pe.shards {
+		if k, ok := s.nextKey(); ok && (best < 0 || k.less(bk)) {
+			best, bk = i, k
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	pe.shards[best].Step()
+	return true
+}
+
+// Run executes events to quiescence in deterministic global order
+// (sequential mode), then synchronises every shard clock to the global
+// last-event time — exactly what a single merged engine's clock would
+// read. Without this, relative scheduling done between phases (boot
+// floods, model loading) would start from each shard's own last event
+// and the trajectory would depend on the shard count.
+func (pe *ParallelEngine) Run() {
+	for pe.Step() {
+	}
+	pe.SyncClocks()
+}
+
+// SyncClocks advances every shard clock to the global high-water mark.
+// Safe whenever events have been executed in global order (sequential
+// mode): min-first stepping guarantees no pending event is older than
+// the last executed one. Callers that Step() without reaching
+// quiescence (host commands) use this so that subsequent relative
+// scheduling starts from the same instant for every shard count.
+func (pe *ParallelEngine) SyncClocks() {
+	now := pe.Now()
+	for _, s := range pe.shards {
+		s.advanceTo(now)
+	}
+}
+
+// windowJob hands one shard's window to a worker goroutine.
+type windowJob struct {
+	shard int
+	limit Time
+}
+
+// RunUntil executes events with timestamps <= deadline using parallel
+// lookahead windows, then advances every shard clock to exactly
+// deadline. Shards with events inside the current window run
+// concurrently (up to the worker bound); the coordinator always
+// executes one of them itself so single-shard windows cost no handoff.
+func (pe *ParallelEngine) RunUntil(deadline Time) {
+	if len(pe.shards) == 1 {
+		pe.shards[0].RunUntil(deadline)
+		return
+	}
+	helpers := pe.workers - 1
+	var work chan windowJob
+	var done chan struct{}
+	if helpers > 0 {
+		work = make(chan windowJob, len(pe.shards))
+		done = make(chan struct{}, len(pe.shards))
+		for i := 0; i < helpers; i++ {
+			go func() {
+				for j := range work {
+					pe.shards[j.shard].RunBefore(j.limit)
+					done <- struct{}{}
+				}
+			}()
+		}
+		defer close(work)
+	}
+	active := make([]int, 0, len(pe.shards))
+	for {
+		next, ok := pe.nextEventAt()
+		if !ok || next > deadline {
+			break
+		}
+		end := next + pe.lookahead
+		if end > deadline {
+			end = deadline + 1 // final window: include events at the deadline
+		}
+		active = active[:0]
+		for i, s := range pe.shards {
+			if t, ok := s.NextAt(); ok && t < end {
+				active = append(active, i)
+			}
+		}
+		pe.curLimit.Store(int64(end))
+		pe.inWindow.Store(true)
+		if len(active) == 1 || helpers == 0 {
+			for _, i := range active {
+				pe.shards[i].RunBefore(end)
+			}
+		} else {
+			for _, i := range active[1:] {
+				work <- windowJob{shard: i, limit: end}
+			}
+			pe.shards[active[0]].RunBefore(end)
+			for range active[1:] {
+				<-done
+			}
+		}
+		pe.inWindow.Store(false)
+		pe.drainMail()
+	}
+	for _, s := range pe.shards {
+		s.RunUntil(deadline)
+	}
+}

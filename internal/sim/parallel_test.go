@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// pingPong builds a 2-shard model where each shard's events post events
+// back to the other with latency la, recording a trace of (shard, time)
+// pairs. It returns the trace after running to the deadline.
+func pingPong(pe *ParallelEngine, la Time, deadline Time, parallel bool) []string {
+	// Each shard appends only to its own trace slice, so the recording
+	// itself cannot race under parallel execution.
+	per := make([][]string, pe.Shards())
+	doms := []*Domain{pe.Shard(0).Domain(0), pe.Shard(1).Domain(1)}
+	seqs := make([]uint64, pe.Shards()) // per-sender, as the canonical key requires
+	var hop func(shard int)
+	hop = func(shard int) {
+		eng := pe.Shard(shard)
+		per[shard] = append(per[shard], fmt.Sprintf("s%d@%d", shard, eng.Now()))
+		other := 1 - shard
+		at := eng.Now() + la
+		if at <= deadline {
+			seqs[shard]++
+			pe.Post(shard, other, doms[other], at, int32(shard), seqs[shard], func() { hop(other) })
+		}
+	}
+	pe.Shard(0).At(0, func() { hop(0) })
+	pe.Shard(1).At(la/2, func() { hop(1) })
+	if parallel {
+		pe.RunUntil(deadline)
+	} else {
+		pe.Run()
+	}
+	// Merge per-shard traces deterministically for comparison.
+	out := append(per[0], per[1]...)
+	return out
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	const la = 100
+	const deadline = 100 * la
+	build := func() *ParallelEngine {
+		pe := NewParallel(1, 2, 2)
+		pe.SetLookahead(la)
+		return pe
+	}
+	seq := pingPong(build(), la, deadline, false)
+	par := pingPong(build(), la, deadline, true)
+	if len(seq) == 0 {
+		t.Fatal("no events ran")
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("sequential ran %d events, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("trace diverged at %d: %s vs %s", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestParallelSingleShardDelegates(t *testing.T) {
+	pe := NewParallel(42, 1, 1)
+	ref := New(42)
+	// Same seed must mean the same control RNG stream.
+	for i := 0; i < 8; i++ {
+		if a, b := pe.RNG().Uint64(), ref.RNG().Uint64(); a != b {
+			t.Fatalf("draw %d: parallel %d, engine %d", i, a, b)
+		}
+	}
+	ran := 0
+	pe.Shard(0).At(10, func() { ran++ })
+	pe.RunUntil(20)
+	if ran != 1 || pe.Now() != 20 {
+		t.Errorf("ran=%d Now()=%v, want 1 and 20", ran, pe.Now())
+	}
+}
+
+func TestMailboxMergeOrderIsDeterministic(t *testing.T) {
+	// Two source shards post to shard 2 at the same timestamp; the
+	// barrier drain must order them by source shard regardless of which
+	// goroutine finished first.
+	for trial := 0; trial < 20; trial++ {
+		pe := NewParallel(1, 3, 3)
+		pe.SetLookahead(10)
+		dst := pe.Shard(2).Domain(2)
+		var got []int
+		pe.Shard(1).At(0, func() { pe.Post(1, 2, dst, 10, 1, 1, func() { got = append(got, 1) }) })
+		pe.Shard(0).At(0, func() { pe.Post(0, 2, dst, 10, 0, 1, func() { got = append(got, 0) }) })
+		pe.RunUntil(20)
+		if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+			t.Fatalf("trial %d: delivery order %v, want [0 1]", trial, got)
+		}
+	}
+}
+
+func TestPostLookaheadViolationPanics(t *testing.T) {
+	pe := NewParallel(1, 2, 2)
+	pe.SetLookahead(100)
+	dst := pe.Shard(1).Domain(1)
+	pe.Shard(0).At(50, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("posting inside the lookahead window did not panic")
+			}
+		}()
+		// Window is [50, 150); a post at 60 violates conservative PDES.
+		pe.Post(0, 1, dst, 60, 0, 1, func() {})
+	})
+	pe.RunUntil(200)
+}
+
+func TestSequentialStepGlobalOrder(t *testing.T) {
+	pe := NewParallel(1, 2, 2)
+	var got []int
+	pe.Shard(1).At(5, func() { got = append(got, 15) })
+	pe.Shard(0).At(5, func() { got = append(got, 5) })
+	pe.Shard(1).At(3, func() { got = append(got, 13) })
+	pe.Run()
+	want := []int{13, 5, 15} // time order, shard index breaking the tie
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParallelRunUntilAdvancesAllShards(t *testing.T) {
+	pe := NewParallel(1, 4, 4)
+	pe.SetLookahead(100)
+	pe.Shard(2).At(10, func() {})
+	pe.RunUntil(1000)
+	for i := 0; i < pe.Shards(); i++ {
+		if now := pe.Shard(i).Now(); now != 1000 {
+			t.Errorf("shard %d clock at %v after RunUntil(1000)", i, now)
+		}
+	}
+}
+
+func TestTimeStatsMergeOrderIndependent(t *testing.T) {
+	var a, b, whole TimeStats
+	samples := []Time{5, 3, 9, 1, 12, 7}
+	for i, s := range samples {
+		whole.Add(s)
+		if i%2 == 0 {
+			a.Add(s)
+		} else {
+			b.Add(s)
+		}
+	}
+	merged := b // merge in the "wrong" order on purpose
+	merged.Merge(a)
+	if merged != whole {
+		t.Errorf("merged %+v != whole %+v", merged, whole)
+	}
+	if whole.MeanMicros() == 0 || whole.MaxMicros() != samples[4].Micros() {
+		t.Errorf("summary wrong: %+v", whole)
+	}
+}

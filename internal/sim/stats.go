@@ -110,6 +110,45 @@ func (s *Stats) String() string {
 		s.n, s.Mean(), s.Std(), s.Min(), s.Max())
 }
 
+// TimeStats accumulates duration samples in integer arithmetic, so the
+// totals are independent of accumulation order and mergeable across
+// shards: a sharded run tallies per shard and merges at report time,
+// producing byte-identical summaries for any worker count.
+type TimeStats struct {
+	N   uint64
+	Sum Time
+	Max Time
+}
+
+// Add records one duration sample.
+func (s *TimeStats) Add(d Time) {
+	s.N++
+	s.Sum += d
+	if d > s.Max {
+		s.Max = d
+	}
+}
+
+// Merge folds another accumulator into this one.
+func (s *TimeStats) Merge(o TimeStats) {
+	s.N += o.N
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// MeanMicros reports the sample mean in microseconds (0 if empty).
+func (s TimeStats) MeanMicros() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.N) / float64(Microsecond)
+}
+
+// MaxMicros reports the largest sample in microseconds.
+func (s TimeStats) MaxMicros() float64 { return s.Max.Micros() }
+
 // Histogram counts samples into fixed-width bins over [lo, hi); samples
 // outside the range land in saturating edge bins.
 type Histogram struct {

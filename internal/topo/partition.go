@@ -1,0 +1,63 @@
+package topo
+
+// Partition is a contiguous block decomposition of a torus into shards,
+// the unit of parallelism for the sharded simulation engine. The torus
+// is cut along its longer dimension into contiguous bands of rows (or
+// columns), so every chip has at most two off-shard neighbouring bands
+// and most links stay shard-local. The decomposition depends only on
+// the torus shape and the shard count, never on execution order.
+type Partition struct {
+	t       Torus
+	shards  int
+	shardOf []int // by node index
+}
+
+// NewPartition decomposes t into at most shards contiguous bands. The
+// effective shard count is clamped to the extent of the cut dimension
+// (a band must hold at least one full row or column) and to a minimum
+// of one.
+func NewPartition(t Torus, shards int) Partition {
+	byRow := t.H >= t.W
+	extent := t.H
+	if !byRow {
+		extent = t.W
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > extent {
+		shards = extent
+	}
+	base := extent / shards
+	rem := extent % shards
+	// bandOf maps a coordinate along the cut dimension to its band: the
+	// first rem bands have base+1 entries, the rest base.
+	bandOf := func(v int) int {
+		if v < rem*(base+1) {
+			return v / (base + 1)
+		}
+		return rem + (v-rem*(base+1))/base
+	}
+	p := Partition{t: t, shards: shards, shardOf: make([]int, t.Size())}
+	for i := range p.shardOf {
+		c := t.CoordOf(i)
+		if byRow {
+			p.shardOf[i] = bandOf(c.Y)
+		} else {
+			p.shardOf[i] = bandOf(c.X)
+		}
+	}
+	return p
+}
+
+// Torus reports the decomposed torus.
+func (p Partition) Torus() Torus { return p.t }
+
+// Shards reports the effective shard count.
+func (p Partition) Shards() int { return p.shards }
+
+// Shard reports the shard owning the chip at c.
+func (p Partition) Shard(c Coord) int { return p.shardOf[p.t.Index(c)] }
+
+// ShardOfIndex reports the shard owning node index i.
+func (p Partition) ShardOfIndex(i int) int { return p.shardOf[i] }

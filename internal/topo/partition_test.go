@@ -1,0 +1,80 @@
+package topo
+
+import "testing"
+
+func TestPartitionCoversTorus(t *testing.T) {
+	for _, tc := range []struct{ w, h, shards, want int }{
+		{4, 4, 4, 4},
+		{4, 4, 1, 1},
+		{4, 4, 64, 4},  // clamped to rows
+		{8, 3, 4, 4},   // wider than tall: cut columns
+		{3, 3, 2, 2},   // uneven bands
+		{1, 1, 8, 1},   // degenerate
+		{12, 12, 0, 1}, // non-positive request
+	} {
+		tor := MustTorus(tc.w, tc.h)
+		p := NewPartition(tor, tc.shards)
+		if p.Shards() != tc.want {
+			t.Errorf("%dx%d/%d: shards = %d, want %d", tc.w, tc.h, tc.shards, p.Shards(), tc.want)
+			continue
+		}
+		seen := make([]int, p.Shards())
+		for i := 0; i < tor.Size(); i++ {
+			s := p.ShardOfIndex(i)
+			if s < 0 || s >= p.Shards() {
+				t.Fatalf("%dx%d/%d: node %d in shard %d out of range", tc.w, tc.h, tc.shards, i, s)
+			}
+			if p.Shard(tor.CoordOf(i)) != s {
+				t.Fatalf("Shard and ShardOfIndex disagree at node %d", i)
+			}
+			seen[s]++
+		}
+		for s, n := range seen {
+			if n == 0 {
+				t.Errorf("%dx%d/%d: shard %d owns no chips", tc.w, tc.h, tc.shards, s)
+			}
+		}
+	}
+}
+
+func TestPartitionIsContiguousBands(t *testing.T) {
+	tor := MustTorus(5, 7)
+	p := NewPartition(tor, 3)
+	// Split along the taller dimension: every row lives in one shard,
+	// and shard indexes are non-decreasing with y.
+	last := 0
+	for y := 0; y < tor.H; y++ {
+		s := p.Shard(Coord{X: 0, Y: y})
+		for x := 1; x < tor.W; x++ {
+			if p.Shard(Coord{X: x, Y: y}) != s {
+				t.Fatalf("row %d split across shards", y)
+			}
+		}
+		if s < last {
+			t.Fatalf("bands not contiguous: row %d in shard %d after shard %d", y, s, last)
+		}
+		last = s
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	// Band sizes may differ by at most one row/column.
+	tor := MustTorus(4, 10)
+	p := NewPartition(tor, 3)
+	counts := make(map[int]int)
+	for i := 0; i < tor.Size(); i++ {
+		counts[p.ShardOfIndex(i)]++
+	}
+	min, max := tor.Size(), 0
+	for _, n := range counts {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > tor.W {
+		t.Errorf("imbalance: min %d max %d chips per shard", min, max)
+	}
+}

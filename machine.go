@@ -2,6 +2,7 @@ package spinngo
 
 import (
 	"fmt"
+	"runtime"
 
 	"spinngo/internal/boot"
 	"spinngo/internal/chip"
@@ -37,6 +38,14 @@ type MachineConfig struct {
 	CoreMIPS float64
 	// Seed drives all randomness (default 1).
 	Seed uint64
+	// Workers is the number of torus shards simulated in parallel
+	// (conservative PDES over the partitioned mesh). 0 means
+	// runtime.GOMAXPROCS; the value is clamped to the partition
+	// granularity of the torus. Workers=1 reproduces the single-engine
+	// event order exactly, and the determinism contract is that the
+	// same Seed and config produce an identical run report for every
+	// worker count.
+	Workers int
 	// DisableEmergencyRouting turns off the Fig-8 mechanism (ablation).
 	DisableEmergencyRouting bool
 	// Placement policy (default Serpentine).
@@ -62,13 +71,19 @@ func (c *MachineConfig) fillDefaults() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 }
 
 // unit is one application core's runtime: kernel + neurons + synapses.
 type unit struct {
 	frag        *mapping.Fragment
+	fragIdx     int // index into the routing plan's fragment list
 	slot        int // application-core slot actually occupied
+	shard       int
 	tickBase    uint64
+	rng         *sim.RNG // private stream, survives migration
 	core        *kernel.Core
 	pop         *neural.Population
 	source      *neural.PoissonSource
@@ -78,10 +93,27 @@ type unit struct {
 	failed      bool
 }
 
-// Machine is a simulated SpiNNaker machine.
+// shardTallies is one shard's slice of the machine-wide run accounting.
+// Each shard's events only touch its own entry, so parallel windows
+// never contend, and the integer merges at report time are independent
+// of accumulation order — the heart of the determinism contract.
+type shardTallies struct {
+	latencies         sim.TimeStats
+	writeBacks        uint64
+	migrations        uint64
+	migrationFailures uint64
+	_                 [8]uint64 // keep shards off each other's cache lines
+}
+
+// Machine is a simulated SpiNNaker machine. The torus is partitioned
+// into contiguous shards, each advanced by its own deterministic event
+// engine; shards synchronise only at lookahead-window barriers bounded
+// by the inter-chip router latency, mirroring the paper's
+// bounded-asynchrony GALS argument (sections 3 and 5).
 type Machine struct {
 	cfg  MachineConfig
-	eng  *sim.Engine
+	pe   *sim.ParallelEngine
+	part topo.Partition
 	fab  *router.Fabric
 	boot *boot.Controller
 
@@ -92,14 +124,13 @@ type Machine struct {
 	rplan *mapping.RoutingPlan
 	dplan *mapping.DataPlan
 	units map[topo.Coord]map[int]*unit // chip -> app core slot -> unit
-	all   []*unit
+	// fragUnits holds every unit ever built for each fragment, in
+	// creation order (the live one last). Iterating fragments first
+	// gives a deterministic order regardless of migration timing.
+	fragUnits [][]*unit
 
-	latencies *sim.Stats
-	bioMS     uint64
-
-	migrations        uint64
-	migrationFailures uint64
-	writeBacks        uint64
+	tallies []shardTallies
+	bioMS   uint64
 }
 
 // MigrationDetectMS is how long the monitor's watchdog takes to notice a
@@ -114,21 +145,32 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	if cfg.Width <= 0 || cfg.Height <= 0 {
 		return nil, fmt.Errorf("spinngo: invalid machine %dx%d", cfg.Width, cfg.Height)
 	}
-	eng := sim.New(cfg.Seed)
+	torus := topo.MustTorus(cfg.Width, cfg.Height)
+	part := topo.NewPartition(torus, cfg.Workers)
+	pe := sim.NewParallel(cfg.Seed, part.Shards(), part.Shards())
 	params := router.DefaultParams(cfg.Width, cfg.Height)
 	params.EmergencyEnabled = !cfg.DisableEmergencyRouting
-	fab, err := router.NewFabric(eng, params)
+	pe.SetLookahead(params.RouterLatency)
+	fab, err := router.NewShardedFabric(pe, part, params)
 	if err != nil {
 		return nil, err
 	}
 	return &Machine{
-		cfg:       cfg,
-		eng:       eng,
-		fab:       fab,
-		units:     make(map[topo.Coord]map[int]*unit),
-		latencies: sim.NewSummaryStats(),
+		cfg:     cfg,
+		pe:      pe,
+		part:    part,
+		fab:     fab,
+		units:   make(map[topo.Coord]map[int]*unit),
+		tallies: make([]shardTallies, part.Shards()),
 	}, nil
 }
+
+// Workers reports the effective shard count (cfg.Workers clamped to the
+// torus partition granularity).
+func (m *Machine) Workers() int { return m.part.Shards() }
+
+// domAt returns the scheduling domain of a chip.
+func (m *Machine) domAt(c topo.Coord) *sim.Domain { return m.fab.DomainAt(c) }
 
 // BootReport summarises the boot sequence (section 5.2).
 type BootReport struct {
@@ -143,7 +185,8 @@ type BootReport struct {
 
 // Boot runs the section-5.2 sequence: self-test, monitor election,
 // neighbour rescue, coordinate flood, p2p configuration and flood-fill
-// load of the system image.
+// load of the system image. The boot controller keeps cross-chip state,
+// so this phase executes in the engine's deterministic sequential mode.
 func (m *Machine) Boot() (*BootReport, error) {
 	if m.booted {
 		return nil, fmt.Errorf("spinngo: already booted")
@@ -151,7 +194,7 @@ func (m *Machine) Boot() (*BootReport, error) {
 	cfg := boot.DefaultConfig()
 	cfg.Cores = m.cfg.CoresPerChip
 	cfg.CoreFaultProb = m.cfg.CoreFaultProb
-	m.boot = boot.NewController(m.eng, m.fab, cfg)
+	m.boot = boot.NewController(m.pe, m.fab, cfg)
 	res, err := m.boot.Run()
 	if err != nil {
 		return nil, err
@@ -242,16 +285,23 @@ func (m *Machine) Load(model *Model) (*LoadReport, error) {
 	m.model = model
 	m.rplan = rplan
 	m.dplan = dplan
+	m.fragUnits = make([][]*unit, len(rplan.Frags))
 
-	for _, f := range rplan.Frags {
-		if _, err := m.buildUnitAt(f, f.Core, 0); err != nil {
+	for i, f := range rplan.Frags {
+		// Each fragment gets a private random stream forked from the
+		// control RNG in fragment order, so its draws (timer phase,
+		// Poisson stimulus, migration restarts) are identical for every
+		// worker count and never touch the control stream at run time.
+		if _, err := m.buildUnitAt(f, i, f.Core, 0, m.pe.RNG().Fork()); err != nil {
 			return nil, err
 		}
 	}
 
-	// Deliver multicast packets to the right unit's kernel.
+	// Deliver multicast packets to the right unit's kernel. This runs
+	// on the destination chip's shard, so it may only touch that
+	// shard's tally slice and the chip's own unit.
 	m.fab.OnDeliverMC = func(n *router.Node, coreSlot int, pkt packet.Packet, lat sim.Time) {
-		m.latencies.Add(lat.Micros())
+		m.tallies[n.Shard()].latencies.Add(lat)
 		if chipUnits := m.units[n.Coord]; chipUnits != nil {
 			if u := chipUnits[coreSlot]; u != nil {
 				u.core.PostPacket(pkt)
@@ -271,19 +321,25 @@ func (m *Machine) Load(model *Model) (*LoadReport, error) {
 
 // buildUnitAt instantiates the Fig-7 runtime for one fragment on a given
 // application-core slot. tickBase aligns the new unit's clock with
-// machine time (non-zero when a migration resumes a fragment mid-run).
-func (m *Machine) buildUnitAt(f *mapping.Fragment, slot int, tickBase uint64) (*unit, error) {
+// machine time (non-zero when a migration resumes a fragment mid-run);
+// rng is the fragment's private stream.
+func (m *Machine) buildUnitAt(f *mapping.Fragment, fragIdx, slot int, tickBase uint64, rng *sim.RNG) (*unit, error) {
 	slots := m.appCoreSlots(f.Chip)
 	if slot >= len(slots) {
 		return nil, fmt.Errorf("spinngo: chip %v has no application core slot %d", f.Chip, slot)
 	}
 	hw := slots[slot]
+	dom := m.domAt(f.Chip)
+	shard := m.part.Shard(f.Chip)
 	u := &unit{
 		frag:     f,
+		fragIdx:  fragIdx,
 		slot:     slot,
+		shard:    shard,
 		tickBase: tickBase,
+		rng:      rng,
 		dma:      hw.DMA,
-		core: kernel.NewCore(m.eng, kernel.Config{
+		core: kernel.NewCore(dom, kernel.Config{
 			MIPS: m.cfg.CoreMIPS, TimerPeriod: sim.Millisecond, DispatchOverhead: 100,
 		}),
 	}
@@ -292,7 +348,7 @@ func (m *Machine) buildUnitAt(f *mapping.Fragment, slot int, tickBase uint64) (*
 	pop := f.Pop
 	switch pop.Kind {
 	case mapping.ModelPoisson:
-		u.source = neural.NewPoissonSource(m.eng.RNG().Fork(), f.Size(), pop.RateHz)
+		u.source = neural.NewPoissonSource(rng.Fork(), f.Size(), pop.RateHz)
 		u.pop = neural.NewPopulation(f.Size(), neural.MaxSynDelay,
 			func(int) neural.Neuron { return nil })
 	case mapping.ModelIzhikevich:
@@ -311,6 +367,8 @@ func (m *Machine) buildUnitAt(f *mapping.Fragment, slot int, tickBase uint64) (*
 			u.plasticKeys = cd.PlasticKeys
 		}
 	}
+
+	tally := &m.tallies[shard]
 
 	// AER out: a firing neuron becomes a multicast packet (section 4),
 	// and plastic populations record the post spike for deferred STDP.
@@ -351,7 +409,7 @@ func (m *Machine) buildUnitAt(f *mapping.Fragment, slot int, tickBase uint64) (*
 			dirty, c := u.stdp.ProcessRow(ev.Tag, row, u.pop.Tick())
 			cost += c
 			if dirty {
-				m.writeBacks++
+				tally.writeBacks++
 				u.dma.Enqueue(chip.DMARequest{Size: row.SizeBytes(), Write: true, Tag: ev.Tag})
 			}
 		}
@@ -376,12 +434,23 @@ func (m *Machine) buildUnitAt(f *mapping.Fragment, slot int, tickBase uint64) (*
 		m.units[f.Chip] = make(map[int]*unit)
 	}
 	m.units[f.Chip][slot] = u
-	m.all = append(m.all, u)
+	m.fragUnits[fragIdx] = append(m.fragUnits[fragIdx], u)
 
 	// Start the free-running local timer with a sub-millisecond phase
 	// offset: there is no global synchronisation (section 3.1).
-	m.eng.After(sim.Time(m.eng.RNG().Intn(int(sim.Millisecond))), u.core.Start)
+	dom.After(sim.Time(rng.Intn(int(sim.Millisecond))), u.core.Start)
 	return u, nil
+}
+
+// eachUnit visits every unit ever built, fragments first then creation
+// order within a fragment — a deterministic order independent of when
+// migrations happened to run.
+func (m *Machine) eachUnit(fn func(u *unit)) {
+	for _, us := range m.fragUnits {
+		for _, u := range us {
+			fn(u)
+		}
+	}
 }
 
 // unitOf finds the live unit running a fragment.
@@ -418,14 +487,17 @@ func (m *Machine) FailCoreOf(p Pop, idx int) error {
 	u.failed = true
 	u.core.Stop()
 	delete(m.units[frag.Chip], u.slot)
-	m.eng.After(MigrationDetectMS*sim.Millisecond, func() { m.migrate(u) })
+	m.domAt(frag.Chip).After(MigrationDetectMS*sim.Millisecond, func() { m.migrate(u) })
 	return nil
 }
 
 // migrate moves a failed unit's fragment onto a spare core of the same
-// chip.
+// chip. It runs as an event on the chip's shard, so all state it
+// touches (the chip's unit map, its fragment's unit list, its shard's
+// tallies, its private RNG) is shard-owned.
 func (m *Machine) migrate(old *unit) {
 	chipCoord := old.frag.Chip
+	tally := &m.tallies[old.shard]
 	slots := m.appCoreSlots(chipCoord)
 	spare := -1
 	for s := 0; s < len(slots); s++ {
@@ -438,26 +510,29 @@ func (m *Machine) migrate(old *unit) {
 		}
 	}
 	if spare < 0 {
-		m.migrationFailures++
+		tally.migrationFailures++
 		return
 	}
 	// Re-reading the synaptic matrix from SDRAM takes real time; the
 	// fragment resumes only after the copy completes.
 	bytes := old.pop.Matrix.Bytes
+	dom := m.domAt(chipCoord)
 	m.boot.Chip(chipCoord).SDRAM.Transfer(bytes, func() {
-		nu, err := m.buildUnitAt(old.frag, spare, uint64(m.eng.Now()/sim.Millisecond))
+		nu, err := m.buildUnitAt(old.frag, old.fragIdx, spare,
+			uint64(dom.Now()/sim.Millisecond), old.rng)
 		if err != nil {
-			m.migrationFailures++
+			tally.migrationFailures++
 			return
 		}
 		m.fab.Node(chipCoord).Table.RewriteCore(old.slot, spare)
 		_ = nu
-		m.migrations++
+		tally.migrations++
 	})
 }
 
-// Run advances the machine by ms milliseconds of biological time and
-// returns the cumulative report.
+// Run advances the machine by ms milliseconds of biological time —
+// executing shards in parallel lookahead windows — and returns the
+// cumulative report.
 func (m *Machine) Run(ms int) (*RunReport, error) {
 	if !m.loaded {
 		return nil, fmt.Errorf("spinngo: load a model before running")
@@ -466,15 +541,13 @@ func (m *Machine) Run(ms int) (*RunReport, error) {
 		return nil, fmt.Errorf("spinngo: non-positive run length")
 	}
 	m.bioMS += uint64(ms)
-	m.eng.RunUntil(m.eng.Now() + sim.Time(ms)*sim.Millisecond)
+	m.pe.RunUntil(m.pe.Now() + sim.Time(ms)*sim.Millisecond)
 	return m.report(), nil
 }
 
 // Stop halts all application cores (their timers stop ticking).
 func (m *Machine) Stop() {
-	for _, u := range m.all {
-		u.core.Stop()
-	}
+	m.eachUnit(func(u *unit) { u.core.Stop() })
 }
 
 // Spike is one recorded firing, in population-global coordinates.
@@ -487,14 +560,14 @@ type Spike struct {
 // fragments, sorted by fragment then time.
 func (m *Machine) Spikes(p Pop) []Spike {
 	var out []Spike
-	for _, u := range m.all {
+	m.eachUnit(func(u *unit) {
 		if u.frag.Pop != m.model.net.Pops[p.idx] {
-			continue
+			return
 		}
 		for _, s := range u.pop.Rec.Spikes {
 			out = append(out, Spike{TimeMS: s.Tick, Neuron: u.frag.Lo + s.Neuron})
 		}
-	}
+	})
 	return out
 }
 
@@ -533,11 +606,12 @@ func (m *Machine) InjectSpike(p Pop, idx int, atMS int) error {
 	if err != nil {
 		return err
 	}
+	dom := m.domAt(frag.Chip)
 	at := sim.Time(atMS) * sim.Millisecond
-	if at < m.eng.Now() {
+	if at < dom.Now() {
 		return fmt.Errorf("spinngo: injection time %dms is in the past", atMS)
 	}
-	m.eng.At(at, func() {
+	dom.At(at, func() {
 		m.fab.InjectMC(frag.Chip, packet.NewMC(frag.KeyFor(idx)))
 	})
 	return nil
@@ -549,9 +623,9 @@ func (m *Machine) MeanWeightNA(p Pop) float64 {
 	pop := m.model.net.Pops[p.idx]
 	var sum float64
 	var n int
-	for _, u := range m.all {
+	m.eachUnit(func(u *unit) {
 		if u.frag.Pop != pop || u.failed {
-			continue
+			return
 		}
 		for _, key := range u.pop.Matrix.Keys() {
 			row, _ := u.pop.Matrix.Row(key)
@@ -560,7 +634,7 @@ func (m *Machine) MeanWeightNA(p Pop) float64 {
 				n++
 			}
 		}
-	}
+	})
 	if n == 0 {
 		return 0
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"spinngo/internal/energy"
+	"spinngo/internal/sim"
 )
 
 // RunReport is the cumulative health and performance summary of a run.
@@ -53,25 +54,38 @@ type RunReport struct {
 	Depressions   uint64
 }
 
-// report assembles the cumulative RunReport.
+// report assembles the cumulative RunReport. Shard tallies are merged
+// in shard order with integer arithmetic, so the result is identical
+// for every worker count.
 func (m *Machine) report() *RunReport {
+	var lat sim.TimeStats
+	var writeBacks, migrations, migrationFailures uint64
+	for i := range m.tallies {
+		t := &m.tallies[i]
+		lat.Merge(t.latencies)
+		writeBacks += t.writeBacks
+		migrations += t.migrations
+		migrationFailures += t.migrationFailures
+	}
 	r := &RunReport{
 		BioTimeMS:            m.bioMS,
-		PacketsDelivered:     m.fab.DeliveredMC,
-		PacketsDropped:       m.fab.DroppedPackets,
-		EmergencyInvocations: m.fab.EmergencyInvocations,
+		PacketsDelivered:     m.fab.DeliveredMC(),
+		PacketsDropped:       m.fab.DroppedPackets(),
+		EmergencyInvocations: m.fab.EmergencyInvocations(),
 		RealTime:             true,
-		Migrations:           m.migrations,
-		MigrationFailures:    m.migrationFailures,
-		SynapseWriteBacks:    m.writeBacks,
+		Migrations:           migrations,
+		MigrationFailures:    migrationFailures,
+		SynapseWriteBacks:    writeBacks,
 	}
-	if m.latencies.N() > 0 {
-		r.MeanLatencyUS = m.latencies.Mean()
-		r.MaxLatencyUS = m.latencies.Max()
+	if lat.N > 0 {
+		r.MeanLatencyUS = lat.MeanMicros()
+		r.MaxLatencyUS = lat.MaxMicros()
 	}
-	act := energy.Activity{Chips: m.cfg.Width * m.cfg.Height, Elapsed: m.eng.Now()}
+	act := energy.Activity{Chips: m.cfg.Width * m.cfg.Height, Elapsed: m.pe.Now()}
 	var sleepSum float64
-	for _, u := range m.all {
+	units := 0
+	m.eachUnit(func(u *unit) {
+		units++
 		r.TotalSpikes += u.pop.Rec.Total()
 		r.Overruns += u.core.Overruns
 		if !u.core.RealTime() {
@@ -86,13 +100,13 @@ func (m *Machine) report() *RunReport {
 			r.Potentiations += u.stdp.Potentiations
 			r.Depressions += u.stdp.Depressions
 		}
-	}
-	if len(m.all) > 0 {
-		r.MeanSleepFraction = sleepSum / float64(len(m.all))
+	})
+	if units > 0 {
+		r.MeanSleepFraction = sleepSum / float64(units)
 	}
 	// Wire energy: every link traversal moves a 40-bit mc frame.
 	frame := m.fab.Params().Link.FrameCost(5)
-	act.WireTransitions = m.fab.LinkTraversals * uint64(frame.Transitions)
+	act.WireTransitions = m.fab.LinkTraversals() * uint64(frame.Transitions)
 	// SDRAM traffic from every chip.
 	for _, n := range m.fab.Nodes() {
 		if m.boot != nil && m.boot.Alive(n.Coord) {
