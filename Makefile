@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench-workers check
+.PHONY: build test race vet bench bench-workers check
 
 build:
 	$(GO) build ./...
@@ -15,13 +15,18 @@ vet:
 	$(GO) vet ./...
 
 # The sharded engine's concurrency is exercised by the determinism suite
-# (Workers>1) and the sim/router packages; keep them under the race
-# detector on every change.
+# (Workers>1, both partition geometries) and the sim/router packages;
+# keep them under the race detector on every change.
 race:
 	$(GO) test -race ./internal/sim/ ./internal/router/
 	$(GO) test -race -run 'TestDeterminism|TestDifferentSeeds' .
 
-# Worker-count scaling sweep of the end-to-end machine benchmark.
+# Worker/partition scaling sweep of the end-to-end machine benchmark,
+# recorded as JSON for the bench trajectory.
+bench:
+	$(GO) run ./cmd/benchsweep -out BENCH_PR2.json
+
+# The same sweep through `go test -bench` (human-readable only).
 bench-workers:
 	$(GO) test -run '^$$' -bench 'BenchmarkMachineBioSecondWorkers' -benchtime 3x .
 

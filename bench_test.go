@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"spinngo"
+	"spinngo/internal/benchsweep"
 	"spinngo/internal/experiments"
 	"spinngo/internal/neural"
 	"spinngo/internal/packet"
@@ -226,49 +227,18 @@ func BenchmarkFabricPacketHop(b *testing.B) {
 }
 
 // BenchmarkMachineBioSecondWorkers measures how the sharded engine
-// scales: an 8x8 machine with fragments spread across all chips runs a
-// densely-active network for a quarter of a biological second per
-// iteration, swept over worker counts. With one worker this is exactly
-// the single-engine path, so the ns/op ratio between sub-benchmarks is
-// the parallel speedup (expect >1 at workers>=4 on a multi-core host;
-// the runs produce identical reports regardless — see
-// TestDeterminismAcrossWorkerCounts).
+// scales: the 8x8 reference workload (internal/benchsweep) runs a
+// quarter of a biological second per iteration, swept over partition
+// geometries and worker counts. With one worker this is exactly the
+// single-engine path, so the ns/op ratio between sub-benchmarks is the
+// parallel speedup; the windows/biosec metric shows the barrier
+// frequency each geometry's lookahead buys. Every cell produces an
+// identical report — see TestDeterminismUnderCongestion. `make bench`
+// runs the same sweep and records it in BENCH_PR2.json.
 func BenchmarkMachineBioSecondWorkers(b *testing.B) {
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			var spikes float64
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				m, err := spinngo.NewMachine(spinngo.MachineConfig{
-					Width: 8, Height: 8, Seed: 1, Workers: workers,
-					MaxAppCoresPerChip: 2,
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				if _, err := m.Boot(); err != nil {
-					b.Fatal(err)
-				}
-				model := spinngo.NewModel()
-				stim := model.AddPoisson("stim", 400, 200)
-				exc := model.AddLIF("exc", 2000, spinngo.DefaultLIFConfig())
-				if err := model.Connect(stim, exc, spinngo.Conn{
-					Rule: spinngo.RandomRule, P: 0.05, WeightNA: 1.2, DelayMS: 2,
-				}); err != nil {
-					b.Fatal(err)
-				}
-				if _, err := m.Load(model); err != nil {
-					b.Fatal(err)
-				}
-				b.StartTimer()
-				rep, err := m.Run(250)
-				if err != nil {
-					b.Fatal(err)
-				}
-				spikes = float64(rep.TotalSpikes)
-			}
-			b.ReportMetric(spikes, "spikes")
-		})
+	for _, cfg := range benchsweep.Grid() {
+		b.Run(fmt.Sprintf("partition=%s/workers=%d", cfg.Partition, cfg.Workers),
+			benchsweep.Bench(cfg))
 	}
 }
 

@@ -1,0 +1,39 @@
+// Command benchsweep measures the sharded engine's scaling across
+// partition geometries and worker counts on the 8x8 reference workload
+// and writes the results as JSON — the repo's bench trajectory record
+// (`make bench` writes BENCH_PR2.json).
+//
+// Usage:
+//
+//	benchsweep [-out BENCH_PR2.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spinngo/internal/benchsweep"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "JSON output path ('' = stdout table only)")
+	flag.Parse()
+
+	var results []benchsweep.Result
+	fmt.Printf("worker/partition sweep: %dms of biological time per op\n", benchsweep.BioMS)
+	for _, cfg := range benchsweep.Grid() {
+		r, err := benchsweep.Measure(cfg)
+		if err != nil {
+			log.Fatalf("%s/%d: %v", cfg.Partition, cfg.Workers, err)
+		}
+		fmt.Println(benchsweep.Row(r))
+		results = append(results, r)
+	}
+	if *out != "" {
+		if err := benchsweep.WriteJSON(*out, results); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

@@ -8,6 +8,7 @@
 //	spinnsim [-w 4] [-h 4] [-neurons 400] [-stim 100] [-rate 150]
 //	         [-p 0.05] [-weight 0.8] [-delay 2] [-ms 500]
 //	         [-faillink "1,1,E"] [-raster] [-seed 1] [-workers 0]
+//	         [-partition auto]
 package main
 
 import (
@@ -32,15 +33,19 @@ func main() {
 	failLink := flag.String("faillink", "", "fail a link, e.g. \"1,1,E\"")
 	raster := flag.Bool("raster", false, "print an ASCII spike raster")
 	seed := flag.Uint64("seed", 1, "random seed")
-	workers := flag.Int("workers", 0, "simulation shards run in parallel (0 = GOMAXPROCS); any value yields the same results")
+	workers := flag.Int("workers", 0, "simulation shards run in parallel (0 = automatic); any value yields the same results")
+	partition := flag.String("partition", "auto", "shard geometry: bands, blocks or auto; any value yields the same results")
 	flag.Parse()
 
 	machine, err := spinngo.NewMachine(spinngo.MachineConfig{
-		Width: *w, Height: *h, Seed: *seed, Workers: *workers,
+		Width: *w, Height: *h, Seed: *seed, Workers: *workers, Partition: *partition,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	st := machine.SimStats()
+	fmt.Printf("engine: %d %s shards (%d cut links), lookahead %v\n",
+		st.Shards, st.Geometry, st.CutLinks, st.Lookahead)
 	bootRep, err := machine.Boot()
 	if err != nil {
 		log.Fatal(err)

@@ -13,24 +13,25 @@ import (
 // worker count. These are the regression tests that pin it.
 
 // detConfig is the reference workload: a 4x4 torus (so 4 shards are 4
-// one-row bands), fragments spread across chips, stimulus-driven
-// activity crossing shard boundaries, and a mid-run fault so migration
-// bookkeeping is covered too.
-func detConfig(seed uint64, workers int) MachineConfig {
+// one-row bands or a 2x2 block grid), fragments spread across chips,
+// stimulus-driven activity crossing shard boundaries, and a mid-run
+// fault so migration bookkeeping is covered too.
+func detConfig(seed uint64, workers int, partition string) MachineConfig {
 	return MachineConfig{
-		Width: 4, Height: 4, Seed: seed, Workers: workers,
+		Width: 4, Height: 4, Seed: seed, Workers: workers, Partition: partition,
 		MaxAppCoresPerChip: 2,
 	}
 }
 
 // runFingerprint boots, loads and runs the reference workload and
 // renders everything the public API reports into one string.
-func runFingerprint(t *testing.T, seed uint64, workers int) string {
+func runFingerprint(t *testing.T, seed uint64, workers int, partition string) string {
 	t.Helper()
-	m, err := NewMachine(detConfig(seed, workers))
+	m, err := NewMachine(detConfig(seed, workers, partition))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer m.Close()
 	bootRep, err := m.Boot()
 	if err != nil {
 		t.Fatal(err)
@@ -85,70 +86,88 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 		t.Skip("full-machine determinism sweep")
 	}
 	for _, seed := range []uint64{11, 29, 53} {
-		ref := runFingerprint(t, seed, 1)
-		for _, workers := range []int{2, 4} {
-			got := runFingerprint(t, seed, workers)
-			if got != ref {
-				t.Errorf("seed=%d workers=%d diverged from workers=1:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
-					seed, workers, ref, workers, got)
+		ref := runFingerprint(t, seed, 1, PartitionBands)
+		for _, partition := range []string{PartitionBands, PartitionBlocks, PartitionAuto} {
+			for _, workers := range []int{2, 4} {
+				got := runFingerprint(t, seed, workers, partition)
+				if got != ref {
+					t.Errorf("seed=%d workers=%d partition=%s diverged from bands/1:\n--- bands/1 ---\n%s--- %s/%d ---\n%s",
+						seed, workers, partition, ref, partition, workers, got)
+				}
 			}
 		}
 	}
 }
 
+// congestedRun executes the hardest-regime workload: a dense recurrent
+// 8x8 network driven into congestion (dropped packets, emergency
+// reroutes, timer overruns), where same-nanosecond event ties across
+// shard boundaries actually occur.
+func congestedRun(t *testing.T, partition string, workers int) *RunReport {
+	t.Helper()
+	m, err := NewMachine(MachineConfig{
+		Width: 8, Height: 8, Seed: 1, Workers: workers, Partition: partition,
+		MaxAppCoresPerChip: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	model := NewModel()
+	stim := model.AddPoisson("stim", 300, 300)
+	exc := model.AddLIF("exc", 1200, DefaultLIFConfig())
+	if err := model.Connect(stim, exc, Conn{
+		Rule: RandomRule, P: 0.1, WeightNA: 1.2, DelayMS: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Connect(exc, exc, Conn{
+		Rule: RandomRule, P: 0.05, WeightNA: 0.5, DelayMS: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Load(model); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
 // TestDeterminismUnderCongestion pins the contract in the regime where
-// it is hardest to keep: a dense recurrent 8x8 network driven into
-// congestion (dropped packets, emergency reroutes, timer overruns),
-// where same-nanosecond event ties across shard boundaries actually
-// occur. The canonical (time, domain, class, key) event order is what
-// keeps worker counts in agreement here; insertion-order tie-breaking
-// demonstrably diverges on this workload.
+// it is hardest to keep, across the full (partition geometry, worker
+// count) matrix. The canonical (time, domain, class, key) event order
+// is what keeps the configurations in agreement here; insertion-order
+// tie-breaking demonstrably diverges on this workload. workers=7 makes
+// the bands uneven and the block grid degenerate (7x1), covering the
+// non-divisible paths.
 func TestDeterminismUnderCongestion(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-machine determinism sweep")
 	}
-	run := func(workers int) *RunReport {
-		m, err := NewMachine(MachineConfig{
-			Width: 8, Height: 8, Seed: 1, Workers: workers, MaxAppCoresPerChip: 2,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := m.Boot(); err != nil {
-			t.Fatal(err)
-		}
-		model := NewModel()
-		stim := model.AddPoisson("stim", 300, 300)
-		exc := model.AddLIF("exc", 1200, DefaultLIFConfig())
-		if err := model.Connect(stim, exc, Conn{
-			Rule: RandomRule, P: 0.1, WeightNA: 1.2, DelayMS: 1,
-		}); err != nil {
-			t.Fatal(err)
-		}
-		if err := model.Connect(exc, exc, Conn{
-			Rule: RandomRule, P: 0.05, WeightNA: 0.5, DelayMS: 2,
-		}); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := m.Load(model); err != nil {
-			t.Fatal(err)
-		}
-		rep, err := m.Run(100)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return rep
-	}
-	ref := run(1)
-	got := run(8)
-	if *got != *ref {
-		t.Errorf("congested 8x8: workers=8 diverged from workers=1:\nw1: %+v\nw8: %+v", *ref, *got)
-	}
+	ref := congestedRun(t, PartitionBands, 1)
 	// The workload must actually be congested, or this test is not
 	// exercising what it claims to.
 	if ref.EmergencyInvocations == 0 || ref.PacketsDropped == 0 {
-		t.Errorf("workload not congested (emergencies=%d dropped=%d); tighten it",
+		t.Fatalf("workload not congested (emergencies=%d dropped=%d); tighten it",
 			ref.EmergencyInvocations, ref.PacketsDropped)
+	}
+	for _, partition := range []string{PartitionBands, PartitionBlocks} {
+		for _, workers := range []int{1, 2, 4, 7} {
+			if partition == PartitionBands && workers == 1 {
+				continue // the reference itself
+			}
+			got := congestedRun(t, partition, workers)
+			if *got != *ref {
+				t.Errorf("congested 8x8: %s/%d diverged from bands/1:\nref: %+v\ngot: %+v",
+					partition, workers, *ref, *got)
+			}
+		}
 	}
 }
 
@@ -157,8 +176,8 @@ func TestDeterminismRunToRun(t *testing.T) {
 		t.Skip("full-machine determinism sweep")
 	}
 	for _, workers := range []int{1, 4} {
-		a := runFingerprint(t, 7, workers)
-		b := runFingerprint(t, 7, workers)
+		a := runFingerprint(t, 7, workers, PartitionAuto)
+		b := runFingerprint(t, 7, workers, PartitionAuto)
 		if a != b {
 			t.Errorf("workers=%d: two runs with the same seed diverged", workers)
 		}
@@ -169,24 +188,83 @@ func TestDifferentSeedsDiverge(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-machine determinism sweep")
 	}
-	a := runFingerprint(t, 3, 4)
-	b := runFingerprint(t, 4, 4)
+	a := runFingerprint(t, 3, 4, PartitionAuto)
+	b := runFingerprint(t, 4, 4, PartitionAuto)
 	if a == b {
 		t.Error("different seeds produced identical runs: randomness is not flowing from the seed")
 	}
 }
 
-func TestWorkersClampedToPartition(t *testing.T) {
-	// A 4x4 torus has at most 4 one-row bands; asking for 64 workers
-	// must clamp, not break.
-	m, err := NewMachine(MachineConfig{Width: 4, Height: 4, Workers: 64})
+func TestWorkersClampedToGeometry(t *testing.T) {
+	// Within the valid range, explicit worker counts clamp to the
+	// geometry's granularity: a 4x4 torus has at most 4 one-row bands,
+	// but 16 one-chip blocks.
+	m, err := NewMachine(MachineConfig{Width: 4, Height: 4, Workers: 16, Partition: PartitionBands})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer m.Close()
 	if got := m.Workers(); got != 4 {
-		t.Errorf("Workers() = %d, want 4 (clamped to row bands)", got)
+		t.Errorf("bands Workers() = %d, want 4 (clamped to row bands)", got)
 	}
 	if _, err := m.Boot(); err != nil {
 		t.Fatal(err)
+	}
+	b, err := NewMachine(MachineConfig{Width: 4, Height: 4, Workers: 16, Partition: PartitionBlocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if got := b.Workers(); got != 16 {
+		t.Errorf("blocks Workers() = %d, want 16 (one chip per shard)", got)
+	}
+}
+
+func TestMachineConfigValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  MachineConfig
+	}{
+		{"negative workers", MachineConfig{Width: 4, Height: 4, Workers: -1}},
+		{"workers beyond chips", MachineConfig{Width: 4, Height: 4, Workers: 64}},
+		{"unknown partition", MachineConfig{Width: 4, Height: 4, Partition: "spiral"}},
+		{"zero width", MachineConfig{Width: 0, Height: 4}},
+	} {
+		if _, err := NewMachine(tc.cfg); err == nil {
+			t.Errorf("%s: NewMachine accepted %+v", tc.name, tc.cfg)
+		}
+		if err := tc.cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.cfg)
+		}
+	}
+	for _, partition := range []string{"", PartitionAuto, PartitionBands, PartitionBlocks} {
+		cfg := MachineConfig{Width: 4, Height: 4, Partition: partition}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("valid partition %q rejected: %v", partition, err)
+		}
+	}
+}
+
+func TestSimStatsReflectGeometry(t *testing.T) {
+	m, err := NewMachine(MachineConfig{Width: 8, Height: 8, Workers: 4, Partition: PartitionBlocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st := m.SimStats()
+	if st.Geometry != "blocks" || st.Shards != 4 {
+		t.Errorf("SimStats = %+v, want blocks/4", st)
+	}
+	bands, err := NewMachine(MachineConfig{Width: 8, Height: 8, Workers: 4, Partition: PartitionBands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bands.Close()
+	if bst := bands.SimStats(); st.CutLinks >= bst.CutLinks {
+		t.Errorf("blocks cut %d links, bands %d — blocks should cut fewer on a square torus",
+			st.CutLinks, bst.CutLinks)
+	}
+	if st.Lookahead <= 100 { // router latency alone is 100 ns
+		t.Errorf("lookahead %v not widened beyond the router latency", st.Lookahead)
 	}
 }

@@ -1,0 +1,208 @@
+// Package benchsweep defines the worker/partition scaling sweep of the
+// end-to-end machine benchmark in one place, so that the
+// BenchmarkMachineBioSecondWorkers sub-benchmarks (`make bench-workers`,
+// the CI smoke step) and the JSON bench emitter (`make bench`, written
+// to BENCH_PR2.json) measure exactly the same workload.
+//
+// The workload is the 8x8 reference machine: fragments spread across
+// all chips, a dense stimulus-driven network, a quarter of a biological
+// second per iteration. Every cell of the sweep produces a
+// byte-identical RunReport — the determinism contract — so the only
+// thing the sweep measures is execution cost.
+package benchsweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"spinngo"
+)
+
+// BioMS is the biological time each benchmark iteration simulates.
+const BioMS = 250
+
+// Config is one cell of the sweep grid.
+type Config struct {
+	Partition string `json:"partition"`
+	Workers   int    `json:"workers"`
+}
+
+// Grid reports the sweep grid: both geometries crossed with worker
+// counts from sequential to torus height.
+func Grid() []Config {
+	var grid []Config
+	for _, p := range []string{spinngo.PartitionBands, spinngo.PartitionBlocks} {
+		for _, w := range []int{1, 2, 4, 8} {
+			grid = append(grid, Config{Partition: p, Workers: w})
+		}
+	}
+	return grid
+}
+
+// Result is one measured cell of the sweep.
+type Result struct {
+	Config
+	// Geometry, Shards, CutLinks and LookaheadNS describe the effective
+	// partition (what the config resolved to).
+	Geometry    string `json:"geometry"`
+	Shards      int    `json:"shards"`
+	CutLinks    int    `json:"cut_links"`
+	LookaheadNS int64  `json:"lookahead_ns"`
+	// N and NsPerOp are the benchmark iteration count and wall time per
+	// iteration (one iteration = BioMS of biological time).
+	N       int   `json:"n"`
+	NsPerOp int64 `json:"ns_per_op"`
+	// EventsPerSec is simulation-event throughput over the timed runs;
+	// WindowsPerBioSecond and EventsPerWindow report the barrier
+	// frequency the lookahead bound controls.
+	EventsPerSec        float64 `json:"events_per_sec"`
+	WindowsPerBioSecond float64 `json:"windows_per_bio_second"`
+	EventsPerWindow     float64 `json:"events_per_window"`
+	// Spikes fingerprints the workload: identical for every cell, per
+	// the determinism contract.
+	Spikes float64 `json:"spikes"`
+}
+
+// machineConfig is the single definition of the reference machine; the
+// benchmark body and Describe must agree on it or the JSON metadata
+// would describe a different machine than the one measured.
+func machineConfig(cfg Config) spinngo.MachineConfig {
+	return spinngo.MachineConfig{
+		Width: 8, Height: 8, Seed: 1,
+		Workers: cfg.Workers, Partition: cfg.Partition,
+		MaxAppCoresPerChip: 2,
+	}
+}
+
+// build constructs, boots and loads the reference machine for one cell.
+func build(cfg Config) (*spinngo.Machine, error) {
+	m, err := spinngo.NewMachine(machineConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.Boot(); err != nil {
+		return nil, err
+	}
+	model := spinngo.NewModel()
+	stim := model.AddPoisson("stim", 400, 200)
+	exc := model.AddLIF("exc", 2000, spinngo.DefaultLIFConfig())
+	if err := model.Connect(stim, exc, spinngo.Conn{
+		Rule: spinngo.RandomRule, P: 0.05, WeightNA: 1.2, DelayMS: 2,
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := m.Load(model); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Describe resolves a cell's effective partition without running it.
+func Describe(cfg Config) (spinngo.SimStats, error) {
+	m, err := spinngo.NewMachine(machineConfig(cfg))
+	if err != nil {
+		return spinngo.SimStats{}, err
+	}
+	defer m.Close()
+	return m.SimStats(), nil
+}
+
+// Bench returns the benchmark body for one cell. Machine construction,
+// boot and load run off the clock; only Machine.Run is timed. The
+// barrier and event counters are reported through b.ReportMetric, so
+// they surface both in `go test -bench` output and in
+// testing.Benchmark's Extra map (which the JSON emitter reads).
+func Bench(cfg Config) func(b *testing.B) {
+	return func(b *testing.B) {
+		var spikes float64
+		var events, windows uint64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m, err := build(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			before := m.SimStats()
+			b.StartTimer()
+			rep, err := m.Run(BioMS)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			after := m.SimStats()
+			m.Close()
+			spikes = float64(rep.TotalSpikes)
+			events += after.Events - before.Events
+			windows += after.Windows - before.Windows
+			b.StartTimer()
+		}
+		b.StopTimer()
+		bioSeconds := float64(b.N) * BioMS / 1000
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(events)/s, "events/s")
+		}
+		b.ReportMetric(float64(windows)/bioSeconds, "windows/biosec")
+		if windows > 0 {
+			b.ReportMetric(float64(events)/float64(windows), "ev/window")
+		}
+		b.ReportMetric(spikes, "spikes")
+	}
+}
+
+// Measure runs one cell under the testing harness and folds the
+// benchmark result and the cell's effective partition into a Result.
+func Measure(cfg Config) (Result, error) {
+	st, err := Describe(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	r := testing.Benchmark(Bench(cfg))
+	return Result{
+		Config:              cfg,
+		Geometry:            st.Geometry,
+		Shards:              st.Shards,
+		CutLinks:            st.CutLinks,
+		LookaheadNS:         int64(st.Lookahead),
+		N:                   r.N,
+		NsPerOp:             r.NsPerOp(),
+		EventsPerSec:        r.Extra["events/s"],
+		WindowsPerBioSecond: r.Extra["windows/biosec"],
+		EventsPerWindow:     r.Extra["ev/window"],
+		Spikes:              r.Extra["spikes"],
+	}, nil
+}
+
+// Report is the file written by `make bench`.
+type Report struct {
+	Workload   string   `json:"workload"`
+	BioMS      int      `json:"bio_ms"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	GoVersion  string   `json:"go_version"`
+	Results    []Result `json:"results"`
+}
+
+// WriteJSON serialises a sweep report to path.
+func WriteJSON(path string, results []Result) error {
+	rep := Report{
+		Workload:   "8x8 torus, 400 Poisson + 2000 LIF, P=0.05, 2 app cores/chip",
+		BioMS:      BioMS,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Results:    results,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// Row renders one result as a human-readable table line.
+func Row(r Result) string {
+	return fmt.Sprintf("%-7s w=%d shards=%-2d cut=%-3d la=%dns  %12d ns/op  %11.0f ev/s  %7.0f win/bios  %6.1f ev/win",
+		r.Partition, r.Workers, r.Shards, r.CutLinks, r.LookaheadNS,
+		r.NsPerOp, r.EventsPerSec, r.WindowsPerBioSecond, r.EventsPerWindow)
+}

@@ -130,6 +130,12 @@ func (p Packet) control() uint8 {
 	return c
 }
 
+// MinWireSize is the smallest serialised packet (a payload-less 40-bit
+// multicast or nearest-neighbour packet). No frame can occupy a link
+// for less than the time this many bytes take to serialise, which is
+// why it enters the sharded engine's cross-shard latency bound.
+const MinWireSize = 5
+
 // WireSize reports the serialised size in bytes: 5 for a 40-bit packet,
 // 9 with payload, 7/11 for p2p (which carries two address halfwords).
 func (p Packet) WireSize() int {

@@ -161,6 +161,10 @@ func TestWireSizes(t *testing.T) {
 		if len(b) != c.want || c.p.WireSize() != c.want {
 			t.Errorf("%v: wire size %d (reported %d), want %d", c.p, len(b), c.p.WireSize(), c.want)
 		}
+		if c.p.WireSize() < MinWireSize {
+			t.Errorf("%v: wire size %d below MinWireSize %d — the cross-shard latency bound would be unsound",
+				c.p, c.p.WireSize(), MinWireSize)
+		}
 	}
 }
 

@@ -82,6 +82,16 @@ func (p LinkParams) FrameCost(nBytes int) TransferCost {
 	}
 }
 
+// SerialisationFloor reports the minimum time any frame of at least
+// minBytes occupies this link — the frame cost of the smallest packet.
+// The sharded simulation engine folds this into its cross-shard latency
+// bound: an event cannot affect another chip sooner than one minimal
+// frame plus the router pipeline, so lookahead windows may be that much
+// wider than the router latency alone.
+func (p LinkParams) SerialisationFloor(minBytes int) sim.Time {
+	return p.FrameCost(minBytes).Time
+}
+
 // Tx is a symbol-level transmitter feeding a wire bundle. It tracks the
 // NRZ wire state (for RTZ the state always returns to zero) and counts
 // transitions, so a byte stream can be replayed exactly.

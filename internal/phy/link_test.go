@@ -102,3 +102,19 @@ func TestOffChipTradeoffReverses(t *testing.T) {
 		t.Error("off-chip transition energy should exceed on-chip")
 	}
 }
+
+func TestSerialisationFloor(t *testing.T) {
+	p := DefaultInterChip()
+	// The floor of an n-byte frame is exactly its frame cost, and it
+	// grows monotonically with the frame size — a larger packet can
+	// never undercut the bound computed from the smallest one.
+	if got, want := p.SerialisationFloor(5), p.FrameCost(5).Time; got != want {
+		t.Errorf("SerialisationFloor(5) = %v, want %v", got, want)
+	}
+	if p.SerialisationFloor(5) >= p.SerialisationFloor(9) {
+		t.Error("floor not monotonic in frame size")
+	}
+	if p.SerialisationFloor(5) <= 0 {
+		t.Error("floor must be positive: it widens the lookahead window")
+	}
+}

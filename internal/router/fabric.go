@@ -42,6 +42,34 @@ type Params struct {
 	PhasePeriod sim.Time
 }
 
+// MinHopLatency reports the minimum time between a packet starting to
+// serialise onto any inter-chip link and its arrival event at the
+// neighbouring router: one minimal frame on the wire plus the router
+// pipeline. This — not the router latency alone — is the true floor on
+// chip-to-chip influence, so it is what the sharded engine may use as
+// its lookahead.
+func (p Params) MinHopLatency() sim.Time {
+	return p.RouterLatency + p.Link.SerialisationFloor(packet.MinWireSize)
+}
+
+// LookaheadFor reports the cross-shard latency bound for a given
+// partition geometry: the minimum MinHopLatency over the partition's
+// boundary links — the only links whose traffic crosses shards. Today
+// every link shares one LinkParams, so the bound is uniform; the
+// geometry decides the cut set, and a fabric with per-link parameters
+// (e.g. slower board-to-board links on some boundaries) would lower the
+// bound only where the cut actually crosses them. A partition with no
+// boundary links (one shard) needs no lookahead at all; the uniform
+// floor is returned for uniformity.
+func (p Params) LookaheadFor(part topo.Partition) sim.Time {
+	// Every link currently shares one LinkParams, so the minimum over
+	// the cut set is the uniform floor. When per-link parameters exist,
+	// this becomes a true min over part.BoundaryLinks(); the geometry
+	// already scopes the bound to the links that can carry cross-shard
+	// traffic.
+	return p.MinHopLatency()
+}
+
 // DefaultParams returns paper-scale fabric parameters for a w x h torus.
 func DefaultParams(w, h int) Params {
 	return Params{
@@ -219,8 +247,9 @@ func NewFabric(eng *sim.Engine, p Params) (*Fabric, error) {
 
 // NewShardedFabric builds the fabric over a partitioned torus: each
 // node binds to its partition shard's engine, and deliveries between
-// shards go through the ParallelEngine's mailboxes with RouterLatency
-// lookahead.
+// shards go through the ParallelEngine's mailboxes, whose lookahead
+// must not exceed the fabric's minimum cross-shard hop latency
+// (Params.LookaheadFor on the same partition).
 func NewShardedFabric(pe *sim.ParallelEngine, part topo.Partition, p Params) (*Fabric, error) {
 	if part.Torus() != p.Torus {
 		return nil, fmt.Errorf("router: partition torus %v does not match params torus %v",
@@ -230,9 +259,9 @@ func NewShardedFabric(pe *sim.ParallelEngine, part topo.Partition, p Params) (*F
 		return nil, fmt.Errorf("router: partition needs %d shards, engine has %d",
 			part.Shards(), pe.Shards())
 	}
-	if p.RouterLatency < pe.Lookahead() {
-		return nil, fmt.Errorf("router: router latency %v below engine lookahead %v",
-			p.RouterLatency, pe.Lookahead())
+	if la := p.LookaheadFor(part); la < pe.Lookahead() {
+		return nil, fmt.Errorf("router: cross-shard hop floor %v below engine lookahead %v",
+			la, pe.Lookahead())
 	}
 	f := &Fabric{pe: pe}
 	if err := f.build(p, func(i int) (*sim.Engine, int) {
@@ -498,6 +527,14 @@ func (n *Node) transmit(fl flit, d topo.Dir) {
 // boot, management and host traffic) are served before neural mc
 // traffic, the admission-control idea the GALS interconnect supports
 // (section 4, ref [12]). Within a class the queue is FIFO.
+//
+// The arrival event at the neighbour is committed here, at serialisation
+// start, with timestamp now + frame + RouterLatency (the link health
+// check happens at launch: a dead link stalls the handshake on the
+// first symbol). Committing at launch rather than at frame completion
+// is what lets the sharded engine count the frame serialisation time
+// toward its lookahead: every cross-shard post is issued at least one
+// minimal frame plus the router pipeline ahead of its delivery.
 func (n *Node) startTx(d topo.Dir) {
 	f := n.fabric
 	l := &n.out[d]
@@ -516,35 +553,37 @@ func (n *Node) startTx(d topo.Dir) {
 	fl := l.queue[pick]
 	l.queue = append(l.queue[:pick], l.queue[pick+1:]...)
 	frame := f.p.Link.FrameCost(fl.pkt.WireSize())
-	n.dom.After(frame.Time, func() {
-		if l.failed {
-			// The link died mid-flight; the frame is lost. The
-			// neighbour-side protocol (parity, monitor timeouts)
-			// handles recovery at higher layers.
-			n.dropped++
-		} else {
-			l.Traversals++
-			fl.pkt.Hops++
-			if fl.pkt.Emergency != packet.EmNormal {
-				fl.pkt.EmergencyHops++
-			}
-			neighbor := f.Node(f.p.Torus.Neighbor(n.Coord, d))
-			f.deliver(n, neighbor, d, fl)
+	if l.failed {
+		// The link is dead at launch: the handshake never completes and
+		// the frame is lost. The neighbour-side protocol (parity,
+		// monitor timeouts) handles recovery at higher layers.
+		n.dropped++
+	} else {
+		l.Traversals++
+		fl.pkt.Hops++
+		if fl.pkt.Emergency != packet.EmNormal {
+			fl.pkt.EmergencyHops++
 		}
-		n.startTx(d)
-	})
+		neighbor := f.Node(f.p.Torus.Neighbor(n.Coord, d))
+		f.deliver(n, neighbor, d, fl, frame.Time)
+	}
+	// The link stays occupied for the full frame either way; the next
+	// queued packet launches when it clears.
+	n.dom.After(frame.Time, func() { n.startTx(d) })
 }
 
-// deliver schedules the final RouterLatency hop of a link traversal at
-// the neighbour, keyed by the sender's node index and per-sender
-// sequence. The key — not insertion order — decides where the delivery
-// sorts among same-instant events at the receiver, so the event order
-// is identical whether the hop stayed inside one shard, crossed a
-// barrier mailbox, or the whole machine ran on a single engine.
-// RouterLatency is exactly the lookahead bound declared to the engine.
-func (f *Fabric) deliver(from, to *Node, d topo.Dir, fl flit) {
+// deliver schedules the arrival of a link traversal at the neighbour —
+// one frame serialisation plus the RouterLatency pipeline after launch —
+// keyed by the sender's node index and per-sender sequence. The key —
+// not insertion order — decides where the delivery sorts among
+// same-instant events at the receiver, so the event order is identical
+// whether the hop stayed inside one shard, crossed a barrier mailbox,
+// or the whole machine ran on a single engine. frame + RouterLatency is
+// never below Params.MinHopLatency, the lookahead bound declared to the
+// engine.
+func (f *Fabric) deliver(from, to *Node, d topo.Dir, fl flit, frame sim.Time) {
 	from.sendSeq++
-	at := from.dom.Now() + f.p.RouterLatency
+	at := from.dom.Now() + frame + f.p.RouterLatency
 	fn := func() { to.receive(fl, d) }
 	if f.pe == nil || from.shard == to.shard {
 		to.dom.DeliverAt(at, from.idx, from.sendSeq, fn)

@@ -445,3 +445,77 @@ func TestSystemTrafficPriorityOverMC(t *testing.T) {
 		t.Errorf("p2p waited behind %d mc packets; priority arbitration should bound this", mcBefore)
 	}
 }
+
+func TestMinHopLatencyWidensLookahead(t *testing.T) {
+	p := DefaultParams(4, 4)
+	frame := p.Link.SerialisationFloor(packet.MinWireSize)
+	if frame <= 0 {
+		t.Fatal("serialisation floor must be positive")
+	}
+	if got, want := p.MinHopLatency(), p.RouterLatency+frame; got != want {
+		t.Errorf("MinHopLatency = %v, want router latency %v + min frame %v", got, p.RouterLatency, frame)
+	}
+	if p.MinHopLatency() <= p.RouterLatency {
+		t.Error("folding frame serialisation must widen the bound beyond the router latency")
+	}
+	// Uniform link parameters: the bound is the same for any geometry's
+	// cut set.
+	bands := topo.NewBands(p.Torus, 2)
+	blocks := topo.NewBlocks2D(p.Torus, 4)
+	if p.LookaheadFor(bands) != p.LookaheadFor(blocks) {
+		t.Errorf("uniform links: lookahead differs by geometry (%v vs %v)",
+			p.LookaheadFor(bands), p.LookaheadFor(blocks))
+	}
+}
+
+func TestShardedFabricDeliversAcrossBlockBoundaries(t *testing.T) {
+	// A 2x2 block partition of a 4x4 torus: a packet travelling east
+	// from (1,1) to (3,1) crosses a vertical shard boundary. With the
+	// engine's lookahead at the full hop floor (frame + router latency),
+	// the delivery must still arrive, at the exact time a single engine
+	// would produce.
+	p := DefaultParams(4, 4)
+	part := topo.NewBlocks2D(p.Torus, 4)
+	if r, c := part.Grid(); r != 2 || c != 2 {
+		t.Fatalf("expected a 2x2 grid, got %dx%d", r, c)
+	}
+	pe := sim.NewParallel(1, part.Shards(), part.Shards())
+	defer pe.Close()
+	pe.SetLookahead(p.LookaheadFor(part))
+	f, err := NewShardedFabric(pe, part, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := topo.Coord{X: 1, Y: 1}
+	dst := topo.Coord{X: 3, Y: 1}
+	if part.Shard(src) == part.Shard(dst) {
+		t.Fatal("test route does not cross a shard boundary")
+	}
+	installLine(f, 0xc4, src, dst, 0)
+	var deliveredAt sim.Time
+	f.OnDeliverMC = func(n *Node, core int, pkt packet.Packet, lat sim.Time) {
+		deliveredAt = n.Domain().Now()
+	}
+	f.InjectMC(src, packet.NewMC(0xc4))
+	pe.RunUntil(sim.Millisecond)
+	if deliveredAt == 0 {
+		t.Fatal("packet never crossed the block boundary")
+	}
+
+	// Reference: identical fabric on a single engine.
+	eng := sim.New(1)
+	ref, err := NewFabric(eng, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	installLine(ref, 0xc4, src, dst, 0)
+	var refAt sim.Time
+	ref.OnDeliverMC = func(n *Node, core int, pkt packet.Packet, lat sim.Time) {
+		refAt = n.Domain().Now()
+	}
+	ref.InjectMC(src, packet.NewMC(0xc4))
+	eng.RunUntil(sim.Millisecond)
+	if deliveredAt != refAt {
+		t.Errorf("sharded delivery at %v, single-engine at %v", deliveredAt, refAt)
+	}
+}

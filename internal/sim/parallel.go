@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -42,6 +43,17 @@ type mailMsg struct {
 	fn     func()
 }
 
+// poolJob hands one shard's window to a parked pool worker. Jobs carry
+// the engine and reply channel directly (rather than referencing the
+// ParallelEngine) so an idle worker holds nothing but its two channels
+// — which is what lets an abandoned engine be garbage collected and its
+// finalizer shut the pool down.
+type poolJob struct {
+	eng   *Engine
+	limit Time
+	done  chan<- struct{}
+}
+
 // ParallelEngine is a sharded discrete-event scheduler implementing
 // conservative parallel discrete-event simulation (PDES). The model is
 // partitioned into shards, each driven by its own deterministic Engine;
@@ -57,20 +69,26 @@ type mailMsg struct {
 // merged event order — and therefore the whole simulation — is
 // independent of goroutine scheduling and of the shard count itself.
 //
-// Two execution modes share the shard state:
+// Execution uses a persistent worker pool: the worker goroutines are
+// created once at construction and park between windows on the job
+// channel, so ms-granular stepping loops (Machine.Run's per-tick loop)
+// pay a channel handoff per window rather than a goroutine spawn per
+// RunUntil. Two execution modes share the shard state:
 //
-//   - RunUntil executes windows in parallel across worker goroutines
-//     (the hot path for long runs);
+//   - RunUntil executes windows across the pool (the hot path);
 //   - Run and Step execute one globally-earliest event at a time on the
 //     calling goroutine (used by boot and host-command phases, whose
 //     controllers keep cross-shard state and must not race).
 //
 // With a single shard every method degenerates to the plain Engine,
-// bit-for-bit.
+// bit-for-bit. Whether a given window runs on the pool or inline on the
+// coordinator is pure execution strategy: it cannot affect the event
+// order, which is why the adaptive mode below preserves determinism.
 type ParallelEngine struct {
 	shards    []*Engine
 	workers   int
 	lookahead Time
+	adaptive  bool
 
 	// mail[src*K+dst] is appended only by shard src's goroutine during a
 	// window and drained only by the coordinator at the barrier.
@@ -80,13 +98,37 @@ type ParallelEngine struct {
 	// goroutine while a parallel window is executing.
 	curLimit atomic.Int64
 	inWindow atomic.Bool
+
+	// Persistent pool: workers-1 helper goroutines parked on work; the
+	// coordinator always executes one active shard itself. done is the
+	// window barrier. closed guards double-Close.
+	work   chan poolJob
+	done   chan struct{}
+	closed bool
+
+	// Window statistics, updated only at barriers (quiescence points of
+	// the window protocol). They derive from event counts — simulation
+	// trajectory, not wall clock — so adaptive decisions based on them
+	// are identical run to run.
+	windows        uint64  // lookahead windows executed
+	parWindows     uint64  // windows dispatched to the pool
+	windowEvents   uint64  // events executed inside windows
+	ewmaEvPerShard float64 // events per active shard per window, smoothed
 }
+
+// soloThreshold is the events-per-active-shard-per-window level below
+// which adaptive mode runs a window inline on the coordinator: under
+// ~16 events a shard, the channel handoff and barrier wake-ups cost
+// more than the serialised execution they would parallelise.
+const soloThreshold = 16
 
 // NewParallel returns a ParallelEngine with the given shard count.
 // Shard 0's random stream is seeded exactly as New(seed), so the
 // control-plane RNG draws the same sequence regardless of the shard
 // count; further shards get independent derived streams. workers bounds
-// how many shards execute concurrently within a window.
+// how many shards execute concurrently within a window; the pool's
+// workers-1 helper goroutines are created here, once, and live until
+// Close (or until the engine is garbage collected).
 func NewParallel(seed uint64, shards, workers int) *ParallelEngine {
 	if shards < 1 {
 		panic("sim: parallel engine needs at least one shard")
@@ -98,10 +140,11 @@ func NewParallel(seed uint64, shards, workers int) *ParallelEngine {
 		workers = shards
 	}
 	pe := &ParallelEngine{
-		shards:    make([]*Engine, shards),
-		workers:   workers,
-		lookahead: 1,
-		mail:      make([][]mailMsg, shards*shards),
+		shards:         make([]*Engine, shards),
+		workers:        workers,
+		lookahead:      1,
+		mail:           make([][]mailMsg, shards*shards),
+		ewmaEvPerShard: 4 * soloThreshold, // start optimistic: first windows go to the pool
 	}
 	for i := range pe.shards {
 		pe.shards[i] = New(seed)
@@ -113,8 +156,52 @@ func NewParallel(seed uint64, shards, workers int) *ParallelEngine {
 			pe.shards[i].rng = nil
 		}
 	}
+	if helpers := workers - 1; helpers > 0 && shards > 1 {
+		pe.work = make(chan poolJob, shards)
+		pe.done = make(chan struct{}, shards)
+		for i := 0; i < helpers; i++ {
+			go poolWorker(pe.work)
+		}
+		// Backstop for engines dropped without Close: the workers hold
+		// only the channels, so an abandoned engine becomes unreachable,
+		// the finalizer closes the job channel, and the pool exits.
+		runtime.SetFinalizer(pe, (*ParallelEngine).Close)
+	}
 	return pe
 }
+
+// poolWorker runs shard windows until the job channel closes. It must
+// not capture the ParallelEngine — see poolJob.
+func poolWorker(work <-chan poolJob) {
+	for j := range work {
+		j.eng.RunBefore(j.limit)
+		j.done <- struct{}{}
+	}
+}
+
+// Close shuts the worker pool down. Idempotent; safe on an engine with
+// no pool; must not be called concurrently with RunUntil. A dropped
+// engine is closed by its finalizer, so Close is an optimisation for
+// callers that churn through many engines, not an obligation.
+func (pe *ParallelEngine) Close() {
+	if pe.work == nil || pe.closed {
+		return
+	}
+	pe.closed = true
+	close(pe.work)
+	runtime.SetFinalizer(pe, nil)
+}
+
+// SetAdaptive enables adaptive worker selection: each window is
+// dispatched to the pool only when the observed event density (events
+// per active shard per window, re-evaluated at window barriers) makes
+// the handoff worthwhile; thin windows run inline on the coordinator.
+// Results are identical either way — the strategy never touches event
+// order — so this trades nothing but wall-clock time.
+func (pe *ParallelEngine) SetAdaptive(on bool) { pe.adaptive = on }
+
+// Adaptive reports whether adaptive worker selection is enabled.
+func (pe *ParallelEngine) Adaptive() bool { return pe.adaptive }
 
 // SetLookahead declares the minimum latency of any cross-shard event:
 // an event executing at time t may only Post events with timestamps
@@ -134,6 +221,24 @@ func (pe *ParallelEngine) Shards() int { return len(pe.shards) }
 
 // Workers reports the execution parallelism bound.
 func (pe *ParallelEngine) Workers() int { return pe.workers }
+
+// Windows reports how many lookahead windows RunUntil has executed —
+// the synchronisation-frequency figure the lookahead bound controls.
+func (pe *ParallelEngine) Windows() uint64 { return pe.windows }
+
+// ParallelWindows reports how many windows were dispatched to the pool
+// (the rest ran inline: single active shard, no pool, or adaptive
+// solo).
+func (pe *ParallelEngine) ParallelWindows() uint64 { return pe.parWindows }
+
+// EventsPerWindow reports the mean events per window over all windows
+// so far (0 before the first window).
+func (pe *ParallelEngine) EventsPerWindow() float64 {
+	if pe.windows == 0 {
+		return 0
+	}
+	return float64(pe.windowEvents) / float64(pe.windows)
+}
 
 // Shard returns shard i's engine. Model components owned by a shard
 // schedule their local events directly on it.
@@ -272,37 +377,26 @@ func (pe *ParallelEngine) SyncClocks() {
 	}
 }
 
-// windowJob hands one shard's window to a worker goroutine.
-type windowJob struct {
-	shard int
-	limit Time
+// noteWindow folds one window's event count into the density estimate
+// the adaptive mode steers by. Called only at the window barrier.
+func (pe *ParallelEngine) noteWindow(activeShards int, events uint64) {
+	pe.windows++
+	pe.windowEvents += events
+	perShard := float64(events) / float64(activeShards)
+	pe.ewmaEvPerShard = 0.75*pe.ewmaEvPerShard + 0.25*perShard
 }
 
 // RunUntil executes events with timestamps <= deadline using parallel
 // lookahead windows, then advances every shard clock to exactly
 // deadline. Shards with events inside the current window run
-// concurrently (up to the worker bound); the coordinator always
-// executes one of them itself so single-shard windows cost no handoff.
+// concurrently on the persistent pool (up to the worker bound); the
+// coordinator always executes one of them itself so single-shard
+// windows cost no handoff, and adaptive mode keeps whole thin windows
+// on the coordinator.
 func (pe *ParallelEngine) RunUntil(deadline Time) {
 	if len(pe.shards) == 1 {
 		pe.shards[0].RunUntil(deadline)
 		return
-	}
-	helpers := pe.workers - 1
-	var work chan windowJob
-	var done chan struct{}
-	if helpers > 0 {
-		work = make(chan windowJob, len(pe.shards))
-		done = make(chan struct{}, len(pe.shards))
-		for i := 0; i < helpers; i++ {
-			go func() {
-				for j := range work {
-					pe.shards[j.shard].RunBefore(j.limit)
-					done <- struct{}{}
-				}
-			}()
-		}
-		defer close(work)
 	}
 	active := make([]int, 0, len(pe.shards))
 	for {
@@ -315,27 +409,37 @@ func (pe *ParallelEngine) RunUntil(deadline Time) {
 			end = deadline + 1 // final window: include events at the deadline
 		}
 		active = active[:0]
+		var before uint64
 		for i, s := range pe.shards {
 			if t, ok := s.NextAt(); ok && t < end {
 				active = append(active, i)
+				before += s.Processed()
 			}
 		}
 		pe.curLimit.Store(int64(end))
 		pe.inWindow.Store(true)
-		if len(active) == 1 || helpers == 0 {
-			for _, i := range active {
-				pe.shards[i].RunBefore(end)
-			}
-		} else {
+		pooled := len(active) > 1 && pe.work != nil && !pe.closed &&
+			(!pe.adaptive || pe.ewmaEvPerShard >= soloThreshold)
+		if pooled {
 			for _, i := range active[1:] {
-				work <- windowJob{shard: i, limit: end}
+				pe.work <- poolJob{eng: pe.shards[i], limit: end, done: pe.done}
 			}
 			pe.shards[active[0]].RunBefore(end)
 			for range active[1:] {
-				<-done
+				<-pe.done
+			}
+			pe.parWindows++
+		} else {
+			for _, i := range active {
+				pe.shards[i].RunBefore(end)
 			}
 		}
 		pe.inWindow.Store(false)
+		var after uint64
+		for _, i := range active {
+			after += pe.shards[i].Processed()
+		}
+		pe.noteWindow(len(active), after-before)
 		pe.drainMail()
 	}
 	for _, s := range pe.shards {

@@ -141,6 +141,125 @@ func TestParallelRunUntilAdvancesAllShards(t *testing.T) {
 	}
 }
 
+func TestPersistentPoolSurvivesRepeatedRunUntil(t *testing.T) {
+	// The stepping-loop pattern the pool exists for: many short RunUntil
+	// calls against the same engine. Cross-shard traffic must flow on
+	// every call, and the window counters must accumulate.
+	pe := NewParallel(1, 2, 2)
+	defer pe.Close()
+	pe.SetLookahead(100)
+	doms := []*Domain{pe.Shard(0).Domain(0), pe.Shard(1).Domain(1)}
+	var seq [2]uint64
+	var count [2]int
+	var hop func(shard int)
+	hop = func(shard int) {
+		count[shard]++
+		other := 1 - shard
+		seq[shard]++
+		pe.Post(shard, other, doms[other], pe.Shard(shard).Now()+100,
+			int32(shard), seq[shard], func() { hop(other) })
+	}
+	pe.Shard(0).At(0, func() { hop(0) })
+	for step := Time(0); step < 10000; step += 1000 {
+		pe.RunUntil(step + 1000)
+	}
+	if count[0]+count[1] != 101 {
+		t.Errorf("ping-pong ran %d hops over 10 RunUntil calls, want 101", count[0]+count[1])
+	}
+	if pe.Windows() == 0 {
+		t.Error("no windows recorded")
+	}
+	if pe.EventsPerWindow() <= 0 {
+		t.Error("no events attributed to windows")
+	}
+}
+
+func TestCloseIsIdempotentAndRunUntilStillWorks(t *testing.T) {
+	pe := NewParallel(1, 2, 2)
+	pe.Close()
+	pe.Close() // double close must not panic
+	ran := 0
+	pe.Shard(0).At(10, func() { ran++ })
+	pe.Shard(1).At(10, func() { ran++ })
+	pe.RunUntil(20) // pool closed: windows fall back to inline execution
+	if ran != 2 {
+		t.Errorf("ran %d events after Close, want 2", ran)
+	}
+}
+
+func TestAdaptiveSoloMatchesPooled(t *testing.T) {
+	// Adaptive dispatch is pure execution strategy: a thin workload that
+	// collapses to inline windows must produce the identical trace.
+	const la = 100
+	const deadline = 50 * la
+	run := func(adaptive bool) []string {
+		pe := NewParallel(1, 2, 2)
+		defer pe.Close()
+		pe.SetLookahead(la)
+		pe.SetAdaptive(adaptive)
+		return pingPong(pe, la, deadline, true)
+	}
+	plain := run(false)
+	adapt := run(true)
+	if len(plain) == 0 || len(plain) != len(adapt) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(plain), len(adapt))
+	}
+	for i := range plain {
+		if plain[i] != adapt[i] {
+			t.Fatalf("adaptive trace diverged at %d: %s vs %s", i, plain[i], adapt[i])
+		}
+	}
+}
+
+func TestAdaptiveThinWorkloadRunsSolo(t *testing.T) {
+	// A 1-event-per-window ping-pong is far below soloThreshold: after
+	// the optimistic warm-up the adaptive engine must stop paying for
+	// pool handoffs.
+	pe := NewParallel(1, 2, 2)
+	defer pe.Close()
+	pe.SetLookahead(100)
+	pe.SetAdaptive(true)
+	pingPong(pe, 100, 300*100, true)
+	if pe.Windows() == 0 {
+		t.Fatal("no windows ran")
+	}
+	if pe.ParallelWindows() >= pe.Windows()/2 {
+		t.Errorf("adaptive mode pooled %d of %d thin windows; expected mostly solo",
+			pe.ParallelWindows(), pe.Windows())
+	}
+}
+
+func TestWiderLookaheadReducesWindows(t *testing.T) {
+	// The same workload under a wider lookahead must synchronise less:
+	// cross-shard events at latency 210 can run under a lookahead of
+	// either 100 or 210, but the narrow bound pays a barrier roughly
+	// every event while the wide one batches them.
+	const eventLatency = 210
+	run := func(la Time) (windows uint64, trace []string) {
+		pe := NewParallel(1, 2, 2)
+		defer pe.Close()
+		pe.SetLookahead(la)
+		trace = pingPong(pe, eventLatency, 200*eventLatency, true)
+		return pe.Windows(), trace
+	}
+	wideWindows, wideTrace := run(eventLatency)
+	narrowWindows, narrowTrace := run(100)
+	if wideWindows >= narrowWindows {
+		t.Errorf("lookahead %d used %d windows, lookahead 100 used %d — wider must mean fewer barriers",
+			eventLatency, wideWindows, narrowWindows)
+	}
+	// And the trajectory is identical either way: lookahead is an
+	// execution parameter, not a model parameter.
+	if len(wideTrace) != len(narrowTrace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(wideTrace), len(narrowTrace))
+	}
+	for i := range wideTrace {
+		if wideTrace[i] != narrowTrace[i] {
+			t.Fatalf("trace diverged at %d: %s vs %s", i, wideTrace[i], narrowTrace[i])
+		}
+	}
+}
+
 func TestTimeStatsMergeOrderIndependent(t *testing.T) {
 	var a, b, whole TimeStats
 	samples := []Time{5, 3, 9, 1, 12, 7}

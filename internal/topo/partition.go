@@ -1,22 +1,72 @@
 package topo
 
-// Partition is a contiguous block decomposition of a torus into shards,
-// the unit of parallelism for the sharded simulation engine. The torus
-// is cut along its longer dimension into contiguous bands of rows (or
-// columns), so every chip has at most two off-shard neighbouring bands
-// and most links stay shard-local. The decomposition depends only on
-// the torus shape and the shard count, never on execution order.
-type Partition struct {
-	t       Torus
-	shards  int
-	shardOf []int // by node index
+// Geometry selects the strategy a Partition uses to decompose a torus
+// into shards, the unit of parallelism for the sharded simulation
+// engine. Every geometry yields the same kind of object — a total,
+// deterministic chip->shard map — so the engine and fabric are agnostic
+// to which one produced it; they differ only in how many inter-chip
+// links the cut crosses, which is what bounds cross-shard traffic and
+// therefore synchronisation cost.
+type Geometry int
+
+const (
+	// Bands cuts the torus along its longer dimension into contiguous
+	// bands of whole rows (or columns). Every chip has at most two
+	// off-shard neighbouring bands; the cut crosses 4·extent directed
+	// links per band boundary.
+	Bands Geometry = iota
+	// Blocks2D tiles the torus with an r×c grid of rectangular blocks,
+	// cutting along both axes. On square-ish tori at high shard counts
+	// this crosses fewer links than bands (perimeter ~ r+c instead of
+	// ~ shards), at the price of each shard having up to eight
+	// neighbouring shards instead of two.
+	Blocks2D
+)
+
+// String names the geometry as it appears in configuration ("bands",
+// "blocks").
+func (g Geometry) String() string {
+	switch g {
+	case Bands:
+		return "bands"
+	case Blocks2D:
+		return "blocks"
+	}
+	return "geometry(?)"
 }
 
-// NewPartition decomposes t into at most shards contiguous bands. The
-// effective shard count is clamped to the extent of the cut dimension
-// (a band must hold at least one full row or column) and to a minimum
-// of one.
-func NewPartition(t Torus, shards int) Partition {
+// BoundaryLink is one directed inter-chip link whose endpoints live in
+// different shards. Packets crossing such links are the only traffic
+// that must pass through the parallel engine's barrier mailboxes, so
+// the size of this set is the partition's communication cost.
+type BoundaryLink struct {
+	From Coord
+	Dir  Dir
+}
+
+// Partition is a decomposition of a torus into shards. The chip->shard
+// map depends only on the torus shape, the geometry and the shard
+// count, never on execution order, so every run with the same
+// configuration shards identically.
+type Partition struct {
+	t        Torus
+	geom     Geometry
+	shards   int
+	rows     int // block-grid rows (Blocks2D; bands-by-row have rows=shards)
+	cols     int // block-grid columns
+	shardOf  []int // by node index
+	boundary []BoundaryLink
+}
+
+// NewPartition decomposes t into at most shards contiguous bands — the
+// historical default geometry. It is NewBands under its original name.
+func NewPartition(t Torus, shards int) Partition { return NewBands(t, shards) }
+
+// NewBands decomposes t into at most shards contiguous bands of whole
+// rows (or columns, when the torus is wider than tall). The effective
+// shard count is clamped to the extent of the cut dimension (a band
+// must hold at least one full row or column) and to a minimum of one.
+func NewBands(t Torus, shards int) Partition {
 	byRow := t.H >= t.W
 	extent := t.H
 	if !byRow {
@@ -28,36 +78,142 @@ func NewPartition(t Torus, shards int) Partition {
 	if shards > extent {
 		shards = extent
 	}
-	base := extent / shards
-	rem := extent % shards
-	// bandOf maps a coordinate along the cut dimension to its band: the
-	// first rem bands have base+1 entries, the rest base.
-	bandOf := func(v int) int {
+	p := Partition{t: t, geom: Bands, shards: shards}
+	if byRow {
+		p.rows, p.cols = shards, 1
+	} else {
+		p.rows, p.cols = 1, shards
+	}
+	p.build()
+	return p
+}
+
+// NewBlocks2D tiles t with an r×c grid of rectangular blocks chosen to
+// minimise the number of cut links. The effective shard count is the
+// largest s <= shards that factorises as r·c with r <= H and c <= W;
+// among the factorisations of that s, the grid crossing the fewest
+// directed inter-chip links wins (ties break toward the squarest grid,
+// then toward more rows). Since 1×s and s×1 grids — bands — are always
+// candidates, a block partition never cuts more links than the band
+// partition with the same effective shard count.
+func NewBlocks2D(t Torus, shards int) Partition {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > t.Size() {
+		shards = t.Size()
+	}
+	best := Partition{}
+	found := false
+	for s := shards; s >= 1 && !found; s-- {
+		for r := 1; r <= s && r <= t.H; r++ {
+			if s%r != 0 {
+				continue
+			}
+			c := s / r
+			if c > t.W {
+				continue
+			}
+			cand := Partition{t: t, geom: Blocks2D, shards: s, rows: r, cols: c}
+			cand.build()
+			if !found || cand.betterGridThan(best) {
+				best = cand
+				found = true
+			}
+		}
+	}
+	return best
+}
+
+// betterGridThan orders candidate grids with the same shard count:
+// fewest cut links first, then squarest (smallest |rows-cols|), then
+// more rows — a total, deterministic order.
+func (p Partition) betterGridThan(q Partition) bool {
+	if len(p.boundary) != len(q.boundary) {
+		return len(p.boundary) < len(q.boundary)
+	}
+	pa, qa := abs(p.rows-p.cols), abs(q.rows-q.cols)
+	if pa != qa {
+		return pa < qa
+	}
+	return p.rows > q.rows
+}
+
+// build fills the chip->shard map from the rows×cols grid and
+// enumerates the boundary links. Grid cell (i, j) — row band i of rows,
+// column band j of cols — is shard i·cols + j; bands along each axis
+// differ in extent by at most one (the first remainder bands are one
+// wider).
+func (p *Partition) build() {
+	rowOf := bandOf(p.t.H, p.rows)
+	colOf := bandOf(p.t.W, p.cols)
+	p.shardOf = make([]int, p.t.Size())
+	for i := range p.shardOf {
+		c := p.t.CoordOf(i)
+		p.shardOf[i] = rowOf(c.Y)*p.cols + colOf(c.X)
+	}
+	p.boundary = nil
+	for i := range p.shardOf {
+		from := p.t.CoordOf(i)
+		for d := Dir(0); int(d) < NumDirs; d++ {
+			if p.shardOf[p.t.Index(p.t.Neighbor(from, d))] != p.shardOf[i] {
+				p.boundary = append(p.boundary, BoundaryLink{From: from, Dir: d})
+			}
+		}
+	}
+}
+
+// bandOf returns the map from a coordinate along one axis to its band
+// index when extent is split into n near-equal contiguous bands: the
+// first extent%n bands have one extra entry.
+func bandOf(extent, n int) func(v int) int {
+	base := extent / n
+	rem := extent % n
+	return func(v int) int {
 		if v < rem*(base+1) {
 			return v / (base + 1)
 		}
 		return rem + (v-rem*(base+1))/base
 	}
-	p := Partition{t: t, shards: shards, shardOf: make([]int, t.Size())}
-	for i := range p.shardOf {
-		c := t.CoordOf(i)
-		if byRow {
-			p.shardOf[i] = bandOf(c.Y)
-		} else {
-			p.shardOf[i] = bandOf(c.X)
-		}
-	}
-	return p
 }
 
 // Torus reports the decomposed torus.
 func (p Partition) Torus() Torus { return p.t }
 
+// Geometry reports the strategy that produced this partition.
+func (p Partition) Geometry() Geometry { return p.geom }
+
 // Shards reports the effective shard count.
 func (p Partition) Shards() int { return p.shards }
+
+// Grid reports the block-grid dimensions (rows×cols == Shards()); a
+// band partition is a degenerate 1×s or s×1 grid.
+func (p Partition) Grid() (rows, cols int) { return p.rows, p.cols }
 
 // Shard reports the shard owning the chip at c.
 func (p Partition) Shard(c Coord) int { return p.shardOf[p.t.Index(c)] }
 
 // ShardOfIndex reports the shard owning node index i.
 func (p Partition) ShardOfIndex(i int) int { return p.shardOf[i] }
+
+// Chips reports the chip set of one shard, in node-index order.
+func (p Partition) Chips(shard int) []Coord {
+	var out []Coord
+	for i, s := range p.shardOf {
+		if s == shard {
+			out = append(out, p.t.CoordOf(i))
+		}
+	}
+	return out
+}
+
+// BoundaryLinks enumerates every directed inter-chip link that crosses
+// a shard boundary, in (node index, direction) order. These are exactly
+// the links whose traffic travels through the parallel engine's barrier
+// mailboxes.
+func (p Partition) BoundaryLinks() []BoundaryLink { return p.boundary }
+
+// CutLinks reports the number of directed links crossing shard
+// boundaries — the partition's communication cost, and the quantity
+// Blocks2D minimises.
+func (p Partition) CutLinks() int { return len(p.boundary) }

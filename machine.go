@@ -39,13 +39,25 @@ type MachineConfig struct {
 	// Seed drives all randomness (default 1).
 	Seed uint64
 	// Workers is the number of torus shards simulated in parallel
-	// (conservative PDES over the partitioned mesh). 0 means
-	// runtime.GOMAXPROCS; the value is clamped to the partition
-	// granularity of the torus. Workers=1 reproduces the single-engine
-	// event order exactly, and the determinism contract is that the
-	// same Seed and config produce an identical run report for every
-	// worker count.
+	// (conservative PDES over the partitioned mesh). 0 means automatic:
+	// the shard count is sized from the torus and runtime.GOMAXPROCS,
+	// and — when Partition is also automatic — the engine adapts its
+	// per-window parallelism to the observed event density. Explicit
+	// values are clamped down to the granularity of the chosen
+	// geometry (bands: one per row or column; blocks: one per chip);
+	// negative values and values above Width*Height are rejected by
+	// Validate. Workers=1 reproduces the single-engine event order
+	// exactly, and the determinism contract is that the same Seed and
+	// config produce an identical run report for every worker count and
+	// partition geometry.
 	Workers int
+	// Partition selects the shard geometry: PartitionBands cuts whole
+	// rows or columns, PartitionBlocks tiles the torus with a 2D block
+	// grid minimising cut links, and PartitionAuto (or "") compares the
+	// two and keeps whichever reaches the requested shard count with
+	// the smaller cut. Results are byte-identical for every geometry;
+	// the choice affects only synchronisation cost.
+	Partition string
 	// DisableEmergencyRouting turns off the Fig-8 mechanism (ablation).
 	DisableEmergencyRouting bool
 	// Placement policy (default Serpentine).
@@ -57,6 +69,13 @@ type MachineConfig struct {
 	// model over more chips, exercising the interconnect.
 	MaxAppCoresPerChip int
 }
+
+// Partition geometry names accepted by MachineConfig.Partition.
+const (
+	PartitionAuto   = "auto"
+	PartitionBands  = "bands"
+	PartitionBlocks = "blocks"
+)
 
 func (c *MachineConfig) fillDefaults() {
 	if c.CoresPerChip == 0 {
@@ -71,9 +90,62 @@ func (c *MachineConfig) fillDefaults() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
+}
+
+// Validate rejects contradictory configurations with a descriptive
+// error. NewMachine calls it; it is exported so front ends can check a
+// configuration before committing to building a machine.
+func (c MachineConfig) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("spinngo: invalid machine %dx%d", c.Width, c.Height)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("spinngo: Workers must be non-negative (0 = automatic), got %d", c.Workers)
+	}
+	if max := c.Width * c.Height; c.Workers > max {
+		return fmt.Errorf("spinngo: Workers %d exceeds the %dx%d machine's %d chips",
+			c.Workers, c.Width, c.Height, max)
+	}
+	switch c.Partition {
+	case "", PartitionAuto, PartitionBands, PartitionBlocks:
+	default:
+		return fmt.Errorf("spinngo: unknown Partition %q (want %q, %q or %q)",
+			c.Partition, PartitionAuto, PartitionBands, PartitionBlocks)
+	}
+	return nil
+}
+
+// choosePartition resolves the configured geometry and worker count
+// into a concrete partition, and reports whether the engine should run
+// with adaptive worker selection (automatic geometry AND automatic
+// worker count — the fully self-tuning mode).
+func choosePartition(cfg MachineConfig, torus topo.Torus) (topo.Partition, bool) {
+	auto := cfg.Partition == "" || cfg.Partition == PartitionAuto
+	workers := cfg.Workers
+	adaptive := false
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > torus.Size() {
+			workers = torus.Size()
+		}
+		adaptive = auto
+	}
+	switch cfg.Partition {
+	case PartitionBands:
+		return topo.NewBands(torus, workers), false
+	case PartitionBlocks:
+		return topo.NewBlocks2D(torus, workers), false
+	}
+	// Automatic geometry: whichever strategy reaches the requested
+	// parallelism; at equal shard counts the smaller cut wins, and ties
+	// go to bands (at most two neighbouring shards instead of eight).
+	bands := topo.NewBands(torus, workers)
+	blocks := topo.NewBlocks2D(torus, workers)
+	if blocks.Shards() > bands.Shards() ||
+		(blocks.Shards() == bands.Shards() && blocks.CutLinks() < bands.CutLinks()) {
+		return blocks, adaptive
+	}
+	return bands, adaptive
 }
 
 // unit is one application core's runtime: kernel + neurons + synapses.
@@ -142,17 +214,22 @@ const MigrationDetectMS = 5
 // NewMachine builds a machine; Boot it before loading a model.
 func NewMachine(cfg MachineConfig) (*Machine, error) {
 	cfg.fillDefaults()
-	if cfg.Width <= 0 || cfg.Height <= 0 {
-		return nil, fmt.Errorf("spinngo: invalid machine %dx%d", cfg.Width, cfg.Height)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	torus := topo.MustTorus(cfg.Width, cfg.Height)
-	part := topo.NewPartition(torus, cfg.Workers)
+	part, adaptive := choosePartition(cfg, torus)
 	pe := sim.NewParallel(cfg.Seed, part.Shards(), part.Shards())
+	pe.SetAdaptive(adaptive)
 	params := router.DefaultParams(cfg.Width, cfg.Height)
 	params.EmergencyEnabled = !cfg.DisableEmergencyRouting
-	pe.SetLookahead(params.RouterLatency)
+	// The lookahead folds the minimum frame serialisation time into the
+	// router pipeline latency, scoped to the partition's boundary cut:
+	// wider windows, fewer barriers, identical results.
+	pe.SetLookahead(params.LookaheadFor(part))
 	fab, err := router.NewShardedFabric(pe, part, params)
 	if err != nil {
+		pe.Close()
 		return nil, err
 	}
 	return &Machine{
@@ -165,9 +242,61 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	}, nil
 }
 
+// Close releases the machine's persistent worker pool. Optional — an
+// abandoned machine's pool is reclaimed by a finalizer — but callers
+// that churn through many machines (benchmarks, sweeps) should Close
+// each one. The machine must not be running.
+func (m *Machine) Close() { m.pe.Close() }
+
 // Workers reports the effective shard count (cfg.Workers clamped to the
-// torus partition granularity).
+// granularity of the chosen partition geometry).
 func (m *Machine) Workers() int { return m.part.Shards() }
+
+// SimStats reports execution-engine statistics: the chosen partition
+// geometry and its communication cost, the lookahead bound, and the
+// window-barrier counts accumulated so far. These describe the
+// execution strategy, not the simulation — they vary with Workers and
+// Partition while RunReport stays byte-identical, which is why they
+// live outside it.
+type SimStats struct {
+	// Geometry is the effective partition geometry ("bands", "blocks").
+	Geometry string
+	// Shards and Workers are the effective shard count and parallelism
+	// bound; Adaptive reports whether per-window worker selection is on.
+	Shards   int
+	Workers  int
+	Adaptive bool
+	// CutLinks counts directed inter-chip links crossing shard
+	// boundaries — the traffic that must pass barrier mailboxes.
+	CutLinks int
+	// Lookahead is the cross-shard latency bound: router pipeline plus
+	// minimum frame serialisation over the boundary cut.
+	Lookahead sim.Time
+	// Windows counts lookahead windows executed; ParallelWindows those
+	// dispatched to the worker pool; EventsPerWindow the mean event
+	// density the adaptive mode steers by.
+	Windows         uint64
+	ParallelWindows uint64
+	EventsPerWindow float64
+	// Events counts simulation events executed across all shards.
+	Events uint64
+}
+
+// SimStats snapshots the engine's execution statistics.
+func (m *Machine) SimStats() SimStats {
+	return SimStats{
+		Geometry:        m.part.Geometry().String(),
+		Shards:          m.pe.Shards(),
+		Workers:         m.pe.Workers(),
+		Adaptive:        m.pe.Adaptive(),
+		CutLinks:        m.part.CutLinks(),
+		Lookahead:       m.pe.Lookahead(),
+		Windows:         m.pe.Windows(),
+		ParallelWindows: m.pe.ParallelWindows(),
+		EventsPerWindow: m.pe.EventsPerWindow(),
+		Events:          m.pe.Processed(),
+	}
+}
 
 // domAt returns the scheduling domain of a chip.
 func (m *Machine) domAt(c topo.Coord) *sim.Domain { return m.fab.DomainAt(c) }
