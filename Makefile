@@ -19,12 +19,13 @@ vet:
 # keep them under the race detector on every change.
 race:
 	$(GO) test -race ./internal/sim/ ./internal/router/
-	$(GO) test -race -run 'TestDeterminism|TestDifferentSeeds' .
+	$(GO) test -race -run 'TestDeterminism|TestDifferentSeeds|TestBoardLookahead' .
 
-# Worker/partition scaling sweep of the end-to-end machine benchmark,
-# recorded as JSON for the bench trajectory.
+# Worker/partition/board-hierarchy sweep of the end-to-end machine
+# benchmark (8x8 worker grid plus 8x8/16x16/32x32 bands-vs-blocks-vs-
+# boards comparison), recorded as JSON for the bench trajectory.
 bench:
-	$(GO) run ./cmd/benchsweep -out BENCH_PR2.json
+	$(GO) run ./cmd/benchsweep -out BENCH_PR3.json
 
 # The same sweep through `go test -bench` (human-readable only).
 bench-workers:

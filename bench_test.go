@@ -234,10 +234,28 @@ func BenchmarkFabricPacketHop(b *testing.B) {
 // parallel speedup; the windows/biosec metric shows the barrier
 // frequency each geometry's lookahead buys. Every cell produces an
 // identical report — see TestDeterminismUnderCongestion. `make bench`
-// runs the same sweep and records it in BENCH_PR2.json.
+// runs this sweep plus the 16x16/32x32 board-hierarchy comparison and
+// records both in BENCH_PR3.json; the CI smoke step runs only this 8x8
+// grid.
 func BenchmarkMachineBioSecondWorkers(b *testing.B) {
 	for _, cfg := range benchsweep.Grid() {
 		b.Run(fmt.Sprintf("partition=%s/workers=%d", cfg.Partition, cfg.Workers),
+			benchsweep.Bench(cfg))
+	}
+}
+
+// BenchmarkMachineBoardHierarchy measures the heterogeneous-fabric
+// comparison at the 8x8 reference size only (the scale points run under
+// `make bench`): bands vs blocks vs the board-aligned boards geometry
+// on a machine with slow board-to-board links. The boards cut contains
+// only slow links, so its lookahead — and the windows/biosec metric —
+// improves on the chip-granular geometries at identical results.
+func BenchmarkMachineBoardHierarchy(b *testing.B) {
+	for _, cfg := range benchsweep.HierarchyGrid() {
+		if cfg.Width != 8 {
+			continue
+		}
+		b.Run(fmt.Sprintf("boards=%s/partition=%s/workers=%d", cfg.Boards, cfg.Partition, cfg.Workers),
 			benchsweep.Bench(cfg))
 	}
 }

@@ -1,11 +1,16 @@
 // Command benchsweep measures the sharded engine's scaling across
-// partition geometries and worker counts on the 8x8 reference workload
-// and writes the results as JSON — the repo's bench trajectory record
-// (`make bench` writes BENCH_PR2.json).
+// partition geometries, worker counts, torus sizes and board
+// hierarchies, and writes the results as JSON — the repo's bench
+// trajectory record (`make bench` writes BENCH_PR3.json). The sweep has
+// two parts: the 8x8 reference worker sweep (bands/blocks x workers)
+// and the board-hierarchy comparison (bands vs blocks vs boards on
+// heterogeneous 8x8, 16x16 and 32x32 machines with slow board-to-board
+// links), which records the lookahead and barrier-rate win of
+// board-aligned cuts.
 //
 // Usage:
 //
-//	benchsweep [-out BENCH_PR2.json]
+//	benchsweep [-out BENCH_PR3.json] [-hierarchy-only] [-workers-only] [-quick]
 package main
 
 import (
@@ -17,15 +22,32 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "JSON output path ('' = stdout table only)")
+	out := flag.String("out", "BENCH_PR3.json", "JSON output path ('' = stdout table only)")
+	hierOnly := flag.Bool("hierarchy-only", false, "run only the board-hierarchy comparison")
+	workersOnly := flag.Bool("workers-only", false, "run only the 8x8 worker sweep")
+	quick := flag.Bool("quick", false, "one iteration per cell (CI smoke; structural columns exact, timing noisy)")
 	flag.Parse()
+	if *hierOnly && *workersOnly {
+		log.Fatal("-hierarchy-only and -workers-only are mutually exclusive (the grid would be empty)")
+	}
 
+	var grid []benchsweep.Config
+	if !*hierOnly {
+		grid = append(grid, benchsweep.Grid()...)
+	}
+	if !*workersOnly {
+		grid = append(grid, benchsweep.HierarchyGrid()...)
+	}
 	var results []benchsweep.Result
-	fmt.Printf("worker/partition sweep: %dms of biological time per op\n", benchsweep.BioMS)
-	for _, cfg := range benchsweep.Grid() {
-		r, err := benchsweep.Measure(cfg)
+	fmt.Printf("partition/worker/hierarchy sweep: %dms of biological time per op\n", benchsweep.BioMS)
+	measure := benchsweep.Measure
+	if *quick {
+		measure = benchsweep.MeasureQuick
+	}
+	for _, cfg := range grid {
+		r, err := measure(cfg)
 		if err != nil {
-			log.Fatalf("%s/%d: %v", cfg.Partition, cfg.Workers, err)
+			log.Fatalf("%dx%d %s/%s/%d: %v", cfg.Width, cfg.Height, cfg.Boards, cfg.Partition, cfg.Workers, err)
 		}
 		fmt.Println(benchsweep.Row(r))
 		results = append(results, r)

@@ -8,7 +8,7 @@
 //	spinnsim [-w 4] [-h 4] [-neurons 400] [-stim 100] [-rate 150]
 //	         [-p 0.05] [-weight 0.8] [-delay 2] [-ms 500]
 //	         [-faillink "1,1,E"] [-raster] [-seed 1] [-workers 0]
-//	         [-partition auto]
+//	         [-partition auto] [-boards WxH] [-boardlink slow]
 package main
 
 import (
@@ -34,18 +34,23 @@ func main() {
 	raster := flag.Bool("raster", false, "print an ASCII spike raster")
 	seed := flag.Uint64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "simulation shards run in parallel (0 = automatic); any value yields the same results")
-	partition := flag.String("partition", "auto", "shard geometry: bands, blocks or auto; any value yields the same results")
+	partition := flag.String("partition", "auto", "shard geometry: bands, blocks, boards or auto; any value yields the same results")
+	boards := flag.String("boards", "", "board tiling in chips, e.g. \"8x2\" ('' = uniform fabric); board-crossing links use board-to-board PHY params")
+	boardlink := flag.String("boardlink", "", "board-to-board link preset: slow (default) or uniform; requires -boards")
 	flag.Parse()
 
 	machine, err := spinngo.NewMachine(spinngo.MachineConfig{
 		Width: *w, Height: *h, Seed: *seed, Workers: *workers, Partition: *partition,
+		Boards: *boards, BoardLinkParams: *boardlink,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	st := machine.SimStats()
-	fmt.Printf("engine: %d %s shards (%d cut links), lookahead %v\n",
-		st.Shards, st.Geometry, st.CutLinks, st.Lookahead)
+	fmt.Printf("engine: %d %s shards, boards %s\n", st.Shards, st.Geometry, st.Boards)
+	fmt.Printf("cut:    %d links (%d on-board + %d board-to-board)\n",
+		st.CutLinks, st.CutLinksOnBoard, st.CutLinksBoard)
+	fmt.Printf("lookahead: %v (uniform-params bound %v)\n", st.Lookahead, st.UniformLookahead)
 	bootRep, err := machine.Boot()
 	if err != nil {
 		log.Fatal(err)
@@ -94,6 +99,9 @@ func main() {
 	fmt.Print(rep)
 	fmt.Printf("stim rate:       %.1f Hz\n", machine.MeanRateHz(stimPop))
 	fmt.Printf("exc rate:        %.1f Hz\n", machine.MeanRateHz(excPop))
+	st = machine.SimStats()
+	fmt.Printf("engine:          %d windows (%d parallel, %.1f events/window)\n",
+		st.Windows, st.ParallelWindows, st.EventsPerWindow)
 
 	if *raster {
 		printRaster(machine, excPop, *ms)

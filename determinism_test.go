@@ -102,12 +102,14 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 // congestedRun executes the hardest-regime workload: a dense recurrent
 // 8x8 network driven into congestion (dropped packets, emergency
 // reroutes, timer overruns), where same-nanosecond event ties across
-// shard boundaries actually occur.
+// shard boundaries actually occur — on a heterogeneous fabric of 4x4
+// boards with slow board-to-board links, so cut sets mix link classes
+// and cross-shard hops have class-dependent latencies.
 func congestedRun(t *testing.T, partition string, workers int) *RunReport {
 	t.Helper()
 	m, err := NewMachine(MachineConfig{
 		Width: 8, Height: 8, Seed: 1, Workers: workers, Partition: partition,
-		MaxAppCoresPerChip: 2,
+		MaxAppCoresPerChip: 2, Boards: "4x4", BoardLinkParams: BoardLinkSlow,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -141,11 +143,13 @@ func congestedRun(t *testing.T, partition string, workers int) *RunReport {
 
 // TestDeterminismUnderCongestion pins the contract in the regime where
 // it is hardest to keep, across the full (partition geometry, worker
-// count) matrix. The canonical (time, domain, class, key) event order
-// is what keeps the configurations in agreement here; insertion-order
-// tie-breaking demonstrably diverges on this workload. workers=7 makes
-// the bands uneven and the block grid degenerate (7x1), covering the
-// non-divisible paths.
+// count) matrix — including the boards geometry, whose shards run at a
+// wider lookahead than bands or blocks on the same machine. The
+// canonical (time, domain, class, key) event order is what keeps the
+// configurations in agreement here; insertion-order tie-breaking
+// demonstrably diverges on this workload. workers=7 makes the bands
+// uneven, the block grid degenerate (7x1) and the board grid clamp to
+// its 4 boards, covering the non-divisible paths.
 func TestDeterminismUnderCongestion(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-machine determinism sweep")
@@ -157,7 +161,13 @@ func TestDeterminismUnderCongestion(t *testing.T) {
 		t.Fatalf("workload not congested (emergencies=%d dropped=%d); tighten it",
 			ref.EmergencyInvocations, ref.PacketsDropped)
 	}
-	for _, partition := range []string{PartitionBands, PartitionBlocks} {
+	// The heterogeneous fabric must be exercised: traffic crossed both
+	// link classes.
+	if ref.WireTransitionsBoard == 0 || ref.WireTransitionsOnBoard == 0 {
+		t.Fatalf("workload missing a link class (on-board=%d board=%d); widen it",
+			ref.WireTransitionsOnBoard, ref.WireTransitionsBoard)
+	}
+	for _, partition := range []string{PartitionBands, PartitionBlocks, PartitionBoards} {
 		for _, workers := range []int{1, 2, 4, 7} {
 			if partition == PartitionBands && workers == 1 {
 				continue // the reference itself

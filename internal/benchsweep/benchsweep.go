@@ -2,13 +2,19 @@
 // end-to-end machine benchmark in one place, so that the
 // BenchmarkMachineBioSecondWorkers sub-benchmarks (`make bench-workers`,
 // the CI smoke step) and the JSON bench emitter (`make bench`, written
-// to BENCH_PR2.json) measure exactly the same workload.
+// to BENCH_PR3.json) measure exactly the same workloads.
 //
-// The workload is the 8x8 reference machine: fragments spread across
-// all chips, a dense stimulus-driven network, a quarter of a biological
-// second per iteration. Every cell of the sweep produces a
-// byte-identical RunReport — the determinism contract — so the only
-// thing the sweep measures is execution cost.
+// Two sweeps share the harness. The worker sweep is the 8x8 reference
+// machine of BENCH_PR2: fragments spread across all chips, a dense
+// stimulus-driven network, a quarter of a biological second per
+// iteration, across {bands, blocks} x worker counts. The hierarchy
+// sweep compares bands, blocks and the board-aligned boards geometry on
+// heterogeneous machines — 8x8, 16x16 and 32x32 tori tiled with boards
+// whose board-to-board links are slower — recording each geometry's
+// achieved lookahead and barrier rate: the boards cut buys a wider
+// lookahead and fewer window barriers per biological second. Every cell
+// of a given (torus, boards) pair produces a byte-identical RunReport —
+// the determinism contract — so the sweeps measure execution cost only.
 package benchsweep
 
 import (
@@ -17,6 +23,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"spinngo"
 )
@@ -26,17 +33,48 @@ const BioMS = 250
 
 // Config is one cell of the sweep grid.
 type Config struct {
+	// Width and Height are the torus dimensions (0,0 = the 8x8
+	// reference machine).
+	Width  int `json:"width"`
+	Height int `json:"height"`
+	// Boards is the board tiling ("" = uniform fabric); board-to-board
+	// links use the slow defaults when set.
+	Boards    string `json:"boards,omitempty"`
 	Partition string `json:"partition"`
 	Workers   int    `json:"workers"`
 }
 
-// Grid reports the sweep grid: both geometries crossed with worker
-// counts from sequential to torus height.
+// Grid reports the worker sweep: the 8x8 reference machine, both
+// chip-granular geometries crossed with worker counts from sequential
+// to torus height.
 func Grid() []Config {
 	var grid []Config
 	for _, p := range []string{spinngo.PartitionBands, spinngo.PartitionBlocks} {
 		for _, w := range []int{1, 2, 4, 8} {
-			grid = append(grid, Config{Partition: p, Workers: w})
+			grid = append(grid, Config{Width: 8, Height: 8, Partition: p, Workers: w})
+		}
+	}
+	return grid
+}
+
+// HierarchyGrid reports the board-hierarchy sweep: heterogeneous
+// machines at the 8x8 reference size and the 16x16 and 32x32 scale
+// points, each comparing bands vs blocks vs the board-aligned boards
+// geometry at a worker count every geometry can reach.
+func HierarchyGrid() []Config {
+	var grid []Config
+	for _, pt := range []struct {
+		w, h    int
+		boards  string
+		workers int
+	}{
+		{8, 8, "4x4", 4},   // 2x2 board grid
+		{16, 16, "8x4", 8}, // 2x4 board grid
+		{32, 32, "8x8", 8}, // 4x4 board grid, 8 of 16 boards' worth of shards
+	} {
+		for _, p := range []string{spinngo.PartitionBands, spinngo.PartitionBlocks, spinngo.PartitionBoards} {
+			grid = append(grid, Config{Width: pt.w, Height: pt.h, Boards: pt.boards,
+				Partition: p, Workers: pt.workers})
 		}
 	}
 	return grid
@@ -46,11 +84,18 @@ func Grid() []Config {
 type Result struct {
 	Config
 	// Geometry, Shards, CutLinks and LookaheadNS describe the effective
-	// partition (what the config resolved to).
-	Geometry    string `json:"geometry"`
-	Shards      int    `json:"shards"`
-	CutLinks    int    `json:"cut_links"`
-	LookaheadNS int64  `json:"lookahead_ns"`
+	// partition (what the config resolved to); CutOnBoard/CutBoard
+	// split the cut by link class, and UniformLookaheadNS is the bound
+	// a single shared link-parameter block would have allowed —
+	// LookaheadNS exceeds it exactly on board-aligned cuts of slow
+	// links.
+	Geometry           string `json:"geometry"`
+	Shards             int    `json:"shards"`
+	CutLinks           int    `json:"cut_links"`
+	CutOnBoard         int    `json:"cut_on_board"`
+	CutBoard           int    `json:"cut_board"`
+	LookaheadNS        int64  `json:"lookahead_ns"`
+	UniformLookaheadNS int64  `json:"uniform_lookahead_ns"`
 	// N and NsPerOp are the benchmark iteration count and wall time per
 	// iteration (one iteration = BioMS of biological time).
 	N       int   `json:"n"`
@@ -61,36 +106,67 @@ type Result struct {
 	EventsPerSec        float64 `json:"events_per_sec"`
 	WindowsPerBioSecond float64 `json:"windows_per_bio_second"`
 	EventsPerWindow     float64 `json:"events_per_window"`
-	// Spikes fingerprints the workload: identical for every cell, per
-	// the determinism contract.
+	// Spikes fingerprints the workload: identical for every cell of the
+	// same (torus, boards) pair, per the determinism contract.
 	Spikes float64 `json:"spikes"`
 }
 
-// machineConfig is the single definition of the reference machine; the
+// machineConfig is the single definition of the measured machines; the
 // benchmark body and Describe must agree on it or the JSON metadata
-// would describe a different machine than the one measured.
+// would describe a different machine than the one measured. Larger tori
+// get smaller fragments so the workload spreads across the whole mesh.
 func machineConfig(cfg Config) spinngo.MachineConfig {
-	return spinngo.MachineConfig{
-		Width: 8, Height: 8, Seed: 1,
+	mc := spinngo.MachineConfig{
+		Width: cfg.Width, Height: cfg.Height, Seed: 1,
 		Workers: cfg.Workers, Partition: cfg.Partition,
 		MaxAppCoresPerChip: 2,
 	}
+	if mc.Width == 0 {
+		mc.Width, mc.Height = 8, 8
+	}
+	if cfg.Boards != "" {
+		mc.Boards = cfg.Boards
+		mc.BoardLinkParams = spinngo.BoardLinkSlow
+	}
+	switch {
+	case mc.Width*mc.Height >= 1024:
+		mc.MaxNeuronsPerCore = 8
+	case mc.Width*mc.Height >= 256:
+		mc.MaxNeuronsPerCore = 16
+	}
+	return mc
 }
 
-// build constructs, boots and loads the reference machine for one cell.
+// workload reports the network for a torus size: the 8x8 reference
+// network, scaled in population (with in-degree held at ~20 synapses
+// per neuron) for the 16x16 and 32x32 sweep points.
+func workload(chips int) (stim, exc int, rate, p float64) {
+	switch {
+	case chips >= 1024:
+		return 1600, 8000, 200, 0.0125
+	case chips >= 256:
+		return 800, 4000, 200, 0.025
+	default:
+		return 400, 2000, 200, 0.05
+	}
+}
+
+// build constructs, boots and loads the machine for one cell.
 func build(cfg Config) (*spinngo.Machine, error) {
-	m, err := spinngo.NewMachine(machineConfig(cfg))
+	mc := machineConfig(cfg)
+	m, err := spinngo.NewMachine(mc)
 	if err != nil {
 		return nil, err
 	}
 	if _, err := m.Boot(); err != nil {
 		return nil, err
 	}
+	stimN, excN, rate, p := workload(mc.Width * mc.Height)
 	model := spinngo.NewModel()
-	stim := model.AddPoisson("stim", 400, 200)
-	exc := model.AddLIF("exc", 2000, spinngo.DefaultLIFConfig())
+	stim := model.AddPoisson("stim", stimN, rate)
+	exc := model.AddLIF("exc", excN, spinngo.DefaultLIFConfig())
 	if err := model.Connect(stim, exc, spinngo.Conn{
-		Rule: spinngo.RandomRule, P: 0.05, WeightNA: 1.2, DelayMS: 2,
+		Rule: spinngo.RandomRule, P: p, WeightNA: 1.2, DelayMS: 2,
 	}); err != nil {
 		return nil, err
 	}
@@ -159,13 +235,18 @@ func Measure(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	mc := machineConfig(cfg)
+	cfg.Width, cfg.Height = mc.Width, mc.Height
 	r := testing.Benchmark(Bench(cfg))
 	return Result{
 		Config:              cfg,
 		Geometry:            st.Geometry,
 		Shards:              st.Shards,
 		CutLinks:            st.CutLinks,
+		CutOnBoard:          st.CutLinksOnBoard,
+		CutBoard:            st.CutLinksBoard,
 		LookaheadNS:         int64(st.Lookahead),
+		UniformLookaheadNS:  int64(st.UniformLookahead),
 		N:                   r.N,
 		NsPerOp:             r.NsPerOp(),
 		EventsPerSec:        r.Extra["events/s"],
@@ -173,6 +254,56 @@ func Measure(cfg Config) (Result, error) {
 		EventsPerWindow:     r.Extra["ev/window"],
 		Spikes:              r.Extra["spikes"],
 	}, nil
+}
+
+// MeasureQuick runs one cell exactly once instead of letting the
+// benchmark harness repeat it to a stable wall-clock figure — the CI
+// smoke variant. The structural columns (cut composition, lookahead,
+// windows per biological second, spikes) are exact either way, because
+// they derive from the deterministic simulation trajectory; only the
+// timing columns are noisier.
+func MeasureQuick(cfg Config) (Result, error) {
+	mc := machineConfig(cfg)
+	cfg.Width, cfg.Height = mc.Width, mc.Height
+	m, err := build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer m.Close()
+	// The structural columns come straight off the measured machine —
+	// no separate Describe construction.
+	before := m.SimStats()
+	st := before
+	start := time.Now()
+	rep, err := m.Run(BioMS)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
+	after := m.SimStats()
+	events := after.Events - before.Events
+	windows := after.Windows - before.Windows
+	r := Result{
+		Config:              cfg,
+		Geometry:            st.Geometry,
+		Shards:              st.Shards,
+		CutLinks:            st.CutLinks,
+		CutOnBoard:          st.CutLinksOnBoard,
+		CutBoard:            st.CutLinksBoard,
+		LookaheadNS:         int64(st.Lookahead),
+		UniformLookaheadNS:  int64(st.UniformLookahead),
+		N:                   1,
+		NsPerOp:             elapsed.Nanoseconds(),
+		WindowsPerBioSecond: float64(windows) / (BioMS / 1000.0),
+		Spikes:              float64(rep.TotalSpikes),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		r.EventsPerSec = float64(events) / s
+	}
+	if windows > 0 {
+		r.EventsPerWindow = float64(events) / float64(windows)
+	}
+	return r, nil
 }
 
 // Report is the file written by `make bench`.
@@ -187,7 +318,9 @@ type Report struct {
 // WriteJSON serialises a sweep report to path.
 func WriteJSON(path string, results []Result) error {
 	rep := Report{
-		Workload:   "8x8 torus, 400 Poisson + 2000 LIF, P=0.05, 2 app cores/chip",
+		Workload: "stimulus-driven LIF net scaled per torus (8x8: 400+2000 P=.05; " +
+			"16x16: 800+4000 P=.025; 32x32: 1600+8000 P=.0125), 2 app cores/chip; " +
+			"hierarchy cells add slow board-to-board links",
 		BioMS:      BioMS,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
@@ -202,7 +335,12 @@ func WriteJSON(path string, results []Result) error {
 
 // Row renders one result as a human-readable table line.
 func Row(r Result) string {
-	return fmt.Sprintf("%-7s w=%d shards=%-2d cut=%-3d la=%dns  %12d ns/op  %11.0f ev/s  %7.0f win/bios  %6.1f ev/win",
-		r.Partition, r.Workers, r.Shards, r.CutLinks, r.LookaheadNS,
+	boards := r.Boards
+	if boards == "" {
+		boards = "-"
+	}
+	return fmt.Sprintf("%dx%-3d brd=%-4s %-7s w=%d shards=%-2d cut=%-4d (%d fast/%d board) la=%d/%dns %12d ns/op %11.0f ev/s %7.0f win/bios %6.1f ev/win",
+		r.Width, r.Height, boards, r.Partition, r.Workers, r.Shards,
+		r.CutLinks, r.CutOnBoard, r.CutBoard, r.LookaheadNS, r.UniformLookaheadNS,
 		r.NsPerOp, r.EventsPerSec, r.WindowsPerBioSecond, r.EventsPerWindow)
 }

@@ -104,9 +104,13 @@ type Accounting struct {
 	// BusyOverheadW is clock-tree and local-memory power while active,
 	// beyond the per-instruction charge.
 	BusyOverheadW float64
-	// WireTransitionPJ prices one inter-chip wire transition (matches
-	// phy.LinkParams.EnergyPerTransition).
+	// WireTransitionPJ prices one on-board inter-chip wire transition
+	// (matches phy.DefaultInterChip().EnergyPerTransition).
 	WireTransitionPJ float64
+	// BoardWireTransitionPJ prices one board-to-board wire transition:
+	// driving a connector and cable costs several times an on-board
+	// trace (matches phy.DefaultBoardToBoard().EnergyPerTransition).
+	BoardWireTransitionPJ float64
 	// SDRAMBytePJ prices one byte moved to/from SDRAM.
 	SDRAMBytePJ float64
 	// ChipStaticW is per-chip leakage and always-on logic.
@@ -116,31 +120,44 @@ type Accounting struct {
 // DefaultAccounting returns a 130 nm-era SpiNNaker-like model.
 func DefaultAccounting() Accounting {
 	return Accounting{
-		InstrPJ:          200,
-		WFIPowerW:        0.001,
-		BusyOverheadW:    0.015,
-		WireTransitionPJ: 6,
-		SDRAMBytePJ:      100,
-		ChipStaticW:      0.05,
+		InstrPJ:               200,
+		WFIPowerW:             0.001,
+		BusyOverheadW:         0.015,
+		WireTransitionPJ:      6,
+		BoardWireTransitionPJ: 20,
+		SDRAMBytePJ:           100,
+		ChipStaticW:           0.05,
 	}
 }
 
 // Activity is the raw counter bundle for a run (one core, one chip, or
 // a whole machine, as the caller aggregates).
 type Activity struct {
-	Instructions    uint64
-	BusyTime        sim.Time
-	SleepTime       sim.Time
-	WireTransitions uint64
-	SDRAMBytes      uint64
-	Chips           int
-	Elapsed         sim.Time
+	Instructions uint64
+	BusyTime     sim.Time
+	SleepTime    sim.Time
+	// WireTransitions counts transitions on on-board links;
+	// WireTransitionsBoard those on board-to-board links (zero on a
+	// uniform fabric with no board hierarchy).
+	WireTransitions      uint64
+	WireTransitionsBoard uint64
+	SDRAMBytes           uint64
+	Chips                int
+	Elapsed              sim.Time
+}
+
+// WireJoules reports the link-transition share of the energy, split by
+// class: the on-board and board-to-board totals in joules.
+func (a Accounting) WireJoules(act Activity) (onBoardJ, boardJ float64) {
+	return float64(act.WireTransitions) * a.WireTransitionPJ * 1e-12,
+		float64(act.WireTransitionsBoard) * a.BoardWireTransitionPJ * 1e-12
 }
 
 // Joules computes total energy for the activity.
 func (a Accounting) Joules(act Activity) float64 {
 	pj := float64(act.Instructions)*a.InstrPJ +
 		float64(act.WireTransitions)*a.WireTransitionPJ +
+		float64(act.WireTransitionsBoard)*a.BoardWireTransitionPJ +
 		float64(act.SDRAMBytes)*a.SDRAMBytePJ
 	j := pj * 1e-12
 	j += act.BusyTime.Seconds() * a.BusyOverheadW
@@ -173,7 +190,8 @@ func (a Accounting) Validate() error {
 	for name, v := range map[string]float64{
 		"InstrPJ": a.InstrPJ, "WFIPowerW": a.WFIPowerW,
 		"BusyOverheadW": a.BusyOverheadW, "WireTransitionPJ": a.WireTransitionPJ,
-		"SDRAMBytePJ": a.SDRAMBytePJ, "ChipStaticW": a.ChipStaticW,
+		"BoardWireTransitionPJ": a.BoardWireTransitionPJ,
+		"SDRAMBytePJ":           a.SDRAMBytePJ, "ChipStaticW": a.ChipStaticW,
 	} {
 		if v < 0 {
 			return fmt.Errorf("energy: negative %s", name)

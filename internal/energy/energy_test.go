@@ -84,6 +84,35 @@ func TestJoulesComposition(t *testing.T) {
 	}
 }
 
+func TestWireEnergySplitByClass(t *testing.T) {
+	a := DefaultAccounting()
+	act := Activity{
+		WireTransitions:      1000, // on-board, 6 pJ each
+		WireTransitionsBoard: 100,  // board-to-board, 20 pJ each
+		Elapsed:              sim.Second,
+	}
+	onJ, boardJ := a.WireJoules(act)
+	if math.Abs(onJ-6000e-12) > 1e-18 || math.Abs(boardJ-2000e-12) > 1e-18 {
+		t.Errorf("WireJoules = %g, %g; want 6e-9, 2e-9", onJ, boardJ)
+	}
+	// The split is exhaustive: it sums to the wire share of Joules.
+	wireOnly := act
+	wireShare := a.Joules(wireOnly)
+	if math.Abs(wireShare-(onJ+boardJ)) > 1e-18 {
+		t.Errorf("wire share %g != split sum %g", wireShare, onJ+boardJ)
+	}
+	// A tenth of the traffic on cabled links costs a third of the wire
+	// budget at default prices — the frugality argument for keeping
+	// traffic on the board.
+	if boardJ*3 < onJ/3 {
+		t.Errorf("board share %g implausibly small next to %g", boardJ, onJ)
+	}
+	a.BoardWireTransitionPJ = -1
+	if a.Validate() == nil {
+		t.Error("negative board transition price accepted")
+	}
+}
+
 func TestEffectiveMIPSPerWatt(t *testing.T) {
 	a := DefaultAccounting()
 	act := Activity{

@@ -6,9 +6,45 @@ import (
 	"spinngo/internal/sim"
 )
 
+// LinkClass places an inter-chip link in the machine's packaging
+// hierarchy. The paper's machine is not a uniform torus: chips are
+// packed onto 48-chip boards, and a hop between boards crosses
+// connectors and cabling with a longer wire flight and a higher energy
+// per transition than a hop over on-board PCB traces. The class selects
+// which LinkParams block — and therefore which serialisation and energy
+// model — a link uses.
+type LinkClass int
+
+const (
+	// OnBoard is a chip-to-chip link between chips on the same board:
+	// short PCB traces, the fast and cheap default.
+	OnBoard LinkClass = iota
+	// BoardToBoard is a link whose endpoints sit on different boards:
+	// connector + cable, slower handshake round trips and costlier
+	// transitions. Its longer serialisation floor is what widens the
+	// sharded engine's lookahead on board-aligned partition cuts.
+	BoardToBoard
+	// NumLinkClasses sizes per-class tally arrays.
+	NumLinkClasses = 2
+)
+
+// String names the class ("on-board", "board-to-board").
+func (c LinkClass) String() string {
+	switch c {
+	case OnBoard:
+		return "on-board"
+	case BoardToBoard:
+		return "board-to-board"
+	}
+	return "link-class(?)"
+}
+
 // LinkParams characterise one self-timed link.
 type LinkParams struct {
-	Code Code
+	// Class records where the link sits in the packaging hierarchy; it
+	// selects per-class defaults and energy accounting buckets.
+	Class LinkClass
+	Code  Code
 	// WireDelay is the one-way propagation delay of the wires. Off-chip
 	// this dominates (paper: "chip-to-chip delays dominate
 	// performance"); on chip it is small.
@@ -21,14 +57,41 @@ type LinkParams struct {
 }
 
 // DefaultInterChip returns parameters for a SpiNNaker inter-chip link
-// (2-of-7 NRZ over board traces).
+// between chips on the same board (2-of-7 NRZ over board traces).
 func DefaultInterChip() LinkParams {
 	return LinkParams{
+		Class:               OnBoard,
 		Code:                NRZ2of7,
 		WireDelay:           4 * sim.Nanosecond,
 		LogicDelay:          2 * sim.Nanosecond,
 		EnergyPerTransition: 6.0, // pJ: off-chip trace + pad
 	}
+}
+
+// DefaultBoardToBoard returns parameters for a link leaving the board:
+// the same 2-of-7 NRZ code, but the handshake loop closes over a
+// connector and cable, so the wire flight triples and each transition
+// drives far more capacitance. Because the self-timed protocol simply
+// runs at the speed the wires allow, the only machine-wide consequence
+// is a longer serialisation floor — which the sharded engine converts
+// into a wider lookahead on board-aligned cuts.
+func DefaultBoardToBoard() LinkParams {
+	return LinkParams{
+		Class:               BoardToBoard,
+		Code:                NRZ2of7,
+		WireDelay:           12 * sim.Nanosecond, // connector + cable flight
+		LogicDelay:          3 * sim.Nanosecond,  // pad + buffer at each end
+		EnergyPerTransition: 20.0,                // pJ: cable drive
+	}
+}
+
+// DefaultLinkParams returns the default parameter block for a link
+// class — the per-class PHY model a heterogeneous fabric starts from.
+func DefaultLinkParams(c LinkClass) LinkParams {
+	if c == BoardToBoard {
+		return DefaultBoardToBoard()
+	}
+	return DefaultInterChip()
 }
 
 // DefaultOnChip returns parameters for the on-chip CHAIN interconnect

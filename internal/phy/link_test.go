@@ -75,6 +75,35 @@ func TestDefaultParamsValid(t *testing.T) {
 	}
 }
 
+func TestBoardToBoardDefaults(t *testing.T) {
+	on := DefaultInterChip()
+	board := DefaultBoardToBoard()
+	if err := board.Validate(); err != nil {
+		t.Error(err)
+	}
+	if board.Class != BoardToBoard || on.Class != OnBoard {
+		t.Errorf("classes: inter-chip %v, board-to-board %v", on.Class, board.Class)
+	}
+	if board.Code != NRZ2of7 {
+		t.Error("board-to-board links keep the 2-of-7 NRZ code; only the wires change")
+	}
+	// The cabled hop is slower and costlier than the on-board trace —
+	// this ordering is what makes a board-aligned cut a wider-lookahead
+	// cut and what splits the wire-energy accounting.
+	if board.SerialisationFloor(5) <= on.SerialisationFloor(5) {
+		t.Error("board-to-board serialisation floor should exceed on-board")
+	}
+	if board.EnergyPerTransition <= on.EnergyPerTransition {
+		t.Error("board-to-board transition energy should exceed on-board")
+	}
+	if DefaultLinkParams(OnBoard) != on || DefaultLinkParams(BoardToBoard) != board {
+		t.Error("DefaultLinkParams does not dispatch on class")
+	}
+	if OnBoard.String() != "on-board" || BoardToBoard.String() != "board-to-board" {
+		t.Errorf("class names: %q, %q", OnBoard.String(), BoardToBoard.String())
+	}
+}
+
 func TestValidateRejectsNegatives(t *testing.T) {
 	p := DefaultInterChip()
 	p.WireDelay = -1

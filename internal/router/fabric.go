@@ -17,9 +17,20 @@ type Params struct {
 	// therefore the lookahead bound of the sharded engine: a packet
 	// leaving one shard cannot affect another sooner than this.
 	RouterLatency sim.Time
-	// Link carries the inter-chip self-timed link model; its FrameCost
-	// sets per-packet serialisation time and energy.
+	// Link carries the self-timed link model for on-board chip-to-chip
+	// links; its FrameCost sets per-packet serialisation time and
+	// energy. With a zero Boards geometry it is the model of every
+	// link in the fabric.
 	Link phy.LinkParams
+	// BoardLink carries the link model for board-to-board links —
+	// typically slower and costlier per transition than Link. It is
+	// consulted only when Boards is non-zero.
+	BoardLink phy.LinkParams
+	// Boards is the physical board tiling of the torus. When set, each
+	// directed link is classed by whether it leaves its source chip's
+	// board, and LinkFor returns per-link parameters accordingly; the
+	// zero value means a uniform fabric where every link uses Link.
+	Boards topo.BoardGeometry
 	// LinkQueueDepth is the output buffering per link; a full queue is
 	// a congested link.
 	LinkQueueDepth int
@@ -42,32 +53,91 @@ type Params struct {
 	PhasePeriod sim.Time
 }
 
+// Heterogeneous reports whether the fabric carries more than one link
+// parameter block (a board tiling is configured).
+func (p Params) Heterogeneous() bool { return !p.Boards.IsZero() }
+
+// ClassOf reports the PHY class of the directed link leaving c in
+// direction d: BoardToBoard when the hop leaves c's board (including
+// torus wrap links, which are cabled between edge boards), OnBoard
+// otherwise — always OnBoard on a uniform fabric.
+func (p Params) ClassOf(c topo.Coord, d topo.Dir) phy.LinkClass {
+	if p.Heterogeneous() && p.Boards.Crosses(c, d) {
+		return phy.BoardToBoard
+	}
+	return phy.OnBoard
+}
+
+// LinkFor is the fabric's per-link parameter source: the PHY model of
+// the directed link leaving c in direction d. Everything that prices a
+// hop — frame serialisation in the router, wire energy accounting, the
+// sharded engine's lookahead bound — resolves link parameters through
+// the class this returns, which is what makes the board hierarchy an
+// end-to-end property rather than a label.
+func (p Params) LinkFor(c topo.Coord, d topo.Dir) phy.LinkParams {
+	return p.ClassParams(p.ClassOf(c, d))
+}
+
+// ClassParams reports the parameter block a link class resolves to.
+func (p Params) ClassParams(cl phy.LinkClass) phy.LinkParams {
+	if cl == phy.BoardToBoard {
+		return p.BoardLink
+	}
+	return p.Link
+}
+
+// hopLatency is the floor on one hop over a link with parameters lp:
+// one minimal frame on the wire plus the router pipeline.
+func (p Params) hopLatency(lp phy.LinkParams) sim.Time {
+	return p.RouterLatency + lp.SerialisationFloor(packet.MinWireSize)
+}
+
 // MinHopLatency reports the minimum time between a packet starting to
 // serialise onto any inter-chip link and its arrival event at the
 // neighbouring router: one minimal frame on the wire plus the router
-// pipeline. This — not the router latency alone — is the true floor on
-// chip-to-chip influence, so it is what the sharded engine may use as
-// its lookahead.
+// pipeline, minimised over every link class present in the fabric.
+// This — not the router latency alone — is the true floor on
+// chip-to-chip influence, and the widest lookahead a partition-agnostic
+// (uniform) bound can claim.
 func (p Params) MinHopLatency() sim.Time {
-	return p.RouterLatency + p.Link.SerialisationFloor(packet.MinWireSize)
+	la := p.hopLatency(p.Link)
+	if p.Heterogeneous() {
+		if b := p.hopLatency(p.BoardLink); b < la {
+			la = b
+		}
+	}
+	return la
 }
 
 // LookaheadFor reports the cross-shard latency bound for a given
-// partition geometry: the minimum MinHopLatency over the partition's
-// boundary links — the only links whose traffic crosses shards. Today
-// every link shares one LinkParams, so the bound is uniform; the
-// geometry decides the cut set, and a fabric with per-link parameters
-// (e.g. slower board-to-board links on some boundaries) would lower the
-// bound only where the cut actually crosses them. A partition with no
+// partition: the minimum hop latency over the partition's *actual*
+// boundary links — the only links whose traffic crosses shards. On a
+// heterogeneous fabric this is where partition geometry turns into
+// simulation speed: a cut containing only slow board-to-board links
+// (every Boards-geometry cut, by construction) earns their longer
+// serialisation floor as extra lookahead — wider windows, fewer
+// barriers — while a single fast on-board link anywhere in the cut
+// tightens the bound back to the uniform floor. A partition with no
 // boundary links (one shard) needs no lookahead at all; the uniform
 // floor is returned for uniformity.
 func (p Params) LookaheadFor(part topo.Partition) sim.Time {
-	// Every link currently shares one LinkParams, so the minimum over
-	// the cut set is the uniform floor. When per-link parameters exist,
-	// this becomes a true min over part.BoundaryLinks(); the geometry
-	// already scopes the bound to the links that can carry cross-shard
-	// traffic.
-	return p.MinHopLatency()
+	if !p.Heterogeneous() {
+		return p.MinHopLatency()
+	}
+	onBoard, boardCut := part.CutComposition(p.Boards)
+	if onBoard == 0 && boardCut == 0 {
+		return p.MinHopLatency()
+	}
+	la := sim.Forever
+	if onBoard > 0 {
+		la = p.hopLatency(p.Link)
+	}
+	if boardCut > 0 {
+		if b := p.hopLatency(p.BoardLink); b < la {
+			la = b
+		}
+	}
+	return la
 }
 
 // DefaultParams returns paper-scale fabric parameters for a w x h torus.
@@ -76,6 +146,7 @@ func DefaultParams(w, h int) Params {
 		Torus:            topo.MustTorus(w, h),
 		RouterLatency:    100 * sim.Nanosecond,
 		Link:             phy.DefaultInterChip(),
+		BoardLink:        phy.DefaultBoardToBoard(),
 		LinkQueueDepth:   16,
 		EmergencyWait:    1 * sim.Microsecond,
 		EmergencyTry:     4 * sim.Microsecond,
@@ -92,9 +163,13 @@ type flit struct {
 	injectedAt sim.Time
 }
 
-// outLink is one directed inter-chip link with its output queue.
+// outLink is one directed inter-chip link with its output queue. Each
+// link carries its own PHY parameter block, resolved once at build time
+// from the fabric's board tiling, so the transmit path prices frames
+// per link without re-deriving the class per packet.
 type outLink struct {
 	dir        topo.Dir
+	link       phy.LinkParams
 	failed     bool
 	queue      []flit
 	busy       bool
@@ -215,6 +290,14 @@ func (f *Fabric) build(p Params, engOf func(i int) (*sim.Engine, int)) error {
 	if err := p.Link.Validate(); err != nil {
 		return err
 	}
+	if p.Heterogeneous() {
+		if err := p.Boards.Validate(p.Torus); err != nil {
+			return err
+		}
+		if err := p.BoardLink.Validate(); err != nil {
+			return err
+		}
+	}
 	if p.Torus.Size() == 0 {
 		return fmt.Errorf("router: empty torus")
 	}
@@ -229,6 +312,7 @@ func (f *Fabric) build(p Params, engOf func(i int) (*sim.Engine, int)) error {
 			Coord: p.Torus.CoordOf(i), Table: NewTable(p.TableSize)}
 		for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
 			n.out[d].dir = d
+			n.out[d].link = p.LinkFor(n.Coord, d)
 		}
 		f.nodes[i] = n
 	}
@@ -316,6 +400,19 @@ func (f *Fabric) LinkTraversals() uint64 {
 		}
 		return t
 	})
+}
+
+// LinkTraversalsByClass counts packets crossing directed links, split
+// by link class — the activity split the per-class wire-energy
+// accounting prices. On a uniform fabric every traversal is on-board.
+func (f *Fabric) LinkTraversalsByClass() [phy.NumLinkClasses]uint64 {
+	var t [phy.NumLinkClasses]uint64
+	for _, n := range f.nodes {
+		for d := range n.out {
+			t[n.out[d].link.Class] += n.out[d].Traversals
+		}
+	}
+	return t
 }
 
 func (f *Fabric) sum(get func(n *Node) uint64) uint64 {
@@ -552,7 +649,7 @@ func (n *Node) startTx(d topo.Dir) {
 	}
 	fl := l.queue[pick]
 	l.queue = append(l.queue[:pick], l.queue[pick+1:]...)
-	frame := f.p.Link.FrameCost(fl.pkt.WireSize())
+	frame := l.link.FrameCost(fl.pkt.WireSize())
 	if l.failed {
 		// The link is dead at launch: the handshake never completes and
 		// the frame is lost. The neighbour-side protocol (parity,
@@ -579,8 +676,12 @@ func (n *Node) startTx(d topo.Dir) {
 // same-instant events at the receiver, so the event order is identical
 // whether the hop stayed inside one shard, crossed a barrier mailbox,
 // or the whole machine ran on a single engine. frame + RouterLatency is
-// never below Params.MinHopLatency, the lookahead bound declared to the
-// engine.
+// never below the crossed link's own hop floor, and a cross-shard link
+// is by definition in the partition's cut, so the sum is never below
+// Params.LookaheadFor — the bound declared to the engine. This is why
+// slow board-to-board links on a board-aligned cut are a speed win:
+// their larger frame time lets the engine run wider windows without
+// ever committing an arrival inside one.
 func (f *Fabric) deliver(from, to *Node, d topo.Dir, fl flit, frame sim.Time) {
 	from.sendSeq++
 	at := from.dom.Now() + frame + f.p.RouterLatency

@@ -468,6 +468,156 @@ func TestMinHopLatencyWidensLookahead(t *testing.T) {
 	}
 }
 
+// TestLookaheadForMixedCuts pins the per-link lookahead over every cut
+// composition: a board-aligned cut of slow links alone widens the bound
+// to the slow hop floor; a single fast on-board link in the cut
+// tightens it back to the uniform floor; and the degenerate one-shard
+// cut falls back to the machine-wide minimum.
+func TestLookaheadForMixedCuts(t *testing.T) {
+	p := DefaultParams(8, 8)
+	p.Boards = topo.BoardGeometry{W: 8, H: 4} // two boards stacked vertically
+	fast := p.RouterLatency + p.Link.SerialisationFloor(packet.MinWireSize)
+	slow := p.RouterLatency + p.BoardLink.SerialisationFloor(packet.MinWireSize)
+	if slow <= fast {
+		t.Fatalf("board hop floor %v should exceed on-board %v", slow, fast)
+	}
+	if got := p.MinHopLatency(); got != fast {
+		t.Errorf("MinHopLatency = %v, want the fast floor %v", got, fast)
+	}
+
+	// Board-aligned cuts — boards geometry, and bands that happen to
+	// fall on board edges — contain only slow links: wide bound.
+	boards, err := topo.NewBoards(p.Torus, p.Boards, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alignedBands := topo.NewBands(p.Torus, 2) // boundaries at y=0, y=4
+	for _, part := range []topo.Partition{boards, alignedBands} {
+		if on, _ := part.CutComposition(p.Boards); on != 0 {
+			t.Fatalf("%v cut not board-aligned", part.Geometry())
+		}
+		if got := p.LookaheadFor(part); got != slow {
+			t.Errorf("%v: lookahead %v, want slow floor %v", part.Geometry(), got, slow)
+		}
+	}
+
+	// A misaligned cut mixes classes: any fast link tightens the bound.
+	misaligned := topo.NewBands(p.Torus, 4) // y=2 and y=6 cut board interiors
+	if on, board := misaligned.CutComposition(p.Boards); on == 0 || board == 0 {
+		t.Fatalf("bands/4 cut composition %d+%d: want both classes", on, board)
+	}
+	if got := p.LookaheadFor(misaligned); got != fast {
+		t.Errorf("mixed cut: lookahead %v, want fast floor %v", got, fast)
+	}
+
+	// One shard: empty cut, uniform floor for uniformity.
+	if got := p.LookaheadFor(topo.NewBands(p.Torus, 1)); got != fast {
+		t.Errorf("empty cut: lookahead %v, want uniform floor %v", got, fast)
+	}
+
+	// The uniform-fabric ablation: identical board link params mean the
+	// hierarchy exists but buys no extra lookahead.
+	p.BoardLink = p.Link
+	if got := p.LookaheadFor(boards); got != fast {
+		t.Errorf("uniform ablation: lookahead %v, want %v", got, fast)
+	}
+}
+
+// TestLinkForClassifies pins the per-link parameter source and the
+// build-time resolution the transmit path uses.
+func TestLinkForClassifies(t *testing.T) {
+	p := DefaultParams(8, 8)
+	p.Boards = topo.BoardGeometry{W: 4, H: 4}
+	if p.LinkFor(topo.Coord{X: 1, Y: 1}, topo.East) != p.Link {
+		t.Error("interior link should resolve to on-board params")
+	}
+	if p.LinkFor(topo.Coord{X: 3, Y: 1}, topo.East) != p.BoardLink {
+		t.Error("board-edge link should resolve to board params")
+	}
+	if p.LinkFor(topo.Coord{X: 7, Y: 7}, topo.NorthEast) != p.BoardLink {
+		t.Error("wrap link should resolve to board params")
+	}
+	uniform := DefaultParams(8, 8)
+	if uniform.LinkFor(topo.Coord{X: 3, Y: 1}, topo.East) != uniform.Link {
+		t.Error("uniform fabric must resolve every link to Link")
+	}
+}
+
+// TestHeterogeneousFabricMatchesSingleEngine drives a packet over a
+// slow board-to-board boundary on a board-aligned partition running at
+// the widened lookahead, and checks the delivery time is exactly the
+// single-engine one — the determinism contract under heterogeneity.
+func TestHeterogeneousFabricMatchesSingleEngine(t *testing.T) {
+	p := DefaultParams(4, 4)
+	p.Boards = topo.BoardGeometry{W: 4, H: 2}
+	part, err := topo.NewBoards(p.Torus, p.Boards, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := sim.NewParallel(1, part.Shards(), part.Shards())
+	defer pe.Close()
+	pe.SetLookahead(p.LookaheadFor(part))
+	if pe.Lookahead() <= p.MinHopLatency() {
+		t.Fatalf("board-aligned lookahead %v not widened beyond uniform %v",
+			pe.Lookahead(), p.MinHopLatency())
+	}
+	f, err := NewShardedFabric(pe, part, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := topo.Coord{X: 1, Y: 1}
+	dst := topo.Coord{X: 1, Y: 2} // one hop north, over the board edge
+	if part.Shard(src) == part.Shard(dst) {
+		t.Fatal("route does not cross the board boundary")
+	}
+	installNorth := func(fab *Fabric) {
+		km := packet.KeyMask{Key: 0xb0, Mask: 0xffffffff}
+		fab.Node(src).Table.Add(Entry{km, LinkRoute(topo.North)})
+		fab.Node(dst).Table.Add(Entry{km, CoreRoute(0)})
+	}
+	installNorth(f)
+	var deliveredAt sim.Time
+	f.OnDeliverMC = func(n *Node, core int, pkt packet.Packet, lat sim.Time) {
+		deliveredAt = n.Domain().Now()
+	}
+	f.InjectMC(src, packet.NewMC(0xb0))
+	pe.RunUntil(sim.Millisecond)
+
+	eng := sim.New(1)
+	ref, err := NewFabric(eng, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	installNorth(ref)
+	var refAt sim.Time
+	ref.OnDeliverMC = func(n *Node, core int, pkt packet.Packet, lat sim.Time) {
+		refAt = n.Domain().Now()
+	}
+	ref.InjectMC(src, packet.NewMC(0xb0))
+	eng.RunUntil(sim.Millisecond)
+	if deliveredAt == 0 || deliveredAt != refAt {
+		t.Errorf("sharded heterogeneous delivery at %v, single-engine at %v", deliveredAt, refAt)
+	}
+	// The slow hop must actually be slower than an on-board one would
+	// be: the per-link frame cost reached the transmit path.
+	uniformRef := DefaultParams(4, 4)
+	eng2 := sim.New(1)
+	fastFab, err := NewFabric(eng2, uniformRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	installNorth(fastFab)
+	var fastAt sim.Time
+	fastFab.OnDeliverMC = func(n *Node, core int, pkt packet.Packet, lat sim.Time) {
+		fastAt = n.Domain().Now()
+	}
+	fastFab.InjectMC(src, packet.NewMC(0xb0))
+	eng2.RunUntil(sim.Millisecond)
+	if fastAt == 0 || deliveredAt <= fastAt {
+		t.Errorf("board hop at %v should be slower than uniform hop at %v", deliveredAt, fastAt)
+	}
+}
+
 func TestShardedFabricDeliversAcrossBlockBoundaries(t *testing.T) {
 	// A 2x2 block partition of a 4x4 torus: a packet travelling east
 	// from (1,1) to (3,1) crosses a vertical shard boundary. With the

@@ -1,0 +1,87 @@
+package topo
+
+import "fmt"
+
+// BoardGeometry describes the physical packaging hierarchy of the
+// machine: chips are packed onto W x H-chip circuit boards (the paper's
+// 48-chip boards), and the boards tile the torus exactly. Links between
+// chips on the same board run over short PCB traces; links whose
+// endpoints sit on different boards cross connectors and cables — the
+// slower, more expensive self-timed board-to-board interconnect. The
+// zero value means "no board hierarchy": every link is board-internal.
+type BoardGeometry struct {
+	W, H int
+}
+
+// ParseBoardGeometry parses the "WxH" board-tiling notation used by
+// configuration ("8x6" = 48-chip boards, eight chips wide).
+func ParseBoardGeometry(s string) (BoardGeometry, error) {
+	var g BoardGeometry
+	// The %c probe rejects trailing garbage ("8x2x2", "8x6mm"), which
+	// Sscanf alone would silently truncate into a different tiling.
+	var trailing byte
+	if n, _ := fmt.Sscanf(s, "%dx%d%c", &g.W, &g.H, &trailing); n != 2 {
+		return BoardGeometry{}, fmt.Errorf("topo: bad board geometry %q (want \"WxH\")", s)
+	}
+	if g.W <= 0 || g.H <= 0 {
+		return BoardGeometry{}, fmt.Errorf("topo: bad board geometry %q (non-positive side)", s)
+	}
+	return g, nil
+}
+
+// String renders the "WxH" notation; the zero geometry renders "none".
+func (g BoardGeometry) String() string {
+	if g.IsZero() {
+		return "none"
+	}
+	return fmt.Sprintf("%dx%d", g.W, g.H)
+}
+
+// IsZero reports whether no board hierarchy is configured.
+func (g BoardGeometry) IsZero() bool { return g == BoardGeometry{} }
+
+// Validate checks that the boards tile t exactly: a partial board would
+// leave chips with no physical home.
+func (g BoardGeometry) Validate(t Torus) error {
+	if g.W <= 0 || g.H <= 0 {
+		return fmt.Errorf("topo: invalid board geometry %dx%d", g.W, g.H)
+	}
+	if t.W%g.W != 0 || t.H%g.H != 0 {
+		return fmt.Errorf("topo: %dx%d boards do not tile the %dx%d torus", g.W, g.H, t.W, t.H)
+	}
+	return nil
+}
+
+// Grid reports how many boards tile the torus along each axis.
+func (g BoardGeometry) Grid(t Torus) (bw, bh int) { return t.W / g.W, t.H / g.H }
+
+// Boards reports the total board count.
+func (g BoardGeometry) Boards(t Torus) int { bw, bh := g.Grid(t); return bw * bh }
+
+// BoardOf reports the board-grid cell holding the chip at c (which must
+// be a canonical on-torus coordinate).
+func (g BoardGeometry) BoardOf(c Coord) (bx, by int) { return c.X / g.W, c.Y / g.H }
+
+// Crosses reports whether the directed link leaving c in direction d
+// leaves c's board. Torus wrap links always cross: on the physical
+// machine the wrap-around is cabled between edge boards, so it is
+// board-to-board even when only one board spans that axis. A zero
+// geometry never crosses (uniform fabric).
+func (g BoardGeometry) Crosses(c Coord, d Dir) bool {
+	if g.IsZero() {
+		return false
+	}
+	dx, dy := d.Vector()
+	// Unwrapped neighbour cell: floor division keeps -1 and W on the
+	// far side of the board edge, so wraps register as crossings.
+	return floorDiv(c.X+dx, g.W) != c.X/g.W || floorDiv(c.Y+dy, g.H) != c.Y/g.H
+}
+
+// floorDiv is integer division rounding toward negative infinity.
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,141 @@
+package topo
+
+import "testing"
+
+func TestParseBoardGeometry(t *testing.T) {
+	g, err := ParseBoardGeometry("8x6")
+	if err != nil || g != (BoardGeometry{W: 8, H: 6}) {
+		t.Fatalf("ParseBoardGeometry(8x6) = %v, %v", g, err)
+	}
+	if g.String() != "8x6" {
+		t.Errorf("String() = %q, want 8x6", g.String())
+	}
+	if (BoardGeometry{}).String() != "none" {
+		t.Errorf("zero String() = %q, want none", BoardGeometry{}.String())
+	}
+	for _, bad := range []string{"", "8", "x", "0x6", "8x-1", "axb", "8x2x2", "8x6mm"} {
+		if _, err := ParseBoardGeometry(bad); err == nil {
+			t.Errorf("ParseBoardGeometry(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBoardGeometryValidate(t *testing.T) {
+	torus := MustTorus(8, 8)
+	if err := (BoardGeometry{W: 4, H: 2}).Validate(torus); err != nil {
+		t.Errorf("4x2 should tile 8x8: %v", err)
+	}
+	for _, g := range []BoardGeometry{{W: 3, H: 2}, {W: 4, H: 3}, {W: 16, H: 8}} {
+		if err := g.Validate(torus); err == nil {
+			t.Errorf("%v should not tile 8x8", g)
+		}
+	}
+}
+
+// TestBoardCrosses pins the link classification: interior links stay on
+// the board, links over a board edge cross, and torus wrap links always
+// cross (the physical wrap is cabled between edge boards).
+func TestBoardCrosses(t *testing.T) {
+	g := BoardGeometry{W: 4, H: 4} // 2x2 boards on an 8x8 torus
+	for _, tc := range []struct {
+		c    Coord
+		d    Dir
+		want bool
+	}{
+		{Coord{1, 1}, East, false},      // interior
+		{Coord{3, 1}, East, true},       // over the x=4 board edge
+		{Coord{3, 1}, West, false},      // away from the edge
+		{Coord{1, 3}, North, true},      // over the y=4 board edge
+		{Coord{3, 3}, NorthEast, true},  // diagonal over the corner
+		{Coord{7, 1}, East, true},       // torus wrap: cabled
+		{Coord{1, 0}, South, true},      // torus wrap the other way
+		{Coord{4, 4}, SouthWest, true},  // diagonal back over the corner
+		{Coord{5, 5}, NorthEast, false}, // interior of board (1,1)
+	} {
+		if got := g.Crosses(tc.c, tc.d); got != tc.want {
+			t.Errorf("Crosses(%v, %v) = %v, want %v", tc.c, tc.d, got, tc.want)
+		}
+	}
+	// The zero geometry never crosses: uniform fabric.
+	if (BoardGeometry{}).Crosses(Coord{3, 1}, East) {
+		t.Error("zero geometry reported a crossing")
+	}
+}
+
+// TestNewBoardsAligned pins the Boards geometry's defining property:
+// every boundary link crosses a board edge, for every reachable shard
+// count.
+func TestNewBoardsAligned(t *testing.T) {
+	torus := MustTorus(8, 8)
+	g := BoardGeometry{W: 4, H: 2} // 2x4 board grid
+	for shards := 1; shards <= 8; shards++ {
+		p, err := NewBoards(torus, g, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Geometry() != Boards {
+			t.Fatalf("geometry = %v", p.Geometry())
+		}
+		if p.Boards() != g {
+			t.Fatalf("Boards() = %v, want %v", p.Boards(), g)
+		}
+		onBoard, boardCut := p.CutComposition(g)
+		if onBoard != 0 {
+			t.Errorf("shards=%d: %d on-board links in a board-aligned cut", shards, onBoard)
+		}
+		if p.Shards() > 1 && boardCut == 0 {
+			t.Errorf("shards=%d: multi-shard partition with an empty cut", shards)
+		}
+		if boardCut != p.CutLinks() {
+			t.Errorf("shards=%d: composition %d+%d != CutLinks %d",
+				shards, onBoard, boardCut, p.CutLinks())
+		}
+		// Every chip maps to a shard; chips on one board share it.
+		for i := 0; i < torus.Size(); i++ {
+			c := torus.CoordOf(i)
+			base := Coord{X: c.X - c.X%g.W, Y: c.Y - c.Y%g.H}
+			if p.Shard(c) != p.Shard(base) {
+				t.Fatalf("shards=%d: board split across shards at %v", shards, c)
+			}
+		}
+	}
+}
+
+// TestNewBoardsClamps pins the granularity: shard count clamps to the
+// board count, and an untileable geometry errors.
+func TestNewBoardsClamps(t *testing.T) {
+	torus := MustTorus(8, 8)
+	p, err := NewBoards(torus, BoardGeometry{W: 8, H: 2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != 4 { // only 4 boards exist
+		t.Errorf("Shards() = %d, want 4 (one per board)", p.Shards())
+	}
+	if _, err := NewBoards(torus, BoardGeometry{W: 3, H: 2}, 2); err == nil {
+		t.Error("untileable geometry accepted")
+	}
+}
+
+// TestCutCompositionMixed checks classification of a chip-granular cut
+// against the board tiling: a bands cut through board interiors reports
+// fast links, a bands cut along board edges reports none.
+func TestCutCompositionMixed(t *testing.T) {
+	torus := MustTorus(8, 8)
+	g := BoardGeometry{W: 8, H: 4} // two boards stacked vertically
+
+	aligned := NewBands(torus, 2) // boundaries at y=0 and y=4: board edges
+	if on, board := aligned.CutComposition(g); on != 0 || board != aligned.CutLinks() {
+		t.Errorf("aligned bands: composition %d+%d, want 0+%d", on, board, aligned.CutLinks())
+	}
+
+	misaligned := NewBands(torus, 4) // boundaries at y=2 and y=6 cut board interiors
+	if on, board := misaligned.CutComposition(g); on == 0 || board == 0 {
+		t.Errorf("misaligned bands: composition %d+%d, want both classes present", on, board)
+	}
+
+	// Zero geometry: everything is on-board.
+	if on, board := misaligned.CutComposition(BoardGeometry{}); board != 0 || on != misaligned.CutLinks() {
+		t.Errorf("uniform: composition %d+%d, want %d+0", on, board, misaligned.CutLinks())
+	}
+}

@@ -21,16 +21,26 @@ const (
 	// ~ shards), at the price of each shard having up to eight
 	// neighbouring shards instead of two.
 	Blocks2D
+	// Boards tiles the torus with an r×c grid of whole circuit boards
+	// (BoardGeometry), so every shard boundary coincides with a board
+	// edge and every cut link is a board-to-board link. On a fabric
+	// whose board-to-board links are slower than on-board ones this
+	// buys a wider conservative lookahead — the cut's minimum hop
+	// latency is the slow links' — at the price of shard granularity
+	// limited to whole boards.
+	Boards
 )
 
 // String names the geometry as it appears in configuration ("bands",
-// "blocks").
+// "blocks", "boards").
 func (g Geometry) String() string {
 	switch g {
 	case Bands:
 		return "bands"
 	case Blocks2D:
 		return "blocks"
+	case Boards:
+		return "boards"
 	}
 	return "geometry(?)"
 }
@@ -51,9 +61,10 @@ type BoundaryLink struct {
 type Partition struct {
 	t        Torus
 	geom     Geometry
+	boards   BoardGeometry // cell size of the Boards geometry; zero otherwise
 	shards   int
-	rows     int // block-grid rows (Blocks2D; bands-by-row have rows=shards)
-	cols     int // block-grid columns
+	rows     int   // block-grid rows (Blocks2D; bands-by-row have rows=shards)
+	cols     int   // block-grid columns
 	shardOf  []int // by node index
 	boundary []BoundaryLink
 }
@@ -125,6 +136,46 @@ func NewBlocks2D(t Torus, shards int) Partition {
 	return best
 }
 
+// NewBoards decomposes t into at most shards groups of whole g-sized
+// boards, so that every shard boundary runs along board edges and the
+// cut set contains only board-to-board links. The board grid is split
+// with the same minimum-cut r×c search Blocks2D uses over chips, at
+// board granularity; the effective shard count is the largest s <=
+// shards that factorises within the board grid, clamping to the board
+// count. It errors when g does not tile t.
+func NewBoards(t Torus, g BoardGeometry, shards int) (Partition, error) {
+	if err := g.Validate(t); err != nil {
+		return Partition{}, err
+	}
+	bw, bh := g.Grid(t)
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > bw*bh {
+		shards = bw * bh
+	}
+	best := Partition{}
+	found := false
+	for s := shards; s >= 1 && !found; s-- {
+		for r := 1; r <= s && r <= bh; r++ {
+			if s%r != 0 {
+				continue
+			}
+			c := s / r
+			if c > bw {
+				continue
+			}
+			cand := Partition{t: t, geom: Boards, boards: g, shards: s, rows: r, cols: c}
+			cand.build()
+			if !found || cand.betterGridThan(best) {
+				best = cand
+				found = true
+			}
+		}
+	}
+	return best, nil
+}
+
 // betterGridThan orders candidate grids with the same shard count:
 // fewest cut links first, then squarest (smallest |rows-cols|), then
 // more rows — a total, deterministic order.
@@ -143,14 +194,21 @@ func (p Partition) betterGridThan(q Partition) bool {
 // enumerates the boundary links. Grid cell (i, j) — row band i of rows,
 // column band j of cols — is shard i·cols + j; bands along each axis
 // differ in extent by at most one (the first remainder bands are one
-// wider).
+// wider). The Boards geometry bands over board cells instead of chips,
+// which is exactly what pins its shard boundaries to board edges.
 func (p *Partition) build() {
-	rowOf := bandOf(p.t.H, p.rows)
-	colOf := bandOf(p.t.W, p.cols)
+	extW, extH := p.t.W, p.t.H
+	cell := func(c Coord) (x, y int) { return c.X, c.Y }
+	if p.geom == Boards {
+		extW, extH = p.boards.Grid(p.t)
+		cell = func(c Coord) (x, y int) { return p.boards.BoardOf(c) }
+	}
+	rowOf := bandOf(extH, p.rows)
+	colOf := bandOf(extW, p.cols)
 	p.shardOf = make([]int, p.t.Size())
 	for i := range p.shardOf {
-		c := p.t.CoordOf(i)
-		p.shardOf[i] = rowOf(c.Y)*p.cols + colOf(c.X)
+		x, y := cell(p.t.CoordOf(i))
+		p.shardOf[i] = rowOf(y)*p.cols + colOf(x)
 	}
 	p.boundary = nil
 	for i := range p.shardOf {
@@ -187,7 +245,8 @@ func (p Partition) Geometry() Geometry { return p.geom }
 func (p Partition) Shards() int { return p.shards }
 
 // Grid reports the block-grid dimensions (rows×cols == Shards()); a
-// band partition is a degenerate 1×s or s×1 grid.
+// band partition is a degenerate 1×s or s×1 grid, and a boards
+// partition reports its grid of board bands.
 func (p Partition) Grid() (rows, cols int) { return p.rows, p.cols }
 
 // Shard reports the shard owning the chip at c.
@@ -217,3 +276,25 @@ func (p Partition) BoundaryLinks() []BoundaryLink { return p.boundary }
 // boundaries — the partition's communication cost, and the quantity
 // Blocks2D minimises.
 func (p Partition) CutLinks() int { return len(p.boundary) }
+
+// Boards reports the board tiling the Boards geometry banded over; it
+// is zero for chip-granular geometries.
+func (p Partition) Boards() BoardGeometry { return p.boards }
+
+// CutComposition classifies the boundary links under board tiling g:
+// onBoard counts cut links whose endpoints share a board (short PCB
+// traces), boardCut those crossing a board edge (cabled board-to-board
+// interconnect). A zero g classes every link as on-board. A Boards
+// partition built from the same g always reports onBoard == 0 — its
+// shard boundaries are board edges by construction — which is what
+// entitles it to the slow links' wider conservative lookahead.
+func (p Partition) CutComposition(g BoardGeometry) (onBoard, boardCut int) {
+	for _, bl := range p.boundary {
+		if g.Crosses(bl.From, bl.Dir) {
+			boardCut++
+		} else {
+			onBoard++
+		}
+	}
+	return onBoard, boardCut
+}

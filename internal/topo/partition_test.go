@@ -135,15 +135,15 @@ func checkPartitionInvariants(t *testing.T, p Partition) {
 
 func TestBlocks2DEdgeCases(t *testing.T) {
 	for _, tc := range []struct{ w, h, shards, want int }{
-		{8, 8, 4, 4},    // clean 2x2 grid
-		{5, 7, 4, 4},    // non-divisible dimensions
-		{5, 7, 6, 6},    // 2x3 over uneven extents
-		{3, 3, 100, 9},  // shards > chips: one chip per shard
-		{1, 8, 4, 4},    // 1xN torus degenerates to bands
-		{8, 1, 3, 3},    // Nx1 torus
-		{1, 1, 5, 1},    // degenerate
-		{4, 4, 0, 1},    // non-positive request
-		{6, 6, 7, 6},    // 7 factorises only as 7x1, which fits neither axis of 6x6; fall back to 6
+		{8, 8, 4, 4},   // clean 2x2 grid
+		{5, 7, 4, 4},   // non-divisible dimensions
+		{5, 7, 6, 6},   // 2x3 over uneven extents
+		{3, 3, 100, 9}, // shards > chips: one chip per shard
+		{1, 8, 4, 4},   // 1xN torus degenerates to bands
+		{8, 1, 3, 3},   // Nx1 torus
+		{1, 1, 5, 1},   // degenerate
+		{4, 4, 0, 1},   // non-positive request
+		{6, 6, 7, 6},   // 7 factorises only as 7x1, which fits neither axis of 6x6; fall back to 6
 	} {
 		p := NewBlocks2D(MustTorus(tc.w, tc.h), tc.shards)
 		if p.Shards() != tc.want {

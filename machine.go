@@ -53,11 +53,31 @@ type MachineConfig struct {
 	Workers int
 	// Partition selects the shard geometry: PartitionBands cuts whole
 	// rows or columns, PartitionBlocks tiles the torus with a 2D block
-	// grid minimising cut links, and PartitionAuto (or "") compares the
-	// two and keeps whichever reaches the requested shard count with
-	// the smaller cut. Results are byte-identical for every geometry;
-	// the choice affects only synchronisation cost.
+	// grid minimising cut links, PartitionBoards (requires Boards)
+	// aligns shard boundaries to board edges so the cut contains only
+	// board-to-board links, and PartitionAuto (or "") compares the
+	// candidates and keeps whichever reaches the requested shard count
+	// with the widest lookahead, then the smallest cut. Results are
+	// byte-identical for every geometry; the choice affects only
+	// synchronisation cost.
 	Partition string
+	// Boards is the physical board tiling in chips per board as "WxH"
+	// (e.g. "8x6" packs the paper's 48-chip boards). "" means a uniform
+	// fabric with no board hierarchy. When set, the boards must tile
+	// the torus exactly; links crossing a board edge (including torus
+	// wrap links, which are cabled between edge boards) use the
+	// board-to-board PHY parameters, and the PartitionBoards strategy
+	// becomes available. Configuring Boards changes the simulated
+	// hardware — link timings and energy — so reports differ from the
+	// uniform fabric, but remain byte-identical across all Workers and
+	// Partition choices on the same Boards config.
+	Boards string
+	// BoardLinkParams selects the board-to-board PHY preset: "" or
+	// BoardLinkSlow for the self-timed board-to-board defaults (longer
+	// wire flight, costlier transitions — the realistic model), or
+	// BoardLinkUniform to reuse the on-board parameters (hierarchy
+	// without PHY heterogeneity, the ablation). Requires Boards.
+	BoardLinkParams string
 	// DisableEmergencyRouting turns off the Fig-8 mechanism (ablation).
 	DisableEmergencyRouting bool
 	// Placement policy (default Serpentine).
@@ -75,6 +95,13 @@ const (
 	PartitionAuto   = "auto"
 	PartitionBands  = "bands"
 	PartitionBlocks = "blocks"
+	PartitionBoards = "boards"
+)
+
+// Board-to-board link presets accepted by MachineConfig.BoardLinkParams.
+const (
+	BoardLinkSlow    = "slow"
+	BoardLinkUniform = "uniform"
 )
 
 func (c *MachineConfig) fillDefaults() {
@@ -107,19 +134,56 @@ func (c MachineConfig) Validate() error {
 			c.Workers, c.Width, c.Height, max)
 	}
 	switch c.Partition {
-	case "", PartitionAuto, PartitionBands, PartitionBlocks:
+	case "", PartitionAuto, PartitionBands, PartitionBlocks, PartitionBoards:
 	default:
-		return fmt.Errorf("spinngo: unknown Partition %q (want %q, %q or %q)",
-			c.Partition, PartitionAuto, PartitionBands, PartitionBlocks)
+		return fmt.Errorf("spinngo: unknown Partition %q (want %q, %q, %q or %q)",
+			c.Partition, PartitionAuto, PartitionBands, PartitionBlocks, PartitionBoards)
+	}
+	if c.Boards != "" {
+		bg, err := topo.ParseBoardGeometry(c.Boards)
+		if err != nil {
+			return fmt.Errorf("spinngo: bad Boards: %v", err)
+		}
+		if err := bg.Validate(topo.MustTorus(c.Width, c.Height)); err != nil {
+			return fmt.Errorf("spinngo: bad Boards: %v", err)
+		}
+	} else {
+		if c.Partition == PartitionBoards {
+			return fmt.Errorf("spinngo: Partition %q requires Boards (the board tiling, e.g. \"8x6\")",
+				PartitionBoards)
+		}
+		if c.BoardLinkParams != "" {
+			return fmt.Errorf("spinngo: BoardLinkParams %q requires Boards", c.BoardLinkParams)
+		}
+	}
+	switch c.BoardLinkParams {
+	case "", BoardLinkSlow, BoardLinkUniform:
+	default:
+		return fmt.Errorf("spinngo: unknown BoardLinkParams %q (want %q or %q)",
+			c.BoardLinkParams, BoardLinkSlow, BoardLinkUniform)
 	}
 	return nil
+}
+
+// boardGeometry resolves the configured board tiling; zero when the
+// fabric is uniform. Valid only after Validate has accepted the config.
+func (c MachineConfig) boardGeometry() topo.BoardGeometry {
+	if c.Boards == "" {
+		return topo.BoardGeometry{}
+	}
+	bg, err := topo.ParseBoardGeometry(c.Boards)
+	if err != nil {
+		panic(err) // Validate accepted it
+	}
+	return bg
 }
 
 // choosePartition resolves the configured geometry and worker count
 // into a concrete partition, and reports whether the engine should run
 // with adaptive worker selection (automatic geometry AND automatic
-// worker count — the fully self-tuning mode).
-func choosePartition(cfg MachineConfig, torus topo.Torus) (topo.Partition, bool) {
+// worker count — the fully self-tuning mode). params supplies the
+// per-link PHY model the automatic comparison prices lookahead with.
+func choosePartition(cfg MachineConfig, torus topo.Torus, params router.Params) (topo.Partition, bool) {
 	auto := cfg.Partition == "" || cfg.Partition == PartitionAuto
 	workers := cfg.Workers
 	adaptive := false
@@ -135,17 +199,41 @@ func choosePartition(cfg MachineConfig, torus topo.Torus) (topo.Partition, bool)
 		return topo.NewBands(torus, workers), false
 	case PartitionBlocks:
 		return topo.NewBlocks2D(torus, workers), false
+	case PartitionBoards:
+		part, err := topo.NewBoards(torus, params.Boards, workers)
+		if err != nil {
+			panic(err) // Validate accepted the tiling
+		}
+		return part, false
 	}
 	// Automatic geometry: whichever strategy reaches the requested
-	// parallelism; at equal shard counts the smaller cut wins, and ties
-	// go to bands (at most two neighbouring shards instead of eight).
-	bands := topo.NewBands(torus, workers)
-	blocks := topo.NewBlocks2D(torus, workers)
-	if blocks.Shards() > bands.Shards() ||
-		(blocks.Shards() == bands.Shards() && blocks.CutLinks() < bands.CutLinks()) {
-		return blocks, adaptive
+	// parallelism; at equal shard counts the wider lookahead wins (on a
+	// heterogeneous fabric a board-aligned cut of slow links means
+	// fewer window barriers, worth more than a few cut links), then the
+	// smaller cut, and remaining ties keep the earlier candidate
+	// (bands: at most two neighbouring shards instead of eight).
+	candidates := []topo.Partition{topo.NewBands(torus, workers), topo.NewBlocks2D(torus, workers)}
+	if params.Heterogeneous() {
+		if boards, err := topo.NewBoards(torus, params.Boards, workers); err == nil {
+			candidates = append(candidates, boards)
+		}
 	}
-	return bands, adaptive
+	best := candidates[0]
+	for _, cand := range candidates[1:] {
+		switch {
+		case cand.Shards() != best.Shards():
+			if cand.Shards() > best.Shards() {
+				best = cand
+			}
+		case params.LookaheadFor(cand) != params.LookaheadFor(best):
+			if params.LookaheadFor(cand) > params.LookaheadFor(best) {
+				best = cand
+			}
+		case cand.CutLinks() < best.CutLinks():
+			best = cand
+		}
+	}
+	return best, adaptive
 }
 
 // unit is one application core's runtime: kernel + neurons + synapses.
@@ -218,14 +306,19 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		return nil, err
 	}
 	torus := topo.MustTorus(cfg.Width, cfg.Height)
-	part, adaptive := choosePartition(cfg, torus)
-	pe := sim.NewParallel(cfg.Seed, part.Shards(), part.Shards())
-	pe.SetAdaptive(adaptive)
 	params := router.DefaultParams(cfg.Width, cfg.Height)
 	params.EmergencyEnabled = !cfg.DisableEmergencyRouting
-	// The lookahead folds the minimum frame serialisation time into the
-	// router pipeline latency, scoped to the partition's boundary cut:
-	// wider windows, fewer barriers, identical results.
+	params.Boards = cfg.boardGeometry()
+	if cfg.BoardLinkParams == BoardLinkUniform {
+		params.BoardLink = params.Link // hierarchy without heterogeneity
+	}
+	part, adaptive := choosePartition(cfg, torus, params)
+	pe := sim.NewParallel(cfg.Seed, part.Shards(), part.Shards())
+	pe.SetAdaptive(adaptive)
+	// The lookahead folds each cut link's frame serialisation time into
+	// the router pipeline latency, minimised over the partition's actual
+	// boundary cut: a board-aligned cut of slow board-to-board links
+	// earns wider windows and fewer barriers, with identical results.
 	pe.SetLookahead(params.LookaheadFor(part))
 	fab, err := router.NewShardedFabric(pe, part, params)
 	if err != nil {
@@ -259,8 +352,11 @@ func (m *Machine) Workers() int { return m.part.Shards() }
 // Partition while RunReport stays byte-identical, which is why they
 // live outside it.
 type SimStats struct {
-	// Geometry is the effective partition geometry ("bands", "blocks").
+	// Geometry is the effective partition geometry ("bands", "blocks",
+	// "boards").
 	Geometry string
+	// Boards is the configured board tiling ("none" = uniform fabric).
+	Boards string
 	// Shards and Workers are the effective shard count and parallelism
 	// bound; Adaptive reports whether per-window worker selection is on.
 	Shards   int
@@ -268,10 +364,19 @@ type SimStats struct {
 	Adaptive bool
 	// CutLinks counts directed inter-chip links crossing shard
 	// boundaries — the traffic that must pass barrier mailboxes.
-	CutLinks int
-	// Lookahead is the cross-shard latency bound: router pipeline plus
-	// minimum frame serialisation over the boundary cut.
-	Lookahead sim.Time
+	// CutLinksOnBoard and CutLinksBoard split the cut by link class;
+	// the cut is board-aligned exactly when CutLinksOnBoard is zero.
+	CutLinks        int
+	CutLinksOnBoard int
+	CutLinksBoard   int
+	// Lookahead is the achieved cross-shard latency bound: router
+	// pipeline plus minimum frame serialisation over the *actual*
+	// boundary cut. UniformLookahead is the bound a single shared
+	// link-parameter block would allow (the machine-wide minimum hop
+	// floor); on a board-aligned cut of slower board-to-board links,
+	// Lookahead exceeds it — wider windows, fewer barriers.
+	Lookahead        sim.Time
+	UniformLookahead sim.Time
 	// Windows counts lookahead windows executed; ParallelWindows those
 	// dispatched to the worker pool; EventsPerWindow the mean event
 	// density the adaptive mode steers by.
@@ -284,17 +389,23 @@ type SimStats struct {
 
 // SimStats snapshots the engine's execution statistics.
 func (m *Machine) SimStats() SimStats {
+	params := m.fab.Params()
+	onBoard, boardCut := m.part.CutComposition(params.Boards)
 	return SimStats{
-		Geometry:        m.part.Geometry().String(),
-		Shards:          m.pe.Shards(),
-		Workers:         m.pe.Workers(),
-		Adaptive:        m.pe.Adaptive(),
-		CutLinks:        m.part.CutLinks(),
-		Lookahead:       m.pe.Lookahead(),
-		Windows:         m.pe.Windows(),
-		ParallelWindows: m.pe.ParallelWindows(),
-		EventsPerWindow: m.pe.EventsPerWindow(),
-		Events:          m.pe.Processed(),
+		Geometry:         m.part.Geometry().String(),
+		Boards:           params.Boards.String(),
+		Shards:           m.pe.Shards(),
+		Workers:          m.pe.Workers(),
+		Adaptive:         m.pe.Adaptive(),
+		CutLinks:         m.part.CutLinks(),
+		CutLinksOnBoard:  onBoard,
+		CutLinksBoard:    boardCut,
+		Lookahead:        m.pe.Lookahead(),
+		UniformLookahead: params.MinHopLatency(),
+		Windows:          m.pe.Windows(),
+		ParallelWindows:  m.pe.ParallelWindows(),
+		EventsPerWindow:  m.pe.EventsPerWindow(),
+		Events:           m.pe.Processed(),
 	}
 }
 

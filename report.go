@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"spinngo/internal/energy"
+	"spinngo/internal/phy"
 	"spinngo/internal/sim"
 )
 
@@ -36,6 +37,16 @@ type RunReport struct {
 	Instructions uint64
 	// EnergyJ prices the run with the default accounting model.
 	EnergyJ float64
+	// WireTransitionsOnBoard and WireTransitionsBoard count link wire
+	// transitions by class; on a uniform fabric (no Boards configured)
+	// the board count is zero.
+	WireTransitionsOnBoard uint64
+	WireTransitionsBoard   uint64
+	// WireEnergyOnBoardJ and WireEnergyBoardJ split the link share of
+	// EnergyJ by class: board-to-board transitions cost several times an
+	// on-board trace, so a few cabled hops can dominate the wire budget.
+	WireEnergyOnBoardJ float64
+	WireEnergyBoardJ   float64
 	// MeanPowerW is the average machine power over the run.
 	MeanPowerW float64
 	// MIPSPerWatt is delivered instruction throughput per watt.
@@ -104,9 +115,15 @@ func (m *Machine) report() *RunReport {
 	if units > 0 {
 		r.MeanSleepFraction = sleepSum / float64(units)
 	}
-	// Wire energy: every link traversal moves a 40-bit mc frame.
-	frame := m.fab.Params().Link.FrameCost(5)
-	act.WireTransitions = m.fab.LinkTraversals() * uint64(frame.Transitions)
+	// Wire energy: every link traversal moves a 40-bit mc frame, priced
+	// per link class — board-to-board transitions cost several times an
+	// on-board trace.
+	params := m.fab.Params()
+	traversals := m.fab.LinkTraversalsByClass()
+	act.WireTransitions = traversals[phy.OnBoard] *
+		uint64(params.ClassParams(phy.OnBoard).FrameCost(5).Transitions)
+	act.WireTransitionsBoard = traversals[phy.BoardToBoard] *
+		uint64(params.ClassParams(phy.BoardToBoard).FrameCost(5).Transitions)
 	// SDRAM traffic from every chip.
 	for _, n := range m.fab.Nodes() {
 		if m.boot != nil && m.boot.Alive(n.Coord) {
@@ -117,6 +134,9 @@ func (m *Machine) report() *RunReport {
 	r.EnergyJ = acc.Joules(act)
 	r.MeanPowerW = acc.MeanPowerW(act)
 	r.MIPSPerWatt = acc.EffectiveMIPSPerWatt(act)
+	r.WireTransitionsOnBoard = act.WireTransitions
+	r.WireTransitionsBoard = act.WireTransitionsBoard
+	r.WireEnergyOnBoardJ, r.WireEnergyBoardJ = acc.WireJoules(act)
 	return r
 }
 
@@ -133,5 +153,9 @@ func (r *RunReport) String() string {
 	fmt.Fprintf(&b, "instructions:    %d\n", r.Instructions)
 	fmt.Fprintf(&b, "energy:          %.4g J (%.4g W mean, %.0f MIPS/W)\n",
 		r.EnergyJ, r.MeanPowerW, r.MIPSPerWatt)
+	if r.WireTransitionsBoard > 0 {
+		fmt.Fprintf(&b, "wire energy:     %.4g J on-board + %.4g J board-to-board\n",
+			r.WireEnergyOnBoardJ, r.WireEnergyBoardJ)
+	}
 	return b.String()
 }
