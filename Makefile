@@ -15,17 +15,18 @@ vet:
 	$(GO) vet ./...
 
 # The sharded engine's concurrency is exercised by the determinism suite
-# (Workers>1, both partition geometries) and the sim/router packages;
-# keep them under the race detector on every change.
+# (Workers>1, every partition geometry, repartition on and off) and the
+# sim/router packages; keep them under the race detector on every change.
 race:
 	$(GO) test -race ./internal/sim/ ./internal/router/
-	$(GO) test -race -run 'TestDeterminism|TestDifferentSeeds|TestBoardLookahead' .
+	$(GO) test -race -run 'TestDeterminism|TestDifferentSeeds|TestBoardLookahead|TestRepartition|TestShiftingHotspot' .
 
 # Worker/partition/board-hierarchy sweep of the end-to-end machine
 # benchmark (8x8 worker grid plus 8x8/16x16/32x32 bands-vs-blocks-vs-
-# boards comparison), recorded as JSON for the bench trajectory.
+# boards comparison plus the shifting-hotspot repartition scenario),
+# recorded as JSON for the bench trajectory.
 bench:
-	$(GO) run ./cmd/benchsweep -out BENCH_PR3.json
+	$(GO) run ./cmd/benchsweep -out BENCH_PR4.json
 
 # The same sweep through `go test -bench` (human-readable only).
 bench-workers:

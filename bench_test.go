@@ -235,8 +235,8 @@ func BenchmarkFabricPacketHop(b *testing.B) {
 // frequency each geometry's lookahead buys. Every cell produces an
 // identical report — see TestDeterminismUnderCongestion. `make bench`
 // runs this sweep plus the 16x16/32x32 board-hierarchy comparison and
-// records both in BENCH_PR3.json; the CI smoke step runs only this 8x8
-// grid.
+// the shifting-hotspot repartition scenario, recording all of it in
+// BENCH_PR4.json; the CI smoke step runs only this 8x8 grid.
 func BenchmarkMachineBioSecondWorkers(b *testing.B) {
 	for _, cfg := range benchsweep.Grid() {
 		b.Run(fmt.Sprintf("partition=%s/workers=%d", cfg.Partition, cfg.Workers),
@@ -257,6 +257,48 @@ func BenchmarkMachineBoardHierarchy(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("boards=%s/partition=%s/workers=%d", cfg.Boards, cfg.Partition, cfg.Workers),
 			benchsweep.Bench(cfg))
+	}
+}
+
+// TestShiftingHotspotRepartitionWins pins the headline claim of the
+// runtime re-partitioning policy on the benchsweep scenario itself: on
+// the shifting-hotspot workload the auto machine must take fewer
+// window barriers per biological second than every fixed geometry,
+// while producing the byte-identical spike count (the determinism
+// contract). The structural columns compared here derive from the
+// deterministic trajectory, so this is not a flaky timing assertion.
+func TestShiftingHotspotRepartitionWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine scenario sweep")
+	}
+	var auto *benchsweep.Result
+	var fixed []benchsweep.Result
+	for _, cfg := range benchsweep.HotspotGrid() {
+		r, err := benchsweep.MeasureHotspot(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Repartition == spinngo.RepartitionAuto {
+			auto = &r
+		} else {
+			fixed = append(fixed, r)
+		}
+	}
+	if auto == nil || len(fixed) == 0 {
+		t.Fatal("hotspot grid missing cells")
+	}
+	if auto.Repartitions == 0 {
+		t.Fatal("auto cell never repartitioned on a shifting hotspot")
+	}
+	for _, f := range fixed {
+		if auto.WindowsPerBioSecond >= f.WindowsPerBioSecond {
+			t.Errorf("auto repartitioning paid %.0f windows/bio-s, fixed %s paid %.0f — the policy must win every fixed geometry",
+				auto.WindowsPerBioSecond, f.Partition, f.WindowsPerBioSecond)
+		}
+		if f.Spikes != auto.Spikes {
+			t.Errorf("fixed %s produced %v spikes, auto %v — repartitioning leaked into the simulation",
+				f.Partition, f.Spikes, auto.Spikes)
+		}
 	}
 }
 

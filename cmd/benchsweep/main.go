@@ -1,16 +1,18 @@
 // Command benchsweep measures the sharded engine's scaling across
 // partition geometries, worker counts, torus sizes and board
 // hierarchies, and writes the results as JSON — the repo's bench
-// trajectory record (`make bench` writes BENCH_PR3.json). The sweep has
-// two parts: the 8x8 reference worker sweep (bands/blocks x workers)
-// and the board-hierarchy comparison (bands vs blocks vs boards on
+// trajectory record (`make bench` writes BENCH_PR4.json). The sweep has
+// three parts: the 8x8 reference worker sweep (bands/blocks x workers),
+// the board-hierarchy comparison (bands vs blocks vs boards on
 // heterogeneous 8x8, 16x16 and 32x32 machines with slow board-to-board
-// links), which records the lookahead and barrier-rate win of
-// board-aligned cuts.
+// links), and the shifting-hotspot scenario, which pits runtime
+// re-partitioning against every fixed geometry and records the
+// barrier-rate win of re-shaping the partition to the live workload.
 //
 // Usage:
 //
-//	benchsweep [-out BENCH_PR3.json] [-hierarchy-only] [-workers-only] [-quick]
+//	benchsweep [-out BENCH_PR4.json] [-hierarchy-only] [-workers-only]
+//	           [-hotspot-only] [-quick]
 package main
 
 import (
@@ -22,20 +24,27 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "JSON output path ('' = stdout table only)")
+	out := flag.String("out", "BENCH_PR4.json", "JSON output path ('' = stdout table only)")
 	hierOnly := flag.Bool("hierarchy-only", false, "run only the board-hierarchy comparison")
 	workersOnly := flag.Bool("workers-only", false, "run only the 8x8 worker sweep")
+	hotspotOnly := flag.Bool("hotspot-only", false, "run only the shifting-hotspot repartition scenario")
 	quick := flag.Bool("quick", false, "one iteration per cell (CI smoke; structural columns exact, timing noisy)")
 	flag.Parse()
-	if *hierOnly && *workersOnly {
-		log.Fatal("-hierarchy-only and -workers-only are mutually exclusive (the grid would be empty)")
+	exclusive := 0
+	for _, f := range []bool{*hierOnly, *workersOnly, *hotspotOnly} {
+		if f {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		log.Fatal("-hierarchy-only, -workers-only and -hotspot-only are mutually exclusive")
 	}
 
 	var grid []benchsweep.Config
-	if !*hierOnly {
+	if !*hierOnly && !*hotspotOnly {
 		grid = append(grid, benchsweep.Grid()...)
 	}
-	if !*workersOnly {
+	if !*workersOnly && !*hotspotOnly {
 		grid = append(grid, benchsweep.HierarchyGrid()...)
 	}
 	var results []benchsweep.Result
@@ -51,6 +60,18 @@ func main() {
 		}
 		fmt.Println(benchsweep.Row(r))
 		results = append(results, r)
+	}
+	if !*hierOnly && !*workersOnly {
+		fmt.Printf("shifting-hotspot scenario: %dms of biological time, %d quiescence chunks\n",
+			benchsweep.HotspotBioMS, benchsweep.HotspotChunks)
+		for _, cfg := range benchsweep.HotspotGrid() {
+			r, err := benchsweep.MeasureHotspot(cfg)
+			if err != nil {
+				log.Fatalf("hotspot %s/%s: %v", cfg.Partition, cfg.Repartition, err)
+			}
+			fmt.Println(benchsweep.HotspotRow(r))
+			results = append(results, r)
+		}
 	}
 	if *out != "" {
 		if err := benchsweep.WriteJSON(*out, results); err != nil {

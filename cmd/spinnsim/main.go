@@ -9,6 +9,7 @@
 //	         [-p 0.05] [-weight 0.8] [-delay 2] [-ms 500]
 //	         [-faillink "1,1,E"] [-raster] [-seed 1] [-workers 0]
 //	         [-partition auto] [-boards WxH] [-boardlink slow]
+//	         [-repartition]
 package main
 
 import (
@@ -37,11 +38,16 @@ func main() {
 	partition := flag.String("partition", "auto", "shard geometry: bands, blocks, boards or auto; any value yields the same results")
 	boards := flag.String("boards", "", "board tiling in chips, e.g. \"8x2\" ('' = uniform fabric); board-crossing links use board-to-board PHY params")
 	boardlink := flag.String("boardlink", "", "board-to-board link preset: slow (default) or uniform; requires -boards")
+	repartition := flag.Bool("repartition", false, "re-partition at quiescence boundaries when the observed event density warrants it; any setting yields the same results")
 	flag.Parse()
 
+	policy := ""
+	if *repartition {
+		policy = spinngo.RepartitionAuto
+	}
 	machine, err := spinngo.NewMachine(spinngo.MachineConfig{
 		Width: *w, Height: *h, Seed: *seed, Workers: *workers, Partition: *partition,
-		Boards: *boards, BoardLinkParams: *boardlink,
+		Boards: *boards, BoardLinkParams: *boardlink, Repartition: policy,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -91,9 +97,25 @@ func main() {
 		fmt.Printf("failed link (%d,%d) %s\n", x, y, dir)
 	}
 
-	rep, err := machine.Run(*ms)
-	if err != nil {
-		log.Fatal(err)
+	if *ms <= 0 {
+		log.Fatalf("non-positive run length %d ms", *ms)
+	}
+	// The re-selection policy acts at quiescence boundaries (between
+	// Run calls), so a re-partitioning run advances in chunks; results
+	// are byte-identical either way.
+	step := *ms
+	if *repartition && step > 20 {
+		step = 20
+	}
+	var rep *spinngo.RunReport
+	for remaining := *ms; remaining > 0; remaining -= step {
+		n := step
+		if n > remaining {
+			n = remaining
+		}
+		if rep, err = machine.Run(n); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Println()
 	fmt.Print(rep)
@@ -102,6 +124,8 @@ func main() {
 	st = machine.SimStats()
 	fmt.Printf("engine:          %d windows (%d parallel, %.1f events/window)\n",
 		st.Windows, st.ParallelWindows, st.EventsPerWindow)
+	fmt.Printf("partition:       %s/%d shards after %d repartitions (lookahead %v)\n",
+		st.Geometry, st.Shards, st.Repartitions, st.Lookahead)
 
 	if *raster {
 		printRaster(machine, excPop, *ms)

@@ -104,12 +104,16 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 // reroutes, timer overruns), where same-nanosecond event ties across
 // shard boundaries actually occur — on a heterogeneous fabric of 4x4
 // boards with slow board-to-board links, so cut sets mix link classes
-// and cross-shard hops have class-dependent latencies.
-func congestedRun(t *testing.T, partition string, workers int) *RunReport {
+// and cross-shard hops have class-dependent latencies. With failMidRun
+// the run is chunked around a link fault at 30 ms of biological time —
+// a board-edge cut link plus an on-board one — giving the repartition
+// policy both a live-cut change and quiescence boundaries to act on.
+func congestedRun(t *testing.T, partition string, workers int, failMidRun bool, repartition string) (*RunReport, SimStats) {
 	t.Helper()
 	m, err := NewMachine(MachineConfig{
 		Width: 8, Height: 8, Seed: 1, Workers: workers, Partition: partition,
 		MaxAppCoresPerChip: 2, Boards: "4x4", BoardLinkParams: BoardLinkSlow,
+		Repartition: repartition,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -134,11 +138,30 @@ func congestedRun(t *testing.T, partition string, workers int) *RunReport {
 	if _, err := m.Load(model); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := m.Run(100)
-	if err != nil {
+	var rep *RunReport
+	if failMidRun {
+		if _, err := m.Run(30); err != nil {
+			t.Fatal(err)
+		}
+		// (3,3)N crosses the y=3|4 board edge (a slow cut link of the
+		// band and board geometries); (3,3)E crosses the x=3|4 edge (a
+		// cut link of the block grid).
+		if err := m.FailLink(3, 3, "N"); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.FailLink(3, 3, "E"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(30); err != nil {
+			t.Fatal(err)
+		}
+		if rep, err = m.Run(40); err != nil {
+			t.Fatal(err)
+		}
+	} else if rep, err = m.Run(100); err != nil {
 		t.Fatal(err)
 	}
-	return rep
+	return rep, m.SimStats()
 }
 
 // TestDeterminismUnderCongestion pins the contract in the regime where
@@ -154,7 +177,7 @@ func TestDeterminismUnderCongestion(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-machine determinism sweep")
 	}
-	ref := congestedRun(t, PartitionBands, 1)
+	ref, _ := congestedRun(t, PartitionBands, 1, false, "")
 	// The workload must actually be congested, or this test is not
 	// exercising what it claims to.
 	if ref.EmergencyInvocations == 0 || ref.PacketsDropped == 0 {
@@ -172,13 +195,49 @@ func TestDeterminismUnderCongestion(t *testing.T) {
 			if partition == PartitionBands && workers == 1 {
 				continue // the reference itself
 			}
-			got := congestedRun(t, partition, workers)
+			got, _ := congestedRun(t, partition, workers, false, "")
 			if *got != *ref {
 				t.Errorf("congested 8x8: %s/%d diverged from bands/1:\nref: %+v\ngot: %+v",
 					partition, workers, *ref, *got)
 			}
 		}
 	}
+}
+
+// TestDeterminismFailLinkRepartition extends the matrix with the
+// runtime-re-partitioning case: links die mid-run and the auto policy
+// is free to re-shape the partition at every quiescence boundary, yet
+// every (geometry, worker count, policy) cell must produce the
+// byte-identical report — re-partitioning is execution strategy, not
+// simulation.
+func TestDeterminismFailLinkRepartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine determinism sweep")
+	}
+	ref, _ := congestedRun(t, PartitionBands, 1, true, RepartitionOff)
+	if ref.PacketsDropped == 0 {
+		t.Fatalf("mid-run link faults dropped nothing; the fault case is not being exercised")
+	}
+	var swaps uint64
+	for _, partition := range []string{PartitionBands, PartitionBlocks, PartitionBoards} {
+		for _, workers := range []int{1, 2, 4, 7} {
+			for _, policy := range []string{RepartitionOff, RepartitionAuto} {
+				if partition == PartitionBands && workers == 1 && policy == RepartitionOff {
+					continue // the reference itself
+				}
+				got, st := congestedRun(t, partition, workers, true, policy)
+				if *got != *ref {
+					t.Errorf("faillink 8x8: %s/%d/%s diverged from bands/1/off:\nref: %+v\ngot: %+v",
+						partition, workers, policy, *ref, *got)
+				}
+				if policy == RepartitionOff && st.Repartitions != 0 {
+					t.Errorf("%s/%d: policy off but %d repartitions", partition, workers, st.Repartitions)
+				}
+				swaps += st.Repartitions
+			}
+		}
+	}
+	t.Logf("auto cells performed %d repartitions across the matrix", swaps)
 }
 
 func TestDeterminismRunToRun(t *testing.T) {

@@ -36,22 +36,35 @@ const hostOpTimeout = 100 * sim.Millisecond
 // await runs the machine until the response arrives or times out. Host
 // commands step the engine in deterministic sequential mode: the host
 // controller keeps cross-chip state, and commands are interactive
-// control-plane traffic, not the bulk-run hot path. On exit the shard
-// clocks are re-synchronised (so later relative scheduling does not
-// depend on the shard layout) and a timed-out command is aborted (so
-// its stray packets cannot touch host state from inside a later
-// parallel run).
+// control-plane traffic, not the bulk-run hot path.
+//
+// The deadline is enforced by peeking the next pending timestamp before
+// executing anything: an event beyond the deadline is left queued, the
+// clocks advance to exactly the timeout instant, and the command is
+// reported lost. (Testing the clock *after* stepping — the old bug —
+// executed the globally-earliest event however far past the deadline it
+// lay, e.g. the next neural tick after a long quiet gap, silently
+// advancing every shard clock past the timeout before the abort fired.)
+// On exit the shard clocks are re-synchronised (so later relative
+// scheduling does not depend on the shard layout) and a timed-out
+// command is aborted (so its stray packets cannot touch host state from
+// inside a later parallel run).
 func (hl *HostLink) await(seq uint32, done *bool) error {
 	deadline := hl.m.pe.Now() + hostOpTimeout
-	for !*done && hl.m.pe.Now() < deadline {
-		if !hl.m.pe.Step() {
-			// Queue drained with no response pending: nothing more
-			// will happen.
+	for !*done {
+		next, ok := hl.m.pe.NextEventAt()
+		if !ok || next > deadline {
+			// Queue drained, or nothing more can happen before the
+			// deadline: the command is lost. Events beyond the deadline
+			// stay queued for the next run phase.
 			break
 		}
+		hl.m.pe.Step()
 	}
 	hl.m.pe.SyncClocks()
 	if !*done {
+		// The host genuinely waited the whole timeout: account for it.
+		hl.m.pe.AdvanceTo(deadline)
 		hl.h.Abort(seq)
 		return fmt.Errorf("spinngo: host command timed out")
 	}

@@ -1,0 +1,52 @@
+package spinngo
+
+import (
+	"testing"
+
+	"spinngo/internal/topo"
+)
+
+// TestHostTimeoutStopsAtDeadline pins the await deadline fix: when the
+// response is never coming and the only pending event lies far beyond
+// the timeout (a long quiet gap), the link must report the loss with
+// every shard clock at exactly the timeout instant — not execute the
+// far event first and drag the whole machine past the deadline, which
+// is what testing the clock after stepping used to do.
+func TestHostTimeoutStopsAtDeadline(t *testing.T) {
+	m := buildSmallMachine(t, MachineConfig{Width: 4, Height: 4, Seed: 9})
+	defer m.Close()
+	hl, err := m.AttachHost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sever the gateway chip: no command can leave (0,0), so no response
+	// can ever arrive.
+	for _, dir := range []string{"E", "NE", "N", "W", "SW", "S"} {
+		if err := m.FailLink(0, 0, dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The next event after the command's debris drains: one lone tick
+	// long after the timeout. The buggy loop executed it.
+	start := m.pe.Now()
+	far := start + 50*hostOpTimeout
+	fired := false
+	m.domAt(topo.Coord{X: 2, Y: 2}).At(far, func() { fired = true })
+
+	if _, err := hl.Ping(3, 3); err == nil {
+		t.Fatal("ping through a severed gateway should time out")
+	}
+	if fired {
+		t.Error("event beyond the deadline executed during a host wait")
+	}
+	if got := m.pe.Now() - start; got != hostOpTimeout {
+		t.Errorf("clock advanced %v during the timed-out command, want exactly %v",
+			got, hostOpTimeout)
+	}
+	// Every shard agrees (the clocks were re-synchronised), and the far
+	// event is still pending for the next run phase.
+	next, ok := m.pe.NextEventAt()
+	if !ok || next != far {
+		t.Errorf("pending event at %v, want the far tick at %v", next, far)
+	}
+}

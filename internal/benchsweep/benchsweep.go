@@ -2,9 +2,9 @@
 // end-to-end machine benchmark in one place, so that the
 // BenchmarkMachineBioSecondWorkers sub-benchmarks (`make bench-workers`,
 // the CI smoke step) and the JSON bench emitter (`make bench`, written
-// to BENCH_PR3.json) measure exactly the same workloads.
+// to BENCH_PR4.json) measure exactly the same workloads.
 //
-// Two sweeps share the harness. The worker sweep is the 8x8 reference
+// Three sweeps share the harness. The worker sweep is the 8x8 reference
 // machine of BENCH_PR2: fragments spread across all chips, a dense
 // stimulus-driven network, a quarter of a biological second per
 // iteration, across {bands, blocks} x worker counts. The hierarchy
@@ -12,9 +12,11 @@
 // heterogeneous machines — 8x8, 16x16 and 32x32 tori tiled with boards
 // whose board-to-board links are slower — recording each geometry's
 // achieved lookahead and barrier rate: the boards cut buys a wider
-// lookahead and fewer window barriers per biological second. Every cell
-// of a given (torus, boards) pair produces a byte-identical RunReport —
-// the determinism contract — so the sweeps measure execution cost only.
+// lookahead and fewer window barriers per biological second. The
+// shifting-hotspot scenario (hotspot.go) pits runtime re-partitioning
+// against every fixed geometry. Every cell of a given (torus, boards,
+// scenario) tuple produces a byte-identical RunReport — the determinism
+// contract — so the sweeps measure execution cost only.
 package benchsweep
 
 import (
@@ -42,6 +44,11 @@ type Config struct {
 	Boards    string `json:"boards,omitempty"`
 	Partition string `json:"partition"`
 	Workers   int    `json:"workers"`
+	// Repartition is the runtime re-partitioning policy ("" = off).
+	Repartition string `json:"repartition,omitempty"`
+	// Scenario tags cells that run a scripted workload instead of the
+	// steady-state reference network ("hotspot").
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // Grid reports the worker sweep: the 8x8 reference machine, both
@@ -109,6 +116,8 @@ type Result struct {
 	// Spikes fingerprints the workload: identical for every cell of the
 	// same (torus, boards) pair, per the determinism contract.
 	Spikes float64 `json:"spikes"`
+	// Repartitions counts runtime partition swaps (0 for fixed cells).
+	Repartitions uint64 `json:"repartitions,omitempty"`
 }
 
 // machineConfig is the single definition of the measured machines; the
@@ -119,6 +128,7 @@ func machineConfig(cfg Config) spinngo.MachineConfig {
 	mc := spinngo.MachineConfig{
 		Width: cfg.Width, Height: cfg.Height, Seed: 1,
 		Workers: cfg.Workers, Partition: cfg.Partition,
+		Repartition:        cfg.Repartition,
 		MaxAppCoresPerChip: 2,
 	}
 	if mc.Width == 0 {

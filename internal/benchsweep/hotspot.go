@@ -1,0 +1,168 @@
+// The shifting-hotspot scenario: the workload the paper's dynamic
+// machine is supposed to survive, and the one a construction-time
+// partition cannot. Two recurrently-connected populations live in
+// different corners of a heterogeneous 8x8 torus; scripted injection
+// storms drive first one region, then the other, then both, while most
+// of the machine stays idle. A fixed partition pays a window barrier
+// for every event cluster for the whole run — its only lever is its
+// construction-time lookahead — whereas the auto re-partitioning
+// machine collapses to one or two shards while the traffic is
+// concentrated (near-zero barriers) and re-expands when it spreads.
+// Every cell produces the byte-identical RunReport, so the
+// windows-per-bio-second column isolates pure synchronisation cost.
+
+package benchsweep
+
+import (
+	"fmt"
+	"time"
+
+	"spinngo"
+)
+
+// Hotspot scenario shape.
+const (
+	// HotspotBioMS is the total biological time of the scenario; it is
+	// run in HotspotChunks equal Run calls, each a quiescence boundary
+	// the re-partitioning policy may act on.
+	HotspotBioMS   = 180
+	HotspotChunks  = 9
+	hotspotPhaseMS = 60 // each of: hot A, hot B, both
+)
+
+// HotspotGrid reports the shifting-hotspot comparison: the three fixed
+// geometries against the auto re-partitioning machine, all starting
+// from the same 4-shard decomposition of the same heterogeneous 8x8
+// machine.
+func HotspotGrid() []Config {
+	grid := []Config{
+		{Width: 8, Height: 8, Boards: "4x4", Partition: spinngo.PartitionBands, Workers: 4},
+		{Width: 8, Height: 8, Boards: "4x4", Partition: spinngo.PartitionBlocks, Workers: 4},
+		{Width: 8, Height: 8, Boards: "4x4", Partition: spinngo.PartitionBoards, Workers: 4},
+		{Width: 8, Height: 8, Boards: "4x4", Partition: spinngo.PartitionBands, Workers: 4,
+			Repartition: spinngo.RepartitionAuto},
+	}
+	for i := range grid {
+		grid[i].Scenario = "hotspot"
+	}
+	return grid
+}
+
+// buildHotspot constructs the scenario machine. Serpentine placement
+// pins each piece where the scenario needs it: hotA fills the first
+// chip, a near-idle spacer population (it only ticks) occupies the next
+// 30 chips, and hotB lands on chip 31 — the far corner of a different
+// band, block and board than hotA for every candidate geometry. The
+// injection script for all three phases is scheduled up front, so the
+// workload is identical for every cell.
+func buildHotspot(cfg Config) (*spinngo.Machine, error) {
+	mc := machineConfig(cfg)
+	m, err := spinngo.NewMachine(mc)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.Boot(); err != nil {
+		return nil, err
+	}
+	model := spinngo.NewModel()
+	hotA := model.AddLIF("hotA", 400, spinngo.DefaultLIFConfig())
+	spacer := model.AddLIF("spacer", 30*2*256, spinngo.DefaultLIFConfig())
+	hotB := model.AddLIF("hotB", 400, spinngo.DefaultLIFConfig())
+	_ = spacer // unconnected and unstimulated: background timer load only
+	for _, p := range []spinngo.Pop{hotA, hotB} {
+		if err := model.Connect(p, p, spinngo.Conn{
+			Rule: spinngo.RandomRule, P: 0.05, WeightNA: 1.5, DelayMS: 1,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := m.Load(model); err != nil {
+		return nil, err
+	}
+	// The injection script. Indices walk a fixed stride so the storm
+	// touches the whole population.
+	inject := func(p spinngo.Pop, ms, count int) error {
+		for k := 0; k < count; k++ {
+			if err := m.InjectSpike(p, (ms*17+k*13)%400, ms); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for ms := 1; ms < HotspotBioMS; ms++ {
+		switch {
+		case ms < hotspotPhaseMS:
+			err = inject(hotA, ms, 40)
+		case ms < 2*hotspotPhaseMS:
+			err = inject(hotB, ms, 40)
+		default:
+			if err = inject(hotA, ms, 20); err == nil {
+				err = inject(hotB, ms, 20)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// MeasureHotspot runs one shifting-hotspot cell: the scripted scenario,
+// chunked so the policy sees quiescence boundaries, measured once (the
+// structural columns — windows, events, spikes, repartitions — derive
+// from the deterministic trajectory and are exact; only wall time is
+// noisy).
+func MeasureHotspot(cfg Config) (Result, error) {
+	m, err := buildHotspot(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer m.Close()
+	before := m.SimStats()
+	var rep *spinngo.RunReport
+	start := time.Now()
+	for c := 0; c < HotspotChunks; c++ {
+		if rep, err = m.Run(HotspotBioMS / HotspotChunks); err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	after := m.SimStats()
+	events := after.Events - before.Events
+	windows := after.Windows - before.Windows
+	bioSeconds := float64(HotspotBioMS) / 1000
+	r := Result{
+		Config:              cfg,
+		Geometry:            after.Geometry, // where the policy ended up
+		Shards:              after.Shards,
+		CutLinks:            after.CutLinks,
+		CutOnBoard:          after.CutLinksOnBoard,
+		CutBoard:            after.CutLinksBoard,
+		LookaheadNS:         int64(after.Lookahead),
+		UniformLookaheadNS:  int64(after.UniformLookahead),
+		N:                   1,
+		NsPerOp:             elapsed.Nanoseconds(),
+		WindowsPerBioSecond: float64(windows) / bioSeconds,
+		Spikes:              float64(rep.TotalSpikes),
+		Repartitions:        after.Repartitions,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		r.EventsPerSec = float64(events) / s
+	}
+	if windows > 0 {
+		r.EventsPerWindow = float64(events) / float64(windows)
+	}
+	return r, nil
+}
+
+// HotspotRow renders one hotspot result, leading with the barrier-rate
+// column the scenario is about.
+func HotspotRow(r Result) string {
+	policy := r.Repartition
+	if policy == "" {
+		policy = "fixed"
+	}
+	return fmt.Sprintf("hotspot %-7s %-5s -> %-7s shards=%d repart=%-2d %8.0f win/bios %12d ns/op %7.0f spikes",
+		r.Partition, policy, r.Geometry, r.Shards, r.Repartitions,
+		r.WindowsPerBioSecond, r.NsPerOp, r.Spikes)
+}

@@ -121,20 +121,41 @@ func (p Params) MinHopLatency() sim.Time {
 // boundary links (one shard) needs no lookahead at all; the uniform
 // floor is returned for uniformity.
 func (p Params) LookaheadFor(part topo.Partition) sim.Time {
-	if !p.Heterogeneous() {
-		return p.MinHopLatency()
-	}
-	onBoard, boardCut := part.CutComposition(p.Boards)
-	if onBoard == 0 && boardCut == 0 {
+	return p.LookaheadForLive(part, nil)
+}
+
+// LookaheadForLive reports the cross-shard latency bound over the
+// partition's *live* cut: the minimum hop latency over boundary links
+// for which failed reports false. A failed link never launches a frame,
+// so it cannot carry a cross-shard event; pricing the lookahead over
+// the survivors means a cut whose fast links have all died re-prices to
+// the surviving (possibly wider) hop floor. With every cut link dead —
+// no cross-shard influence at all — the widest class floor present is
+// returned (any bound is sound then; RepairLink tightens the engine if
+// a link comes back). A nil failed func prices the full cut, which is
+// exactly LookaheadFor.
+func (p Params) LookaheadForLive(part topo.Partition, failed func(topo.Coord, topo.Dir) bool) sim.Time {
+	cut := part.BoundaryLinks()
+	if len(cut) == 0 {
 		return p.MinHopLatency()
 	}
 	la := sim.Forever
-	if onBoard > 0 {
-		la = p.hopLatency(p.Link)
+	live := 0
+	for _, bl := range cut {
+		if failed != nil && failed(bl.From, bl.Dir) {
+			continue
+		}
+		live++
+		if h := p.hopLatency(p.LinkFor(bl.From, bl.Dir)); h < la {
+			la = h
+		}
 	}
-	if boardCut > 0 {
-		if b := p.hopLatency(p.BoardLink); b < la {
-			la = b
+	if live == 0 {
+		la = p.hopLatency(p.Link)
+		if p.Heterogeneous() {
+			if b := p.hopLatency(p.BoardLink); b > la {
+				la = b
+			}
 		}
 	}
 	return la
@@ -221,8 +242,14 @@ type Node struct {
 // the chip's events carry one canonical identity.
 func (n *Node) Domain() *sim.Domain { return n.dom }
 
-// Shard reports the shard index owning this node.
+// Shard reports the shard index owning this node. It changes when the
+// fabric is re-partitioned; state keyed by it must be re-derived after
+// Fabric.Repartition (or keyed by Index, which is stable).
 func (n *Node) Shard() int { return n.shard }
+
+// Index reports the node's torus index — a stable identity that, unlike
+// Shard, survives re-partitioning.
+func (n *Node) Index() int { return int(n.idx) }
 
 // ConfigureP2P installs the node's point-to-point routing table, as the
 // monitor does once the coordinate flood has delivered the node's
@@ -251,6 +278,7 @@ type DroppedPacket struct {
 type Fabric struct {
 	pe    *sim.ParallelEngine // nil in single-engine mode
 	p     Params
+	part  topo.Partition // the active partition (zero in single-engine mode)
 	nodes []*Node
 
 	// OnDeliverMC is invoked for each local core a multicast packet
@@ -347,7 +375,7 @@ func NewShardedFabric(pe *sim.ParallelEngine, part topo.Partition, p Params) (*F
 		return nil, fmt.Errorf("router: cross-shard hop floor %v below engine lookahead %v",
 			la, pe.Lookahead())
 	}
-	f := &Fabric{pe: pe}
+	f := &Fabric{pe: pe, part: part}
 	if err := f.build(p, func(i int) (*sim.Engine, int) {
 		s := part.ShardOfIndex(i)
 		return pe.Shard(s), s
@@ -355,6 +383,45 @@ func NewShardedFabric(pe *sim.ParallelEngine, part topo.Partition, p Params) (*F
 		return nil, err
 	}
 	return f, nil
+}
+
+// Partition reports the active partition (zero in single-engine mode).
+func (f *Fabric) Partition() topo.Partition { return f.part }
+
+// LiveLookaheadFor prices the cross-shard lookahead of a candidate
+// partition over this fabric's live links: failed links drop out of the
+// cut, so a gutted fast cut re-prices to the surviving hop floor.
+func (f *Fabric) LiveLookaheadFor(part topo.Partition) sim.Time {
+	return f.p.LookaheadForLive(part, f.LinkFailed)
+}
+
+// Repartition re-binds every node to its owning shard under a new
+// partition of the same torus. The caller must already have re-bound
+// the node domains to their new shard engines
+// (ParallelEngine.Repartition) and set the engine lookahead no wider
+// than the new partition's live hop floor — both are verified here.
+// Legal only at sequential quiescence, like the engine call.
+func (f *Fabric) Repartition(part topo.Partition) error {
+	if f.pe == nil {
+		return fmt.Errorf("router: repartition on a single-engine fabric")
+	}
+	if part.Torus() != f.p.Torus {
+		return fmt.Errorf("router: partition torus %v does not match params torus %v",
+			part.Torus(), f.p.Torus)
+	}
+	if part.Shards() > f.pe.Shards() {
+		return fmt.Errorf("router: partition needs %d shards, engine has %d",
+			part.Shards(), f.pe.Shards())
+	}
+	if la := f.LiveLookaheadFor(part); la < f.pe.Lookahead() {
+		return fmt.Errorf("router: live cross-shard hop floor %v below engine lookahead %v",
+			la, f.pe.Lookahead())
+	}
+	for i, n := range f.nodes {
+		n.shard = part.ShardOfIndex(i)
+	}
+	f.part = part
+	return nil
 }
 
 // DomainAt returns the scheduling domain of the chip at c.
@@ -426,8 +493,24 @@ func (f *Fabric) sum(get func(n *Node) uint64) uint64 {
 // FailLink marks the directed link out of c in direction d as failed.
 func (f *Fabric) FailLink(c topo.Coord, d topo.Dir) { f.Node(c).out[d].failed = true }
 
-// RepairLink clears a failure.
-func (f *Fabric) RepairLink(c topo.Coord, d topo.Dir) { f.Node(c).out[d].failed = false }
+// RepairLink clears a failure. On a sharded fabric whose engine
+// lookahead was priced over the live cut (failed links skipped), a
+// repaired boundary link may reintroduce a hop floor below the current
+// bound; the engine lookahead is tightened immediately so the window
+// protocol stays sound. Tightening at any quiescent instant is always
+// safe — it only narrows windows.
+func (f *Fabric) RepairLink(c topo.Coord, d topo.Dir) {
+	f.Node(c).out[d].failed = false
+	if f.pe == nil || f.part.Shards() == 0 {
+		return
+	}
+	if f.part.Shard(c) == f.part.Shard(f.p.Torus.Neighbor(c, d)) {
+		return // not a cut link: no bearing on the cross-shard bound
+	}
+	if h := f.p.hopLatency(f.p.LinkFor(c, d)); h < f.pe.Lookahead() {
+		f.pe.SetLookahead(h)
+	}
+}
 
 // FailLinkPair fails both directions between c and its d-neighbour.
 func (f *Fabric) FailLinkPair(c topo.Coord, d topo.Dir) {

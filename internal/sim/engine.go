@@ -86,6 +86,10 @@ type Engine struct {
 	rng       *RNG
 	processed uint64
 	stopped   bool
+	// domains lists every Domain created on (or re-bound to) this
+	// engine, in creation order. ParallelEngine.Repartition walks it to
+	// move a shard's domains to their new owning engines.
+	domains []*Domain
 }
 
 var _ Scheduler = (*Engine)(nil)
@@ -276,7 +280,9 @@ func (e *Engine) Domain(id int) *Domain {
 	if id < 0 {
 		panic("sim: domain id must be non-negative")
 	}
-	return &Domain{eng: e, id: int32(id)}
+	d := &Domain{eng: e, id: int32(id)}
+	e.domains = append(e.domains, d)
+	return d
 }
 
 // Engine returns the engine this domain schedules on.
@@ -284,6 +290,14 @@ func (d *Domain) Engine() *Engine { return d.eng }
 
 // ID reports the domain id.
 func (d *Domain) ID() int { return int(d.id) }
+
+// Scheduled reports how many domain-local events have ever been
+// scheduled here (the domain's sequence counter). It grows only with
+// the simulation trajectory — never with the shard layout — so callers
+// can difference snapshots of it as a per-component activity measure
+// that is identical for every worker count. Cross-domain deliveries are
+// keyed by their sender and are not counted.
+func (d *Domain) Scheduled() uint64 { return d.seq }
 
 // Now reports the domain's engine clock.
 func (d *Domain) Now() Time { return d.eng.now }

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"container/heap"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
@@ -54,6 +56,40 @@ type poolJob struct {
 	done  chan<- struct{}
 }
 
+// workerPool owns one generation of parked helper goroutines. The
+// engine swaps whole pools on Repartition (shard counts change) rather
+// than resizing one in place, and shutdown is a compare-and-swap on
+// closed so an explicit Close, a finalizer Close and a Repartition swap
+// can race without double-closing the job channel.
+type workerPool struct {
+	work   chan poolJob
+	done   chan struct{}
+	closed atomic.Bool
+}
+
+// newWorkerPool parks helpers goroutines on a job channel able to hold
+// a full window's worth of shard jobs.
+func newWorkerPool(helpers, shards int) *workerPool {
+	p := &workerPool{
+		work: make(chan poolJob, shards),
+		done: make(chan struct{}, shards),
+	}
+	for i := 0; i < helpers; i++ {
+		go poolWorker(p.work)
+	}
+	return p
+}
+
+// close shuts the pool's helpers down exactly once; nil-safe.
+func (p *workerPool) close() {
+	if p != nil && p.closed.CompareAndSwap(false, true) {
+		close(p.work)
+	}
+}
+
+// active reports whether the pool can still accept jobs.
+func (p *workerPool) active() bool { return p != nil && !p.closed.Load() }
+
 // ParallelEngine is a sharded discrete-event scheduler implementing
 // conservative parallel discrete-event simulation (PDES). The model is
 // partitioned into shards, each driven by its own deterministic Engine;
@@ -99,21 +135,37 @@ type ParallelEngine struct {
 	curLimit atomic.Int64
 	inWindow atomic.Bool
 
-	// Persistent pool: workers-1 helper goroutines parked on work; the
-	// coordinator always executes one active shard itself. done is the
-	// window barrier. closed guards double-Close.
-	work   chan poolJob
-	done   chan struct{}
-	closed bool
+	// Persistent pool: workers-1 helper goroutines parked on the pool's
+	// job channel; the coordinator always executes one active shard
+	// itself. Nil when the engine never runs windows concurrently. The
+	// pointer is atomic so RunUntil reads it without locking; poolMu
+	// serialises pool *transitions* (Close, the finalizer backstop, and
+	// Repartition's generation swap), so a Close racing a swap always
+	// retires the current generation and never strands a fresh pool
+	// with its finalizer cleared.
+	pool   atomic.Pointer[workerPool]
+	poolMu sync.Mutex
+
+	// processedBase carries the event counts of engines retired by
+	// Repartition, so Processed is cumulative across shard layouts.
+	processedBase uint64
+
+	// repartitions counts completed Repartition calls.
+	repartitions uint64
 
 	// Window statistics, updated only at barriers (quiescence points of
 	// the window protocol). They derive from event counts — simulation
 	// trajectory, not wall clock — so adaptive decisions based on them
-	// are identical run to run.
+	// are identical run to run. shardEvents accumulates window events
+	// per shard since the last TakeShardEvents, the observed density the
+	// re-partitioning policy steers by; activeBefore is its per-window
+	// scratch.
 	windows        uint64  // lookahead windows executed
 	parWindows     uint64  // windows dispatched to the pool
 	windowEvents   uint64  // events executed inside windows
 	ewmaEvPerShard float64 // events per active shard per window, smoothed
+	shardEvents    []uint64
+	activeBefore   []uint64
 }
 
 // soloThreshold is the events-per-active-shard-per-window level below
@@ -145,6 +197,8 @@ func NewParallel(seed uint64, shards, workers int) *ParallelEngine {
 		lookahead:      1,
 		mail:           make([][]mailMsg, shards*shards),
 		ewmaEvPerShard: 4 * soloThreshold, // start optimistic: first windows go to the pool
+		shardEvents:    make([]uint64, shards),
+		activeBefore:   make([]uint64, shards),
 	}
 	for i := range pe.shards {
 		pe.shards[i] = New(seed)
@@ -157,14 +211,11 @@ func NewParallel(seed uint64, shards, workers int) *ParallelEngine {
 		}
 	}
 	if helpers := workers - 1; helpers > 0 && shards > 1 {
-		pe.work = make(chan poolJob, shards)
-		pe.done = make(chan struct{}, shards)
-		for i := 0; i < helpers; i++ {
-			go poolWorker(pe.work)
-		}
+		pe.pool.Store(newWorkerPool(helpers, shards))
 		// Backstop for engines dropped without Close: the workers hold
-		// only the channels, so an abandoned engine becomes unreachable,
-		// the finalizer closes the job channel, and the pool exits.
+		// only the pool's channels, so an abandoned engine becomes
+		// unreachable, the finalizer closes the job channel, and the
+		// pool exits.
 		runtime.SetFinalizer(pe, (*ParallelEngine).Close)
 	}
 	return pe
@@ -179,16 +230,16 @@ func poolWorker(work <-chan poolJob) {
 	}
 }
 
-// Close shuts the worker pool down. Idempotent; safe on an engine with
-// no pool; must not be called concurrently with RunUntil. A dropped
-// engine is closed by its finalizer, so Close is an optimisation for
-// callers that churn through many engines, not an obligation.
+// Close shuts the worker pool down. Idempotent and safe to call from
+// multiple goroutines (shutdown is a compare-and-swap on the pool);
+// safe on an engine with no pool; must not be called concurrently with
+// RunUntil. A dropped engine is closed by its finalizer, so Close is an
+// optimisation for callers that churn through many engines, not an
+// obligation.
 func (pe *ParallelEngine) Close() {
-	if pe.work == nil || pe.closed {
-		return
-	}
-	pe.closed = true
-	close(pe.work)
+	pe.poolMu.Lock()
+	defer pe.poolMu.Unlock()
+	pe.pool.Swap(nil).close()
 	runtime.SetFinalizer(pe, nil)
 }
 
@@ -240,6 +291,24 @@ func (pe *ParallelEngine) EventsPerWindow() float64 {
 	return float64(pe.windowEvents) / float64(pe.windows)
 }
 
+// Repartitions counts completed Repartition calls.
+func (pe *ParallelEngine) Repartitions() uint64 { return pe.repartitions }
+
+// TakeShardEvents returns the events executed per shard inside windows
+// since the last call (or construction/Repartition), and resets the
+// counters. It is the observed per-shard density a re-partitioning
+// policy steers by; like every window statistic it derives from the
+// simulation trajectory only, so policy decisions based on it are
+// identical run to run.
+func (pe *ParallelEngine) TakeShardEvents() []uint64 {
+	out := make([]uint64, len(pe.shardEvents))
+	copy(out, pe.shardEvents)
+	for i := range pe.shardEvents {
+		pe.shardEvents[i] = 0
+	}
+	return out
+}
+
 // Shard returns shard i's engine. Model components owned by a shard
 // schedule their local events directly on it.
 func (pe *ParallelEngine) Shard(i int) *Engine { return pe.shards[i] }
@@ -259,9 +328,10 @@ func (pe *ParallelEngine) Now() Time {
 	return now
 }
 
-// Processed reports events executed across all shards.
+// Processed reports events executed across all shards, cumulative
+// across re-partitionings.
 func (pe *ParallelEngine) Processed() uint64 {
-	var n uint64
+	n := pe.processedBase
 	for _, s := range pe.shards {
 		n += s.Processed()
 	}
@@ -298,8 +368,10 @@ func (pe *ParallelEngine) Post(src, dst int, dstDom *Domain, at Time, srcID int3
 		mailMsg{at: at, dst: dstDom, src: srcID, srcSeq: srcSeq, fn: fn})
 }
 
-// nextEventAt reports the earliest pending timestamp across shards.
-func (pe *ParallelEngine) nextEventAt() (Time, bool) {
+// NextEventAt reports the earliest pending timestamp across shards.
+// Sequential-mode drivers (the host link) peek it to decide whether the
+// next event lies beyond their deadline before executing it.
+func (pe *ParallelEngine) NextEventAt() (Time, bool) {
 	best := Forever
 	found := false
 	for _, s := range pe.shards {
@@ -377,6 +449,132 @@ func (pe *ParallelEngine) SyncClocks() {
 	}
 }
 
+// AdvanceTo moves every shard clock forward to t without executing
+// anything — how a sequential-mode driver accounts for real waiting
+// (a host command timing out after its full deadline). It refuses to
+// jump over a pending event: callers must first have established, via
+// NextEventAt, that nothing is scheduled before t.
+func (pe *ParallelEngine) AdvanceTo(t Time) {
+	for _, s := range pe.shards {
+		s.advanceTo(t)
+	}
+}
+
+// Repartition re-binds every domain — and every pending event — to a
+// new shard layout: owner maps a domain id to its new shard index.
+// Legal only at sequential quiescence (after Run/SyncClocks, or between
+// RunUntil deadlines), when every shard clock reads the same instant
+// and no window is in flight; it returns an error otherwise, touching
+// nothing.
+//
+// Pending events migrate heap-to-heap carrying their canonical
+// (time, domain, class, key) keys unchanged, the control-plane RNG
+// stream moves to the new shard 0 mid-stream, and anonymous
+// (engine-level) events pin to the control shard. The mailbox matrix
+// and the persistent worker pool are rebuilt for the new shard count.
+// Because the canonical keys — not the shard layout — define the event
+// order, a repartitioned run executes exactly the schedule the old
+// layout would have: re-partitioning is pure execution strategy.
+//
+// The lookahead bound is left untouched; callers whose cross-shard
+// latency floor changed with the cut must follow with SetLookahead.
+func (pe *ParallelEngine) Repartition(shards, workers int, owner func(domain int32) int) error {
+	if shards < 1 {
+		return fmt.Errorf("sim: repartition needs at least one shard, got %d", shards)
+	}
+	if pe.inWindow.Load() {
+		return fmt.Errorf("sim: repartition inside a lookahead window")
+	}
+	now := pe.shards[0].now
+	for _, s := range pe.shards[1:] {
+		if s.now != now {
+			return fmt.Errorf("sim: repartition away from quiescence: shard clocks %v and %v disagree",
+				now, s.now)
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > shards {
+		workers = shards
+	}
+	// Validate the whole owner map before mutating anything, so a bad
+	// mapping cannot leave domains half-rebound.
+	ownerOf := func(id int32) (int, error) {
+		o := 0 // anonymous events and domains pin to the control shard
+		if id >= 0 {
+			o = owner(id)
+		}
+		if o < 0 || o >= shards {
+			return 0, fmt.Errorf("sim: repartition owner maps domain %d to shard %d of %d", id, o, shards)
+		}
+		return o, nil
+	}
+	for _, s := range pe.shards {
+		for _, d := range s.domains {
+			if _, err := ownerOf(d.id); err != nil {
+				return err
+			}
+		}
+		for _, ev := range s.events {
+			if _, err := ownerOf(ev.key.domain); err != nil {
+				return err
+			}
+		}
+	}
+	// New shard engines, all at the common quiescent instant. The
+	// control shard inherits the control RNG mid-stream and the highest
+	// anonymous sequence counter (so future anonymous keys stay unique);
+	// the rest keep a nil RNG — the same poison NewParallel applies.
+	ns := make([]*Engine, shards)
+	for i := range ns {
+		ns[i] = &Engine{now: now}
+	}
+	var seqMax uint64
+	for _, s := range pe.shards {
+		if s.seq > seqMax {
+			seqMax = s.seq
+		}
+		pe.processedBase += s.processed
+	}
+	ns[0].rng = pe.shards[0].rng
+	ns[0].seq = seqMax
+	for _, s := range pe.shards {
+		for _, d := range s.domains {
+			o, _ := ownerOf(d.id)
+			d.eng = ns[o]
+			ns[o].domains = append(ns[o].domains, d)
+		}
+		for _, ev := range s.events {
+			o, _ := ownerOf(ev.key.domain)
+			ns[o].events = append(ns[o].events, ev)
+		}
+	}
+	for _, e := range ns {
+		heap.Init(&e.events)
+	}
+	pe.shards = ns
+	pe.workers = workers
+	pe.mail = make([][]mailMsg, shards*shards)
+	pe.shardEvents = make([]uint64, shards)
+	pe.activeBefore = make([]uint64, shards)
+	// Swap the pool generation: the old helpers drain and exit, a fresh
+	// pool parks helpers for the new worker bound.
+	var next *workerPool
+	if helpers := workers - 1; helpers > 0 && shards > 1 {
+		next = newWorkerPool(helpers, shards)
+	}
+	pe.poolMu.Lock()
+	pe.pool.Swap(next).close()
+	runtime.SetFinalizer(pe, nil) // SetFinalizer refuses to replace one
+	if next != nil {
+		runtime.SetFinalizer(pe, (*ParallelEngine).Close)
+	}
+	pe.poolMu.Unlock()
+	pe.repartitions++
+	return nil
+}
+
 // noteWindow folds one window's event count into the density estimate
 // the adaptive mode steers by. Called only at the window barrier.
 func (pe *ParallelEngine) noteWindow(activeShards int, events uint64) {
@@ -395,12 +593,22 @@ func (pe *ParallelEngine) noteWindow(activeShards int, events uint64) {
 // on the coordinator.
 func (pe *ParallelEngine) RunUntil(deadline Time) {
 	if len(pe.shards) == 1 {
-		pe.shards[0].RunUntil(deadline)
+		// Sequential execution: the whole span runs as one barrier-free
+		// window, accounted so window statistics stay comparable across
+		// shard counts (a single shard synchronises zero times, not an
+		// unknown number of times).
+		s := pe.shards[0]
+		before := s.Processed()
+		s.RunUntil(deadline)
+		if ev := s.Processed() - before; ev > 0 {
+			pe.noteWindow(1, ev)
+			pe.shardEvents[0] += ev
+		}
 		return
 	}
 	active := make([]int, 0, len(pe.shards))
 	for {
-		next, ok := pe.nextEventAt()
+		next, ok := pe.NextEventAt()
 		if !ok || next > deadline {
 			break
 		}
@@ -409,24 +617,24 @@ func (pe *ParallelEngine) RunUntil(deadline Time) {
 			end = deadline + 1 // final window: include events at the deadline
 		}
 		active = active[:0]
-		var before uint64
 		for i, s := range pe.shards {
 			if t, ok := s.NextAt(); ok && t < end {
 				active = append(active, i)
-				before += s.Processed()
+				pe.activeBefore[i] = s.Processed()
 			}
 		}
 		pe.curLimit.Store(int64(end))
 		pe.inWindow.Store(true)
-		pooled := len(active) > 1 && pe.work != nil && !pe.closed &&
+		pool := pe.pool.Load()
+		pooled := len(active) > 1 && pool.active() &&
 			(!pe.adaptive || pe.ewmaEvPerShard >= soloThreshold)
 		if pooled {
 			for _, i := range active[1:] {
-				pe.work <- poolJob{eng: pe.shards[i], limit: end, done: pe.done}
+				pool.work <- poolJob{eng: pe.shards[i], limit: end, done: pool.done}
 			}
 			pe.shards[active[0]].RunBefore(end)
 			for range active[1:] {
-				<-pe.done
+				<-pool.done
 			}
 			pe.parWindows++
 		} else {
@@ -435,11 +643,13 @@ func (pe *ParallelEngine) RunUntil(deadline Time) {
 			}
 		}
 		pe.inWindow.Store(false)
-		var after uint64
+		var events uint64
 		for _, i := range active {
-			after += pe.shards[i].Processed()
+			ev := pe.shards[i].Processed() - pe.activeBefore[i]
+			pe.shardEvents[i] += ev
+			events += ev
 		}
-		pe.noteWindow(len(active), after-before)
+		pe.noteWindow(len(active), events)
 		pe.drainMail()
 	}
 	for _, s := range pe.shards {

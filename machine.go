@@ -2,6 +2,7 @@ package spinngo
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 
 	"spinngo/internal/boot"
@@ -78,6 +79,15 @@ type MachineConfig struct {
 	// BoardLinkUniform to reuse the on-board parameters (hierarchy
 	// without PHY heterogeneity, the ablation). Requires Boards.
 	BoardLinkParams string
+	// Repartition selects the runtime re-partitioning policy: "" or
+	// RepartitionOff freezes the construction-time partition (the
+	// historical behaviour), RepartitionAuto re-runs the geometry/shard
+	// comparison at quiescence boundaries — between Run calls, and
+	// urgently after FailLink or migration storms — against the observed
+	// per-chip event densities, swapping the partition when the
+	// projected cost improves by a threshold. Re-partitioning is pure
+	// execution strategy: reports stay byte-identical with it on or off.
+	Repartition string
 	// DisableEmergencyRouting turns off the Fig-8 mechanism (ablation).
 	DisableEmergencyRouting bool
 	// Placement policy (default Serpentine).
@@ -102,6 +112,12 @@ const (
 const (
 	BoardLinkSlow    = "slow"
 	BoardLinkUniform = "uniform"
+)
+
+// Re-partitioning policies accepted by MachineConfig.Repartition.
+const (
+	RepartitionOff  = "off"
+	RepartitionAuto = "auto"
 )
 
 func (c *MachineConfig) fillDefaults() {
@@ -161,6 +177,12 @@ func (c MachineConfig) Validate() error {
 	default:
 		return fmt.Errorf("spinngo: unknown BoardLinkParams %q (want %q or %q)",
 			c.BoardLinkParams, BoardLinkSlow, BoardLinkUniform)
+	}
+	switch c.Repartition {
+	case "", RepartitionOff, RepartitionAuto:
+	default:
+		return fmt.Errorf("spinngo: unknown Repartition %q (want %q or %q)",
+			c.Repartition, RepartitionOff, RepartitionAuto)
 	}
 	return nil
 }
@@ -241,7 +263,6 @@ type unit struct {
 	frag        *mapping.Fragment
 	fragIdx     int // index into the routing plan's fragment list
 	slot        int // application-core slot actually occupied
-	shard       int
 	tickBase    uint64
 	rng         *sim.RNG // private stream, survives migration
 	core        *kernel.Core
@@ -253,16 +274,20 @@ type unit struct {
 	failed      bool
 }
 
-// shardTallies is one shard's slice of the machine-wide run accounting.
-// Each shard's events only touch its own entry, so parallel windows
-// never contend, and the integer merges at report time are independent
+// chipTallies is one chip's slice of the machine-wide run accounting.
+// A chip's events all execute on the shard that owns it, so no two
+// goroutines ever touch the same entry inside a window, and the
+// integer merges at report time (in chip-index order) are independent
 // of accumulation order — the heart of the determinism contract.
-type shardTallies struct {
+// Keying by chip rather than by shard makes the tallies stable across
+// runtime re-partitioning: ownership of an entry moves with the chip's
+// domain, with nothing to migrate.
+type chipTallies struct {
 	latencies         sim.TimeStats
 	writeBacks        uint64
 	migrations        uint64
 	migrationFailures uint64
-	_                 [8]uint64 // keep shards off each other's cache lines
+	_                 [8]uint64 // keep neighbouring chips off each other's cache lines
 }
 
 // Machine is a simulated SpiNNaker machine. The torus is partitioned
@@ -289,8 +314,27 @@ type Machine struct {
 	// gives a deterministic order regardless of migration timing.
 	fragUnits [][]*unit
 
-	tallies []shardTallies
+	tallies []chipTallies
 	bioMS   uint64
+
+	// Runtime re-partitioning state. baseWorkers is the construction-
+	// time parallelism target the auto policy re-aims for; activityAt
+	// snapshots each chip domain's scheduled-event counter at the last
+	// policy evaluation; repartitionUrgent forces the next evaluation
+	// past the minimum-signal gate (set by FailLink and migration
+	// storms); lastMigrations detects those storms.
+	autoRepartition   bool
+	baseWorkers       int
+	activityAt        []uint64
+	repartitionUrgent bool
+	lastMigrations    uint64
+	lastWindows       uint64
+	// evSpacingNS is the observed mean busy-time between window events
+	// (windows x lookahead / events), a property of the trajectory — not
+	// of the shard layout — that projects how many barriers a candidate
+	// lookahead would pay. 0 until first observed; only multi-shard
+	// stretches update it (a single shard runs windowless).
+	evSpacingNS float64
 }
 
 // MigrationDetectMS is how long the monitor's watchdog takes to notice a
@@ -326,13 +370,22 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		return nil, err
 	}
 	return &Machine{
-		cfg:     cfg,
-		pe:      pe,
-		part:    part,
-		fab:     fab,
-		units:   make(map[topo.Coord]map[int]*unit),
-		tallies: make([]shardTallies, part.Shards()),
+		cfg:             cfg,
+		pe:              pe,
+		part:            part,
+		fab:             fab,
+		units:           make(map[topo.Coord]map[int]*unit),
+		tallies:         make([]chipTallies, torus.Size()),
+		autoRepartition: cfg.Repartition == RepartitionAuto,
+		baseWorkers:     part.Shards(),
+		activityAt:      make([]uint64, torus.Size()),
 	}, nil
+}
+
+// tallyAt returns chip c's slice of the run accounting. The index is
+// the chip's torus index — stable across re-partitioning.
+func (m *Machine) tallyAt(c topo.Coord) *chipTallies {
+	return &m.tallies[m.part.Torus().Index(c)]
 }
 
 // Close releases the machine's persistent worker pool. Optional — an
@@ -379,12 +432,20 @@ type SimStats struct {
 	UniformLookahead sim.Time
 	// Windows counts lookahead windows executed; ParallelWindows those
 	// dispatched to the worker pool; EventsPerWindow the mean event
-	// density the adaptive mode steers by.
+	// density the adaptive mode steers by. A single-shard engine runs
+	// each RunUntil span as one barrier-free window, so its counts stay
+	// comparable (near-zero, as sequential execution synchronises
+	// nothing) instead of reading zero events per window.
 	Windows         uint64
 	ParallelWindows uint64
 	EventsPerWindow float64
-	// Events counts simulation events executed across all shards.
+	// Events counts simulation events executed across all shards,
+	// cumulative across re-partitionings.
 	Events uint64
+	// Repartitions counts completed runtime re-partitions (manual and
+	// policy-driven). Geometry, Shards, CutLinks and Lookahead above
+	// always describe the currently-active partition.
+	Repartitions uint64
 }
 
 // SimStats snapshots the engine's execution statistics.
@@ -406,8 +467,231 @@ func (m *Machine) SimStats() SimStats {
 		ParallelWindows:  m.pe.ParallelWindows(),
 		EventsPerWindow:  m.pe.EventsPerWindow(),
 		Events:           m.pe.Processed(),
+		Repartitions:     m.pe.Repartitions(),
 	}
 }
+
+// Runtime re-partitioning policy constants.
+const (
+	// repartitionMinEvents is the window-event signal below which the
+	// auto policy stands pat: too little traffic to justify moving the
+	// machine (FailLink and migration storms bypass the gate).
+	repartitionMinEvents = 4096
+	// repartitionImprove is the hysteresis: a candidate must beat the
+	// active partition's projected cost by this factor to be swapped in.
+	repartitionImprove = 0.9
+	// repartitionBarrierCost prices one window barrier in
+	// event-equivalents: the handoffs and wake-ups a barrier costs are
+	// worth roughly this many executed events. Candidates trade critical
+	// path against projected barriers at this rate.
+	repartitionBarrierCost = 2.0
+)
+
+// buildPartition resolves an explicit geometry name and worker count
+// into a partition of this machine's torus (workers 0 = the automatic
+// sizing NewMachine uses).
+func (m *Machine) buildPartition(geometry string, workers int) (topo.Partition, error) {
+	torus := m.part.Torus()
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > torus.Size() {
+			workers = torus.Size()
+		}
+	}
+	if workers < 0 || workers > torus.Size() {
+		return topo.Partition{}, fmt.Errorf("spinngo: repartition workers %d outside 0..%d",
+			workers, torus.Size())
+	}
+	params := m.fab.Params()
+	switch geometry {
+	case PartitionBands:
+		return topo.NewBands(torus, workers), nil
+	case PartitionBlocks:
+		return topo.NewBlocks2D(torus, workers), nil
+	case PartitionBoards:
+		if !params.Heterogeneous() {
+			return topo.Partition{}, fmt.Errorf("spinngo: partition %q requires Boards", PartitionBoards)
+		}
+		return topo.NewBoards(torus, params.Boards, workers)
+	}
+	return topo.Partition{}, fmt.Errorf("spinngo: unknown partition geometry %q (want %q, %q or %q)",
+		geometry, PartitionBands, PartitionBlocks, PartitionBoards)
+}
+
+// Repartition re-shapes the machine's shard decomposition at runtime:
+// every chip domain re-binds to its new owning shard engine, pending
+// events migrate heap-to-heap with their canonical keys intact, and the
+// engine lookahead re-prices over the new partition's *live* cut —
+// failed links drop out, so a cut whose fast links have died earns the
+// surviving (possibly wider) hop floor. Legal only at quiescence:
+// between Run calls, never from inside a running model. Workers 0 sizes
+// the shard count automatically. Re-partitioning is pure execution
+// strategy — reports are byte-identical with any sequence of
+// Repartition calls, or none.
+func (m *Machine) Repartition(geometry string, workers int) error {
+	part, err := m.buildPartition(geometry, workers)
+	if err != nil {
+		return err
+	}
+	return m.repartitionTo(part)
+}
+
+// repartitionTo swaps the active partition for part: engine first
+// (domain re-binding and event migration), then the lookahead, then the
+// fabric's shard ownership map. A swap to an identical chip->shard map
+// at an unchanged lookahead is a no-op.
+func (m *Machine) repartitionTo(part topo.Partition) error {
+	la := m.fab.LiveLookaheadFor(part)
+	if part.Equal(m.part) && la == m.pe.Lookahead() {
+		return nil
+	}
+	if err := m.pe.Repartition(part.Shards(), part.Shards(), func(d int32) int {
+		return part.ShardOfIndex(int(d))
+	}); err != nil {
+		return err
+	}
+	m.pe.SetLookahead(la)
+	if err := m.fab.Repartition(part); err != nil {
+		return err
+	}
+	m.part = part
+	return nil
+}
+
+// repartitionCandidates enumerates the partitions the auto policy
+// compares: every geometry at the construction-time parallelism target,
+// at half of it, and the sequential fallback — deduplicated by their
+// chip->shard maps.
+func (m *Machine) repartitionCandidates() []topo.Partition {
+	torus := m.part.Torus()
+	params := m.fab.Params()
+	targets := []int{m.baseWorkers}
+	if h := m.baseWorkers / 2; h >= 2 {
+		targets = append(targets, h)
+	}
+	targets = append(targets, 1)
+	var cands []topo.Partition
+	add := func(p topo.Partition) {
+		for _, q := range cands {
+			if q.Equal(p) {
+				return
+			}
+		}
+		cands = append(cands, p)
+	}
+	for _, w := range targets {
+		add(topo.NewBands(torus, w))
+		add(topo.NewBlocks2D(torus, w))
+		if params.Heterogeneous() {
+			if b, err := topo.NewBoards(torus, params.Boards, w); err == nil {
+				add(b)
+			}
+		}
+	}
+	return cands
+}
+
+// projectedCost prices running the observed per-chip activity mix on a
+// candidate partition, in event-equivalents: the critical path (events
+// on the busiest shard — the serial bottleneck no window protocol can
+// overlap past) plus the projected barrier count at the candidate's
+// live lookahead la, each barrier priced at repartitionBarrierCost.
+// Barriers are projected from the observed mean event spacing
+// (evSpacingNS): windows ~ busy time / lookahead, so a candidate with a
+// wider live cut — including a FailLinked fast cut re-priced to its
+// surviving floor — pays proportionally fewer. A sequential candidate
+// pays none but carries the whole load as critical path. Every input
+// derives from the simulation trajectory, so the policy decides
+// identically run to run.
+func (m *Machine) projectedCost(part topo.Partition, act []uint64, total uint64, la sim.Time) float64 {
+	perShard := make([]uint64, part.Shards())
+	for i, a := range act {
+		perShard[part.ShardOfIndex(i)] += a
+	}
+	var maxShard uint64
+	for _, v := range perShard {
+		if v > maxShard {
+			maxShard = v
+		}
+	}
+	cost := float64(maxShard)
+	if part.Shards() > 1 && m.evSpacingNS > 0 {
+		projWindows := float64(total) * m.evSpacingNS / float64(la)
+		cost += repartitionBarrierCost * projWindows
+	}
+	return cost
+}
+
+// maybeRepartition is the auto policy's quiescence-boundary evaluation:
+// it differences each chip domain's scheduled-event counter against the
+// last evaluation, prices the active partition (at the engine's actual
+// lookahead, which may be stale after link failures) against every
+// candidate (at their live lookaheads), and swaps when the best
+// candidate clears the hysteresis threshold. Evaluations are gated on a
+// minimum window-event signal except after FailLink or a migration
+// storm, which force a look immediately.
+func (m *Machine) maybeRepartition() error {
+	if !m.autoRepartition {
+		return nil
+	}
+	var signal uint64
+	for _, ev := range m.pe.TakeShardEvents() {
+		signal += ev
+	}
+	// Refresh the event-spacing estimate from the windows the last
+	// stretch actually ran (only multi-shard stretches run windows
+	// bounded by the lookahead; a single shard is windowless).
+	windowsDelta := m.pe.Windows() - m.lastWindows
+	m.lastWindows = m.pe.Windows()
+	if m.part.Shards() > 1 && windowsDelta > 0 && signal > 0 {
+		m.evSpacingNS = float64(windowsDelta) * float64(m.pe.Lookahead()) / float64(signal)
+	}
+	var migs uint64
+	for i := range m.tallies {
+		migs += m.tallies[i].migrations
+	}
+	urgent := m.repartitionUrgent || migs != m.lastMigrations
+	m.repartitionUrgent = false
+	m.lastMigrations = migs
+	if signal < repartitionMinEvents && !urgent {
+		return nil
+	}
+	act := make([]uint64, len(m.activityAt))
+	var total uint64
+	for i, n := range m.fab.Nodes() {
+		s := n.Domain().Scheduled()
+		act[i] = s - m.activityAt[i]
+		m.activityAt[i] = s
+		total += act[i]
+	}
+	if total == 0 {
+		return nil
+	}
+	curCost := m.projectedCost(m.part, act, total, m.pe.Lookahead())
+	best := m.part
+	bestCost := curCost
+	if debugRepartition {
+		fmt.Printf("[repart] cur=%s/%d la=%v cost=%.0f total=%d spacing=%.1f signal=%d windows=%d\n",
+			m.part.Geometry(), m.part.Shards(), m.pe.Lookahead(), curCost, total, m.evSpacingNS, signal, windowsDelta)
+	}
+	for _, cand := range m.repartitionCandidates() {
+		c := m.projectedCost(cand, act, total, m.fab.LiveLookaheadFor(cand))
+		if debugRepartition {
+			fmt.Printf("[repart]   cand %s/%d la=%v cost=%.0f\n",
+				cand.Geometry(), cand.Shards(), m.fab.LiveLookaheadFor(cand), c)
+		}
+		if c < bestCost {
+			best, bestCost = cand, c
+		}
+	}
+	if bestCost < curCost*repartitionImprove {
+		return m.repartitionTo(best)
+	}
+	return nil
+}
+
+// debugRepartition prints the policy's evaluations (development aid).
+var debugRepartition = os.Getenv("SPINNGO_DEBUG_REPARTITION") != ""
 
 // domAt returns the scheduling domain of a chip.
 func (m *Machine) domAt(c topo.Coord) *sim.Domain { return m.fab.DomainAt(c) }
@@ -541,7 +825,7 @@ func (m *Machine) Load(model *Model) (*LoadReport, error) {
 	// on the destination chip's shard, so it may only touch that
 	// shard's tally slice and the chip's own unit.
 	m.fab.OnDeliverMC = func(n *router.Node, coreSlot int, pkt packet.Packet, lat sim.Time) {
-		m.tallies[n.Shard()].latencies.Add(lat)
+		m.tallies[n.Index()].latencies.Add(lat)
 		if chipUnits := m.units[n.Coord]; chipUnits != nil {
 			if u := chipUnits[coreSlot]; u != nil {
 				u.core.PostPacket(pkt)
@@ -570,12 +854,10 @@ func (m *Machine) buildUnitAt(f *mapping.Fragment, fragIdx, slot int, tickBase u
 	}
 	hw := slots[slot]
 	dom := m.domAt(f.Chip)
-	shard := m.part.Shard(f.Chip)
 	u := &unit{
 		frag:     f,
 		fragIdx:  fragIdx,
 		slot:     slot,
-		shard:    shard,
 		tickBase: tickBase,
 		rng:      rng,
 		dma:      hw.DMA,
@@ -608,7 +890,7 @@ func (m *Machine) buildUnitAt(f *mapping.Fragment, fragIdx, slot int, tickBase u
 		}
 	}
 
-	tally := &m.tallies[shard]
+	tally := m.tallyAt(f.Chip)
 
 	// AER out: a firing neuron becomes a multicast packet (section 4),
 	// and plastic populations record the post spike for deferred STDP.
@@ -733,11 +1015,11 @@ func (m *Machine) FailCoreOf(p Pop, idx int) error {
 
 // migrate moves a failed unit's fragment onto a spare core of the same
 // chip. It runs as an event on the chip's shard, so all state it
-// touches (the chip's unit map, its fragment's unit list, its shard's
-// tallies, its private RNG) is shard-owned.
+// touches (the chip's unit map, its fragment's unit list, its chip's
+// tallies, its private RNG) is owned by that shard's goroutine.
 func (m *Machine) migrate(old *unit) {
 	chipCoord := old.frag.Chip
-	tally := &m.tallies[old.shard]
+	tally := m.tallyAt(chipCoord)
 	slots := m.appCoreSlots(chipCoord)
 	spare := -1
 	for s := 0; s < len(slots); s++ {
@@ -764,8 +1046,11 @@ func (m *Machine) migrate(old *unit) {
 			tally.migrationFailures++
 			return
 		}
-		m.fab.Node(chipCoord).Table.RewriteCore(old.slot, spare)
-		_ = nu
+		// Repoint the chip's multicast routing at the slot the rebuilt
+		// unit actually landed on: readers that resolve the fragment
+		// (Spikes, MeanWeightNA, KillNeuron via unitOf) see the
+		// migrated core from here on.
+		m.fab.Node(chipCoord).Table.RewriteCore(old.slot, nu.slot)
 		tally.migrations++
 	})
 }
@@ -779,6 +1064,11 @@ func (m *Machine) Run(ms int) (*RunReport, error) {
 	}
 	if ms <= 0 {
 		return nil, fmt.Errorf("spinngo: non-positive run length")
+	}
+	// Quiescence boundary: the auto policy may re-shape the partition
+	// before the next parallel stretch.
+	if err := m.maybeRepartition(); err != nil {
+		return nil, err
 	}
 	m.bioMS += uint64(ms)
 	m.pe.RunUntil(m.pe.Now() + sim.Time(ms)*sim.Millisecond)
@@ -832,6 +1122,9 @@ func (m *Machine) FailLink(x, y int, dir string) error {
 	for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
 		if d.String() == dir {
 			m.fab.FailLinkPair(topo.Coord{X: x, Y: y}, d)
+			// A dead link re-shapes the live cut; the auto policy takes
+			// an immediate look at the next quiescence boundary.
+			m.repartitionUrgent = true
 			return nil
 		}
 	}
@@ -882,12 +1175,19 @@ func (m *Machine) MeanWeightNA(p Pop) float64 {
 }
 
 // KillNeuron permanently disables neuron idx of population p (the
-// biological fault-tolerance experiment of section 5.4).
+// biological fault-tolerance experiment of section 5.4). It resolves
+// the fragment's live unit, so it keeps working after a functional
+// migration has moved the fragment off its original core slot (the old
+// slot lookup dereferenced a deleted map entry and panicked).
 func (m *Machine) KillNeuron(p Pop, idx int) error {
 	pop := m.model.net.Pops[p.idx]
 	frag, err := mapping.FragmentForNeuron(m.rplan.Frags, pop, idx)
 	if err != nil {
 		return err
 	}
-	return m.units[frag.Chip][frag.Core].pop.KillNeuron(idx - frag.Lo)
+	u := m.unitOf(frag)
+	if u == nil {
+		return fmt.Errorf("spinngo: fragment of %q neuron %d has no live core", p.Name(), idx)
+	}
+	return u.pop.KillNeuron(idx - frag.Lo)
 }

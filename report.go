@@ -65,9 +65,10 @@ type RunReport struct {
 	Depressions   uint64
 }
 
-// report assembles the cumulative RunReport. Shard tallies are merged
-// in shard order with integer arithmetic, so the result is identical
-// for every worker count.
+// report assembles the cumulative RunReport. Chip tallies are merged
+// in chip-index order with integer arithmetic, so the result is
+// identical for every worker count and for any history of runtime
+// re-partitions.
 func (m *Machine) report() *RunReport {
 	var lat sim.TimeStats
 	var writeBacks, migrations, migrationFailures uint64
