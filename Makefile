@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-workers check
+.PHONY: build test race vet cover bench bench-workers check
 
 build:
 	$(GO) build ./...
@@ -15,18 +15,27 @@ vet:
 	$(GO) vet ./...
 
 # The sharded engine's concurrency is exercised by the determinism suite
-# (Workers>1, every partition geometry, repartition on and off) and the
-# sim/router packages; keep them under the race detector on every change.
+# (Workers>1, every partition geometry, repartition on and off, batched
+# host traffic) and the sim/router/benchsweep packages; keep them under
+# the race detector on every change.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/router/
-	$(GO) test -race -run 'TestDeterminism|TestDifferentSeeds|TestBoardLookahead|TestRepartition|TestShiftingHotspot' .
+	$(GO) test -race ./internal/sim/ ./internal/router/ ./internal/benchsweep/
+	$(GO) test -race -run 'TestDeterminism|TestDifferentSeeds|TestBoardLookahead|TestRepartition|TestShiftingHotspot|TestBatch|TestFillMem|TestHostOrigin|TestHostTimeout' .
+
+# Tier-1 coverage of the engine + host packages, gated in CI at the
+# pre-PR-5 baseline (93.0%).
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic \
+		-coverpkg=spinngo/internal/sim,spinngo/internal/host \
+		./internal/sim/ ./internal/host/ .
+	$(GO) tool cover -func=cover.out | tail -1
 
 # Worker/partition/board-hierarchy sweep of the end-to-end machine
 # benchmark (8x8 worker grid plus 8x8/16x16/32x32 bands-vs-blocks-vs-
 # boards comparison plus the shifting-hotspot repartition scenario),
 # recorded as JSON for the bench trajectory.
 bench:
-	$(GO) run ./cmd/benchsweep -out BENCH_PR4.json
+	$(GO) run ./cmd/benchsweep -out BENCH_PR5.json
 
 # The same sweep through `go test -bench` (human-readable only).
 bench-workers:

@@ -1,18 +1,20 @@
 // Command benchsweep measures the sharded engine's scaling across
 // partition geometries, worker counts, torus sizes and board
 // hierarchies, and writes the results as JSON — the repo's bench
-// trajectory record (`make bench` writes BENCH_PR4.json). The sweep has
-// three parts: the 8x8 reference worker sweep (bands/blocks x workers),
+// trajectory record (`make bench` writes BENCH_PR5.json). The sweep has
+// four parts: the 8x8 reference worker sweep (bands/blocks x workers),
 // the board-hierarchy comparison (bands vs blocks vs boards on
 // heterogeneous 8x8, 16x16 and 32x32 machines with slow board-to-board
 // links), and the shifting-hotspot scenario, which pits runtime
 // re-partitioning against every fixed geometry and records the
-// barrier-rate win of re-shaping the partition to the live workload.
+// barrier-rate win of re-shaping the partition to the live workload,
+// and the host-load scenario, which compares serial host commands with
+// the pipelined batch and the flood-fill bulk write.
 //
 // Usage:
 //
-//	benchsweep [-out BENCH_PR4.json] [-hierarchy-only] [-workers-only]
-//	           [-hotspot-only] [-quick]
+//	benchsweep [-out BENCH_PR5.json] [-hierarchy-only] [-workers-only]
+//	           [-hotspot-only] [-hostload-only] [-quick]
 package main
 
 import (
@@ -24,27 +26,28 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "JSON output path ('' = stdout table only)")
+	out := flag.String("out", "BENCH_PR5.json", "JSON output path ('' = stdout table only)")
 	hierOnly := flag.Bool("hierarchy-only", false, "run only the board-hierarchy comparison")
 	workersOnly := flag.Bool("workers-only", false, "run only the 8x8 worker sweep")
 	hotspotOnly := flag.Bool("hotspot-only", false, "run only the shifting-hotspot repartition scenario")
+	hostloadOnly := flag.Bool("hostload-only", false, "run only the host-load (serial vs batch vs flood-fill) scenario")
 	quick := flag.Bool("quick", false, "one iteration per cell (CI smoke; structural columns exact, timing noisy)")
 	flag.Parse()
 	exclusive := 0
-	for _, f := range []bool{*hierOnly, *workersOnly, *hotspotOnly} {
+	for _, f := range []bool{*hierOnly, *workersOnly, *hotspotOnly, *hostloadOnly} {
 		if f {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		log.Fatal("-hierarchy-only, -workers-only and -hotspot-only are mutually exclusive")
+		log.Fatal("-hierarchy-only, -workers-only, -hotspot-only and -hostload-only are mutually exclusive")
 	}
 
 	var grid []benchsweep.Config
-	if !*hierOnly && !*hotspotOnly {
+	if !*hierOnly && !*hotspotOnly && !*hostloadOnly {
 		grid = append(grid, benchsweep.Grid()...)
 	}
-	if !*workersOnly && !*hotspotOnly {
+	if !*workersOnly && !*hotspotOnly && !*hostloadOnly {
 		grid = append(grid, benchsweep.HierarchyGrid()...)
 	}
 	var results []benchsweep.Result
@@ -61,7 +64,7 @@ func main() {
 		fmt.Println(benchsweep.Row(r))
 		results = append(results, r)
 	}
-	if !*hierOnly && !*workersOnly {
+	if !*hierOnly && !*workersOnly && !*hostloadOnly {
 		fmt.Printf("shifting-hotspot scenario: %dms of biological time, %d quiescence chunks\n",
 			benchsweep.HotspotBioMS, benchsweep.HotspotChunks)
 		for _, cfg := range benchsweep.HotspotGrid() {
@@ -70,6 +73,18 @@ func main() {
 				log.Fatalf("hotspot %s/%s: %v", cfg.Partition, cfg.Repartition, err)
 			}
 			fmt.Println(benchsweep.HotspotRow(r))
+			results = append(results, r)
+		}
+	}
+	if !*hierOnly && !*workersOnly && !*hotspotOnly {
+		fmt.Printf("host-load scenario: %d B to every chip, serial vs batched vs flood-fill\n",
+			benchsweep.HostLoadBlockBytes)
+		for _, cfg := range benchsweep.HostLoadGrid() {
+			r, _, err := benchsweep.MeasureHostLoad(cfg)
+			if err != nil {
+				log.Fatalf("hostload %s: %v", cfg.Mode, err)
+			}
+			fmt.Println(benchsweep.HostLoadRow(r))
 			results = append(results, r)
 		}
 	}

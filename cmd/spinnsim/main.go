@@ -79,6 +79,8 @@ func main() {
 	fmt.Printf("loaded %d fragments, %d synapses (%d B), %d router entries (max/chip %d)\n",
 		loadRep.Fragments, loadRep.Synapses, loadRep.SynapseBytes,
 		loadRep.TableEntries, loadRep.MaxChipTable)
+	fmt.Printf("host data load:  %.2f ms of simulated Ethernet+fabric time (pipelined batch)\n",
+		loadRep.LoadTimeMS)
 
 	if *failLink != "" {
 		var x, y int
@@ -126,6 +128,8 @@ func main() {
 		st.Windows, st.ParallelWindows, st.EventsPerWindow)
 	fmt.Printf("partition:       %s/%d shards after %d repartitions (lookahead %v)\n",
 		st.Geometry, st.Shards, st.Repartitions, st.Lookahead)
+	fmt.Printf("host:            %d engine transitions (boot phases + batched loads)\n",
+		st.HostTransitions)
 
 	if *raster {
 		printRaster(machine, excPop, *ms)

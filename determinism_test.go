@@ -240,6 +240,140 @@ func TestDeterminismFailLinkRepartition(t *testing.T) {
 	t.Logf("auto cells performed %d repartitions across the matrix", swaps)
 }
 
+// hostBatchRun interleaves host-command traffic with the congested
+// neural workload: 30 ms of congestion, then a mixed batch of writes,
+// reads and pings issued through the link (window > 1: pipelined;
+// window 1: one command launching as its predecessor resolves; serial:
+// the synchronous single-command API in a loop), then 40 ms more. The
+// fingerprint captures everything observable: the run report, the spike
+// raster, and every byte the host read back.
+func hostBatchRun(t *testing.T, partition string, workers, window int, serial bool) string {
+	t.Helper()
+	m, err := NewMachine(MachineConfig{
+		Width: 8, Height: 8, Seed: 1, Workers: workers, Partition: partition,
+		MaxAppCoresPerChip: 2, Boards: "4x4", BoardLinkParams: BoardLinkSlow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	model := NewModel()
+	stim := model.AddPoisson("stim", 300, 300)
+	exc := model.AddLIF("exc", 1200, DefaultLIFConfig())
+	if err := model.Connect(stim, exc, Conn{Rule: RandomRule, P: 0.1, WeightNA: 1.2, DelayMS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Connect(exc, exc, Conn{Rule: RandomRule, P: 0.05, WeightNA: 0.5, DelayMS: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Load(model); err != nil {
+		t.Fatal(err)
+	}
+	hl, err := m.AttachHost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	payload := func(i int) []byte { return []byte(fmt.Sprintf("block-%02d-payload", i)) }
+	if serial {
+		for i := 0; i < 6; i++ {
+			if err := hl.WriteMem(i, 7-i, 0x300, payload(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 6; i++ {
+			data, err := hl.ReadMem(i, 7-i, 0x300, len(payload(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&b, "read%d:%q ", i, data)
+		}
+		if _, err := hl.Ping(7, 7); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		p := hl.Batch(window)
+		for i := 0; i < 6; i++ {
+			p.WriteMem(i, 7-i, 0x300, payload(i))
+		}
+		reads := make([]int, 6)
+		for i := 0; i < 6; i++ {
+			reads[i] = p.ReadMem(i, 7-i, 0x300, len(payload(i)))
+		}
+		p.Ping(7, 7)
+		res, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ri := range reads {
+			if res[ri].Err != nil {
+				t.Fatalf("batched read %d: %v", i, res[ri].Err)
+			}
+			fmt.Fprintf(&b, "read%d:%q ", i, res[ri].Data)
+		}
+	}
+	rep, err := m.Run(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&b, "\n%+v\n", *rep)
+	spikes := m.Spikes(exc)
+	sort.Slice(spikes, func(i, j int) bool {
+		if spikes[i].TimeMS != spikes[j].TimeMS {
+			return spikes[i].TimeMS < spikes[j].TimeMS
+		}
+		return spikes[i].Neuron < spikes[j].Neuron
+	})
+	for _, s := range spikes {
+		fmt.Fprintf(&b, " %d@%d", s.Neuron, s.TimeMS)
+	}
+	return b.String()
+}
+
+// TestDeterminismBatchedHostTraffic extends the matrix with the
+// batched-host cells: a pipelined batch interleaved with the congested
+// workload must produce the byte-identical machine across every
+// (geometry, worker count) cell — pinned against the batched bands/1
+// reference — and the window-1 batch must be byte-identical to the
+// sequential one-command-at-a-time path, which is the contract that
+// makes batching pure execution strategy rather than a different
+// simulation.
+func TestDeterminismBatchedHostTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine determinism sweep")
+	}
+	// Serial one-at-a-time vs window-1 batch: identical trajectories.
+	serialRef := hostBatchRun(t, PartitionBands, 1, 0, true)
+	win1 := hostBatchRun(t, PartitionBands, 1, 1, false)
+	if win1 != serialRef {
+		t.Errorf("window-1 batch diverged from the serial one-command-at-a-time path:\n--- serial ---\n%s\n--- window 1 ---\n%s",
+			serialRef, win1)
+	}
+	// The pipelined batch across the full matrix.
+	ref := hostBatchRun(t, PartitionBands, 1, 4, false)
+	for _, partition := range []string{PartitionBands, PartitionBlocks, PartitionBoards} {
+		for _, workers := range []int{1, 4} {
+			if partition == PartitionBands && workers == 1 {
+				continue // the reference itself
+			}
+			got := hostBatchRun(t, partition, workers, 4, false)
+			if got != ref {
+				t.Errorf("batched host traffic: %s/%d diverged from bands/1", partition, workers)
+			}
+			// The serial path must agree across the matrix too.
+			if serial := hostBatchRun(t, partition, workers, 0, true); serial != serialRef {
+				t.Errorf("serial host traffic: %s/%d diverged from bands/1", partition, workers)
+			}
+		}
+	}
+}
+
 func TestDeterminismRunToRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-machine determinism sweep")

@@ -2,6 +2,7 @@ package spinngo
 
 import (
 	"fmt"
+	"time"
 
 	"spinngo/internal/host"
 	"spinngo/internal/sim"
@@ -9,109 +10,174 @@ import (
 )
 
 // HostLink is the Host System of paper Fig 1 attached to the machine: an
-// Ethernet connection to chip (0,0) through which any chip can be
-// reached with point-to-point packet bursts (section 5.2). Operations
-// are synchronous from the caller's perspective; each one advances the
-// machine's simulated clock by the time the command genuinely takes
-// (Ethernet + fabric + response), so host traffic and neural traffic
-// share the machine honestly.
+// Ethernet connection to the gateway chip (MachineConfig.HostOrigin,
+// (0,0) by default) through which any chip can be reached with
+// point-to-point packet bursts (section 5.2). Operations are synchronous
+// from the caller's perspective; each one advances the machine's
+// simulated clock by the time the command genuinely takes (Ethernet +
+// fabric + response), so host traffic and neural traffic share the
+// machine honestly.
+//
+// Commands run under the machine's parallel engine with normal PDES
+// lookahead windows — the engine halts at the exact event that resolves
+// the wait, so the machine state a command leaves behind is identical
+// for every worker count. Single commands are one-command batches;
+// Batch pipelines many commands with a bounded in-flight window, which
+// is how bulk loading amortises the per-command engine stop/start and
+// Ethernet round trips (see FillMem for the flood-fill bulk write).
 type HostLink struct {
 	m *Machine
 	h *host.Host
 }
 
-// AttachHost connects a host to a booted machine.
+// AttachHost connects a host to a booted machine at the configured
+// gateway chip. The underlying host endpoint is shared machine-wide:
+// attaching twice returns links to the same endpoint.
 func (m *Machine) AttachHost() (*HostLink, error) {
 	if !m.booted {
 		return nil, fmt.Errorf("spinngo: boot the machine before attaching a host")
 	}
-	origin := topo.Coord{X: 0, Y: 0}
-	return &HostLink{m: m, h: host.New(m.fab.DomainAt(origin), m.fab, m.boot, host.DefaultConfig())}, nil
+	return &HostLink{m: m, h: m.host}, nil
 }
 
 // hostOpTimeout bounds how long a command may take before the link
 // reports it lost.
-const hostOpTimeout = 100 * sim.Millisecond
+const hostOpTimeout = host.DefaultTimeout
 
-// await runs the machine until the response arrives or times out. Host
-// commands step the engine in deterministic sequential mode: the host
-// controller keeps cross-chip state, and commands are interactive
-// control-plane traffic, not the bulk-run hot path.
-//
-// The deadline is enforced by peeking the next pending timestamp before
-// executing anything: an event beyond the deadline is left queued, the
-// clocks advance to exactly the timeout instant, and the command is
-// reported lost. (Testing the clock *after* stepping — the old bug —
-// executed the globally-earliest event however far past the deadline it
-// lay, e.g. the next neural tick after a long quiet gap, silently
-// advancing every shard clock past the timeout before the abort fired.)
-// On exit the shard clocks are re-synchronised (so later relative
-// scheduling does not depend on the shard layout) and a timed-out
-// command is aborted (so its stray packets cannot touch host state from
-// inside a later parallel run).
-func (hl *HostLink) await(seq uint32, done *bool) error {
-	deadline := hl.m.pe.Now() + hostOpTimeout
-	for !*done {
-		next, ok := hl.m.pe.NextEventAt()
-		if !ok || next > deadline {
-			// Queue drained, or nothing more can happen before the
-			// deadline: the command is lost. Events beyond the deadline
-			// stay queued for the next run phase.
-			break
-		}
-		hl.m.pe.Step()
+// Result is the outcome of one pipelined command.
+type Result struct {
+	// Data carries read results.
+	Data []byte
+	// Chips counts chips that acknowledged a flood-fill write.
+	Chips int
+	// RTTUS is the command's issue-to-completion time in microseconds.
+	RTTUS float64
+	// Err is the per-command failure (a timed-out command reports here
+	// while the rest of its batch completes normally).
+	Err error
+}
+
+// Pipeline builds an ordered batch of host commands issued with a
+// bounded in-flight window. Commands are appended with the builder
+// methods and issued by Run; each command's result lands at the index
+// its builder call returned.
+type Pipeline struct {
+	hl  *HostLink
+	b   *host.Batch
+	err error
+}
+
+// Batch starts a command pipeline with the given in-flight window — how
+// many commands may be outstanding at once (values below 1 mean 1, the
+// sequential-issue ablation: each command launches at the exact instant
+// the previous one resolves, byte-identical to issuing them one at a
+// time).
+func (hl *HostLink) Batch(window int) *Pipeline {
+	return &Pipeline{hl: hl, b: hl.h.NewBatch(window)}
+}
+
+// Timeout overrides the per-command deadline (default 100 ms of
+// simulated time).
+func (p *Pipeline) Timeout(d time.Duration) *Pipeline {
+	p.b.SetTimeout(sim.Time(d.Nanoseconds()))
+	return p
+}
+
+// Ping appends a liveness probe of chip (x, y), returning the command's
+// result index.
+func (p *Pipeline) Ping(x, y int) int {
+	return p.b.Ping(topo.Coord{X: x, Y: y})
+}
+
+// WriteMem appends a write of data into chip (x, y)'s SDRAM at addr.
+func (p *Pipeline) WriteMem(x, y int, addr uint32, data []byte) int {
+	return p.b.WriteMem(topo.Coord{X: x, Y: y}, addr, data)
+}
+
+// ReadMem appends a read of n bytes from chip (x, y)'s SDRAM at addr.
+func (p *Pipeline) ReadMem(x, y int, addr uint32, n int) int {
+	return p.b.ReadMem(topo.Coord{X: x, Y: y}, addr, n)
+}
+
+// FillMem appends a flood-fill write: data propagates chip-to-chip over
+// nearest-neighbour links (like the boot image, section 5.2) and every
+// alive chip stores it at addr — one Ethernet transfer to load the whole
+// machine.
+func (p *Pipeline) FillMem(addr uint32, data []byte) int {
+	idx, err := p.b.FillMem(addr, data)
+	if err != nil && p.err == nil {
+		p.err = err
 	}
-	hl.m.pe.SyncClocks()
-	if !*done {
-		// The host genuinely waited the whole timeout: account for it.
-		hl.m.pe.AdvanceTo(deadline)
-		hl.h.Abort(seq)
-		return fmt.Errorf("spinngo: host command timed out")
+	return idx
+}
+
+// Run issues the batch — the first window of commands starts serialising
+// onto the Ethernet immediately, completions launch the rest — and
+// drives the machine under parallel lookahead windows until every
+// command has resolved. Per-command failures (including per-command
+// timeouts) are reported in the results; the returned error is reserved
+// for batch-level faults.
+func (p *Pipeline) Run() ([]Result, error) {
+	if p.err != nil {
+		return nil, p.err
 	}
-	return nil
+	if err := p.hl.m.runBatch(p.b); err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(p.b.Responses()))
+	for i, r := range p.b.Responses() {
+		out[i] = Result{Data: r.Data, Chips: r.Chips, RTTUS: r.RTT.Micros(), Err: r.Err}
+	}
+	return out, nil
 }
 
 // Ping checks chip (x, y) responds, returning the round-trip time in
 // microseconds.
 func (hl *HostLink) Ping(x, y int) (rttUS float64, err error) {
-	start := hl.m.pe.Now()
-	done := false
-	seq := hl.h.Ping(topo.Coord{X: x, Y: y}, func(r host.Response) {
-		err = r.Err
-		done = true
-	})
-	if werr := hl.await(seq, &done); werr != nil {
-		return 0, werr
+	res, err := hl.single(func(p *Pipeline) { p.Ping(x, y) })
+	if err != nil {
+		return 0, err
 	}
-	return (hl.m.pe.Now() - start).Micros(), err
+	return res.RTTUS, res.Err
 }
 
 // WriteMem stores data into chip (x, y)'s SDRAM at addr.
 func (hl *HostLink) WriteMem(x, y int, addr uint32, data []byte) error {
-	done := false
-	var opErr error
-	seq := hl.h.WriteMem(topo.Coord{X: x, Y: y}, addr, data, func(r host.Response) {
-		opErr = r.Err
-		done = true
-	})
-	if err := hl.await(seq, &done); err != nil {
+	res, err := hl.single(func(p *Pipeline) { p.WriteMem(x, y, addr, data) })
+	if err != nil {
 		return err
 	}
-	return opErr
+	return res.Err
 }
 
 // ReadMem fetches n bytes from chip (x, y)'s SDRAM at addr.
 func (hl *HostLink) ReadMem(x, y int, addr uint32, n int) ([]byte, error) {
-	done := false
-	var opErr error
-	var data []byte
-	seq := hl.h.ReadMem(topo.Coord{X: x, Y: y}, addr, n, func(r host.Response) {
-		opErr = r.Err
-		data = r.Data
-		done = true
-	})
-	if err := hl.await(seq, &done); err != nil {
+	res, err := hl.single(func(p *Pipeline) { p.ReadMem(x, y, addr, n) })
+	if err != nil {
 		return nil, err
 	}
-	return data, opErr
+	return res.Data, res.Err
+}
+
+// FillMem flood-fills data to every alive chip's SDRAM at addr,
+// reporting how many chips acknowledged.
+func (hl *HostLink) FillMem(addr uint32, data []byte) (chips int, err error) {
+	res, err := hl.single(func(p *Pipeline) { p.FillMem(addr, data) })
+	if err != nil {
+		return 0, err
+	}
+	return res.Chips, res.Err
+}
+
+// single runs a one-command batch. A timed-out command surfaces its
+// per-command error; the machine keeps every clock at exactly the
+// instant the command resolved.
+func (hl *HostLink) single(build func(*Pipeline)) (Result, error) {
+	p := hl.Batch(1)
+	build(p)
+	res, err := p.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
 }

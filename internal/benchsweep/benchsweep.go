@@ -2,9 +2,9 @@
 // end-to-end machine benchmark in one place, so that the
 // BenchmarkMachineBioSecondWorkers sub-benchmarks (`make bench-workers`,
 // the CI smoke step) and the JSON bench emitter (`make bench`, written
-// to BENCH_PR4.json) measure exactly the same workloads.
+// to BENCH_PR5.json) measure exactly the same workloads.
 //
-// Three sweeps share the harness. The worker sweep is the 8x8 reference
+// Four sweeps share the harness. The worker sweep is the 8x8 reference
 // machine of BENCH_PR2: fragments spread across all chips, a dense
 // stimulus-driven network, a quarter of a biological second per
 // iteration, across {bands, blocks} x worker counts. The hierarchy
@@ -14,9 +14,11 @@
 // achieved lookahead and barrier rate: the boards cut buys a wider
 // lookahead and fewer window barriers per biological second. The
 // shifting-hotspot scenario (hotspot.go) pits runtime re-partitioning
-// against every fixed geometry. Every cell of a given (torus, boards,
-// scenario) tuple produces a byte-identical RunReport — the determinism
-// contract — so the sweeps measure execution cost only.
+// against every fixed geometry, and the host-load scenario (hostload.go)
+// pits serial host commands against the pipelined batch and the
+// flood-fill bulk write. Every cell of a given (torus, boards, scenario)
+// tuple produces a byte-identical RunReport — the determinism contract —
+// so the sweeps measure execution cost only.
 package benchsweep
 
 import (
@@ -47,8 +49,10 @@ type Config struct {
 	// Repartition is the runtime re-partitioning policy ("" = off).
 	Repartition string `json:"repartition,omitempty"`
 	// Scenario tags cells that run a scripted workload instead of the
-	// steady-state reference network ("hotspot").
+	// steady-state reference network ("hotspot", "hostload").
 	Scenario string `json:"scenario,omitempty"`
+	// Mode selects the host-load variant ("serial", "batch", "fill").
+	Mode string `json:"mode,omitempty"`
 }
 
 // Grid reports the worker sweep: the 8x8 reference machine, both
@@ -118,6 +122,11 @@ type Result struct {
 	Spikes float64 `json:"spikes"`
 	// Repartitions counts runtime partition swaps (0 for fixed cells).
 	Repartitions uint64 `json:"repartitions,omitempty"`
+	// HostTransitions and BytesLoaded are the host-load scenario's
+	// columns: engine stop/start round trips paid and payload bytes
+	// delivered machine-wide.
+	HostTransitions uint64 `json:"host_transitions,omitempty"`
+	BytesLoaded     int    `json:"bytes_loaded,omitempty"`
 }
 
 // machineConfig is the single definition of the measured machines; the

@@ -1,0 +1,154 @@
+// The host-load scenario: the boot/loading concern the paper's host
+// system hits at a million cores — feeding a massively-parallel fabric
+// from a scalar front end over a thin Ethernet pipe. Loading B bytes
+// onto every chip one synchronous command at a time pays an engine
+// stop/start transition and two Ethernet latencies per chip; the
+// pipelined batch pays one transition for the whole load and overlaps
+// every round trip behind the Ethernet serialisation; the flood-fill
+// write (FillMem) additionally collapses the Ethernet traffic itself to
+// a single transfer that the fabric propagates chip-to-chip, the way
+// the boot image loads (experiment E9). Every mode leaves the identical
+// bytes in every chip's SDRAM — the scenario isolates pure host-path
+// cost.
+
+package benchsweep
+
+import (
+	"fmt"
+	"time"
+
+	"spinngo"
+)
+
+// Host-load scenario shape: one payload per chip of an 8x8 machine.
+const (
+	HostLoadBlockBytes = 1024
+	hostLoadWindow     = 8
+)
+
+// Host-load modes.
+const (
+	HostLoadSerial = "serial" // one synchronous WriteMem per chip
+	HostLoadBatch  = "batch"  // one pipelined batch of WriteMems
+	HostLoadFill   = "fill"   // one flood-fill write for the whole machine
+)
+
+// HostLoadGrid reports the host-load comparison cells.
+func HostLoadGrid() []Config {
+	var grid []Config
+	for _, mode := range []string{HostLoadSerial, HostLoadBatch, HostLoadFill} {
+		grid = append(grid, Config{Width: 8, Height: 8, Partition: spinngo.PartitionBands,
+			Workers: 4, Scenario: "hostload", Mode: mode})
+	}
+	return grid
+}
+
+// HostLoadResult is the measured outcome of one host-load cell.
+type HostLoadResult struct {
+	// Transitions counts engine stop/start round trips the load cost —
+	// the figure batching amortises.
+	Transitions uint64
+	// Windows counts lookahead windows the load executed.
+	Windows uint64
+	// Bytes is the payload delivered machine-wide (chips x block).
+	Bytes int
+}
+
+// MeasureHostLoad runs one host-load cell: boot the machine, then load
+// HostLoadBlockBytes onto every chip in the cell's mode, verifying the
+// delivery by reading one far chip back.
+func MeasureHostLoad(cfg Config) (Result, HostLoadResult, error) {
+	mc := machineConfig(cfg)
+	cfg.Width, cfg.Height = mc.Width, mc.Height
+	m, err := spinngo.NewMachine(mc)
+	if err != nil {
+		return Result{}, HostLoadResult{}, err
+	}
+	defer m.Close()
+	if _, err := m.Boot(); err != nil {
+		return Result{}, HostLoadResult{}, err
+	}
+	hl, err := m.AttachHost()
+	if err != nil {
+		return Result{}, HostLoadResult{}, err
+	}
+	chips := mc.Width * mc.Height
+	payload := make([]byte, HostLoadBlockBytes)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	const addr = 0x5200_0000
+	before := m.SimStats()
+	start := time.Now()
+	switch cfg.Mode {
+	case HostLoadSerial:
+		for i := 0; i < chips; i++ {
+			if err := hl.WriteMem(i%mc.Width, i/mc.Width, addr, payload); err != nil {
+				return Result{}, HostLoadResult{}, fmt.Errorf("serial write %d: %w", i, err)
+			}
+		}
+	case HostLoadBatch:
+		p := hl.Batch(hostLoadWindow)
+		for i := 0; i < chips; i++ {
+			p.WriteMem(i%mc.Width, i/mc.Width, addr, payload)
+		}
+		res, err := p.Run()
+		if err != nil {
+			return Result{}, HostLoadResult{}, err
+		}
+		for i, r := range res {
+			if r.Err != nil {
+				return Result{}, HostLoadResult{}, fmt.Errorf("batched write %d: %w", i, r.Err)
+			}
+		}
+	case HostLoadFill:
+		acked, err := hl.FillMem(addr, payload)
+		if err != nil {
+			return Result{}, HostLoadResult{}, err
+		}
+		if acked != chips {
+			return Result{}, HostLoadResult{}, fmt.Errorf("flood acknowledged by %d of %d chips", acked, chips)
+		}
+	default:
+		return Result{}, HostLoadResult{}, fmt.Errorf("unknown host-load mode %q", cfg.Mode)
+	}
+	elapsed := time.Since(start)
+	after := m.SimStats()
+	// Delivery check: the far corner holds the payload.
+	back, err := hl.ReadMem(mc.Width-1, mc.Height-1, addr, len(payload))
+	if err != nil {
+		return Result{}, HostLoadResult{}, fmt.Errorf("verify read: %w", err)
+	}
+	for i := range payload {
+		if back[i] != payload[i] {
+			return Result{}, HostLoadResult{}, fmt.Errorf("verify read: byte %d corrupt", i)
+		}
+	}
+	hr := HostLoadResult{
+		Transitions: after.HostTransitions - before.HostTransitions,
+		Windows:     after.Windows - before.Windows,
+		Bytes:       chips * HostLoadBlockBytes,
+	}
+	r := Result{
+		Config:          cfg,
+		Geometry:        after.Geometry,
+		Shards:          after.Shards,
+		CutLinks:        after.CutLinks,
+		LookaheadNS:     int64(after.Lookahead),
+		N:               1,
+		NsPerOp:         elapsed.Nanoseconds(),
+		HostTransitions: hr.Transitions,
+		BytesLoaded:     hr.Bytes,
+	}
+	if ev := after.Events - before.Events; elapsed.Seconds() > 0 {
+		r.EventsPerSec = float64(ev) / elapsed.Seconds()
+	}
+	return r, hr, nil
+}
+
+// HostLoadRow renders one host-load result, leading with the
+// transitions-per-load column the scenario is about.
+func HostLoadRow(r Result) string {
+	return fmt.Sprintf("hostload %-6s transitions=%-3d bytes=%-6d %12d ns/op %11.0f ev/s",
+		r.Mode, r.HostTransitions, r.BytesLoaded, r.NsPerOp, r.EventsPerSec)
+}

@@ -1,0 +1,51 @@
+package benchsweep
+
+import "testing"
+
+// TestHostLoadBatchWins pins the PR's acceptance criterion: a bulk load
+// of N per-chip memory writes through Batch (and through FillMem) costs
+// at least 5x fewer engine stop/start transitions than N serial
+// commands, at identical delivered bytes. The transitions column is a
+// deterministic property of the trajectory, so this is a regression
+// test, not a flaky wall-clock benchmark.
+func TestHostLoadBatchWins(t *testing.T) {
+	measure := func(mode string) (Result, HostLoadResult) {
+		t.Helper()
+		grid := HostLoadGrid()
+		var cfg Config
+		for _, c := range grid {
+			if c.Mode == mode {
+				cfg = c
+			}
+		}
+		r, hr, err := MeasureHostLoad(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		return r, hr
+	}
+	_, serial := measure(HostLoadSerial)
+	_, batch := measure(HostLoadBatch)
+	_, fill := measure(HostLoadFill)
+
+	if serial.Bytes != batch.Bytes || serial.Bytes != fill.Bytes {
+		t.Fatalf("modes delivered different byte totals: serial=%d batch=%d fill=%d",
+			serial.Bytes, batch.Bytes, fill.Bytes)
+	}
+	// 64 chips: the serial path pays a transition per command, the
+	// batch exactly one for the whole load.
+	if serial.Transitions < 64 {
+		t.Errorf("serial load paid %d transitions; expected one per chip (>= 64)", serial.Transitions)
+	}
+	if batch.Transitions*5 > serial.Transitions {
+		t.Errorf("batched load paid %d transitions vs serial %d; want >= 5x fewer",
+			batch.Transitions, serial.Transitions)
+	}
+	if fill.Transitions*5 > serial.Transitions {
+		t.Errorf("flood-fill load paid %d transitions vs serial %d; want >= 5x fewer",
+			fill.Transitions, serial.Transitions)
+	}
+	t.Logf("transitions per %d-byte load: serial=%d batch=%d fill=%d (windows %d/%d/%d)",
+		serial.Bytes, serial.Transitions, batch.Transitions, fill.Transitions,
+		serial.Windows, batch.Windows, fill.Windows)
+}

@@ -57,6 +57,11 @@ type Config struct {
 	// HostGap is the interval between successive block injections at
 	// the origin.
 	HostGap sim.Time
+	// SkipLoad ends the boot after p2p configuration, leaving the image
+	// load (phase 5) to the caller — the machine loads the image through
+	// the host link's flood-fill batch instead, under parallel windows.
+	// Result.Loaded and LoadTime stay zero.
+	SkipLoad bool
 }
 
 // DefaultConfig returns paper-scale boot parameters.
@@ -167,8 +172,10 @@ func (c *Controller) Run() (*Result, error) {
 	c.run.Run()
 	c.phaseCoordinates()
 	c.run.Run()
-	c.phaseLoad()
-	c.run.Run()
+	if !c.cfg.SkipLoad {
+		c.phaseLoad()
+		c.run.Run()
+	}
 	c.finalise()
 	return &c.res, nil
 }
@@ -318,8 +325,8 @@ func (c *Controller) receiveBlock(at topo.Coord, blockIdx uint32) {
 		// First copy: store the block in SDRAM (content is generated
 		// deterministically from the index; any sender's copy is
 		// identical).
-		data := blockContent(blockIdx, c.cfg.BlockBytes)
-		if err := st.chip.SDRAM.Store(blockAddr(blockIdx), data); err == nil {
+		data := BlockContent(blockIdx, c.cfg.BlockBytes)
+		if err := st.chip.SDRAM.Store(BlockAddr(blockIdx), data); err == nil {
 			if len(st.blocks) == c.cfg.ImageBlocks && !st.everLoaded {
 				st.everLoaded = true
 				st.loadedAt = c.fab.DomainAt(at).Now()
@@ -333,12 +340,15 @@ func (c *Controller) receiveBlock(at topo.Coord, blockIdx uint32) {
 	}
 }
 
-// blockAddr maps a block index to its SDRAM load address.
-func blockAddr(idx uint32) uint32 { return 0x4000_0000 + idx*0x1000 }
+// BlockAddr maps a boot-image block index to its SDRAM load address.
+// Exported so a host-driven image load (Machine.Boot's flood-fill batch)
+// stores blocks exactly where the native flood would, keeping
+// VerifyImage valid for either path.
+func BlockAddr(idx uint32) uint32 { return 0x4000_0000 + idx*0x1000 }
 
-// blockContent generates the deterministic content of a boot-image
+// BlockContent generates the deterministic content of a boot-image
 // block.
-func blockContent(idx uint32, size int) []byte {
+func BlockContent(idx uint32, size int) []byte {
 	out := make([]byte, size)
 	x := idx*2654435761 + 1
 	for i := range out {
@@ -392,11 +402,11 @@ func (c *Controller) finalise() {
 func (c *Controller) VerifyImage(at topo.Coord) error {
 	st := c.nodes[at]
 	for b := uint32(0); b < uint32(c.cfg.ImageBlocks); b++ {
-		data, ok := st.chip.SDRAM.Load(blockAddr(b))
+		data, ok := st.chip.SDRAM.Load(BlockAddr(b))
 		if !ok {
 			return fmt.Errorf("boot: chip %v missing block %d", at, b)
 		}
-		want := blockContent(b, c.cfg.BlockBytes)
+		want := BlockContent(b, c.cfg.BlockBytes)
 		if len(data) != len(want) {
 			return fmt.Errorf("boot: chip %v block %d truncated", at, b)
 		}

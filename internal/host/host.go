@@ -1,15 +1,31 @@
 // Package host models the Host System of paper Fig 1: one or more
-// workstations attached by Ethernet to node (0,0), able to reach every
-// chip in the machine with point-to-point packets once the boot sequence
-// has configured coordinates and p2p tables (section 5.2: "the Host
-// System [can] communicate with any node using p2p packets via Ethernet
-// and node (0,0)").
+// workstations attached by Ethernet to a gateway chip, able to reach
+// every chip in the machine with point-to-point packets once the boot
+// sequence has configured coordinates and p2p tables (section 5.2: "the
+// Host System [can] communicate with any node using p2p packets via
+// Ethernet and node (0,0)").
 //
 // Commands (ping, memory read/write, application start) travel as p2p
-// packet bursts — one packet per 32-bit word plus a header packet — so
+// packet bursts — one packet per payload chunk plus a header packet — so
 // their timing reflects real fabric traffic; payload bytes ride an
 // out-of-band table keyed by sequence number, standing in for the SDP
-// protocol's payload framing.
+// protocol's payload framing. The multicast flood-fill write (FillMem)
+// instead propagates chip-to-chip over nearest-neighbour links exactly
+// like the boot image (section 5.2), reaching every chip for one
+// Ethernet transfer, with a single p2p acknowledgement per chip
+// converging back on the gateway.
+//
+// The package is built to run under the sharded parallel engine, not
+// just the sequential stepping mode: every command is registered in an
+// append-only table before it launches, its registered fields (target,
+// address, payload) are immutable from then on and safe to read from any
+// shard, and each mutable progress field is owned by exactly one shard —
+// reassembly and burst counting by the target chip's shard,
+// launch/resolution state by the gateway's. Completions, expiries and
+// follow-on launches are all events on the gateway chip's scheduling
+// domain, so they take part in the canonical (time, domain, class, seq)
+// event order like any other traffic and the whole host phase is
+// byte-reproducible for every worker count.
 package host
 
 import (
@@ -34,7 +50,29 @@ const (
 	OpRead
 	// OpStart signals application start on a chip.
 	OpStart
+	// OpFill is the flood-fill bulk write: one Ethernet transfer whose
+	// payload every alive chip stores at the same SDRAM address,
+	// propagated over nearest-neighbour links like the boot image.
+	OpFill
 )
+
+// String names the opcode.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpStart:
+		return "start"
+	case OpFill:
+		return "fill"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
 
 // Response is the completion of one command.
 type Response struct {
@@ -42,129 +80,416 @@ type Response struct {
 	Op   Op
 	From topo.Coord
 	Data []byte // read results
-	Err  error
-	At   sim.Time
+	// Chips counts the chips that acknowledged a flood-fill write.
+	Chips int
+	Err   error
+	At    sim.Time
+	// RTT is issue-to-completion time (the full per-command timeout for
+	// an expired command).
+	RTT sim.Time
 }
+
+// DefaultTimeout bounds how long a command may take before the link
+// reports it lost.
+const DefaultTimeout = 100 * sim.Millisecond
 
 // Config shapes the Ethernet attachment.
 type Config struct {
-	// EthLatency is the one-way host <-> (0,0) latency.
+	// EthLatency is the one-way host <-> gateway latency.
 	EthLatency sim.Time
 	// EthBytesPerUS is Ethernet throughput (100 Mbit/s ~ 12.5 B/us).
 	EthBytesPerUS float64
+	// Origin is the Ethernet-attached gateway chip commands enter the
+	// machine through. The boot sequence always roots at (0,0) — the
+	// paper's symmetry-breaking chip — but a host may attach to any
+	// chip, as real machines carry one Ethernet port per board.
+	Origin topo.Coord
+	// ChunkBytes is the payload carried per fabric packet: 4 models the
+	// paper's one-packet-per-32-bit-word bursts, larger values stand in
+	// for SDP-style frame aggregation for bulk transfers. Default 4.
+	ChunkBytes int
+	// Timeout is the per-command deadline. Default DefaultTimeout.
+	Timeout sim.Time
 }
 
-// DefaultConfig returns 100 Mbit Ethernet with LAN latency.
+// DefaultConfig returns 100 Mbit Ethernet with LAN latency, attached at
+// (0,0).
 func DefaultConfig() Config {
-	return Config{EthLatency: 50 * sim.Microsecond, EthBytesPerUS: 12.5}
+	return Config{EthLatency: 50 * sim.Microsecond, EthBytesPerUS: 12.5,
+		ChunkBytes: 4, Timeout: DefaultTimeout}
 }
 
-// command tracks an in-flight operation.
+// command tracks one operation. Registration fields (op, target, addr,
+// data, length, chunk, acksTotal) are immutable once the command
+// launches, so any shard may read them mid-flight. Mutable fields are
+// each owned by a single shard goroutine: remaining/result/failed by the
+// target chip's shard, everything in the gateway block by the gateway
+// chip's shard. Cross-shard hand-offs (a response or acknowledgement
+// packet crossing a window barrier) provide the happens-before edges a
+// reader needs.
 type command struct {
-	op        Op
-	target    topo.Coord
-	addr      uint32
-	data      []byte
-	length    int
-	remaining int // p2p packets still to arrive at the target
-	done      func(Response)
+	seq    uint32
+	op     Op
+	target topo.Coord // unused for OpFill (the target is the machine)
+	addr   uint32
+	data   []byte // write/fill payload
+	length int    // read length
+	chunk  int    // payload bytes per fabric packet
+	done   func(Response)
+
+	// Target-shard-owned progress.
+	remaining int    // burst packets still to arrive at the target
+	result    []byte // read result
+	failed    bool   // SDRAM store/load failed at the target
+
+	// Gateway-shard-owned state.
+	launched  bool
+	launchAt  sim.Time
+	timeout   sim.Time
+	resolved  bool
+	timedOut  bool
+	chips     int    // OpFill: chips covered by the completed flood
+	onResolve func() // batch hook: fires after done, still on the gateway
+
+	// stripped marks a resolved command whose payload buffers were
+	// released at a later sequential quiescence point; straggler packets
+	// of a stripped command must not store (nothing left to store).
+	stripped bool
 }
 
-// Host drives the machine through node (0,0).
+// chunks reports how many payload packets the command's data spans.
+func (c *command) chunks() int {
+	if len(c.data) == 0 {
+		return 0
+	}
+	return (len(c.data) + c.chunk - 1) / c.chunk
+}
+
+// fillAssembly is one chip's reassembly and acknowledgement state for
+// one flood-fill command; owned by the chip's shard. It survives
+// completion as a tombstone so late duplicate chunks are absorbed
+// without re-storing or re-acknowledging.
+type fillAssembly struct {
+	chunkSeen  []bool
+	chunksLeft int
+	childAcks  int // acknowledged children in the convergecast tree
+	subtree    int // chips covered by the children's aggregated acks
+	acked      bool
+}
+
+// Flood-fill wire encoding. Fill chunks travel as nn packets whose key
+// carries the command sequence and chunk index (the payload word is the
+// chunk's leading word; full content rides the out-of-band table like
+// every other payload). Acknowledgements are nn packets too — one hop up
+// the convergecast tree, payload carrying the aggregated subtree count —
+// marked by a second flag bit.
+const (
+	fillFlag      = uint32(1) << 31
+	fillAckFlag   = uint32(1) << 30
+	fillSeqShift  = 12
+	fillSeqMask   = uint32(1)<<18 - 1
+	fillChunkMask = uint32(1)<<fillSeqShift - 1
+	// MaxFillChunks bounds one FillMem's payload packets (the chunk
+	// index field width).
+	MaxFillChunks = int(fillChunkMask)
+)
+
+func fillKey(seq uint32, chunk int) uint32 {
+	return fillFlag | (seq&fillSeqMask)<<fillSeqShift | uint32(chunk)&fillChunkMask
+}
+
+func fillAckKey(seq uint32) uint32 {
+	return fillFlag | fillAckFlag | (seq&fillSeqMask)<<fillSeqShift
+}
+
+func fillParts(key uint32) (seq uint32, chunk int) {
+	return (key >> fillSeqShift) & fillSeqMask, int(key & fillChunkMask)
+}
+
+// Host drives the machine through its Ethernet gateway chip.
 type Host struct {
-	eng    sim.Scheduler
+	eng    sim.Scheduler // the gateway chip's scheduling domain
 	fab    *router.Fabric
 	ctl    *boot.Controller
 	cfg    Config
 	origin topo.Coord
 
-	seq      uint32
-	inflight map[uint32]*command
-	started  map[topo.Coord]bool
+	// cmds is the append-only command table, indexed by seq-1. It grows
+	// only from sequential context (no window in flight), so reads from
+	// any shard during a run are safe. strip is the release cursor:
+	// payload buffers of commands resolved before the current
+	// sequential instant are freed (see register), so bulk loads do not
+	// pin their images for the machine's lifetime.
+	cmds  []*command
+	strip int
 
-	// PacketsSent counts p2p packets injected on the machine side.
+	// Gateway-shard-owned accounting.
+	inflight  int
+	ethFreeAt sim.Time
+
+	// Per-chip state, indexed by torus index; each entry is touched only
+	// by its chip's owning shard.
+	started []bool
+	fills   []map[uint32]*fillAssembly
+
+	// Convergecast tree for flood-fill acknowledgement aggregation,
+	// rooted at the gateway: fillParent is each chip's one-hop uplink
+	// (the p2p next-hop toward the gateway), fillChildren how many
+	// aggregated acknowledgements the chip waits for before sending its
+	// own. Computed once at attach; read-only from then on, so any shard
+	// may consult it. Aggregation is what makes machine-wide completion
+	// scale: every link carries exactly one acknowledgement per fill,
+	// where per-chip acks converging on the gateway overflowed the
+	// funnel links' queues at a thousand chips.
+	fillParent   []topo.Dir
+	fillChildren []int
+	fillAlive    int
+	// fillsUnresolved counts registered flood-fills not yet resolved;
+	// the tree may only be rebuilt when it is zero (no chip still holds
+	// per-fill state keyed to the old tree). Incremented in register
+	// (sequential), decremented in complete (gateway shard) — both
+	// ordered before any sequential read.
+	fillsUnresolved int
+
+	// PacketsSent counts packets injected on the machine side (p2p burst
+	// packets and locally-injected flood chunks; flood forwards between
+	// chips are fabric traffic, counted by the fabric).
 	PacketsSent uint64
 }
 
-// New attaches a host to a booted machine's fabric. eng is the
-// scheduler of the Ethernet-attached gateway chip (0,0).
+// New attaches a host to a booted machine's fabric. eng must be the
+// scheduling domain of the gateway chip cfg.Origin, so that all host
+// bookkeeping runs on the shard that owns the gateway.
 func New(eng sim.Scheduler, fab *router.Fabric, ctl *boot.Controller, cfg Config) *Host {
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = 4
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	size := fab.Params().Torus.Size()
 	h := &Host{
 		eng: eng, fab: fab, ctl: ctl, cfg: cfg,
-		origin:   topo.Coord{X: 0, Y: 0},
-		inflight: make(map[uint32]*command),
-		started:  make(map[topo.Coord]bool),
+		origin:  cfg.Origin,
+		started: make([]bool, size),
+		fills:   make([]map[uint32]*fillAssembly, size),
 	}
 	fab.OnDeliverP2P = h.onP2P
+	// Flood-fill traffic shares the nn fabric with the boot protocol;
+	// non-fill traffic is delegated to whatever handler (the boot
+	// controller's) was installed first.
+	prevNN := fab.OnNN
+	fab.OnNN = func(n *router.Node, from topo.Dir, pkt packet.Packet) {
+		switch {
+		case pkt.Key&fillFlag == 0:
+			if prevNN != nil {
+				prevNN(n, from, pkt)
+			}
+		case pkt.Key&fillAckFlag != 0:
+			h.fillAckArrive(n, pkt.Key, int(pkt.Payload))
+		default:
+			h.fillArrive(n, pkt.Key)
+		}
+	}
+	h.rebuildFillTree()
 	return h
 }
+
+// rebuildFillTree recomputes the flood-fill acknowledgement tree: a
+// breadth-first tree rooted at the gateway over the alive chips,
+// traversing only links healthy in both directions (chunks flow down,
+// the ack flows up), so every chip's uplink is a usable direct
+// neighbour strictly closer to the root. Acks therefore survive dead
+// chips and failed links as long as the alive machine stays
+// bidirectionally connected, and FillAlive — what completion certifies
+// — is exactly the tree's span. Called at attach and again at fill
+// registration whenever no fill is in flight, so the tree tracks link
+// failures between bulk loads. Sequential context only: during a run
+// every shard reads these arrays.
+func (h *Host) rebuildFillTree() {
+	torus := h.fab.Params().Torus
+	size := torus.Size()
+	h.fillParent = make([]topo.Dir, size)
+	h.fillChildren = make([]int, size)
+	h.fillAlive = 0
+	visited := make([]bool, size)
+	queue := []topo.Coord{h.origin}
+	if h.ctl.Alive(h.origin) {
+		visited[torus.Index(h.origin)] = true
+		h.fillAlive = 1
+	} else {
+		queue = nil
+	}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
+			nb := torus.Neighbor(c, d)
+			i := torus.Index(nb)
+			if visited[i] || !h.ctl.Alive(nb) ||
+				h.fab.LinkFailed(c, d) || h.fab.LinkFailed(nb, d.Opposite()) {
+				continue
+			}
+			visited[i] = true
+			h.fillAlive++
+			h.fillParent[i] = d.Opposite()
+			h.fillChildren[torus.Index(c)]++
+			queue = append(queue, nb)
+		}
+	}
+}
+
+// FillAlive reports how many chips the flood-fill acknowledgement tree
+// spans: the alive chips bidirectionally reachable from the gateway,
+// which is what a completed FillMem certifies as covered.
+func (h *Host) FillAlive() int { return h.fillAlive }
+
+// Origin reports the gateway chip.
+func (h *Host) Origin() topo.Coord { return h.origin }
 
 // ethTime is the Ethernet serialisation plus latency for n bytes.
 func (h *Host) ethTime(n int) sim.Time {
 	return h.cfg.EthLatency + sim.Time(float64(n)/h.cfg.EthBytesPerUS*float64(sim.Microsecond))
 }
 
-// submit launches a command: Ethernet to (0,0), then a p2p burst to the
-// target (one packet per 32-bit word of payload, plus a header packet).
-func (h *Host) submit(cmd *command) uint32 {
-	h.seq++
-	seq := h.seq
-	h.inflight[seq] = cmd
-	packets := 1 + (len(cmd.data)+3)/4
-	cmd.remaining = packets
-	h.eng.After(h.ethTime(len(cmd.data)+16), func() {
-		for i := 0; i < packets; i++ {
-			h.PacketsSent++
-			h.fab.InjectP2P(h.origin, cmd.target, seq)
+// ethChunkTime is the Ethernet serialisation time of one payload chunk
+// of the given size — the pacing at which a command's packets enter the
+// fabric. This must use the command's own chunk size: pacing a
+// large-chunk stream at the small-chunk interval would inject fixed
+// per-packet wire overhead faster than a slow board-to-board link can
+// serialise it, overflowing its queue.
+func (h *Host) ethChunkTime(bytes int) sim.Time {
+	return sim.Time(float64(bytes) / h.cfg.EthBytesPerUS * float64(sim.Microsecond))
+}
+
+// register adds a command to the table. Sequential context only — no
+// window is in flight, which is also the moment it is safe to release
+// the payload buffers of already-resolved earlier commands: no shard
+// can be reading them, and any straggler packet of a stripped command
+// finds the mark and stores nothing.
+func (h *Host) register(cmd *command) uint32 {
+	h.StripResolved()
+	if cmd.op == OpFill {
+		if h.fillsUnresolved == 0 {
+			// No chip holds state keyed to the old tree: re-route the
+			// acknowledgement tree around links failed since last time.
+			h.rebuildFillTree()
 		}
-	})
-	return seq
+		h.fillsUnresolved++
+	}
+	cmd.seq = uint32(len(h.cmds) + 1)
+	if cmd.chunk <= 0 {
+		cmd.chunk = h.cfg.ChunkBytes
+	}
+	cmd.remaining = 1 + cmd.chunks()
+	if cmd.timeout <= 0 {
+		cmd.timeout = h.cfg.Timeout
+	}
+	h.cmds = append(h.cmds, cmd)
+	return cmd.seq
 }
 
-// Ping checks a chip is reachable and alive.
-func (h *Host) Ping(target topo.Coord, done func(Response)) uint32 {
-	return h.submit(&command{op: OpPing, target: target, done: done})
+// StripResolved releases the payload buffers of commands resolved
+// before the current sequential instant — no window is in flight, so no
+// shard can be reading them, and a straggler packet of a stripped
+// command finds the mark and stores nothing. Called on registration and
+// after a batch completes, so bulk loads do not pin their images for
+// the machine's lifetime.
+func (h *Host) StripResolved() {
+	for h.strip < len(h.cmds) && h.cmds[h.strip].resolved {
+		c := h.cmds[h.strip]
+		c.stripped = true
+		c.data, c.result = nil, nil
+		h.strip++
+	}
 }
 
-// WriteMem stores data at addr in the target chip's SDRAM.
-func (h *Host) WriteMem(target topo.Coord, addr uint32, data []byte, done func(Response)) uint32 {
-	return h.submit(&command{op: OpWrite, target: target, addr: addr,
-		data: append([]byte(nil), data...), done: done})
+// cmd resolves a sequence number against the table; nil for unknown.
+func (h *Host) cmd(seq uint32) *command {
+	if seq == 0 || int(seq) > len(h.cmds) {
+		return nil
+	}
+	return h.cmds[seq-1]
 }
 
-// ReadMem fetches length bytes from addr in the target chip's SDRAM.
-func (h *Host) ReadMem(target topo.Coord, addr uint32, length int, done func(Response)) uint32 {
-	return h.submit(&command{op: OpRead, target: target, addr: addr,
-		length: length, done: done})
+// launch starts a registered command. The command header and payload
+// chunks serialise over the single shared Ethernet pipe (ethFreeAt), and
+// each chunk is injected into the fabric as it arrives at the gateway —
+// streaming, so the fabric sees host traffic at Ethernet pace rather
+// than as a burst, and a batch's commands pipeline on the wire while
+// earlier commands' round trips are still in flight. The per-command
+// deadline is an event on the gateway domain, so an expiry resolves in
+// canonical event order like any completion. Gateway-shard context
+// (sequential, or inside a gateway event).
+func (h *Host) launch(cmd *command) {
+	start := h.eng.Now()
+	if h.ethFreeAt > start {
+		start = h.ethFreeAt
+	}
+	hdr := h.ethTime(16)
+	per := h.ethChunkTime(cmd.chunk)
+	n := cmd.chunks()
+	h.ethFreeAt = start + hdr + sim.Time(n)*per
+	cmd.launched = true
+	cmd.launchAt = start
+	h.inflight++
+	h.eng.At(start+cmd.timeout, func() { h.expire(cmd) })
+	if cmd.op != OpFill {
+		h.eng.At(start+hdr, func() { h.injectBurst(cmd, -1) })
+	}
+	for c := 0; c < n; c++ {
+		c := c
+		h.eng.At(start+hdr+sim.Time(c+1)*per, func() { h.injectBurst(cmd, c) })
+	}
 }
 
-// Start signals application start on the target chip.
-func (h *Host) Start(target topo.Coord, done func(Response)) uint32 {
-	return h.submit(&command{op: OpStart, target: target, done: done})
-}
-
-// Started reports whether the chip has received a start signal.
-func (h *Host) Started(at topo.Coord) bool { return h.started[at] }
-
-// Abort retires an in-flight command without completing it. Callers
-// use it when a command times out: any of its packets still travelling
-// the fabric then find no command and are ignored, so they cannot
-// mutate host state from inside a later parallel run.
-func (h *Host) Abort(seq uint32) { delete(h.inflight, seq) }
-
-// onP2P handles p2p deliveries machine-wide: commands arriving at their
-// target chip's monitor, and (conceptually) responses arriving back at
-// the origin — the response path is modelled by a return p2p packet plus
-// the Ethernet hop before the callback fires.
-func (h *Host) onP2P(n *router.Node, pkt packet.Packet, _ sim.Time) {
-	seq := pkt.Key
-	cmd := h.inflight[seq]
-	if cmd == nil {
+// injectBurst puts one command packet onto the fabric at the gateway:
+// chunk -1 is the burst header, others are payload chunks. Flood-fill
+// chunks enter through the gateway chip's own flood handler, everything
+// else as a p2p packet toward the target.
+func (h *Host) injectBurst(cmd *command, chunk int) {
+	h.PacketsSent++
+	if cmd.op == OpFill {
+		h.fillArrive(h.fab.Node(h.origin), fillKey(cmd.seq, chunk))
 		return
+	}
+	h.fab.InjectP2P(h.origin, cmd.target, cmd.seq)
+}
+
+// expire resolves a command as lost when its deadline passes before the
+// response (or the last flood acknowledgement) arrives. Only this
+// command is affected — per-command timeout isolation: the engine keeps
+// running, later packets of the expired command find it resolved at the
+// gateway and are ignored, and every other in-flight command proceeds
+// untouched. (The old sequential await loop instead froze the whole
+// machine per command and aborted globally.)
+func (h *Host) expire(cmd *command) {
+	if cmd.resolved {
+		return
+	}
+	cmd.timedOut = true
+	h.complete(cmd)
+}
+
+// onP2P handles p2p deliveries machine-wide: command bursts arriving at
+// their target chip's monitor, responses and flood acknowledgements
+// arriving back at the gateway. Target-side handling touches only
+// target-chip-owned state; gateway-side handling only gateway-owned
+// state — never both in one branch, which is what keeps the handler
+// race-free under parallel windows.
+func (h *Host) onP2P(n *router.Node, pkt packet.Packet, _ sim.Time) {
+	cmd := h.cmd(pkt.Key)
+	if cmd == nil || cmd.op == OpFill {
+		return // fills complete over the nn convergecast, not p2p
 	}
 	if n.Coord == h.origin && cmd.target != h.origin {
 		// Response packet back at the gateway: forward over Ethernet.
-		h.eng.After(h.ethTime(len(cmd.data)+4), func() { h.complete(seq, n.Coord) })
+		// A stray response of an expired command dies here, touching
+		// nothing.
+		if cmd.resolved {
+			return
+		}
+		h.eng.After(h.ethTime(len(cmd.result)+4), func() { h.complete(cmd) })
 		return
 	}
 	if n.Coord != cmd.target {
@@ -174,64 +499,263 @@ func (h *Host) onP2P(n *router.Node, pkt packet.Packet, _ sim.Time) {
 	if cmd.remaining > 0 {
 		return
 	}
-	// Whole burst received: the monitor executes the command.
+	// Whole burst received: the monitor executes the command. A very
+	// late burst still executes — the monitor has no way to know the
+	// host gave up — but its response is ignored at the gateway.
 	resp := h.execute(cmd, n.Coord)
 	if cmd.target == h.origin {
-		// Local gateway command: only the Ethernet hop remains.
-		h.eng.After(h.ethTime(len(resp)+4), func() { h.complete(seq, n.Coord) })
+		// Local gateway command: only the Ethernet hop remains. (The
+		// gateway is the target here, so reading resolution state is
+		// shard-safe.)
+		if cmd.resolved {
+			return
+		}
+		h.eng.After(h.ethTime(len(resp)+4), func() { h.complete(cmd) })
 		return
 	}
 	// Send the response back to the gateway as p2p traffic.
-	h.fab.InjectP2P(cmd.target, h.origin, seq)
+	h.fab.InjectP2P(cmd.target, h.origin, cmd.seq)
 }
 
-// execute performs the command on the chip and returns read data.
+// execute performs the command on the chip and returns read data. Runs
+// on the target chip's shard; touches only that chip's state.
 func (h *Host) execute(cmd *command, at topo.Coord) []byte {
 	ch := h.ctl.Chip(at)
 	switch cmd.op {
 	case OpWrite:
-		if err := ch.SDRAM.Store(cmd.addr, cmd.data); err != nil {
-			cmd.data = nil
+		if cmd.stripped {
+			cmd.failed = true // straggler of a long-resolved command: payload gone
+		} else if err := ch.SDRAM.Store(cmd.addr, cmd.data); err != nil {
+			cmd.failed = true
 		}
 	case OpRead:
 		if data, ok := ch.SDRAM.Load(cmd.addr); ok {
 			if cmd.length < len(data) {
 				data = data[:cmd.length]
 			}
-			cmd.data = data
+			cmd.result = data
 		} else {
-			cmd.data = nil
+			cmd.failed = true
 		}
 	case OpStart:
-		h.started[at] = true
+		h.started[h.fab.Params().Torus.Index(at)] = true
 	}
-	return cmd.data
+	return cmd.result
 }
 
-// complete fires the caller's callback and retires the sequence number.
-func (h *Host) complete(seq uint32, from topo.Coord) {
-	cmd := h.inflight[seq]
-	if cmd == nil {
+// fillAssemblyFor resolves (creating on demand) a chip's reassembly
+// state for a fill. Chip-shard context; an assembly can be created by an
+// acknowledgement arriving before any chunk, since the chunk count is a
+// registered (immutable) property of the command.
+func (h *Host) fillAssemblyFor(idx int, seq uint32, cmd *command) *fillAssembly {
+	m := h.fills[idx]
+	if m == nil {
+		m = make(map[uint32]*fillAssembly)
+		h.fills[idx] = m
+	}
+	fa := m[seq]
+	if fa == nil {
+		fa = &fillAssembly{chunkSeen: make([]bool, cmd.chunks()), chunksLeft: cmd.chunks()}
+		m[seq] = fa
+	}
+	return fa
+}
+
+// fillArrive handles one flood-fill chunk reaching a chip: record it,
+// forward the first copy on all six links (redundancy 1, like the boot
+// image flood), and store the assembled payload when the last chunk
+// lands. All mutable state here is owned by the chip's shard; the
+// command's registered fields are immutable in flight.
+func (h *Host) fillArrive(n *router.Node, key uint32) {
+	seq, chunk := fillParts(key)
+	cmd := h.cmd(seq)
+	if cmd == nil || cmd.op != OpFill || !h.ctl.Alive(n.Coord) {
 		return
 	}
-	delete(h.inflight, seq)
-	resp := Response{Seq: seq, Op: cmd.op, From: cmd.target, At: h.eng.Now()}
-	switch cmd.op {
-	case OpRead:
-		if cmd.data == nil {
+	fa := h.fillAssemblyFor(n.Index(), seq, cmd)
+	if chunk >= len(fa.chunkSeen) || fa.chunkSeen[chunk] {
+		return // duplicate: absorbed, not re-forwarded
+	}
+	fa.chunkSeen[chunk] = true
+	fa.chunksLeft--
+	word := leadWord(cmd.data, chunk*cmd.chunk)
+	for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
+		h.fab.SendNN(n.Coord, d, packet.NewNN(key, word))
+	}
+	if fa.chunksLeft == 0 {
+		// Store failures (SDRAM overflow) still acknowledge: the monitor
+		// reports receipt; verification is the host's business. A
+		// straggler completing after the command was stripped has no
+		// payload left to store.
+		if !cmd.stripped {
+			_ = h.ctl.Chip(n.Coord).SDRAM.Store(cmd.addr, cmd.data)
+		}
+		h.fillMaybeAck(n, seq, cmd, fa)
+	}
+}
+
+// fillAckArrive handles an aggregated acknowledgement reaching a chip
+// from one of its convergecast children. Chip-shard context.
+func (h *Host) fillAckArrive(n *router.Node, key uint32, count int) {
+	seq, _ := fillParts(key)
+	cmd := h.cmd(seq)
+	if cmd == nil || cmd.op != OpFill || !h.ctl.Alive(n.Coord) {
+		return
+	}
+	fa := h.fillAssemblyFor(n.Index(), seq, cmd)
+	fa.childAcks++
+	fa.subtree += count
+	h.fillMaybeAck(n, seq, cmd, fa)
+}
+
+// fillMaybeAck sends the chip's single aggregated acknowledgement — one
+// hop up the tree, counting itself plus every descendant — once its own
+// copy is stored and all children have reported. At the gateway root the
+// count is the machine-wide coverage and completes the command (the
+// root runs on the gateway shard, so touching command state is safe).
+func (h *Host) fillMaybeAck(n *router.Node, seq uint32, cmd *command, fa *fillAssembly) {
+	idx := n.Index()
+	if fa.acked || fa.chunksLeft != 0 || fa.childAcks < h.fillChildren[idx] {
+		return
+	}
+	fa.acked = true
+	count := fa.subtree + 1
+	if n.Coord == h.origin {
+		if cmd.resolved {
+			return
+		}
+		cmd.chips = count
+		h.eng.After(h.ethTime(4), func() { h.complete(cmd) })
+		return
+	}
+	h.fab.SendNN(n.Coord, h.fillParent[idx], packet.NewNN(fillAckKey(seq), uint32(count)))
+}
+
+// leadWord packs the first four payload bytes at off for the nn wire.
+func leadWord(data []byte, off int) uint32 {
+	var w uint32
+	for i := 0; i < 4 && off+i < len(data); i++ {
+		w |= uint32(data[off+i]) << (8 * (3 - i))
+	}
+	return w
+}
+
+// complete fires the caller's callback and retires the command. Gateway
+// shard only; idempotent, so a response racing the expiry event in the
+// canonical order resolves exactly once.
+func (h *Host) complete(cmd *command) {
+	if cmd.resolved {
+		return
+	}
+	cmd.resolved = true
+	h.inflight--
+	if cmd.op == OpFill {
+		h.fillsUnresolved--
+	}
+	resp := Response{Seq: cmd.seq, Op: cmd.op, From: cmd.target,
+		At: h.eng.Now(), RTT: h.eng.Now() - cmd.launchAt}
+	switch {
+	case cmd.timedOut:
+		resp.Err = fmt.Errorf("host: %v command %d timed out", cmd.op, cmd.seq)
+		resp.Chips = cmd.chips
+	case cmd.op == OpRead:
+		if cmd.failed {
 			resp.Err = fmt.Errorf("host: read from %v failed", cmd.target)
 		} else {
-			resp.Data = cmd.data
+			resp.Data = cmd.result
 		}
-	case OpWrite:
-		if cmd.data == nil {
+	case cmd.op == OpWrite:
+		if cmd.failed {
 			resp.Err = fmt.Errorf("host: write to %v failed", cmd.target)
 		}
+	case cmd.op == OpFill:
+		resp.Chips = cmd.chips
 	}
 	if cmd.done != nil {
 		cmd.done(resp)
 	}
+	if cmd.onResolve != nil {
+		cmd.onResolve()
+	}
 }
 
-// Inflight reports commands awaiting completion.
-func (h *Host) Inflight() int { return len(h.inflight) }
+// newFill builds a flood-fill command chunked at chunk bytes per packet
+// (<=0 means the attachment default). Completion is the gateway root of
+// the convergecast tree reporting full subtree coverage; on a machine
+// whose alive chips are disconnected from the gateway the command
+// expires instead.
+func (h *Host) newFill(addr uint32, data []byte, done func(Response), chunk int) (*command, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("host: empty flood-fill payload")
+	}
+	if chunk <= 0 {
+		chunk = h.cfg.ChunkBytes
+	}
+	cmd := &command{op: OpFill, addr: addr, chunk: chunk,
+		data: append([]byte(nil), data...), done: done}
+	if cmd.chunks() > MaxFillChunks {
+		return nil, fmt.Errorf("host: flood-fill payload of %d bytes exceeds %d chunks of %d bytes",
+			len(data), MaxFillChunks, chunk)
+	}
+	// The fill wire key carries the sequence in fillSeqMask bits; an
+	// aliased sequence would resolve chips' chunks against the wrong
+	// command, so refuse rather than corrupt.
+	if next := uint32(len(h.cmds) + 1); next > fillSeqMask {
+		return nil, fmt.Errorf("host: flood-fill sequence space exhausted after %d commands", len(h.cmds))
+	}
+	return cmd, nil
+}
+
+// Ping checks a chip is reachable and alive. Single-command convenience:
+// registers and launches immediately.
+func (h *Host) Ping(target topo.Coord, done func(Response)) uint32 {
+	cmd := &command{op: OpPing, target: target, done: done}
+	seq := h.register(cmd)
+	h.launch(cmd)
+	return seq
+}
+
+// WriteMem stores data at addr in the target chip's SDRAM.
+func (h *Host) WriteMem(target topo.Coord, addr uint32, data []byte, done func(Response)) uint32 {
+	cmd := &command{op: OpWrite, target: target, addr: addr,
+		data: append([]byte(nil), data...), done: done}
+	seq := h.register(cmd)
+	h.launch(cmd)
+	return seq
+}
+
+// ReadMem fetches length bytes from addr in the target chip's SDRAM.
+func (h *Host) ReadMem(target topo.Coord, addr uint32, length int, done func(Response)) uint32 {
+	cmd := &command{op: OpRead, target: target, addr: addr,
+		length: length, done: done}
+	seq := h.register(cmd)
+	h.launch(cmd)
+	return seq
+}
+
+// Start signals application start on the target chip.
+func (h *Host) Start(target topo.Coord, done func(Response)) uint32 {
+	cmd := &command{op: OpStart, target: target, done: done}
+	seq := h.register(cmd)
+	h.launch(cmd)
+	return seq
+}
+
+// FillMem flood-fills data to every alive chip's SDRAM at addr.
+func (h *Host) FillMem(addr uint32, data []byte, done func(Response)) (uint32, error) {
+	cmd, err := h.newFill(addr, data, done, 0)
+	if err != nil {
+		return 0, err
+	}
+	seq := h.register(cmd)
+	h.launch(cmd)
+	return seq, nil
+}
+
+// Started reports whether the chip has received a start signal.
+func (h *Host) Started(at topo.Coord) bool {
+	return h.started[h.fab.Params().Torus.Index(at)]
+}
+
+// Inflight reports launched commands awaiting resolution.
+func (h *Host) Inflight() int { return h.inflight }

@@ -142,3 +142,220 @@ func TestBurstAccounting(t *testing.T) {
 		t.Errorf("packets sent = %d, want 17", h.PacketsSent)
 	}
 }
+
+func TestFillMemReachesEveryChip(t *testing.T) {
+	eng, fab, ctl := bootedMachine(t, 4, 4)
+	h := New(eng, fab, ctl, DefaultConfig())
+	payload := []byte("common runtime image, one Ethernet transfer")
+	var resp Response
+	if _, err := h.FillMem(0x5000_0000, payload, func(r Response) { resp = r }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if resp.Err != nil {
+		t.Fatalf("fill failed: %v", resp.Err)
+	}
+	if resp.Chips != 16 {
+		t.Errorf("fill acknowledged by %d chips, want 16", resp.Chips)
+	}
+	for i := 0; i < 16; i++ {
+		c := fab.Params().Torus.CoordOf(i)
+		data, ok := ctl.Chip(c).SDRAM.Load(0x5000_0000)
+		if !ok || !bytes.Equal(data, payload) {
+			t.Errorf("chip %v missing or corrupt flood payload", c)
+		}
+	}
+	if h.Inflight() != 0 {
+		t.Errorf("%d commands stuck in flight", h.Inflight())
+	}
+}
+
+// TestFillMemSurvivesDeadChip: the convergecast tree is built over the
+// alive chips, so a dead chip in the middle of the machine neither
+// swallows its neighbours' acknowledgements nor inflates the coverage
+// count.
+func TestFillMemSurvivesDeadChip(t *testing.T) {
+	eng := sim.New(1)
+	fab, err := router.NewFabric(eng, router.DefaultParams(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := boot.DefaultConfig()
+	cfg.HardDeadChips = map[topo.Coord]bool{{X: 1, Y: 1}: true}
+	ctl := boot.NewController(eng, fab, cfg)
+	if _, err := ctl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	h := New(eng, fab, ctl, DefaultConfig())
+	if got := h.FillAlive(); got != 15 {
+		t.Fatalf("ack tree spans %d chips, want 15 (one hard-dead)", got)
+	}
+	payload := []byte("routes around the corpse")
+	var resp Response
+	if _, err := h.FillMem(0x5300_0000, payload, func(r Response) { resp = r }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if resp.Err != nil {
+		t.Fatalf("fill on a machine with a dead chip failed: %v", resp.Err)
+	}
+	if resp.Chips != 15 {
+		t.Errorf("fill acknowledged by %d chips, want exactly the 15 alive", resp.Chips)
+	}
+	for i := 0; i < 16; i++ {
+		c := fab.Params().Torus.CoordOf(i)
+		data, ok := ctl.Chip(c).SDRAM.Load(0x5300_0000)
+		if c == (topo.Coord{X: 1, Y: 1}) {
+			if ok {
+				t.Error("dead chip stored the flood payload")
+			}
+			continue
+		}
+		if !ok || !bytes.Equal(data, payload) {
+			t.Errorf("alive chip %v missing flood payload", c)
+		}
+	}
+}
+
+func TestFillMemRejectsBadPayloads(t *testing.T) {
+	eng, fab, ctl := bootedMachine(t, 2, 2)
+	h := New(eng, fab, ctl, DefaultConfig())
+	if _, err := h.FillMem(0x100, nil, nil); err == nil {
+		t.Error("empty flood payload accepted")
+	}
+	// ChunkBytes=4 bounds a fill at MaxFillChunks words.
+	if _, err := h.FillMem(0x100, make([]byte, (MaxFillChunks+1)*4), nil); err == nil {
+		t.Error("oversized flood payload accepted")
+	}
+}
+
+// TestBatchPipelinesCommands: a windowed batch overlaps command round
+// trips — total elapsed time is far below the sum of individual RTTs —
+// while every command still completes correctly.
+func TestBatchPipelinesCommands(t *testing.T) {
+	eng, fab, ctl := bootedMachine(t, 4, 4)
+	h := New(eng, fab, ctl, DefaultConfig())
+
+	// Serial reference: one ping at a time.
+	serialStart := eng.Now()
+	for i := 0; i < 8; i++ {
+		c := fab.Params().Torus.CoordOf(i)
+		h.Ping(c, nil)
+		eng.Run()
+	}
+	// Each serial command paid at least two Ethernet latencies; strip
+	// the stale-timeout tail the quiescence runs executed.
+	serialElapsed := 8 * 2 * DefaultConfig().EthLatency
+	_ = serialStart
+
+	b := h.NewBatch(8)
+	for i := 0; i < 8; i++ {
+		b.Ping(fab.Params().Torus.CoordOf(i))
+	}
+	b.Launch()
+	batchStart := eng.Now()
+	for !b.Done() && eng.Step() {
+	}
+	batchElapsed := eng.Now() - batchStart
+	if !b.Done() {
+		t.Fatal("batch never completed")
+	}
+	for i, r := range b.Responses() {
+		if r.Err != nil {
+			t.Errorf("command %d: %v", i, r.Err)
+		}
+	}
+	if batchElapsed >= serialElapsed {
+		t.Errorf("windowed batch took %v, serial floor is %v — no pipelining happened",
+			batchElapsed, serialElapsed)
+	}
+}
+
+// TestBatchWindowLimitsInflight: a window of 2 never has more than two
+// commands outstanding, and completions launch the queue in order.
+func TestBatchWindowLimitsInflight(t *testing.T) {
+	eng, fab, ctl := bootedMachine(t, 4, 4)
+	h := New(eng, fab, ctl, DefaultConfig())
+	b := h.NewBatch(2)
+	for i := 0; i < 6; i++ {
+		b.Ping(fab.Params().Torus.CoordOf(i))
+	}
+	b.Launch()
+	maxInflight := h.Inflight()
+	for !b.Done() && eng.Step() {
+		if h.Inflight() > maxInflight {
+			maxInflight = h.Inflight()
+		}
+	}
+	if !b.Done() {
+		t.Fatal("batch never completed")
+	}
+	if maxInflight != 2 {
+		t.Errorf("max inflight = %d, want exactly the window of 2", maxInflight)
+	}
+	var prev sim.Time
+	for i, r := range b.Responses() {
+		if r.At < prev {
+			t.Errorf("command %d completed at %v, before its predecessor at %v", i, r.At, prev)
+		}
+		prev = r.At
+	}
+}
+
+func TestAccessorsAndBounds(t *testing.T) {
+	eng, fab, ctl := bootedMachine(t, 2, 2)
+	cfg := DefaultConfig()
+	cfg.Origin = topo.Coord{X: 1, Y: 1}
+	h := New(eng, fab, ctl, cfg)
+	if h.Origin() != cfg.Origin {
+		t.Errorf("Origin() = %v, want %v", h.Origin(), cfg.Origin)
+	}
+	// Unknown sequence numbers (stray packets of a previous attachment)
+	// resolve to nothing.
+	if h.cmd(0) != nil || h.cmd(99) != nil {
+		t.Error("out-of-range sequence numbers resolved to commands")
+	}
+	for op, want := range map[Op]string{OpPing: "ping", OpWrite: "write",
+		OpRead: "read", OpStart: "start", OpFill: "fill", Op(9): "op(9)"} {
+		if op.String() != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	// A sub-1 window clamps to 1; batch bookkeeping accessors agree.
+	b := h.NewBatch(0)
+	b.SetTimeout(3 * sim.Millisecond)
+	b.Ping(topo.Coord{X: 0, Y: 0})
+	b.Ping(topo.Coord{X: 1, Y: 0})
+	if b.Len() != 2 || b.Resolved() != 0 || b.Done() {
+		t.Errorf("pre-launch batch state: len=%d resolved=%d done=%v", b.Len(), b.Resolved(), b.Done())
+	}
+	if b.Timeout() != 3*sim.Millisecond {
+		t.Errorf("Timeout() = %v, want the 3ms override", b.Timeout())
+	}
+	// Batched fill validation mirrors the single-command path.
+	if _, err := b.FillMem(0x10, nil); err == nil {
+		t.Error("batched empty flood payload accepted")
+	}
+	b.Launch()
+	for !b.Done() && eng.Step() {
+	}
+	if !b.Done() || b.Resolved() != 2 {
+		t.Errorf("post-run batch state: resolved=%d done=%v", b.Resolved(), b.Done())
+	}
+}
+
+func TestStartedTracksPerChip(t *testing.T) {
+	eng, fab, ctl := bootedMachine(t, 3, 3)
+	h := New(eng, fab, ctl, DefaultConfig())
+	b := h.NewBatch(4)
+	b.Start(topo.Coord{X: 1, Y: 2})
+	b.Start(topo.Coord{X: 2, Y: 0})
+	b.Launch()
+	eng.Run()
+	if !h.Started(topo.Coord{X: 1, Y: 2}) || !h.Started(topo.Coord{X: 2, Y: 0}) {
+		t.Error("batched start signals not recorded")
+	}
+	if h.Started(topo.Coord{X: 0, Y: 0}) {
+		t.Error("unrelated chip marked started")
+	}
+}

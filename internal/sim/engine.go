@@ -210,6 +210,25 @@ func (e *Engine) RunBefore(limit Time) {
 	}
 }
 
+// RunBeforeCond is RunBefore with a halt condition: halt is re-checked
+// after every event, and execution stops — clock left exactly at the
+// halting event's timestamp, later events (even at the same instant)
+// still pending — as soon as it reports true. It reports whether halt
+// fired. This is the per-window primitive behind the ParallelEngine's
+// RunUntilAnyOf: because the halting event's time is a property of the
+// simulation trajectory, not of the window layout, drivers that stop
+// here resume from an instant that is identical for every shard count.
+func (e *Engine) RunBeforeCond(limit Time, halt func() bool) bool {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 && e.events[0].key.at < limit {
+		e.Step()
+		if halt() {
+			return true
+		}
+	}
+	return false
+}
+
 // advanceTo moves the clock forward to t without executing anything.
 // It refuses to jump over pending events — callers synchronise clocks
 // only at quiescence, when the queue is empty.

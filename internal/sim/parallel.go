@@ -153,6 +153,13 @@ type ParallelEngine struct {
 	// repartitions counts completed Repartition calls.
 	repartitions uint64
 
+	// transitions counts driver round-trips into the engine's bounded
+	// modes: one per Run (sequential quiescence) and one per
+	// RunUntilAnyOf call. It is the "engine stop/start" figure host-side
+	// batching amortises: a driver that waits on N responses one at a
+	// time pays N transitions, a batch pays one.
+	transitions uint64
+
 	// Window statistics, updated only at barriers (quiescence points of
 	// the window protocol). They derive from event counts — simulation
 	// trajectory, not wall clock — so adaptive decisions based on them
@@ -166,6 +173,7 @@ type ParallelEngine struct {
 	ewmaEvPerShard float64 // events per active shard per window, smoothed
 	shardEvents    []uint64
 	activeBefore   []uint64
+	activeScratch  []int // coordinator-local active-set buffer
 }
 
 // soloThreshold is the events-per-active-shard-per-window level below
@@ -199,6 +207,7 @@ func NewParallel(seed uint64, shards, workers int) *ParallelEngine {
 		ewmaEvPerShard: 4 * soloThreshold, // start optimistic: first windows go to the pool
 		shardEvents:    make([]uint64, shards),
 		activeBefore:   make([]uint64, shards),
+		activeScratch:  make([]int, 0, shards),
 	}
 	for i := range pe.shards {
 		pe.shards[i] = New(seed)
@@ -293,6 +302,12 @@ func (pe *ParallelEngine) EventsPerWindow() float64 {
 
 // Repartitions counts completed Repartition calls.
 func (pe *ParallelEngine) Repartitions() uint64 { return pe.repartitions }
+
+// Transitions counts driver round-trips into the engine: sequential
+// quiescence runs plus RunUntilAnyOf waits. RunUntil spans (the bulk-run
+// hot path) are not counted — the figure isolates how often a driver
+// stopped the machine to look at it.
+func (pe *ParallelEngine) Transitions() uint64 { return pe.transitions }
 
 // TakeShardEvents returns the events executed per shard inside windows
 // since the last call (or construction/Repartition), and resets the
@@ -431,6 +446,7 @@ func (pe *ParallelEngine) Step() bool {
 // floods, model loading) would start from each shard's own last event
 // and the trajectory would depend on the shard count.
 func (pe *ParallelEngine) Run() {
+	pe.transitions++
 	for pe.Step() {
 	}
 	pe.SyncClocks()
@@ -446,17 +462,6 @@ func (pe *ParallelEngine) SyncClocks() {
 	now := pe.Now()
 	for _, s := range pe.shards {
 		s.advanceTo(now)
-	}
-}
-
-// AdvanceTo moves every shard clock forward to t without executing
-// anything — how a sequential-mode driver accounts for real waiting
-// (a host command timing out after its full deadline). It refuses to
-// jump over a pending event: callers must first have established, via
-// NextEventAt, that nothing is scheduled before t.
-func (pe *ParallelEngine) AdvanceTo(t Time) {
-	for _, s := range pe.shards {
-		s.advanceTo(t)
 	}
 }
 
@@ -558,6 +563,7 @@ func (pe *ParallelEngine) Repartition(shards, workers int, owner func(domain int
 	pe.mail = make([][]mailMsg, shards*shards)
 	pe.shardEvents = make([]uint64, shards)
 	pe.activeBefore = make([]uint64, shards)
+	pe.activeScratch = make([]int, 0, shards)
 	// Swap the pool generation: the old helpers drain and exit, a fresh
 	// pool parks helpers for the new worker bound.
 	var next *workerPool
@@ -584,6 +590,74 @@ func (pe *ParallelEngine) noteWindow(activeShards int, events uint64) {
 	pe.ewmaEvPerShard = 0.75*pe.ewmaEvPerShard + 0.25*perShard
 }
 
+// runWindow executes one lookahead window ending at end: every shard
+// with events inside it runs, dispatched to the persistent pool when
+// worthwhile (the coordinator always executes one shard itself, and
+// adaptive mode keeps whole thin windows inline). pre, when non-nil,
+// runs first on the coordinator — before any peer commits work — and
+// may truncate the window by returning a shard to exclude (it already
+// ran) and a lower limit for everyone else; RunUntilAnyOf uses it to
+// stop the whole window at a condition-flipping event. Window
+// statistics and barrier mailboxes are settled identically either way.
+func (pe *ParallelEngine) runWindow(end Time, pre func() (skip int, limit Time)) {
+	active := pe.activeScratch[:0]
+	for i, s := range pe.shards {
+		if t, ok := s.NextAt(); ok && t < end {
+			active = append(active, i)
+			pe.activeBefore[i] = s.Processed()
+		}
+	}
+	pe.activeScratch = active
+	pe.curLimit.Store(int64(end))
+	pe.inWindow.Store(true)
+	skip, limit := -1, end
+	if pre != nil {
+		skip, limit = pre()
+	}
+	rest := 0
+	for _, i := range active {
+		if i != skip {
+			rest++
+		}
+	}
+	pool := pe.pool.Load()
+	pooled := rest > 1 && pool.active() &&
+		(!pe.adaptive || pe.ewmaEvPerShard >= soloThreshold)
+	if pooled {
+		first := -1
+		for _, i := range active {
+			if i == skip {
+				continue
+			}
+			if first < 0 {
+				first = i
+				continue
+			}
+			pool.work <- poolJob{eng: pe.shards[i], limit: limit, done: pool.done}
+		}
+		pe.shards[first].RunBefore(limit)
+		for k := 0; k < rest-1; k++ {
+			<-pool.done
+		}
+		pe.parWindows++
+	} else {
+		for _, i := range active {
+			if i != skip {
+				pe.shards[i].RunBefore(limit)
+			}
+		}
+	}
+	pe.inWindow.Store(false)
+	var events uint64
+	for _, i := range active {
+		ev := pe.shards[i].Processed() - pe.activeBefore[i]
+		pe.shardEvents[i] += ev
+		events += ev
+	}
+	pe.noteWindow(len(active), events)
+	pe.drainMail()
+}
+
 // RunUntil executes events with timestamps <= deadline using parallel
 // lookahead windows, then advances every shard clock to exactly
 // deadline. Shards with events inside the current window run
@@ -606,7 +680,6 @@ func (pe *ParallelEngine) RunUntil(deadline Time) {
 		}
 		return
 	}
-	active := make([]int, 0, len(pe.shards))
 	for {
 		next, ok := pe.NextEventAt()
 		if !ok || next > deadline {
@@ -616,43 +689,108 @@ func (pe *ParallelEngine) RunUntil(deadline Time) {
 		if end > deadline {
 			end = deadline + 1 // final window: include events at the deadline
 		}
-		active = active[:0]
-		for i, s := range pe.shards {
-			if t, ok := s.NextAt(); ok && t < end {
-				active = append(active, i)
-				pe.activeBefore[i] = s.Processed()
-			}
-		}
-		pe.curLimit.Store(int64(end))
-		pe.inWindow.Store(true)
-		pool := pe.pool.Load()
-		pooled := len(active) > 1 && pool.active() &&
-			(!pe.adaptive || pe.ewmaEvPerShard >= soloThreshold)
-		if pooled {
-			for _, i := range active[1:] {
-				pool.work <- poolJob{eng: pe.shards[i], limit: end, done: pool.done}
-			}
-			pe.shards[active[0]].RunBefore(end)
-			for range active[1:] {
-				<-pool.done
-			}
-			pe.parWindows++
-		} else {
-			for _, i := range active {
-				pe.shards[i].RunBefore(end)
-			}
-		}
-		pe.inWindow.Store(false)
-		var events uint64
-		for _, i := range active {
-			ev := pe.shards[i].Processed() - pe.activeBefore[i]
-			pe.shardEvents[i] += ev
-			events += ev
-		}
-		pe.noteWindow(len(active), events)
-		pe.drainMail()
+		pe.runWindow(end, nil)
 	}
 	for _, s := range pe.shards {
 		s.RunUntil(deadline)
 	}
+}
+
+// RunUntilAnyOf executes parallel lookahead windows like RunUntil, but
+// returns as soon as cond reports true — at the exact event that flipped
+// it, not at a window boundary — or when the deadline is reached,
+// whichever comes first. It reports whether cond fired.
+//
+// cond may only change state from events executing on the shard owning
+// watch (the host gateway chip's domain): that shard runs first in every
+// window, one event at a time on the coordinator, and when cond flips at
+// an event at time t the rest of the window is truncated so no other
+// shard executes past t. The machine is then left exactly as a
+// sequential driver stepping to the same event would leave it — every
+// clock at t, everything later still pending — so the state a driver
+// resumes from is a property of the simulation trajectory, never of the
+// window layout or the shard count. This is what lets host-command
+// waits ("k responses arrived or deadline") run under normal PDES
+// windows without breaking the determinism contract, where the old
+// sequential await loop stepped the whole machine one event at a time.
+//
+// Window statistics account every window executed here exactly as
+// RunUntil would. When cond does not fire, clocks advance to exactly
+// deadline (or, with deadline Forever, to the last executed event).
+func (pe *ParallelEngine) RunUntilAnyOf(deadline Time, watch *Domain, cond func() bool) bool {
+	pe.transitions++
+	if cond() {
+		return true
+	}
+	halt := watch.Engine()
+	if len(pe.shards) == 1 {
+		// Sequential execution, accounted as one barrier-free window
+		// (matching RunUntil's single-shard path).
+		s := pe.shards[0]
+		before := s.Processed()
+		halted := false
+		for len(s.events) > 0 && s.events[0].key.at <= deadline {
+			s.Step()
+			if cond() {
+				halted = true
+				break
+			}
+		}
+		if ev := s.Processed() - before; ev > 0 {
+			pe.noteWindow(1, ev)
+			pe.shardEvents[0] += ev
+		}
+		if !halted && deadline < Forever {
+			s.advanceTo(deadline)
+		}
+		return halted
+	}
+	haltIdx := -1
+	for i, s := range pe.shards {
+		if s == halt {
+			haltIdx = i
+			break
+		}
+	}
+	if haltIdx < 0 {
+		panic("sim: RunUntilAnyOf watch domain is not on this engine")
+	}
+	halted := false
+	for !halted {
+		next, ok := pe.NextEventAt()
+		if !ok || next > deadline {
+			break
+		}
+		end := next + pe.lookahead
+		if end > deadline {
+			end = deadline + 1 // final window: include events at the deadline
+		}
+		// The watch shard runs first, on the coordinator, so the halting
+		// event — if this window holds one — is found before any other
+		// shard commits work past it. The lookahead contract makes the
+		// order safe: nothing a peer executes inside the window can
+		// reach the watch shard within it, and vice versa.
+		pe.runWindow(end, func() (int, Time) {
+			if pe.shards[haltIdx].RunBeforeCond(end, cond) {
+				halted = true
+				return haltIdx, pe.shards[haltIdx].now + 1
+			}
+			return haltIdx, end
+		})
+	}
+	if halted {
+		// Every shard stopped at or before the halting event's instant;
+		// synchronise the clocks to it, exactly as a sequential stepping
+		// driver would have left them.
+		pe.SyncClocks()
+		return true
+	}
+	if deadline < Forever {
+		for _, s := range pe.shards {
+			s.RunUntil(deadline)
+		}
+	} else {
+		pe.SyncClocks()
+	}
+	return cond()
 }

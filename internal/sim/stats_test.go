@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -114,5 +115,24 @@ func TestStatsAddTime(t *testing.T) {
 	s.AddTime(4 * Millisecond)
 	if got := s.Mean(); got != 3 {
 		t.Errorf("mean = %g ms, want 3", got)
+	}
+}
+
+func TestStatsSumAndString(t *testing.T) {
+	s := NewStats()
+	s.Add(2)
+	s.Add(4)
+	if got := s.Sum(); got != 6 {
+		t.Errorf("Sum = %g, want 6", got)
+	}
+	if got := s.String(); !strings.Contains(got, "n=2") || !strings.Contains(got, "mean=3") {
+		t.Errorf("String = %q, want n=2 / mean=3", got)
+	}
+}
+
+func TestHistogramBins(t *testing.T) {
+	h := NewHistogram(0, 1, 7)
+	if h.Bins() != 7 {
+		t.Errorf("Bins = %d, want 7", h.Bins())
 	}
 }

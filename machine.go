@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"spinngo/internal/boot"
 	"spinngo/internal/chip"
+	"spinngo/internal/host"
 	"spinngo/internal/kernel"
 	"spinngo/internal/mapping"
 	"spinngo/internal/neural"
@@ -88,6 +91,13 @@ type MachineConfig struct {
 	// projected cost improves by a threshold. Re-partitioning is pure
 	// execution strategy: reports stay byte-identical with it on or off.
 	Repartition string
+	// HostOrigin is the Ethernet-attached gateway chip the host system
+	// talks through, as "x,y" (e.g. "4,0"). "" means chip (0,0). The
+	// boot sequence always roots its coordinate flood at (0,0) — the
+	// paper's symmetry-breaking chip — but real machines carry one
+	// Ethernet port per board, so the host may attach anywhere; only
+	// command round-trip times change with the attach point.
+	HostOrigin string
 	// DisableEmergencyRouting turns off the Fig-8 mechanism (ablation).
 	DisableEmergencyRouting bool
 	// Placement policy (default Serpentine).
@@ -184,7 +194,31 @@ func (c MachineConfig) Validate() error {
 		return fmt.Errorf("spinngo: unknown Repartition %q (want %q or %q)",
 			c.Repartition, RepartitionOff, RepartitionAuto)
 	}
+	if _, err := c.hostOrigin(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// hostOrigin parses and bounds-checks the configured host attach chip.
+func (c MachineConfig) hostOrigin() (topo.Coord, error) {
+	if c.HostOrigin == "" {
+		return topo.Coord{}, nil
+	}
+	parts := strings.Split(c.HostOrigin, ",")
+	if len(parts) != 2 {
+		return topo.Coord{}, fmt.Errorf("spinngo: bad HostOrigin %q (want \"x,y\")", c.HostOrigin)
+	}
+	x, errX := strconv.Atoi(strings.TrimSpace(parts[0]))
+	y, errY := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if errX != nil || errY != nil {
+		return topo.Coord{}, fmt.Errorf("spinngo: bad HostOrigin %q (want \"x,y\")", c.HostOrigin)
+	}
+	if x < 0 || x >= c.Width || y < 0 || y >= c.Height {
+		return topo.Coord{}, fmt.Errorf("spinngo: HostOrigin (%d,%d) outside the %dx%d machine",
+			x, y, c.Width, c.Height)
+	}
+	return topo.Coord{X: x, Y: y}, nil
 }
 
 // boardGeometry resolves the configured board tiling; zero when the
@@ -302,6 +336,17 @@ type Machine struct {
 	fab  *router.Fabric
 	boot *boot.Controller
 
+	// host is the machine's Ethernet endpoint at hostOrigin, created at
+	// Boot (the image load runs through it) and shared by AttachHost.
+	host       *host.Host
+	hostOrigin topo.Coord
+
+	// epoch is the simulated instant model time starts: the end of the
+	// application data load. Spike rasters, tick counters and InjectSpike
+	// times are all epoch-relative, so the loading phases consuming
+	// simulated fabric time do not shift biological timestamps.
+	epoch sim.Time
+
 	booted bool
 	loaded bool
 
@@ -369,11 +414,13 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		pe.Close()
 		return nil, err
 	}
+	origin, _ := cfg.hostOrigin() // Validate accepted it
 	return &Machine{
 		cfg:             cfg,
 		pe:              pe,
 		part:            part,
 		fab:             fab,
+		hostOrigin:      origin,
 		units:           make(map[topo.Coord]map[int]*unit),
 		tallies:         make([]chipTallies, torus.Size()),
 		autoRepartition: cfg.Repartition == RepartitionAuto,
@@ -446,6 +493,11 @@ type SimStats struct {
 	// policy-driven). Geometry, Shards, CutLinks and Lookahead above
 	// always describe the currently-active partition.
 	Repartitions uint64
+	// HostTransitions counts engine stop/start round trips by
+	// sequential-mode drivers: boot-phase quiescence runs plus one per
+	// host wait. Batching amortises these — N serial host commands pay N
+	// transitions where one batch pays one.
+	HostTransitions uint64
 }
 
 // SimStats snapshots the engine's execution statistics.
@@ -468,6 +520,7 @@ func (m *Machine) SimStats() SimStats {
 		EventsPerWindow:  m.pe.EventsPerWindow(),
 		Events:           m.pe.Processed(),
 		Repartitions:     m.pe.Repartitions(),
+		HostTransitions:  m.pe.Transitions(),
 	}
 }
 
@@ -707,10 +760,56 @@ type BootReport struct {
 	AppCores      int
 }
 
+// hostLoadChunkBytes is the payload each fabric packet carries during
+// the machine's own bulk transfers (boot image, application data) —
+// SDP-style frame aggregation, standing in for the protocol's payload
+// framing the way the host package's out-of-band payload table does.
+// User-facing HostLink commands keep the attachment default (the
+// paper's one-packet-per-32-bit-word model).
+const hostLoadChunkBytes = 32
+
+// hostLoadWindow is the in-flight command window the machine's own bulk
+// loads (boot image, application data) pipeline with.
+const hostLoadWindow = 8
+
+// runBatch launches a host command batch and drives the machine under
+// parallel lookahead windows until every command resolves — the engine
+// halts at the exact resolution event (RunUntilAnyOf), so the machine
+// state afterwards is identical for every worker count and partition
+// geometry. Per-command failures stay in the batch's responses; the
+// returned error is reserved for batch-level faults.
+func (m *Machine) runBatch(b *host.Batch) error {
+	b.Launch()
+	watch := m.fab.DomainAt(m.hostOrigin)
+	for !b.Done() {
+		// Every launched command resolves within its per-command timeout
+		// of the Ethernet backlog clearing (completion or expiry), and
+		// resolutions launch the rest of the queue, so each wait below is
+		// guaranteed progress; the horizon is a backstop against
+		// host-protocol bugs, not a pacing device.
+		before := b.Resolved()
+		if m.pe.RunUntilAnyOf(b.Horizon(), watch, b.Done) {
+			break
+		}
+		if b.Resolved() == before {
+			return fmt.Errorf("spinngo: host batch stalled with %d of %d commands resolved",
+				b.Resolved(), b.Len())
+		}
+	}
+	// Sequential quiescence: release resolved payload buffers now rather
+	// than waiting for a future registration, so the last batch of a
+	// bulk load does not pin the whole image.
+	m.host.StripResolved()
+	return nil
+}
+
 // Boot runs the section-5.2 sequence: self-test, monitor election,
 // neighbour rescue, coordinate flood, p2p configuration and flood-fill
-// load of the system image. The boot controller keeps cross-chip state,
-// so this phase executes in the engine's deterministic sequential mode.
+// load of the system image. The control phases keep cross-chip state
+// and execute in the engine's deterministic sequential mode; the image
+// load — the expensive part — runs as a pipelined batch of flood-fill
+// writes through the host endpoint, under normal parallel lookahead
+// windows.
 func (m *Machine) Boot() (*BootReport, error) {
 	if m.booted {
 		return nil, fmt.Errorf("spinngo: already booted")
@@ -718,11 +817,49 @@ func (m *Machine) Boot() (*BootReport, error) {
 	cfg := boot.DefaultConfig()
 	cfg.Cores = m.cfg.CoresPerChip
 	cfg.CoreFaultProb = m.cfg.CoreFaultProb
+	cfg.SkipLoad = true // the image loads through the host batch below
 	m.boot = boot.NewController(m.pe, m.fab, cfg)
 	res, err := m.boot.Run()
 	if err != nil {
 		return nil, err
 	}
+	// The machine's Ethernet endpoint exists from here on: p2p routing
+	// is configured, so any chip is reachable through the gateway.
+	hcfg := host.DefaultConfig()
+	hcfg.Origin = m.hostOrigin
+	m.host = host.New(m.fab.DomainAt(m.hostOrigin), m.fab, m.boot, hcfg)
+	// Flood-fill the system image: one Ethernet transfer per block,
+	// every alive chip stores it (experiment E9: load time nearly
+	// independent of machine size).
+	b := m.host.NewBatch(hostLoadWindow)
+	b.SetChunk(hostLoadChunkBytes)
+	for blk := 0; blk < cfg.ImageBlocks; blk++ {
+		if _, err := b.FillMem(boot.BlockAddr(uint32(blk)), boot.BlockContent(uint32(blk), cfg.BlockBytes)); err != nil {
+			return nil, err
+		}
+	}
+	loadStart := m.pe.Now()
+	if err := m.runBatch(b); err != nil {
+		return nil, err
+	}
+	for blk, r := range b.Responses() {
+		if r.Err != nil {
+			return nil, fmt.Errorf("spinngo: boot image load: %w", r.Err)
+		}
+		// The old native flood tracked per-chip load completion; the
+		// batched flood certifies the same invariant through its
+		// convergecast count.
+		if r.Chips != m.host.FillAlive() {
+			return nil, fmt.Errorf("spinngo: boot image block %d reached %d of %d alive chips",
+				blk, r.Chips, m.host.FillAlive())
+		}
+	}
+	// The batch halts at the last acknowledgement, but redundant flood
+	// forwards are still draining; run them out (no tickers exist yet,
+	// so quiescence is finite) rather than let boot debris contend with
+	// the application load's link queues.
+	m.pe.Run()
+	loadTime := m.pe.Now() - loadStart
 	appCores := 0
 	for _, n := range m.fab.Nodes() {
 		if m.boot.Alive(n.Coord) {
@@ -736,7 +873,7 @@ func (m *Machine) Boot() (*BootReport, error) {
 		Rescued:       res.Rescued,
 		DeadForever:   res.DeadForever,
 		CoordCorrect:  res.CoordCorrect,
-		LoadTimeMS:    res.LoadTime.Millis(),
+		LoadTimeMS:    loadTime.Millis(),
 		AppCores:      appCores,
 	}, nil
 }
@@ -769,7 +906,15 @@ type LoadReport struct {
 	TableEntries int
 	MaxChipTable int
 	TreeLinks    int
+	// LoadTimeMS is the simulated time the host spent shipping the
+	// application data (synaptic images) into the machine as a
+	// pipelined batch of per-core SDRAM writes.
+	LoadTimeMS float64
 }
+
+// synapseImageBase is where a core slot's synaptic image lands in its
+// chip's SDRAM (1 MB per application-core slot).
+const synapseImageBase = 0x6000_0000
 
 // Load compiles the model (partition, place, route, generate data),
 // installs routing tables, and instantiates the event-driven runtime on
@@ -811,6 +956,40 @@ func (m *Machine) Load(model *Model) (*LoadReport, error) {
 	m.dplan = dplan
 	m.fragUnits = make([][]*unit, len(rplan.Frags))
 
+	// Application-data load: every core's synaptic image travels through
+	// the host link as one pipelined batch of SDRAM writes — the
+	// loading traffic (and its time) is simulated fabric traffic, not a
+	// free teleport. Fragments are visited in plan order, so the batch
+	// is identical for every worker count.
+	loadStart := m.pe.Now()
+	lb := m.host.NewBatch(hostLoadWindow)
+	lb.SetChunk(hostLoadChunkBytes)
+	for _, f := range rplan.Frags {
+		cd := dplan.Cores[f.Chip][f.Core]
+		if cd == nil || cd.Matrix.Bytes == 0 {
+			continue
+		}
+		// The image content stands in for the serialised rows already
+		// held by the in-memory Matrix; what the transfer prices is the
+		// bytes moved and the time they take.
+		lb.WriteMem(f.Chip, synapseImageBase+uint32(f.Core)<<20, make([]byte, cd.Matrix.Bytes))
+	}
+	if err := m.runBatch(lb); err != nil {
+		return nil, err
+	}
+	for _, r := range lb.Responses() {
+		if r.Err != nil {
+			return nil, fmt.Errorf("spinngo: application data load: %w", r.Err)
+		}
+	}
+	// Drain straggler load traffic before the model starts (no tickers
+	// yet), so the run begins on a quiet fabric from a quiescent instant.
+	m.pe.Run()
+	loadTime := m.pe.Now() - loadStart
+	// Model time starts here: spike ticks, rasters and InjectSpike times
+	// are measured from the end of loading.
+	m.epoch = m.pe.Now()
+
 	for i, f := range rplan.Frags {
 		// Each fragment gets a private random stream forked from the
 		// control RNG in fragment order, so its draws (timer phase,
@@ -840,6 +1019,7 @@ func (m *Machine) Load(model *Model) (*LoadReport, error) {
 		TableEntries: rplan.Stats.EntriesFinal,
 		MaxChipTable: rplan.Stats.MaxChipTable,
 		TreeLinks:    rplan.Stats.TreeLinks,
+		LoadTimeMS:   loadTime.Millis(),
 	}, nil
 }
 
@@ -1041,7 +1221,7 @@ func (m *Machine) migrate(old *unit) {
 	dom := m.domAt(chipCoord)
 	m.boot.Chip(chipCoord).SDRAM.Transfer(bytes, func() {
 		nu, err := m.buildUnitAt(old.frag, old.fragIdx, spare,
-			uint64(dom.Now()/sim.Millisecond), old.rng)
+			uint64((dom.Now()-m.epoch)/sim.Millisecond), old.rng)
 		if err != nil {
 			tally.migrationFailures++
 			return
@@ -1132,7 +1312,8 @@ func (m *Machine) FailLink(x, y int, dir string) error {
 }
 
 // InjectSpike forces neuron idx of population p to emit a spike at
-// biological time atMS (must be in the future).
+// biological time atMS — measured, like the spike raster, from the end
+// of loading (must be in the future).
 func (m *Machine) InjectSpike(p Pop, idx int, atMS int) error {
 	pop := m.model.net.Pops[p.idx]
 	frag, err := mapping.FragmentForNeuron(m.rplan.Frags, pop, idx)
@@ -1140,7 +1321,7 @@ func (m *Machine) InjectSpike(p Pop, idx int, atMS int) error {
 		return err
 	}
 	dom := m.domAt(frag.Chip)
-	at := sim.Time(atMS) * sim.Millisecond
+	at := m.epoch + sim.Time(atMS)*sim.Millisecond
 	if at < dom.Now() {
 		return fmt.Errorf("spinngo: injection time %dms is in the past", atMS)
 	}
