@@ -20,14 +20,14 @@ vet:
 # the race detector on every change.
 race:
 	$(GO) test -race ./internal/sim/ ./internal/router/ ./internal/benchsweep/
-	$(GO) test -race -run 'TestDeterminism|TestDifferentSeeds|TestBoardLookahead|TestRepartition|TestShiftingHotspot|TestBatch|TestFillMem|TestHostOrigin|TestHostTimeout' .
+	$(GO) test -race -run 'TestDeterminism|TestDifferentSeeds|TestBoardLookahead|TestRepartition|TestShiftingHotspot|TestBatch|TestFillMem|TestHostOrigin|TestHostTimeout|TestSnapshot' .
 
-# Tier-1 coverage of the engine + host packages, gated in CI at the
-# pre-PR-5 baseline (93.0%).
+# Tier-1 coverage of the engine + host + snapshot-codec packages, gated
+# in CI at the pre-PR-5 baseline (93.0%).
 cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic \
-		-coverpkg=spinngo/internal/sim,spinngo/internal/host \
-		./internal/sim/ ./internal/host/ .
+		-coverpkg=spinngo/internal/sim,spinngo/internal/host,spinngo/internal/snap \
+		./internal/sim/ ./internal/host/ ./internal/snap/ .
 	$(GO) tool cover -func=cover.out | tail -1
 
 # Worker/partition/board-hierarchy sweep of the end-to-end machine

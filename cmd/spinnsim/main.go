@@ -9,13 +9,20 @@
 //	         [-p 0.05] [-weight 0.8] [-delay 2] [-ms 500]
 //	         [-faillink "1,1,E"] [-raster] [-seed 1] [-workers 0]
 //	         [-partition auto] [-boards WxH] [-boardlink slow]
-//	         [-repartition]
+//	         [-repartition] [-snapshot ckpt.snap] [-restore ckpt.snap]
+//
+// -snapshot writes a checkpoint image after the run; -restore resumes
+// from one instead of building a machine (only -ms, -workers, -partition,
+// -repartition, -faillink, -raster and -snapshot apply then — the
+// machine, model and seed all come from the image, and any choice of
+// workers/partition yields byte-identical results).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"spinngo"
@@ -39,48 +46,75 @@ func main() {
 	boards := flag.String("boards", "", "board tiling in chips, e.g. \"8x2\" ('' = uniform fabric); board-crossing links use board-to-board PHY params")
 	boardlink := flag.String("boardlink", "", "board-to-board link preset: slow (default) or uniform; requires -boards")
 	repartition := flag.Bool("repartition", false, "re-partition at quiescence boundaries when the observed event density warrants it; any setting yields the same results")
+	snapshotPath := flag.String("snapshot", "", "write a checkpoint image to this file after the run")
+	restorePath := flag.String("restore", "", "resume from a checkpoint image; -workers/-partition pick the execution strategy, everything else comes from the image")
 	flag.Parse()
 
-	policy := ""
-	if *repartition {
-		policy = spinngo.RepartitionAuto
-	}
-	machine, err := spinngo.NewMachine(spinngo.MachineConfig{
-		Width: *w, Height: *h, Seed: *seed, Workers: *workers, Partition: *partition,
-		Boards: *boards, BoardLinkParams: *boardlink, Repartition: policy,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	st := machine.SimStats()
-	fmt.Printf("engine: %d %s shards, boards %s\n", st.Shards, st.Geometry, st.Boards)
-	fmt.Printf("cut:    %d links (%d on-board + %d board-to-board)\n",
-		st.CutLinks, st.CutLinksOnBoard, st.CutLinksBoard)
-	fmt.Printf("lookahead: %v (uniform-params bound %v)\n", st.Lookahead, st.UniformLookahead)
-	bootRep, err := machine.Boot()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("booted %d chips, %d application cores (flood-fill load %.1f ms)\n",
-		bootRep.Chips, bootRep.AppCores, bootRep.LoadTimeMS)
+	var machine *spinngo.Machine
+	var stimPop, excPop spinngo.Pop
+	havePops := false
+	if *restorePath != "" {
+		image, err := os.ReadFile(*restorePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		machine, err = spinngo.RestoreOn(image, *workers, *partition)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := machine.SimStats()
+		fmt.Printf("restored %s (format v%d) onto %d %s shards\n",
+			*restorePath, spinngo.SnapshotVersion, st.Shards, st.Geometry)
+		// The quickstart model names its populations stim/exc; images
+		// from other programs still run, just without the rate summary.
+		var okStim, okExc bool
+		stimPop, okStim = machine.Pop("stim")
+		excPop, okExc = machine.Pop("exc")
+		havePops = okStim && okExc
+	} else {
+		policy := ""
+		if *repartition {
+			policy = spinngo.RepartitionAuto
+		}
+		var err error
+		machine, err = spinngo.NewMachine(spinngo.MachineConfig{
+			Width: *w, Height: *h, Seed: *seed, Workers: *workers, Partition: *partition,
+			Boards: *boards, BoardLinkParams: *boardlink, Repartition: policy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := machine.SimStats()
+		fmt.Printf("engine: %d %s shards, boards %s\n", st.Shards, st.Geometry, st.Boards)
+		fmt.Printf("cut:    %d links (%d on-board + %d board-to-board)\n",
+			st.CutLinks, st.CutLinksOnBoard, st.CutLinksBoard)
+		fmt.Printf("lookahead: %v (uniform-params bound %v)\n", st.Lookahead, st.UniformLookahead)
+		bootRep, err := machine.Boot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("booted %d chips, %d application cores (flood-fill load %.1f ms)\n",
+			bootRep.Chips, bootRep.AppCores, bootRep.LoadTimeMS)
 
-	model := spinngo.NewModel()
-	stimPop := model.AddPoisson("stim", *stim, *rate)
-	excPop := model.AddLIF("exc", *neurons, spinngo.DefaultLIFConfig())
-	if err := model.Connect(stimPop, excPop, spinngo.Conn{
-		Rule: spinngo.RandomRule, P: *p, WeightNA: *weight, DelayMS: *delay,
-	}); err != nil {
-		log.Fatal(err)
+		model := spinngo.NewModel()
+		stimPop = model.AddPoisson("stim", *stim, *rate)
+		excPop = model.AddLIF("exc", *neurons, spinngo.DefaultLIFConfig())
+		havePops = true
+		if err := model.Connect(stimPop, excPop, spinngo.Conn{
+			Rule: spinngo.RandomRule, P: *p, WeightNA: *weight, DelayMS: *delay,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		loadRep, err := machine.Load(model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %d fragments, %d synapses (%d B), %d router entries (max/chip %d)\n",
+			loadRep.Fragments, loadRep.Synapses, loadRep.SynapseBytes,
+			loadRep.TableEntries, loadRep.MaxChipTable)
+		fmt.Printf("host data load:  %.2f ms of simulated Ethernet+fabric time (pipelined batch)\n",
+			loadRep.LoadTimeMS)
 	}
-	loadRep, err := machine.Load(model)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("loaded %d fragments, %d synapses (%d B), %d router entries (max/chip %d)\n",
-		loadRep.Fragments, loadRep.Synapses, loadRep.SynapseBytes,
-		loadRep.TableEntries, loadRep.MaxChipTable)
-	fmt.Printf("host data load:  %.2f ms of simulated Ethernet+fabric time (pipelined batch)\n",
-		loadRep.LoadTimeMS)
 
 	if *failLink != "" {
 		var x, y int
@@ -115,15 +149,18 @@ func main() {
 		if n > remaining {
 			n = remaining
 		}
+		var err error
 		if rep, err = machine.Run(n); err != nil {
 			log.Fatal(err)
 		}
 	}
 	fmt.Println()
 	fmt.Print(rep)
-	fmt.Printf("stim rate:       %.1f Hz\n", machine.MeanRateHz(stimPop))
-	fmt.Printf("exc rate:        %.1f Hz\n", machine.MeanRateHz(excPop))
-	st = machine.SimStats()
+	if havePops {
+		fmt.Printf("stim rate:       %.1f Hz\n", machine.MeanRateHz(stimPop))
+		fmt.Printf("exc rate:        %.1f Hz\n", machine.MeanRateHz(excPop))
+	}
+	st := machine.SimStats()
 	fmt.Printf("engine:          %d windows (%d parallel, %.1f events/window)\n",
 		st.Windows, st.ParallelWindows, st.EventsPerWindow)
 	fmt.Printf("partition:       %s/%d shards after %d repartitions (lookahead %v)\n",
@@ -131,7 +168,18 @@ func main() {
 	fmt.Printf("host:            %d engine transitions (boot phases + batched loads)\n",
 		st.HostTransitions)
 
-	if *raster {
+	if *snapshotPath != "" {
+		image, err := machine.Snapshot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*snapshotPath, image, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checkpoint:      %d bytes (format v%d) -> %s\n",
+			len(image), spinngo.SnapshotVersion, *snapshotPath)
+	}
+	if *raster && havePops {
 		printRaster(machine, excPop, *ms)
 	}
 }

@@ -44,6 +44,17 @@ func (m *Machine) AttachHost() (*HostLink, error) {
 // reports it lost.
 const hostOpTimeout = host.DefaultTimeout
 
+// Sentinel command failures, testable with errors.Is.
+var (
+	// ErrHostTimeout marks a command resolved by its deadline; a
+	// timed-out FillMem still reports its partial coverage in
+	// Result.Chips.
+	ErrHostTimeout = host.ErrTimeout
+	// ErrHostUnreachable marks a command that could not reach any chip,
+	// reported synchronously without burning the timeout.
+	ErrHostUnreachable = host.ErrUnreachable
+)
+
 // Result is the outcome of one pipelined command.
 type Result struct {
 	// Data carries read results.

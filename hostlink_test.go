@@ -2,6 +2,7 @@ package spinngo
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -308,5 +309,44 @@ func TestFillMemBulkLoad(t *testing.T) {
 	}
 	if !bytes.Equal(back, payload) {
 		t.Error("flood payload not readable back from a far chip")
+	}
+}
+
+// TestFillMemPartialCoverage pins the flood-fill coverage report: a fill
+// whose acknowledgement tree was built while the whole machine was
+// reachable, but whose chunks can no longer reach an islanded chip,
+// resolves at its deadline with ErrHostTimeout — distinguishable with
+// errors.Is from ErrHostUnreachable — and reports the coverage actually
+// certified: at least the gateway's own copy, strictly fewer than all 16
+// chips. The old path reported zero chips for any timed-out fill,
+// indistinguishable from one that never left the host.
+func TestFillMemPartialCoverage(t *testing.T) {
+	m := buildSmallMachine(t, MachineConfig{Width: 4, Height: 4, Seed: 12, Workers: 4})
+	defer m.Close()
+	hl, err := m.AttachHost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Register the fill first — the acknowledgement tree spans all 16
+	// chips — then island (2,2) before any chunk moves.
+	p := hl.Batch(1).Timeout(5 * time.Millisecond)
+	fi := p.FillMem(0x2000, []byte("partial coverage payload"))
+	severChip(t, m, 2, 2)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[fi]
+	if !errors.Is(r.Err, ErrHostTimeout) {
+		t.Fatalf("islanded fill resolved with %v, want ErrHostTimeout", r.Err)
+	}
+	if errors.Is(r.Err, ErrHostUnreachable) {
+		t.Error("timed-out fill also matches ErrHostUnreachable; the two must be distinguishable")
+	}
+	if r.Chips < 1 || r.Chips >= 16 {
+		t.Errorf("timed-out fill certified %d chips, want partial coverage in [1,16)", r.Chips)
+	}
+	if m.host.Inflight() != 0 {
+		t.Errorf("%d commands stuck in flight", m.host.Inflight())
 	}
 }

@@ -2,6 +2,7 @@ package chip
 
 import (
 	"fmt"
+	"sort"
 
 	"spinngo/internal/sim"
 )
@@ -51,7 +52,11 @@ func (s *SDRAM) TransferTime(size int) sim.Time {
 
 // Transfer schedules a transfer of size bytes; done runs when it
 // completes. Contention: transfers are serialised in arrival order.
-func (s *SDRAM) Transfer(size int, done func()) {
+func (s *SDRAM) Transfer(size int, done func()) { s.TransferD(size, nil, done) }
+
+// TransferD is Transfer with a snapshot descriptor attached to the
+// completion event, making an in-flight transfer snapshot-safe.
+func (s *SDRAM) TransferD(size int, desc *sim.Desc, done func()) {
 	if size < 0 {
 		panic("chip: negative transfer size")
 	}
@@ -65,7 +70,7 @@ func (s *SDRAM) Transfer(size int, done func()) {
 	s.busyUntil = end
 	s.Transfers++
 	s.BytesMoved += uint64(size)
-	s.eng.At(end, done)
+	s.eng.AtD(end, desc, done)
 }
 
 // Store writes data at the given address in the segment store. It fails
@@ -92,6 +97,54 @@ func (s *SDRAM) Load(addr uint32) ([]byte, bool) {
 // Used reports the bytes held in the segment store.
 func (s *SDRAM) Used() int { return s.used }
 
+// Segment is one stored (addr, data) pair in a snapshot.
+type Segment struct {
+	Addr uint32
+	Data []byte
+}
+
+// SDRAMState is the serialisable dynamic state of an SDRAM, with the
+// segment store in ascending address order (deterministic bytes).
+type SDRAMState struct {
+	BusyUntil      sim.Time
+	Used           int
+	Transfers      uint64
+	BytesMoved     uint64
+	ContentionBusy sim.Time
+	Segments       []Segment
+}
+
+// ExportState captures the SDRAM's dynamic state.
+func (s *SDRAM) ExportState() SDRAMState {
+	st := SDRAMState{
+		BusyUntil: s.busyUntil, Used: s.used,
+		Transfers: s.Transfers, BytesMoved: s.BytesMoved,
+		ContentionBusy: s.ContentionBusy,
+	}
+	addrs := make([]uint32, 0, len(s.segments))
+	for a := range s.segments {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		st.Segments = append(st.Segments, Segment{Addr: a, Data: append([]byte(nil), s.segments[a]...)})
+	}
+	return st
+}
+
+// RestoreState overlays a captured state, replacing the segment store.
+func (s *SDRAM) RestoreState(st SDRAMState) {
+	s.busyUntil = st.BusyUntil
+	s.used = st.Used
+	s.Transfers = st.Transfers
+	s.BytesMoved = st.BytesMoved
+	s.ContentionBusy = st.ContentionBusy
+	s.segments = make(map[uint32][]byte, len(st.Segments))
+	for _, seg := range st.Segments {
+		s.segments[seg.Addr] = append([]byte(nil), seg.Data...)
+	}
+}
+
 // DMARequest is one queued DMA operation.
 type DMARequest struct {
 	// Size in bytes.
@@ -102,6 +155,10 @@ type DMARequest struct {
 	Tag uint32
 	// Done runs at completion (the Fig-7 "DMA complete" interrupt).
 	Done func()
+	// Desc, when set, describes the completion for snapshots: the
+	// in-flight SDRAM event carries it, and a restore re-creates the
+	// completion closure from it (see DMAController.FinishTransfer).
+	Desc *sim.Desc
 }
 
 // DMAController is one processor subsystem's DMA engine: a FIFO of
@@ -157,11 +214,49 @@ func (d *DMAController) next() {
 	d.busy = true
 	req := d.queue[0]
 	d.queue = d.queue[1:]
-	d.sdram.Transfer(req.Size, func() {
-		d.Completed++
-		if req.Done != nil {
-			req.Done()
-		}
-		d.next()
-	})
+	d.sdram.TransferD(req.Size, req.Desc, func() { d.FinishTransfer(req.Done) })
+}
+
+// FinishTransfer completes the in-flight request: it counts the
+// completion, runs the request's Done callback and serves the next
+// queued request. Snapshot restore calls it directly when re-creating a
+// pending SDRAM completion event from its descriptor.
+func (d *DMAController) FinishTransfer(done func()) {
+	d.Completed++
+	if done != nil {
+		done()
+	}
+	d.next()
+}
+
+// DMAState is the serialisable dynamic state of a DMA controller. Queued
+// requests carry no closures — the restorer rebuilds Done/Desc from the
+// request's Write flag and Tag, which is all the machine's kernel uses.
+type DMAState struct {
+	Queue     []DMARequest
+	Busy      bool
+	Completed uint64
+	MaxQueue  int
+}
+
+// ExportState captures the controller's dynamic state (queued requests
+// without their closures; the in-flight transfer, if any, lives in the
+// event heap as a described event).
+func (d *DMAController) ExportState() DMAState {
+	st := DMAState{Busy: d.busy, Completed: d.Completed, MaxQueue: d.MaxQueue}
+	for _, req := range d.queue {
+		st.Queue = append(st.Queue, DMARequest{Size: req.Size, Write: req.Write, Tag: req.Tag})
+	}
+	return st
+}
+
+// RestoreState overlays a captured state. The caller supplies queued
+// requests with their Done/Desc rebuilt; the busy flag is restored
+// as-is — when true, the matching completion event is re-injected
+// separately from the event heap.
+func (d *DMAController) RestoreState(st DMAState) {
+	d.queue = append([]DMARequest(nil), st.Queue...)
+	d.busy = st.Busy
+	d.Completed = st.Completed
+	d.MaxQueue = st.MaxQueue
 }

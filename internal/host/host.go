@@ -29,6 +29,7 @@
 package host
 
 import (
+	"errors"
 	"fmt"
 
 	"spinngo/internal/boot"
@@ -93,6 +94,17 @@ type Response struct {
 // reports it lost.
 const DefaultTimeout = 100 * sim.Millisecond
 
+var (
+	// ErrTimeout marks a command resolved by its deadline passing: the
+	// machine may have partially executed it (a timed-out flood-fill
+	// reports the coverage certified so far in Response.Chips).
+	ErrTimeout = errors.New("host: command timed out")
+	// ErrUnreachable marks a command that could not reach its target at
+	// all — reported synchronously, before anything was launched, so no
+	// timeout is spent discovering it.
+	ErrUnreachable = errors.New("host: target unreachable")
+)
+
 // Config shapes the Ethernet attachment.
 type Config struct {
 	// EthLatency is the one-way host <-> gateway latency.
@@ -143,13 +155,17 @@ type command struct {
 	failed    bool   // SDRAM store/load failed at the target
 
 	// Gateway-shard-owned state.
-	launched  bool
-	launchAt  sim.Time
-	timeout   sim.Time
-	resolved  bool
-	timedOut  bool
-	chips     int    // OpFill: chips covered by the completed flood
-	onResolve func() // batch hook: fires after done, still on the gateway
+	launched bool
+	launchAt sim.Time
+	timeout  sim.Time
+	resolved bool
+	timedOut bool
+	chips    int // OpFill: chips covered by the flood (partial on timeout)
+	// respRemaining counts response-stream packets still expected at the
+	// gateway; 0 means the header has not arrived yet (the header, which
+	// arrives first, announces the stream length).
+	respRemaining int
+	onResolve     func() // batch hook: fires after done, still on the gateway
 
 	// stripped marks a resolved command whose payload buffers were
 	// released at a later sequential quiescence point; straggler packets
@@ -163,6 +179,17 @@ func (c *command) chunks() int {
 		return 0
 	}
 	return (len(c.data) + c.chunk - 1) / c.chunk
+}
+
+// respChunks reports how many payload packets the command's response
+// stream carries beyond its header — read results travel back through
+// the fabric chunked exactly like the outbound burst, so a read of N
+// bytes costs the same number of fabric packets in each direction.
+func (c *command) respChunks() int {
+	if len(c.result) == 0 {
+		return 0
+	}
+	return (len(c.result) + c.chunk - 1) / c.chunk
 }
 
 // fillAssembly is one chip's reassembly and acknowledgement state for
@@ -433,7 +460,11 @@ func (h *Host) launch(cmd *command) {
 	cmd.launched = true
 	cmd.launchAt = start
 	h.inflight++
-	h.eng.At(start+cmd.timeout, func() { h.expire(cmd) })
+	// The deadline event outlives normal resolution (it fires as a no-op
+	// on a resolved command), so it carries a descriptor: it is the one
+	// piece of host work legally pending in a snapshot.
+	h.eng.AtD(start+cmd.timeout, &sim.Desc{Kind: "host.expire", Args: []uint64{uint64(cmd.seq)}},
+		func() { h.expire(cmd) })
 	if cmd.op != OpFill {
 		h.eng.At(start+hdr, func() { h.injectBurst(cmd, -1) })
 	}
@@ -468,6 +499,21 @@ func (h *Host) expire(cmd *command) {
 		return
 	}
 	cmd.timedOut = true
+	if cmd.op == OpFill {
+		// Report the partial coverage certified by deadline: the root's
+		// aggregated subtree counts plus its own stored copy. Children
+		// only acknowledge complete subtrees, so this is a lower bound on
+		// the chips actually holding the payload. The root assembly is
+		// gateway-chip state, owned by this (gateway) shard.
+		if m := h.fills[h.fab.Params().Torus.Index(h.origin)]; m != nil {
+			if fa := m[cmd.seq]; fa != nil {
+				cmd.chips = fa.subtree
+				if fa.chunksLeft == 0 {
+					cmd.chips++
+				}
+			}
+		}
+	}
 	h.complete(cmd)
 }
 
@@ -483,12 +529,23 @@ func (h *Host) onP2P(n *router.Node, pkt packet.Packet, _ sim.Time) {
 		return // fills complete over the nn convergecast, not p2p
 	}
 	if n.Coord == h.origin && cmd.target != h.origin {
-		// Response packet back at the gateway: forward over Ethernet.
-		// A stray response of an expired command dies here, touching
-		// nothing.
+		// Response-stream packet back at the gateway. A stray response of
+		// an expired command dies here, touching nothing.
 		if cmd.resolved {
 			return
 		}
+		if cmd.respRemaining == 0 {
+			// The header arrives first and announces the stream length.
+			// The result was fully written on the target before its first
+			// response packet was injected, so the happens-before edge the
+			// packet itself provides makes this read shard-safe.
+			cmd.respRemaining = 1 + cmd.respChunks()
+		}
+		cmd.respRemaining--
+		if cmd.respRemaining > 0 {
+			return
+		}
+		// Whole stream received: forward over Ethernet and complete.
 		h.eng.After(h.ethTime(len(cmd.result)+4), func() { h.complete(cmd) })
 		return
 	}
@@ -513,7 +570,31 @@ func (h *Host) onP2P(n *router.Node, pkt packet.Packet, _ sim.Time) {
 		h.eng.After(h.ethTime(len(resp)+4), func() { h.complete(cmd) })
 		return
 	}
-	// Send the response back to the gateway as p2p traffic.
+	h.sendResponse(cmd)
+}
+
+// sendResponse streams the command's response from its target back to
+// the gateway: one header packet immediately, then one packet per result
+// chunk, paced like the outbound burst. This is the symmetric cost model
+// the pricing audit demanded — a ReadMem response used to collapse into
+// a single fabric packet regardless of size, making reads look free on
+// the return path. Target-shard context; the delayed chunk injections
+// carry descriptors because they can outlive the command (a read whose
+// deadline expires mid-stream leaves them pending).
+func (h *Host) sendResponse(cmd *command) {
+	h.fab.InjectP2P(cmd.target, h.origin, cmd.seq)
+	per := h.ethChunkTime(cmd.chunk)
+	dom := h.fab.DomainAt(cmd.target)
+	for c := 0; c < cmd.respChunks(); c++ {
+		dom.AfterD(sim.Time(c+1)*per, &sim.Desc{Kind: "host.rchunk", Args: []uint64{uint64(cmd.seq)}},
+			func() { h.respChunk(cmd) })
+	}
+}
+
+// respChunk injects one response-stream payload packet. Target-shard
+// context; a chunk of a long-resolved command still travels and dies at
+// the gateway like any straggler.
+func (h *Host) respChunk(cmd *command) {
 	h.fab.InjectP2P(cmd.target, h.origin, cmd.seq)
 }
 
@@ -656,7 +737,7 @@ func (h *Host) complete(cmd *command) {
 		At: h.eng.Now(), RTT: h.eng.Now() - cmd.launchAt}
 	switch {
 	case cmd.timedOut:
-		resp.Err = fmt.Errorf("host: %v command %d timed out", cmd.op, cmd.seq)
+		resp.Err = fmt.Errorf("%w: %v command %d", ErrTimeout, cmd.op, cmd.seq)
 		resp.Chips = cmd.chips
 	case cmd.op == OpRead:
 		if cmd.failed {
@@ -681,15 +762,28 @@ func (h *Host) complete(cmd *command) {
 
 // newFill builds a flood-fill command chunked at chunk bytes per packet
 // (<=0 means the attachment default). Completion is the gateway root of
-// the convergecast tree reporting full subtree coverage; on a machine
-// whose alive chips are disconnected from the gateway the command
-// expires instead.
+// the convergecast tree reporting full subtree coverage. A machine where
+// no chip is reachable at all fails synchronously with ErrUnreachable;
+// a partially reachable one lets the command expire, reporting the
+// partial coverage in Response.Chips with ErrTimeout.
 func (h *Host) newFill(addr uint32, data []byte, done func(Response), chunk int) (*command, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("host: empty flood-fill payload")
 	}
 	if chunk <= 0 {
 		chunk = h.cfg.ChunkBytes
+	}
+	if h.fillsUnresolved == 0 {
+		// No fill in flight: refresh the tree now so the reachability
+		// verdict below reflects current link health. (register would
+		// rebuild it again; the rebuild is idempotent.)
+		h.rebuildFillTree()
+	}
+	if h.fillAlive == 0 {
+		// Not even the gateway is reachable: launching would only burn
+		// the timeout to certify zero coverage. Report it synchronously,
+		// distinguishable from a timeout.
+		return nil, fmt.Errorf("%w: flood-fill tree spans no chips", ErrUnreachable)
 	}
 	cmd := &command{op: OpFill, addr: addr, chunk: chunk,
 		data: append([]byte(nil), data...), done: done}

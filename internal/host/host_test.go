@@ -2,6 +2,7 @@ package host
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"spinngo/internal/boot"
@@ -357,5 +358,92 @@ func TestStartedTracksPerChip(t *testing.T) {
 	}
 	if h.Started(topo.Coord{X: 0, Y: 0}) {
 		t.Error("unrelated chip marked started")
+	}
+}
+
+// TestReadMemChunkSymmetry pins the host-path pricing fix: a ReadMem of
+// N bytes is the exact mirror image of a WriteMem of N bytes on the
+// fabric. The write streams its payload toward the target chunk by
+// chunk and gets a one-packet acknowledgement back; the read sends a
+// one-packet request and streams the same number of response chunks
+// back through the same Ethernet pipe. The old response path returned
+// the whole read in a single packet — bulk reads travelled the fabric
+// essentially for free, and read-heavy host traffic was priced
+// asymmetrically to write-heavy traffic.
+func TestReadMemChunkSymmetry(t *testing.T) {
+	eng, fab, ctl := bootedMachine(t, 4, 4)
+	h := New(eng, fab, ctl, DefaultConfig())
+	target := topo.Coord{X: 2, Y: 1}
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	chunks := uint64((len(payload) + DefaultConfig().ChunkBytes - 1) / DefaultConfig().ChunkBytes)
+
+	s0, d0 := h.PacketsSent, fab.DeliveredP2P()
+	var wr Response
+	h.WriteMem(target, 0x900, payload, func(r Response) { wr = r })
+	eng.Run()
+	if wr.Err != nil {
+		t.Fatalf("write: %v", wr.Err)
+	}
+	s1, d1 := h.PacketsSent, fab.DeliveredP2P()
+	writeOut, writeBack := s1-s0, (d1-d0)-(s1-s0)
+
+	var rd Response
+	h.ReadMem(target, 0x900, len(payload), func(r Response) { rd = r })
+	eng.Run()
+	if rd.Err != nil {
+		t.Fatalf("read: %v", rd.Err)
+	}
+	if !bytes.Equal(rd.Data, payload) {
+		t.Fatalf("read returned %d bytes, want the %d written", len(rd.Data), len(payload))
+	}
+	s2, d2 := h.PacketsSent, fab.DeliveredP2P()
+	readOut, readBack := s2-s1, (d2-d1)-(s2-s1)
+
+	// The write: header + payload chunks out, one acknowledgement back.
+	if writeOut != 1+chunks || writeBack != 1 {
+		t.Errorf("write of %d bytes: %d packets out / %d back, want %d / 1",
+			len(payload), writeOut, writeBack, 1+chunks)
+	}
+	// The read mirrors it exactly, direction by direction.
+	if readOut != writeBack || readBack != writeOut {
+		t.Errorf("read of %d bytes: %d packets out / %d back, want the write mirrored (%d / %d)",
+			len(payload), readOut, readBack, writeBack, writeOut)
+	}
+}
+
+// TestFillMemUnreachableOrigin pins the timed-out/unreachable
+// distinction: a flood fill whose gateway chip is dead cannot reach any
+// chip, and the host reports that synchronously with ErrUnreachable —
+// before anything launches, without burning the 100 ms deadline. (A fill
+// that reaches some chips but not all resolves by deadline with
+// ErrTimeout and its partial coverage instead.)
+func TestFillMemUnreachableOrigin(t *testing.T) {
+	eng := sim.New(1)
+	fab, err := router.NewFabric(eng, router.DefaultParams(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := boot.DefaultConfig()
+	cfg.HardDeadChips = map[topo.Coord]bool{{X: 2, Y: 2}: true}
+	ctl := boot.NewController(eng, fab, cfg)
+	if _, err := ctl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	hcfg := DefaultConfig()
+	hcfg.Origin = topo.Coord{X: 2, Y: 2}
+	h := New(eng, fab, ctl, hcfg)
+	if got := h.FillAlive(); got != 0 {
+		t.Fatalf("ack tree from a dead gateway spans %d chips, want 0", got)
+	}
+	start := eng.Now()
+	_, err = h.FillMem(0x100, []byte("never arrives"), nil)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("fill from a dead gateway returned %v, want ErrUnreachable", err)
+	}
+	if eng.Now() != start {
+		t.Errorf("unreachable fill burned %v of simulated time, want 0", eng.Now()-start)
 	}
 }

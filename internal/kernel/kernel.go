@@ -93,7 +93,12 @@ type Core struct {
 
 	idleSince sim.Time
 	startAt   sim.Time
-	stopTimer func()
+
+	// tag, when set, prefixes the snapshot descriptors of the core's
+	// self-scheduled events (timer ticks, dispatch completions) so a
+	// restore can route them back to this core. Cores without a tag
+	// schedule undescribed events and cannot be snapshotted.
+	tag []uint64
 
 	// Instrumentation.
 	BusyTime     sim.Time
@@ -124,32 +129,61 @@ func NewCore(eng sim.Scheduler, cfg Config) *Core {
 // registration). Must be called before Start.
 func (c *Core) On(t EventType, h Handler) { c.handlers[t] = h }
 
+// SetSnapshotTag installs the descriptor prefix (the core's stable
+// identity, e.g. fragment index and generation) stamped on the core's
+// self-scheduled events so snapshots can re-create them.
+func (c *Core) SetSnapshotTag(tag ...uint64) { c.tag = tag }
+
+// desc builds a snapshot descriptor for a self-scheduled event, or nil
+// when the core has no tag (untagged cores are not snapshot-safe).
+func (c *Core) desc(kind string, extra ...uint64) *sim.Desc {
+	if c.tag == nil {
+		return nil
+	}
+	args := make([]uint64, 0, len(c.tag)+len(extra))
+	args = append(args, c.tag...)
+	args = append(args, extra...)
+	return &sim.Desc{Kind: kind, Args: args}
+}
+
 // Start begins the free-running millisecond timer — "time models
 // itself": there is no global synchronisation, only local ticks
 // (section 3.1).
 func (c *Core) Start() {
 	c.startAt = c.eng.Now()
 	c.idleSince = c.eng.Now()
-	c.stopTimer = c.eng.Ticker(c.cfg.TimerPeriod, func(tick uint64) {
-		if c.stopped {
-			return
-		}
-		if len(c.queues[EvTimer]) > 0 {
-			c.Overruns++
-		}
-		c.Post(Event{Type: EvTimer, Tick: tick})
-	})
+	c.armTimer(0)
 }
 
-// Stop halts the timer and finalises sleep accounting.
+// armTimer schedules the next timer tick as a described event: the
+// self-rescheduling chain replaces the closure-based Ticker so pending
+// ticks survive a snapshot round-trip.
+func (c *Core) armTimer(tick uint64) {
+	c.eng.AfterD(c.cfg.TimerPeriod, c.desc("core.timer", tick), func() { c.TimerTick(tick) })
+}
+
+// TimerTick fires one millisecond tick: it counts an overrun if the
+// previous tick's work is still queued, posts the timer event, and
+// re-arms. Exported for snapshot restore, which re-injects a recorded
+// pending tick; a tick landing on a stopped core is a no-op.
+func (c *Core) TimerTick(tick uint64) {
+	if c.stopped {
+		return
+	}
+	if len(c.queues[EvTimer]) > 0 {
+		c.Overruns++
+	}
+	c.Post(Event{Type: EvTimer, Tick: tick})
+	c.armTimer(tick + 1)
+}
+
+// Stop halts the timer and finalises sleep accounting. The pending
+// timer event still fires but lands on the stopped flag.
 func (c *Core) Stop() {
 	if c.stopped {
 		return
 	}
 	c.stopped = true
-	if c.stopTimer != nil {
-		c.stopTimer()
-	}
 	if !c.running {
 		c.SleepTime += c.eng.Now() - c.idleSince
 		c.idleSince = c.eng.Now()
@@ -218,8 +252,12 @@ func (c *Core) dispatch() {
 	c.Instructions += instr
 	dur := c.instrTime(instr)
 	c.BusyTime += dur
-	c.eng.After(dur, c.dispatch)
+	c.eng.AfterD(dur, c.desc("core.dispatch"), c.dispatch)
 }
+
+// Dispatch resumes the event-processing loop; snapshot restore uses it
+// to re-create a pending end-of-event continuation.
+func (c *Core) Dispatch() { c.dispatch() }
 
 // instrTime converts an instruction count to modelled time.
 func (c *Core) instrTime(instr uint64) sim.Time {
@@ -238,3 +276,56 @@ func (c *Core) SleepFraction() float64 {
 
 // RealTime reports whether the core kept up with its timer: no overruns.
 func (c *Core) RealTime() bool { return c.Overruns == 0 }
+
+// State is the serialisable dynamic state of a core, for snapshots. The
+// pending timer/dispatch events are not part of it — they live in the
+// engine's event heap and round-trip as described events.
+type State struct {
+	Queues       [numEventTypes][]Event
+	Running      bool
+	Stopped      bool
+	IdleSince    sim.Time
+	StartAt      sim.Time
+	BusyTime     sim.Time
+	SleepTime    sim.Time
+	Instructions uint64
+	EventCounts  [numEventTypes]uint64
+	Overruns     uint64
+	MaxBacklog   int
+}
+
+// NumEventTypes reports the interrupt-source count (the fixed size of
+// State.Queues/EventCounts).
+const NumEventTypes = int(numEventTypes)
+
+// ExportState captures the core's dynamic state.
+func (c *Core) ExportState() State {
+	st := State{
+		Running: c.running, Stopped: c.stopped,
+		IdleSince: c.idleSince, StartAt: c.startAt,
+		BusyTime: c.BusyTime, SleepTime: c.SleepTime,
+		Instructions: c.Instructions, EventCounts: c.EventCounts,
+		Overruns: c.Overruns, MaxBacklog: c.MaxBacklog,
+	}
+	for i := range c.queues {
+		st.Queues[i] = append([]Event(nil), c.queues[i]...)
+	}
+	return st
+}
+
+// RestoreState overlays a captured state onto a freshly built core.
+func (c *Core) RestoreState(st State) {
+	for i := range c.queues {
+		c.queues[i] = append([]Event(nil), st.Queues[i]...)
+	}
+	c.running = st.Running
+	c.stopped = st.Stopped
+	c.idleSince = st.IdleSince
+	c.startAt = st.StartAt
+	c.BusyTime = st.BusyTime
+	c.SleepTime = st.SleepTime
+	c.Instructions = st.Instructions
+	c.EventCounts = st.EventCounts
+	c.Overruns = st.Overruns
+	c.MaxBacklog = st.MaxBacklog
+}

@@ -1,6 +1,9 @@
 package neural
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Neuron is a point-neuron model advanced once per millisecond timer
 // tick (Fig 7 update_Neurons). Input is the synaptic current for this
@@ -152,3 +155,38 @@ func (n *Izhikevich) V() Fix { return n.v }
 
 // Reset restores the resting state.
 func (n *Izhikevich) Reset() { n.v = n.c; n.u = n.b.Mul(n.v) }
+
+// ExportNeuronState returns a neuron's dynamic state words — the values
+// that evolve during simulation, excluding the parameters a rebuild
+// reproduces. A nil neuron (killed) exports nil.
+func ExportNeuronState(n Neuron) []Fix {
+	switch m := n.(type) {
+	case nil:
+		return nil
+	case *LIF:
+		return []Fix{m.v, Fix(m.cooling)}
+	case *Izhikevich:
+		return []Fix{m.v, m.u}
+	default:
+		panic(fmt.Sprintf("neural: cannot snapshot neuron type %T", n))
+	}
+}
+
+// RestoreNeuronState overlays dynamic state words captured by
+// ExportNeuronState onto a freshly built neuron of the same model.
+func RestoreNeuronState(n Neuron, st []Fix) {
+	switch m := n.(type) {
+	case *LIF:
+		if len(st) != 2 {
+			panic("neural: LIF state length mismatch")
+		}
+		m.v, m.cooling = st[0], int(st[1])
+	case *Izhikevich:
+		if len(st) != 2 {
+			panic("neural: Izhikevich state length mismatch")
+		}
+		m.v, m.u = st[0], st[1]
+	default:
+		panic(fmt.Sprintf("neural: cannot restore neuron type %T", n))
+	}
+}

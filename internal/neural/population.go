@@ -42,6 +42,30 @@ func (r *Recorder) Rate(neuron int, ticks uint64) float64 {
 	return float64(r.counts[neuron]) / (float64(ticks) / 1000.0)
 }
 
+// RecorderState is the serialisable state of a Recorder.
+type RecorderState struct {
+	Spikes []Spike
+	Counts []uint64
+}
+
+// ExportState captures the recorded raster and per-neuron counts.
+func (r *Recorder) ExportState() RecorderState {
+	return RecorderState{
+		Spikes: append([]Spike(nil), r.Spikes...),
+		Counts: append([]uint64(nil), r.counts...),
+	}
+}
+
+// RestoreState overlays a captured raster onto a recorder of the same
+// neuron count.
+func (r *Recorder) RestoreState(st RecorderState) {
+	if len(st.Counts) != len(r.counts) {
+		panic(fmt.Sprintf("neural: recorder restore shape %d != %d", len(st.Counts), len(r.counts)))
+	}
+	r.Spikes = append([]Spike(nil), st.Spikes...)
+	copy(r.counts, st.Counts)
+}
+
 // Population is the set of neurons simulated by one core: the neurons,
 // their deferred-event input ring, the SDRAM synaptic matrix, and a
 // recorder. It provides the three Fig-7 task bodies; the machine layer
@@ -150,6 +174,12 @@ type PoissonSource struct {
 func NewPoissonSource(rng *sim.RNG, n int, rateHz float64) *PoissonSource {
 	return &PoissonSource{rng: rng, n: n, prob: rateHz / 1000.0}
 }
+
+// RNGState exposes the source's generator state for snapshots.
+func (s *PoissonSource) RNGState() [4]uint64 { return s.rng.State() }
+
+// SetRNGState overlays a captured generator state.
+func (s *PoissonSource) SetRNGState(st [4]uint64) { s.rng.SetState(st) }
 
 // Tick returns the indices that spike this tick.
 func (s *PoissonSource) Tick() []int {

@@ -1,6 +1,9 @@
 package neural
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Spike-timing-dependent plasticity. Fig 7's DMA-complete task notes
 // that "if the connectivity data is modified, a DMA must be scheduled to
@@ -139,4 +142,58 @@ func (s *STDPState) ProcessRow(key uint32, row Row, now uint64) (dirty bool, ins
 		cost += 25
 	}
 	return dirty, cost
+}
+
+// PostRecord is one neuron's serialised post-spike history.
+type PostRecord struct {
+	Ticks [4]uint64
+	N     int
+}
+
+// PreRecord is one row's serialised last-pre-spike tick.
+type PreRecord struct {
+	Key  uint32
+	Tick uint64
+}
+
+// STDPSnapshot is the serialisable dynamic state of an STDPState.
+type STDPSnapshot struct {
+	Hist          []PostRecord
+	LastPre       []PreRecord // ascending key order
+	Potentiations uint64
+	Depressions   uint64
+}
+
+// ExportState captures the plasticity machinery's dynamic state.
+func (s *STDPState) ExportState() STDPSnapshot {
+	st := STDPSnapshot{Potentiations: s.Potentiations, Depressions: s.Depressions}
+	for i := range s.hist {
+		st.Hist = append(st.Hist, PostRecord{Ticks: s.hist[i].ticks, N: s.hist[i].n})
+	}
+	keys := make([]uint32, 0, len(s.lastPre))
+	for k := range s.lastPre {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		st.LastPre = append(st.LastPre, PreRecord{Key: k, Tick: s.lastPre[k]})
+	}
+	return st
+}
+
+// RestoreState overlays a captured state onto freshly built machinery of
+// the same neuron count.
+func (s *STDPState) RestoreState(st STDPSnapshot) {
+	if len(st.Hist) != len(s.hist) {
+		panic("neural: STDP restore shape mismatch")
+	}
+	for i, h := range st.Hist {
+		s.hist[i] = postHistory{ticks: h.Ticks, n: h.N}
+	}
+	s.lastPre = make(map[uint32]uint64, len(st.LastPre))
+	for _, p := range st.LastPre {
+		s.lastPre[p.Key] = p.Tick
+	}
+	s.Potentiations = st.Potentiations
+	s.Depressions = st.Depressions
 }

@@ -1,6 +1,9 @@
 package neural
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // SynWord is one packed synapse, in the layout SpiNNaker kernels use so
 // a whole row fits a DMA burst:
@@ -105,12 +108,31 @@ func (m *Matrix) Row(key uint32) (Row, bool) {
 // NumRows reports the number of stored rows.
 func (m *Matrix) NumRows() int { return len(m.rows) }
 
-// Keys lists the stored presynaptic keys in unspecified order.
+// KeyRow is one (presynaptic key, row) pair, for snapshots.
+type KeyRow struct {
+	Key uint32
+	Row Row
+}
+
+// ExportRows returns every stored row in ascending key order (copies).
+func (m *Matrix) ExportRows() []KeyRow {
+	out := make([]KeyRow, 0, len(m.rows))
+	for _, k := range m.Keys() {
+		out = append(out, KeyRow{Key: k, Row: append(Row(nil), m.rows[k]...)})
+	}
+	return out
+}
+
+// Keys lists the stored presynaptic keys in ascending order. The order
+// is part of the determinism contract: callers fold floating-point
+// sums over it (mean weights), and map-iteration order would make those
+// observables differ run to run.
 func (m *Matrix) Keys() []uint32 {
 	out := make([]uint32, 0, len(m.rows))
 	for k := range m.rows {
 		out = append(out, k)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -171,5 +193,34 @@ func (r *InputRing) ClearCurrent() {
 	slot := r.slots[r.cur]
 	for i := range slot {
 		slot[i] = 0
+	}
+}
+
+// RingState is the serialisable dynamic state of an InputRing: the slot
+// accumulators in ring order starting from the current slot.
+type RingState struct {
+	Cur     int
+	Dropped uint64
+	Slots   [][]Fix
+}
+
+// ExportState captures the ring's dynamic state.
+func (r *InputRing) ExportState() RingState {
+	st := RingState{Cur: r.cur, Dropped: r.Dropped}
+	for _, s := range r.slots {
+		st.Slots = append(st.Slots, append([]Fix(nil), s...))
+	}
+	return st
+}
+
+// RestoreState overlays a captured state onto a ring of the same shape.
+func (r *InputRing) RestoreState(st RingState) {
+	if len(st.Slots) != len(r.slots) {
+		panic(fmt.Sprintf("neural: ring restore shape %d != %d", len(st.Slots), len(r.slots)))
+	}
+	r.cur = st.Cur
+	r.Dropped = st.Dropped
+	for i, s := range st.Slots {
+		copy(r.slots[i], s)
 	}
 }

@@ -531,7 +531,9 @@ func (f *Fabric) InjectMC(c topo.Coord, pkt packet.Packet) {
 	n := f.Node(c)
 	pkt.Timestamp = f.phaseAt(n)
 	fl := flit{pkt: pkt, injectedAt: n.dom.Now()}
-	n.dom.After(f.p.RouterLatency, func() { n.routeMC(fl, -1) })
+	// travel -1 (locally injected) rides the args as two's complement.
+	n.dom.AfterD(f.p.RouterLatency, descFlit("fab.routeMC", fl, ^uint64(0)),
+		func() { n.routeMC(fl, -1) })
 }
 
 // InjectP2P injects a point-to-point packet from chip src to chip dst.
@@ -539,7 +541,7 @@ func (f *Fabric) InjectP2P(src, dst topo.Coord, data uint32) {
 	pkt := packet.NewP2P(packet.P2PAddr(src.X, src.Y), packet.P2PAddr(dst.X, dst.Y), data)
 	n := f.Node(src)
 	fl := flit{pkt: pkt, injectedAt: n.dom.Now()}
-	n.dom.After(f.p.RouterLatency, func() { n.routeP2P(fl) })
+	n.dom.AfterD(f.p.RouterLatency, descFlit("fab.routeP2P", fl), func() { n.routeP2P(fl) })
 }
 
 // SendNN sends a nearest-neighbour packet from chip c on link d.
@@ -649,43 +651,48 @@ func (n *Node) routeP2P(fl flit) {
 // drop and tell the monitor. "No Router will get into a state where it
 // persistently refuses to accept incoming packets" — every path through
 // this function terminates without blocking the router.
-func (n *Node) forward(fl flit, d topo.Dir) {
+func (n *Node) forward(fl flit, d topo.Dir) { n.retry(fl, d, n.dom.Now()) }
+
+// retry is one attempt of the blocked-link protocol, resumable from a
+// snapshot: the attempt start time t0 travels in the re-arm descriptor
+// instead of a captured closure variable, so a pending retry restores
+// with its elapsed wait intact.
+func (n *Node) retry(fl flit, d topo.Dir, t0 sim.Time) {
 	f := n.fabric
-	t0 := n.dom.Now()
-	var attempt func()
-	attempt = func() {
-		now := n.dom.Now()
-		if n.canSend(d) {
-			n.transmit(fl, d)
+	if n.canSend(d) {
+		n.transmit(fl, d)
+		return
+	}
+	reArm := func() {
+		n.dom.AfterD(f.p.RetryInterval,
+			descFlit("fab.retry", fl, uint64(d), uint64(int64(t0))),
+			func() { n.retry(fl, d, t0) })
+	}
+	elapsed := n.dom.Now() - t0
+	switch {
+	case elapsed < f.p.EmergencyWait:
+		reArm()
+	case f.p.EmergencyEnabled && fl.pkt.Type == packet.MC &&
+		fl.pkt.Emergency == packet.EmNormal &&
+		elapsed < f.p.EmergencyWait+f.p.EmergencyTry:
+		first, _ := d.Emergency()
+		if n.canSend(first) {
+			n.emergencies++
+			n.EmergencyNotices++ // monitor is informed (section 5.3)
+			efl := fl
+			efl.pkt.Emergency = packet.EmFirstLeg
+			n.transmit(efl, first)
 			return
 		}
-		elapsed := now - t0
-		switch {
-		case elapsed < f.p.EmergencyWait:
-			n.dom.After(f.p.RetryInterval, attempt)
-		case f.p.EmergencyEnabled && fl.pkt.Type == packet.MC &&
-			fl.pkt.Emergency == packet.EmNormal &&
-			elapsed < f.p.EmergencyWait+f.p.EmergencyTry:
-			first, _ := d.Emergency()
-			if n.canSend(first) {
-				n.emergencies++
-				n.EmergencyNotices++ // monitor is informed (section 5.3)
-				efl := fl
-				efl.pkt.Emergency = packet.EmFirstLeg
-				n.transmit(efl, first)
-				return
-			}
-			n.dom.After(f.p.RetryInterval, attempt)
-		case elapsed < f.p.EmergencyWait+f.p.EmergencyTry:
-			// Emergency routing unavailable for this packet (disabled,
-			// non-mc, or already diverted): keep waiting out the try
-			// window, then drop.
-			n.dom.After(f.p.RetryInterval, attempt)
-		default:
-			n.drop(fl, d, false)
-		}
+		reArm()
+	case elapsed < f.p.EmergencyWait+f.p.EmergencyTry:
+		// Emergency routing unavailable for this packet (disabled,
+		// non-mc, or already diverted): keep waiting out the try
+		// window, then drop.
+		reArm()
+	default:
+		n.drop(fl, d, false)
 	}
-	attempt()
 }
 
 func (n *Node) canSend(d topo.Dir) bool {
@@ -749,7 +756,8 @@ func (n *Node) startTx(d topo.Dir) {
 	}
 	// The link stays occupied for the full frame either way; the next
 	// queued packet launches when it clears.
-	n.dom.After(frame.Time, func() { n.startTx(d) })
+	n.dom.AfterD(frame.Time, &sim.Desc{Kind: "fab.txdone", Args: []uint64{uint64(d)}},
+		func() { n.startTx(d) })
 }
 
 // deliver schedules the arrival of a link traversal at the neighbour —
@@ -768,12 +776,13 @@ func (n *Node) startTx(d topo.Dir) {
 func (f *Fabric) deliver(from, to *Node, d topo.Dir, fl flit, frame sim.Time) {
 	from.sendSeq++
 	at := from.dom.Now() + frame + f.p.RouterLatency
+	desc := descFlit("fab.arrive", fl, uint64(d))
 	fn := func() { to.receive(fl, d) }
 	if f.pe == nil || from.shard == to.shard {
-		to.dom.DeliverAt(at, from.idx, from.sendSeq, fn)
+		to.dom.DeliverAtD(at, from.idx, from.sendSeq, desc, fn)
 		return
 	}
-	f.pe.Post(from.shard, to.shard, to.dom, at, from.idx, from.sendSeq, fn)
+	f.pe.PostD(from.shard, to.shard, to.dom, at, from.idx, from.sendSeq, desc, fn)
 }
 
 // drop abandons a packet, records it in the dropped-packet register for
@@ -806,7 +815,8 @@ func (n *Node) ReinjectDropped() int {
 		pkt.Timestamp = n.fabric.phaseAt(n)
 		fl := flit{pkt: pkt, injectedAt: n.dom.Now()}
 		dir := dp.Dir
-		n.dom.After(n.fabric.p.RouterLatency, func() { n.forward(fl, dir) })
+		n.dom.AfterD(n.fabric.p.RouterLatency, descFlit("fab.fwd", fl, uint64(dir)),
+			func() { n.forward(fl, dir) })
 		count++
 	}
 	return count

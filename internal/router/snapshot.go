@@ -1,0 +1,228 @@
+package router
+
+import (
+	"fmt"
+
+	"spinngo/internal/packet"
+	"spinngo/internal/sim"
+	"spinngo/internal/snap"
+	"spinngo/internal/topo"
+)
+
+// Snapshot support for the fabric. Every pending fabric event carries a
+// descriptor whose Kind begins with "fab." and whose Blob encodes the
+// in-flight flit; EventFn turns a recorded descriptor back into the
+// closure it described, and Encode/DecodeState round-trip a node's
+// non-event state (queues, counters, link health). The routing tables
+// are not serialised here — the machine layer rebuilds them by replaying
+// the load/migration history.
+
+// encPacket writes every packet field, including the Hops/EmergencyHops
+// instrumentation: in-flight packets must resume with their hop counts
+// intact or delivered-packet telemetry diverges after a restore.
+func encPacket(w *snap.Writer, p packet.Packet) {
+	w.U8(uint8(p.Type))
+	w.U32(p.Key)
+	w.U32(p.Payload)
+	w.Bool(p.HasPayload)
+	w.U8(uint8(p.Emergency))
+	w.U8(p.Timestamp)
+	w.U16(p.SrcAddr)
+	w.U16(p.DstAddr)
+	w.Int(p.Hops)
+	w.Int(p.EmergencyHops)
+}
+
+func decPacket(r *snap.Reader) packet.Packet {
+	var p packet.Packet
+	p.Type = packet.Type(r.U8())
+	p.Key = r.U32()
+	p.Payload = r.U32()
+	p.HasPayload = r.Bool()
+	p.Emergency = packet.EmergencyState(r.U8())
+	p.Timestamp = r.U8()
+	p.SrcAddr = r.U16()
+	p.DstAddr = r.U16()
+	p.Hops = r.Int()
+	p.EmergencyHops = r.Int()
+	return p
+}
+
+func encFlit(w *snap.Writer, fl flit) {
+	encPacket(w, fl.pkt)
+	w.I64(int64(fl.injectedAt))
+}
+
+func decFlit(r *snap.Reader) flit {
+	fl := flit{pkt: decPacket(r)}
+	fl.injectedAt = sim.Time(r.I64())
+	return fl
+}
+
+// flitBlob encodes a flit as a descriptor blob.
+func flitBlob(fl flit) []byte {
+	var w snap.Writer
+	encFlit(&w, fl)
+	return w.Bytes()
+}
+
+func flitFromBlob(b []byte) (flit, error) {
+	r := snap.NewReader(b)
+	fl := decFlit(r)
+	if err := r.Err(); err != nil {
+		return flit{}, err
+	}
+	if r.Remaining() != 0 {
+		return flit{}, fmt.Errorf("router: %d trailing bytes in flit blob", r.Remaining())
+	}
+	return fl, nil
+}
+
+// descFlit builds a fabric event descriptor carrying a flit.
+func descFlit(kind string, fl flit, args ...uint64) *sim.Desc {
+	return &sim.Desc{Kind: kind, Args: args, Blob: flitBlob(fl)}
+}
+
+// EventFn re-creates the closure of a recorded fabric event. The node is
+// identified by the event's domain (node domains use the torus index as
+// their domain ID); kind/args/blob come from the recorded descriptor.
+func (f *Fabric) EventFn(nodeIdx int, kind string, args []uint64, blob []byte) (func(), error) {
+	if nodeIdx < 0 || nodeIdx >= len(f.nodes) {
+		return nil, fmt.Errorf("router: event for node %d outside torus", nodeIdx)
+	}
+	n := f.nodes[nodeIdx]
+	need := func(k int) error {
+		if len(args) != k {
+			return fmt.Errorf("router: %s expects %d args, got %d", kind, k, len(args))
+		}
+		return nil
+	}
+	switch kind {
+	case "fab.routeMC":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		fl, err := flitFromBlob(blob)
+		if err != nil {
+			return nil, err
+		}
+		travel := int(int64(args[0]))
+		return func() { n.routeMC(fl, travel) }, nil
+	case "fab.routeP2P":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		fl, err := flitFromBlob(blob)
+		if err != nil {
+			return nil, err
+		}
+		return func() { n.routeP2P(fl) }, nil
+	case "fab.retry":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		fl, err := flitFromBlob(blob)
+		if err != nil {
+			return nil, err
+		}
+		d, t0 := topo.Dir(args[0]), sim.Time(int64(args[1]))
+		return func() { n.retry(fl, d, t0) }, nil
+	case "fab.txdone":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		d := topo.Dir(args[0])
+		return func() { n.startTx(d) }, nil
+	case "fab.arrive":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		fl, err := flitFromBlob(blob)
+		if err != nil {
+			return nil, err
+		}
+		d := topo.Dir(args[0])
+		return func() { n.receive(fl, d) }, nil
+	case "fab.fwd":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		fl, err := flitFromBlob(blob)
+		if err != nil {
+			return nil, err
+		}
+		d := topo.Dir(args[0])
+		return func() { n.forward(fl, d) }, nil
+	default:
+		return nil, fmt.Errorf("router: unknown event kind %q", kind)
+	}
+}
+
+// EncodeState writes the node's dynamic state (everything except the
+// routing table and pending events): the canonical send sequence, output
+// link queues and health, the dropped-packet register and the
+// shard-owned tallies.
+func (n *Node) EncodeState(w *snap.Writer) {
+	w.U64(n.sendSeq)
+	w.U64(n.EmergencyNotices)
+	w.U64(n.DropNotices)
+	w.U64(n.UnroutableMC)
+	w.Len(len(n.Dropped))
+	for _, dp := range n.Dropped {
+		encPacket(w, dp.Pkt)
+		w.U8(uint8(dp.Dir))
+		w.Bool(dp.Aged)
+	}
+	w.U64(n.deliveredMC)
+	w.U64(n.deliveredP2P)
+	w.U64(n.dropped)
+	w.U64(n.aged)
+	w.U64(n.p2pUnroutable)
+	w.U64(n.emergencies)
+	w.Bool(n.p2pReady)
+	for d := range n.out {
+		l := &n.out[d]
+		w.Bool(l.failed)
+		w.Bool(l.busy)
+		w.U64(l.Traversals)
+		w.Len(len(l.queue))
+		for _, fl := range l.queue {
+			encFlit(w, fl)
+		}
+	}
+}
+
+// DecodeState overlays state written by EncodeState onto a freshly built
+// node. Link failures restored here do not re-price the engine lookahead;
+// the machine layer recomputes it for the restore partition.
+func (n *Node) DecodeState(r *snap.Reader) error {
+	n.sendSeq = r.U64()
+	n.EmergencyNotices = r.U64()
+	n.DropNotices = r.U64()
+	n.UnroutableMC = r.U64()
+	n.Dropped = nil
+	for i, k := 0, r.Len(); i < k && r.Err() == nil; i++ {
+		dp := DroppedPacket{Pkt: decPacket(r)}
+		dp.Dir = topo.Dir(r.U8())
+		dp.Aged = r.Bool()
+		n.Dropped = append(n.Dropped, dp)
+	}
+	n.deliveredMC = r.U64()
+	n.deliveredP2P = r.U64()
+	n.dropped = r.U64()
+	n.aged = r.U64()
+	n.p2pUnroutable = r.U64()
+	n.emergencies = r.U64()
+	n.p2pReady = r.Bool()
+	for d := range n.out {
+		l := &n.out[d]
+		l.failed = r.Bool()
+		l.busy = r.Bool()
+		l.Traversals = r.U64()
+		l.queue = nil
+		for i, k := 0, r.Len(); i < k && r.Err() == nil; i++ {
+			l.queue = append(l.queue, decFlit(r))
+		}
+	}
+	return r.Err()
+}

@@ -46,10 +46,25 @@ func (a eventKey) less(b eventKey) bool {
 	return a.k2 < b.k2
 }
 
-// An event is a closure scheduled to run at a simulated instant.
+// Desc is a serialisable description of a scheduled event: enough for a
+// snapshot to re-create the event's closure after a restore. Kind names
+// the resolver ("fab.arrive", "core.timer", ...), Args carries small
+// scalars and Blob an opaque payload (an encoded packet, say). Events
+// scheduled without a descriptor cannot be snapshotted — ExportEvents
+// reports them as an error, which is exactly how un-serialisable state
+// is audited out of the model.
+type Desc struct {
+	Kind string
+	Args []uint64
+	Blob []byte
+}
+
+// An event is a closure scheduled to run at a simulated instant,
+// optionally carrying a serialisable descriptor for snapshots.
 type event struct {
-	key eventKey
-	fn  func()
+	key  eventKey
+	desc *Desc
+	fn   func()
 }
 
 type eventHeap []event
@@ -74,6 +89,10 @@ type Scheduler interface {
 	Now() Time
 	At(t Time, fn func())
 	After(d Time, fn func())
+	// AtD/AfterD schedule like At/After but attach a serialisable
+	// descriptor, making the event snapshot-safe (see Desc).
+	AtD(t Time, desc *Desc, fn func())
+	AfterD(d Time, desc *Desc, fn func())
 	Ticker(period Time, fn func(tick uint64)) (cancel func())
 }
 
@@ -140,27 +159,33 @@ func (e *Engine) nextKey() (eventKey, bool) {
 	return e.events[0].key, true
 }
 
-func (e *Engine) push(key eventKey, fn func()) {
+func (e *Engine) push(key eventKey, desc *Desc, fn func()) {
 	if key.at < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", key.at, e.now))
 	}
-	heap.Push(&e.events, event{key: key, fn: fn})
+	heap.Push(&e.events, event{key: key, desc: desc, fn: fn})
 }
 
 // At schedules fn to run at absolute simulated time t, in the engine's
 // anonymous domain (FIFO among themselves at equal times). Scheduling
 // in the past panics: it indicates a causality bug in the model.
-func (e *Engine) At(t Time, fn func()) {
+func (e *Engine) At(t Time, fn func()) { e.AtD(t, nil, fn) }
+
+// AtD is At with a snapshot descriptor attached to the event.
+func (e *Engine) AtD(t Time, desc *Desc, fn func()) {
 	e.seq++
-	e.push(eventKey{at: t, domain: -1, k1: e.seq}, fn)
+	e.push(eventKey{at: t, domain: -1, k1: e.seq}, desc, fn)
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (e *Engine) After(d Time, fn func()) {
+func (e *Engine) After(d Time, fn func()) { e.AfterD(d, nil, fn) }
+
+// AfterD is After with a snapshot descriptor attached to the event.
+func (e *Engine) AfterD(d Time, desc *Desc, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	e.At(e.now+d, fn)
+	e.AtD(e.now+d, desc, fn)
 }
 
 // Step executes the next event, if any, advancing the clock to its
@@ -322,17 +347,23 @@ func (d *Domain) Scheduled() uint64 { return d.seq }
 func (d *Domain) Now() Time { return d.eng.now }
 
 // At schedules a domain-local event at absolute time t.
-func (d *Domain) At(t Time, fn func()) {
+func (d *Domain) At(t Time, fn func()) { d.AtD(t, nil, fn) }
+
+// AtD is At with a snapshot descriptor attached to the event.
+func (d *Domain) AtD(t Time, desc *Desc, fn func()) {
 	d.seq++
-	d.eng.push(eventKey{at: t, domain: d.id, k1: d.seq}, fn)
+	d.eng.push(eventKey{at: t, domain: d.id, k1: d.seq}, desc, fn)
 }
 
 // After schedules a domain-local event d nanoseconds from now.
-func (d *Domain) After(dur Time, fn func()) {
+func (d *Domain) After(dur Time, fn func()) { d.AfterD(dur, nil, fn) }
+
+// AfterD is After with a snapshot descriptor attached to the event.
+func (d *Domain) AfterD(dur Time, desc *Desc, fn func()) {
 	if dur < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", dur))
 	}
-	d.At(d.eng.now+dur, fn)
+	d.AtD(d.eng.now+dur, desc, fn)
 }
 
 // Ticker is Engine.Ticker in this domain.
@@ -346,5 +377,25 @@ func (d *Domain) Ticker(period Time, fn func(tick uint64)) (cancel func()) {
 // domain, so the delivery sorts identically no matter when — or on
 // which engine — it was physically inserted.
 func (d *Domain) DeliverAt(t Time, src int32, srcSeq uint64, fn func()) {
-	d.eng.push(eventKey{at: t, domain: d.id, class: 1, k1: uint64(src), k2: srcSeq}, fn)
+	d.DeliverAtD(t, src, srcSeq, nil, fn)
 }
+
+// DeliverAtD is DeliverAt with a snapshot descriptor attached.
+func (d *Domain) DeliverAtD(t Time, src int32, srcSeq uint64, desc *Desc, fn func()) {
+	d.eng.push(eventKey{at: t, domain: d.id, class: 1, k1: uint64(src), k2: srcSeq}, desc, fn)
+}
+
+// Inject re-creates an event with an explicit canonical key — exactly as
+// recorded by a snapshot — without consuming a fresh sequence number.
+// It is the restore-side counterpart of ExportEvents: the caller owns
+// key uniqueness (the keys come from a previously exported heap) and
+// must follow up with RestoreSeq so future locally-scheduled events sort
+// after the re-injected ones.
+func (d *Domain) Inject(t Time, class uint8, k1, k2 uint64, desc *Desc, fn func()) {
+	d.eng.push(eventKey{at: t, domain: d.id, class: class, k1: k1, k2: k2}, desc, fn)
+}
+
+// RestoreSeq overwrites the domain's local sequence counter. Snapshot
+// restore uses it so events scheduled after the restore draw the same
+// keys the straight run would have drawn.
+func (d *Domain) RestoreSeq(seq uint64) { d.seq = seq }

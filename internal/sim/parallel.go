@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -42,6 +43,7 @@ type mailMsg struct {
 	dst    *Domain
 	src    int32
 	srcSeq uint64
+	desc   *Desc
 	fn     func()
 }
 
@@ -370,8 +372,13 @@ func (pe *ParallelEngine) Pending() int {
 // bug in the model, not a recoverable condition. Outside a window
 // (sequential mode) the delivery is inserted immediately.
 func (pe *ParallelEngine) Post(src, dst int, dstDom *Domain, at Time, srcID int32, srcSeq uint64, fn func()) {
+	pe.PostD(src, dst, dstDom, at, srcID, srcSeq, nil, fn)
+}
+
+// PostD is Post with a snapshot descriptor attached to the delivery.
+func (pe *ParallelEngine) PostD(src, dst int, dstDom *Domain, at Time, srcID int32, srcSeq uint64, desc *Desc, fn func()) {
 	if !pe.inWindow.Load() {
-		dstDom.DeliverAt(at, srcID, srcSeq, fn)
+		dstDom.DeliverAtD(at, srcID, srcSeq, desc, fn)
 		return
 	}
 	if at < Time(pe.curLimit.Load()) {
@@ -380,7 +387,7 @@ func (pe *ParallelEngine) Post(src, dst int, dstDom *Domain, at Time, srcID int3
 	}
 	k := len(pe.shards)
 	pe.mail[src*k+dst] = append(pe.mail[src*k+dst],
-		mailMsg{at: at, dst: dstDom, src: srcID, srcSeq: srcSeq, fn: fn})
+		mailMsg{at: at, dst: dstDom, src: srcID, srcSeq: srcSeq, desc: desc, fn: fn})
 }
 
 // NextEventAt reports the earliest pending timestamp across shards.
@@ -412,7 +419,7 @@ func (pe *ParallelEngine) drainMail() {
 				continue
 			}
 			for _, m := range box {
-				m.dst.DeliverAt(m.at, m.src, m.srcSeq, m.fn)
+				m.dst.DeliverAtD(m.at, m.src, m.srcSeq, m.desc, m.fn)
 			}
 			pe.mail[src*k+dst] = box[:0]
 		}
@@ -794,3 +801,105 @@ func (pe *ParallelEngine) RunUntilAnyOf(deadline Time, watch *Domain, cond func(
 	}
 	return cond()
 }
+
+// EventRecord is one pending event in canonical-key form, as exported by
+// ExportEvents and re-injected by Domain.Inject: the full (time, domain,
+// class, k1, k2) key plus the serialisable descriptor that re-creates
+// the closure.
+type EventRecord struct {
+	At     Time
+	Domain int32
+	Class  uint8
+	K1, K2 uint64
+	Desc   Desc
+}
+
+// Quiescent reports nil when the engine sits at sequential quiescence —
+// no window in flight and every shard clock reading the same instant —
+// the only state snapshots may be taken in or restored into.
+func (pe *ParallelEngine) Quiescent() error {
+	if pe.inWindow.Load() {
+		return fmt.Errorf("sim: engine is inside a lookahead window")
+	}
+	now := pe.shards[0].now
+	for _, s := range pe.shards[1:] {
+		if s.now != now {
+			return fmt.Errorf("sim: shard clocks %v and %v disagree", now, s.now)
+		}
+	}
+	return nil
+}
+
+// ExportEvents returns every pending event across all shards in
+// canonical key order. It requires sequential quiescence, and it is an
+// audit: any pending event without a descriptor — or scheduled in the
+// anonymous engine domain, whose keys are shard-local — cannot be
+// restored and is reported as an error naming the offender.
+func (pe *ParallelEngine) ExportEvents() ([]EventRecord, error) {
+	if err := pe.Quiescent(); err != nil {
+		return nil, err
+	}
+	var out []EventRecord
+	for _, s := range pe.shards {
+		for _, ev := range s.events {
+			if ev.key.domain < 0 {
+				return nil, fmt.Errorf("sim: pending anonymous-domain event at %v cannot be snapshotted", ev.key.at)
+			}
+			if ev.desc == nil {
+				return nil, fmt.Errorf("sim: pending event at %v in domain %d has no descriptor", ev.key.at, ev.key.domain)
+			}
+			out = append(out, EventRecord{
+				At: ev.key.at, Domain: ev.key.domain, Class: ev.key.class,
+				K1: ev.key.k1, K2: ev.key.k2, Desc: *ev.desc,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a := eventKey{at: out[i].At, domain: out[i].Domain, class: out[i].Class, k1: out[i].K1, k2: out[i].K2}
+		b := eventKey{at: out[j].At, domain: out[j].Domain, class: out[j].Class, k1: out[j].K1, k2: out[j].K2}
+		return a.less(b)
+	})
+	return out, nil
+}
+
+// ResetEvents discards every pending event on every shard. Restore uses
+// it to wipe the rebuilt machine's own scheduled future before
+// re-injecting the recorded one.
+func (pe *ParallelEngine) ResetEvents() {
+	for _, s := range pe.shards {
+		s.events = nil
+	}
+}
+
+// RestoreClock advances every shard clock to exactly t. Legal only at
+// quiescence with no pending event earlier than t.
+func (pe *ParallelEngine) RestoreClock(t Time) error {
+	if err := pe.Quiescent(); err != nil {
+		return err
+	}
+	if t < pe.shards[0].now {
+		return fmt.Errorf("sim: restore clock %v is before current %v", t, pe.shards[0].now)
+	}
+	for _, s := range pe.shards {
+		s.advanceTo(t)
+	}
+	return nil
+}
+
+// AnonSeq reports the highest anonymous (engine-domain) sequence counter
+// across shards; RestoreAnonSeq installs it on the control shard — the
+// same convention Repartition uses — so future anonymous keys stay
+// unique after a restore.
+func (pe *ParallelEngine) AnonSeq() uint64 {
+	var max uint64
+	for _, s := range pe.shards {
+		if s.seq > max {
+			max = s.seq
+		}
+	}
+	return max
+}
+
+// RestoreAnonSeq overwrites the control shard's anonymous sequence
+// counter (see AnonSeq).
+func (pe *ParallelEngine) RestoreAnonSeq(v uint64) { pe.shards[0].seq = v }

@@ -32,6 +32,13 @@ func NewRNG(seed uint64) *RNG {
 // sub-component without sharing state.
 func (r *RNG) Fork() *RNG { return NewRNG(r.Uint64()) }
 
+// State returns the generator's internal state, for snapshots.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state, resuming the
+// stream exactly where a snapshotted generator left off.
+func (r *RNG) SetState(s [4]uint64) { r.s = s }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -296,6 +296,7 @@ func choosePartition(cfg MachineConfig, torus topo.Torus, params router.Params) 
 type unit struct {
 	frag        *mapping.Fragment
 	fragIdx     int // index into the routing plan's fragment list
+	gen         int // build generation: index into fragUnits[fragIdx]
 	slot        int // application-core slot actually occupied
 	tickBase    uint64
 	rng         *sim.RNG // private stream, survives migration
@@ -1034,9 +1035,11 @@ func (m *Machine) buildUnitAt(f *mapping.Fragment, fragIdx, slot int, tickBase u
 	}
 	hw := slots[slot]
 	dom := m.domAt(f.Chip)
+	gen := len(m.fragUnits[fragIdx])
 	u := &unit{
 		frag:     f,
 		fragIdx:  fragIdx,
+		gen:      gen,
 		slot:     slot,
 		tickBase: tickBase,
 		rng:      rng,
@@ -1045,6 +1048,10 @@ func (m *Machine) buildUnitAt(f *mapping.Fragment, fragIdx, slot int, tickBase u
 			MIPS: m.cfg.CoreMIPS, TimerPeriod: sim.Millisecond, DispatchOverhead: 100,
 		}),
 	}
+	// Snapshot identity: the kernel stamps its pending events with
+	// (fragment, generation) so a restore can resolve them back to this
+	// unit on any partition geometry.
+	u.core.SetSnapshotTag(uint64(fragIdx), uint64(gen))
 	cd := m.dplan.Cores[f.Chip][f.Core]
 
 	pop := f.Pop
@@ -1093,6 +1100,7 @@ func (m *Machine) buildUnitAt(f *mapping.Fragment, fragIdx, slot int, tickBase u
 			Size: row.SizeBytes(),
 			Tag:  key,
 			Done: func() { u.core.PostDMADone(key) },
+			Desc: &sim.Desc{Kind: "dma.row", Args: []uint64{uint64(fragIdx), uint64(gen), uint64(key)}},
 		})
 		return 80
 	})
@@ -1112,7 +1120,10 @@ func (m *Machine) buildUnitAt(f *mapping.Fragment, fragIdx, slot int, tickBase u
 			cost += c
 			if dirty {
 				tally.writeBacks++
-				u.dma.Enqueue(chip.DMARequest{Size: row.SizeBytes(), Write: true, Tag: ev.Tag})
+				u.dma.Enqueue(chip.DMARequest{
+					Size: row.SizeBytes(), Write: true, Tag: ev.Tag,
+					Desc: &sim.Desc{Kind: "dma.wb", Args: []uint64{uint64(fragIdx), uint64(gen), uint64(ev.Tag)}},
+				})
 			}
 		}
 		return cost + u.pop.ProcessRow(row)
@@ -1140,7 +1151,9 @@ func (m *Machine) buildUnitAt(f *mapping.Fragment, fragIdx, slot int, tickBase u
 
 	// Start the free-running local timer with a sub-millisecond phase
 	// offset: there is no global synchronisation (section 3.1).
-	dom.After(sim.Time(rng.Intn(int(sim.Millisecond))), u.core.Start)
+	dom.AfterD(sim.Time(rng.Intn(int(sim.Millisecond))),
+		&sim.Desc{Kind: "machine.corestart", Args: []uint64{uint64(fragIdx), uint64(gen)}},
+		u.core.Start)
 	return u, nil
 }
 
@@ -1189,7 +1202,9 @@ func (m *Machine) FailCoreOf(p Pop, idx int) error {
 	u.failed = true
 	u.core.Stop()
 	delete(m.units[frag.Chip], u.slot)
-	m.domAt(frag.Chip).After(MigrationDetectMS*sim.Millisecond, func() { m.migrate(u) })
+	m.domAt(frag.Chip).AfterD(MigrationDetectMS*sim.Millisecond,
+		&sim.Desc{Kind: "machine.migrate", Args: []uint64{uint64(u.fragIdx), uint64(u.gen)}},
+		func() { m.migrate(u) })
 	return nil
 }
 
@@ -1218,21 +1233,31 @@ func (m *Machine) migrate(old *unit) {
 	// Re-reading the synaptic matrix from SDRAM takes real time; the
 	// fragment resumes only after the copy completes.
 	bytes := old.pop.Matrix.Bytes
+	m.boot.Chip(chipCoord).SDRAM.TransferD(bytes,
+		&sim.Desc{Kind: "machine.migrated", Args: []uint64{uint64(old.fragIdx), uint64(old.gen), uint64(spare)}},
+		func() { m.finishMigrate(old, spare) })
+}
+
+// finishMigrate completes a migration once the SDRAM copy lands: the
+// fragment is rebuilt on the chosen spare slot with its clock re-aligned
+// to machine time. Runs as the copy's completion event, on the chip's
+// shard.
+func (m *Machine) finishMigrate(old *unit, spare int) {
+	chipCoord := old.frag.Chip
+	tally := m.tallyAt(chipCoord)
 	dom := m.domAt(chipCoord)
-	m.boot.Chip(chipCoord).SDRAM.Transfer(bytes, func() {
-		nu, err := m.buildUnitAt(old.frag, old.fragIdx, spare,
-			uint64((dom.Now()-m.epoch)/sim.Millisecond), old.rng)
-		if err != nil {
-			tally.migrationFailures++
-			return
-		}
-		// Repoint the chip's multicast routing at the slot the rebuilt
-		// unit actually landed on: readers that resolve the fragment
-		// (Spikes, MeanWeightNA, KillNeuron via unitOf) see the
-		// migrated core from here on.
-		m.fab.Node(chipCoord).Table.RewriteCore(old.slot, nu.slot)
-		tally.migrations++
-	})
+	nu, err := m.buildUnitAt(old.frag, old.fragIdx, spare,
+		uint64((dom.Now()-m.epoch)/sim.Millisecond), old.rng)
+	if err != nil {
+		tally.migrationFailures++
+		return
+	}
+	// Repoint the chip's multicast routing at the slot the rebuilt
+	// unit actually landed on: readers that resolve the fragment
+	// (Spikes, MeanWeightNA, KillNeuron via unitOf) see the
+	// migrated core from here on.
+	m.fab.Node(chipCoord).Table.RewriteCore(old.slot, nu.slot)
+	tally.migrations++
 }
 
 // Run advances the machine by ms milliseconds of biological time —
@@ -1325,9 +1350,12 @@ func (m *Machine) InjectSpike(p Pop, idx int, atMS int) error {
 	if at < dom.Now() {
 		return fmt.Errorf("spinngo: injection time %dms is in the past", atMS)
 	}
-	dom.At(at, func() {
-		m.fab.InjectMC(frag.Chip, packet.NewMC(frag.KeyFor(idx)))
-	})
+	key := frag.KeyFor(idx)
+	dom.AtD(at,
+		&sim.Desc{Kind: "machine.injectmc", Args: []uint64{uint64(frag.Chip.X), uint64(frag.Chip.Y), uint64(key)}},
+		func() {
+			m.fab.InjectMC(frag.Chip, packet.NewMC(key))
+		})
 	return nil
 }
 

@@ -1,0 +1,479 @@
+package spinngo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden snapshot hash")
+
+// The checkpoint contract (README "Checkpoint & replay"): running to T,
+// snapshotting, restoring on ANY worker count and partition geometry and
+// running to the end is byte-identical to the uninterrupted run. These
+// tests pin that contract on the hardest state a snapshot can carry: a
+// pending injected spike, a core fault whose migration has not fired
+// yet, plastic synapses mid-update, dead links, and host-command debris.
+
+// snapConfig is the snapshot reference geometry: a 4x4 torus tiled into
+// 2x2 boards with slow board links, so the boards partition is available
+// as a restore target and the live cut mixes link classes.
+func snapConfig(seed uint64, workers int, partition string) MachineConfig {
+	return MachineConfig{
+		Width: 4, Height: 4, Seed: seed, Workers: workers, Partition: partition,
+		MaxAppCoresPerChip: 2, Boards: "2x2", BoardLinkParams: BoardLinkSlow,
+	}
+}
+
+// snapPrepare boots and loads the reference workload and runs it to the
+// snapshot instant: 40 ms in, with a spike injection pending at 55 ms, a
+// plastic recurrent projection mid-adaptation, and a core fault whose
+// migration watchdog has not fired yet. With failLinks it also kills a
+// board-edge link and an on-board link mid-run, so the snapshot carries
+// a re-shaped live cut.
+func snapPrepare(t *testing.T, seed uint64, workers int, partition string, failLinks bool) *Machine {
+	t.Helper()
+	m, err := NewMachine(snapConfig(seed, workers, partition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	model := NewModel()
+	stim := model.AddPoisson("stim", 80, 150)
+	exc := model.AddLIF("exc", 300, DefaultLIFConfig())
+	if err := model.Connect(stim, exc, Conn{
+		Rule: RandomRule, P: 0.2, WeightNA: 1.2, DelayMS: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Connect(exc, exc, Conn{
+		Rule: RandomRule, P: 0.05, WeightNA: 0.5, DelayMS: 1, STDP: DefaultSTDPRule(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Load(model); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectSpike(exc, 5, 55); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	if failLinks {
+		// (1,1)N crosses the y=1|2 board edge; (2,2)E stays on-board.
+		if err := m.FailLink(1, 1, "N"); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.FailLink(2, 2, "E"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.FailCoreOf(exc, 0); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// snapFinish runs the remaining 40 ms and renders every observable the
+// public API reports into one fingerprint string.
+func snapFinish(t *testing.T, m *Machine) string {
+	t.Helper()
+	rep, err := m.Run(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString(rep.String())
+	fmt.Fprintf(&b, "migrations: %d/%d writebacks: %d delivered: %d\n",
+		rep.Migrations, rep.MigrationFailures, rep.SynapseWriteBacks, rep.PacketsDelivered)
+	for _, name := range []string{"stim", "exc"} {
+		p, ok := m.Pop(name)
+		if !ok {
+			t.Fatalf("population %q missing from the machine", name)
+		}
+		spikes := m.Spikes(p)
+		sort.Slice(spikes, func(i, j int) bool {
+			if spikes[i].TimeMS != spikes[j].TimeMS {
+				return spikes[i].TimeMS < spikes[j].TimeMS
+			}
+			return spikes[i].Neuron < spikes[j].Neuron
+		})
+		fmt.Fprintf(&b, "%s raster:", name)
+		for _, s := range spikes {
+			fmt.Fprintf(&b, " %d@%d", s.Neuron, s.TimeMS)
+		}
+		b.WriteString("\n")
+	}
+	exc, _ := m.Pop("exc")
+	fmt.Fprintf(&b, "meanW: %v\n", m.MeanWeightNA(exc))
+	return b.String()
+}
+
+// TestDeterminismSnapshotRoundTrip pins the tentpole contract across the
+// restore matrix: a snapshot taken at 40 ms on one execution strategy,
+// restored onto a different {partition geometry, worker count}, finishes
+// byte-identical to the uninterrupted run — including the pending
+// injection, the unexpired migration watchdog and the plastic weights.
+func TestDeterminismSnapshotRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine determinism sweep")
+	}
+	straight := snapPrepare(t, 17, 1, PartitionBands, false)
+	ref := snapFinish(t, straight)
+	straight.Close()
+
+	src := snapPrepare(t, 17, 1, PartitionBands, false)
+	data, err := src.Snapshot()
+	src.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cell := range []struct {
+		workers   int
+		partition string
+	}{
+		{1, PartitionBands},
+		{4, PartitionBands},
+		{4, PartitionBlocks},
+		{2, PartitionBoards},
+		{0, PartitionAuto},
+	} {
+		m, err := RestoreOn(data, cell.workers, cell.partition)
+		if err != nil {
+			t.Fatalf("restore %s/%d: %v", cell.partition, cell.workers, err)
+		}
+		got := snapFinish(t, m)
+		m.Close()
+		if got != ref {
+			t.Errorf("restore on %s/%d diverged from the uninterrupted run:\n--- straight ---\n%s--- restored ---\n%s",
+				cell.partition, cell.workers, ref, got)
+		}
+	}
+
+	// The reverse direction: snapshot taken under a parallel blocks
+	// execution, restored onto the sequential bands reference.
+	src4 := snapPrepare(t, 17, 4, PartitionBlocks, false)
+	data4, err := src4.Snapshot()
+	src4.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RestoreOn(data4, 1, PartitionBands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := snapFinish(t, m)
+	m.Close()
+	if got != ref {
+		t.Errorf("blocks/4 snapshot restored on bands/1 diverged from the uninterrupted run")
+	}
+
+	// Restore without overrides resumes on the recorded strategy.
+	m2, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snapFinish(t, m2); got != ref {
+		t.Errorf("Restore on the recorded strategy diverged from the uninterrupted run")
+	}
+	m2.Close()
+}
+
+// TestDeterminismSnapshotFailLink extends the matrix with mid-run link
+// faults: the snapshot carries a re-shaped live cut (a dead board-edge
+// link and a dead on-board link) plus the still-pending migration, and
+// restoring onto other geometries re-prices their lookahead from the
+// restored link health without changing a single observable.
+func TestDeterminismSnapshotFailLink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine determinism sweep")
+	}
+	straight := snapPrepare(t, 23, 1, PartitionBands, true)
+	ref := snapFinish(t, straight)
+	straight.Close()
+
+	src := snapPrepare(t, 23, 1, PartitionBands, true)
+	data, err := src.Snapshot()
+	src.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range []struct {
+		workers   int
+		partition string
+	}{
+		{4, PartitionBlocks},
+		{4, PartitionBoards},
+	} {
+		m, err := RestoreOn(data, cell.workers, cell.partition)
+		if err != nil {
+			t.Fatalf("restore %s/%d: %v", cell.partition, cell.workers, err)
+		}
+		got := snapFinish(t, m)
+		m.Close()
+		if got != ref {
+			t.Errorf("faillink restore on %s/%d diverged from the uninterrupted run",
+				cell.partition, cell.workers)
+		}
+	}
+}
+
+// hostDebrisPrepare runs the workload to 20 ms, then leaves the richest
+// host-command residue a legal snapshot can contain: the deadline events
+// of a resolved batch (writes and a ping), and the in-flight response
+// chunks of a bulk read that hit its deadline mid-stream.
+func hostDebrisPrepare(t *testing.T, seed uint64, workers int, partition string) *Machine {
+	t.Helper()
+	m, err := NewMachine(snapConfig(seed, workers, partition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	model := NewModel()
+	stim := model.AddPoisson("stim", 80, 150)
+	exc := model.AddLIF("exc", 300, DefaultLIFConfig())
+	if err := model.Connect(stim, exc, Conn{
+		Rule: RandomRule, P: 0.2, WeightNA: 1.2, DelayMS: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Load(model); err != nil {
+		t.Fatal(err)
+	}
+	hl, err := m.AttachHost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	// Batch 1 resolves cleanly under the default deadline; its expire
+	// events stay pending until long after the snapshot.
+	p := hl.Batch(4)
+	for i := 0; i < 4; i++ {
+		p.WriteMem(i, 3-i, 0x400, []byte(fmt.Sprintf("debris-%d", i)))
+	}
+	bulk := make([]byte, 512)
+	for i := range bulk {
+		bulk[i] = byte(i)
+	}
+	// The bulk transfer stays on the gateway's own board: the 4-byte
+	// chunk cadence outruns a slow board-to-board link's serialisation
+	// and overflows its queue, which is a congestion experiment, not a
+	// checkpoint one.
+	p.WriteMem(1, 1, 0x800, bulk)
+	p.Ping(3, 3)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("batch command %d failed: %v", i, r.Err)
+		}
+	}
+	// Batch 2: a bulk read whose deadline lands while its response is
+	// still streaming back — the command resolves as timed out, but its
+	// remaining chunk events survive into the snapshot. The request
+	// header alone costs ~51us of Ethernet time and the 128-chunk
+	// response streams from ~52us to ~93us, so a 70us deadline lands
+	// mid-stream with margin on both sides.
+	p2 := hl.Batch(1).Timeout(70 * time.Microsecond)
+	ri := p2.ReadMem(1, 1, 0x800, len(bulk))
+	res2, err := p2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res2[ri].Err, ErrHostTimeout) {
+		t.Fatalf("bulk read under a 70us deadline resolved with %v, want ErrHostTimeout; retune the deadline so it lands mid-stream", res2[ri].Err)
+	}
+	return m
+}
+
+// TestDeterminismSnapshotHostDebris pins the host-path cells: a snapshot
+// taken right after batched host traffic — resolved-command deadline
+// events and the chunk stream of a read that timed out mid-response —
+// restores onto a different geometry byte-identically.
+func TestDeterminismSnapshotHostDebris(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine determinism sweep")
+	}
+	straight := hostDebrisPrepare(t, 31, 1, PartitionBands)
+	ref := snapFinish(t, straight)
+	straight.Close()
+
+	src := hostDebrisPrepare(t, 31, 1, PartitionBands)
+	data, err := src.Snapshot()
+	src.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range []struct {
+		workers   int
+		partition string
+	}{
+		{1, PartitionBands},
+		{4, PartitionBlocks},
+	} {
+		m, err := RestoreOn(data, cell.workers, cell.partition)
+		if err != nil {
+			t.Fatalf("restore %s/%d: %v", cell.partition, cell.workers, err)
+		}
+		got := snapFinish(t, m)
+		m.Close()
+		if got != ref {
+			t.Errorf("host-debris restore on %s/%d diverged from the uninterrupted run:\n--- straight ---\n%s--- restored ---\n%s",
+				cell.partition, cell.workers, ref, got)
+		}
+	}
+}
+
+// TestSnapshotResnapshotByteIdentical pins the serialisation itself:
+// restoring an image and immediately snapshotting again reproduces the
+// identical bytes — every descriptor, counter and RNG stream survives
+// the round trip with nothing lost and nothing invented.
+func TestSnapshotResnapshotByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine determinism sweep")
+	}
+	src := snapPrepare(t, 17, 1, PartitionBands, false)
+	s1, err := src.Snapshot()
+	src.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Restore(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.Snapshot()
+	m.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s2) {
+		i := 0
+		for i < len(s1) && i < len(s2) && s1[i] == s2[i] {
+			i++
+		}
+		t.Errorf("re-snapshot diverged: lengths %d vs %d, first difference at byte %d", len(s1), len(s2), i)
+	}
+}
+
+// TestSnapshotErrors pins the failure modes: snapshots are illegal
+// before boot and load, and corrupt, truncated, version-skewed or
+// trailing-garbage images are rejected up front.
+func TestSnapshotErrors(t *testing.T) {
+	m, err := NewMachine(MachineConfig{Width: 2, Height: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Snapshot(); err == nil {
+		t.Error("Snapshot before Boot succeeded")
+	}
+	if _, err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Snapshot(); err == nil {
+		t.Error("Snapshot before Load succeeded")
+	}
+	model := NewModel()
+	stim := model.AddPoisson("stim", 4, 100)
+	exc := model.AddLIF("exc", 8, DefaultLIFConfig())
+	if err := model.Connect(stim, exc, Conn{Rule: AllToAllRule, WeightNA: 1, DelayMS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Load(model); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Restore(nil); err == nil {
+		t.Error("Restore(nil) succeeded")
+	}
+	if _, err := Restore([]byte("not a snapshot")); err == nil {
+		t.Error("Restore of junk succeeded")
+	}
+	if _, err := Restore(data[:len(data)-7]); err == nil {
+		t.Error("Restore of a truncated image succeeded")
+	}
+	trailing := append(append([]byte(nil), data...), 0xFF)
+	if _, err := Restore(trailing); err == nil {
+		t.Error("Restore with trailing garbage succeeded")
+	}
+	// Byte 16 is the low byte of the format version (after the 4-byte
+	// length prefix and 12-byte magic).
+	skewed := append([]byte(nil), data...)
+	skewed[16]++
+	if _, err := Restore(skewed); err == nil {
+		t.Error("Restore of a version-skewed image succeeded")
+	}
+	if _, err := RestoreOn(data, 0, "spiral"); err == nil {
+		t.Error("RestoreOn with an unknown partition succeeded")
+	}
+	// The machine that produced the image is untouched by all of this.
+	if _, err := m.Run(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotGolden pins the on-disk format: the reference workload's
+// snapshot must hash to the checked-in golden value for the current
+// SnapshotVersion. Any change to what is serialised (or its order)
+// changes the hash — bump SnapshotVersion and regenerate the golden with
+// `go test -run TestSnapshotGolden -update .` in the same change.
+func TestSnapshotGolden(t *testing.T) {
+	src := snapPrepare(t, 17, 1, PartitionBands, false)
+	data, err := src.Snapshot()
+	src.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir := os.Getenv("SNAPSHOT_ARTIFACT_DIR"); dir != "" {
+		name := filepath.Join(dir, fmt.Sprintf("golden-v%d.snap", SnapshotVersion))
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			t.Fatalf("writing snapshot artifact: %v", err)
+		}
+	}
+	sum := sha256.Sum256(data)
+	got := hex.EncodeToString(sum[:])
+	golden := filepath.Join("testdata", fmt.Sprintf("snapshot-v%d.sha256", SnapshotVersion))
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("no golden hash for format v%d (%v); if the format changed, bump SnapshotVersion and regenerate with `go test -run TestSnapshotGolden -update .`", SnapshotVersion, err)
+	}
+	if got != strings.TrimSpace(string(want)) {
+		t.Errorf("snapshot image changed without a format version bump:\n  golden %s\n  got    %s\nbump SnapshotVersion and regenerate the golden in the same change", strings.TrimSpace(string(want)), got)
+	}
+}
