@@ -35,7 +35,7 @@ cover:
 # boards comparison plus the shifting-hotspot repartition scenario),
 # recorded as JSON for the bench trajectory.
 bench:
-	$(GO) run ./cmd/benchsweep -out BENCH_PR5.json
+	$(GO) run ./cmd/benchsweep -out BENCH_PR7.json
 
 # The same sweep through `go test -bench` (human-readable only).
 bench-workers:

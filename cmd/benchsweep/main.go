@@ -1,7 +1,7 @@
 // Command benchsweep measures the sharded engine's scaling across
 // partition geometries, worker counts, torus sizes and board
 // hierarchies, and writes the results as JSON — the repo's bench
-// trajectory record (`make bench` writes BENCH_PR5.json). The sweep has
+// trajectory record (`make bench` writes BENCH_PR7.json). The sweep has
 // four parts: the 8x8 reference worker sweep (bands/blocks x workers),
 // the board-hierarchy comparison (bands vs blocks vs boards on
 // heterogeneous 8x8, 16x16 and 32x32 machines with slow board-to-board
@@ -13,26 +13,43 @@
 //
 // Usage:
 //
-//	benchsweep [-out BENCH_PR5.json] [-hierarchy-only] [-workers-only]
+//	benchsweep [-out BENCH_PR7.json] [-hierarchy-only] [-workers-only]
 //	           [-hotspot-only] [-hostload-only] [-quick]
+//	           [-cpuprofile sweep.cpu.pprof] [-memprofile sweep.mem.pprof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"spinngo/internal/benchsweep"
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "JSON output path ('' = stdout table only)")
+	out := flag.String("out", "BENCH_PR7.json", "JSON output path ('' = stdout table only)")
 	hierOnly := flag.Bool("hierarchy-only", false, "run only the board-hierarchy comparison")
 	workersOnly := flag.Bool("workers-only", false, "run only the 8x8 worker sweep")
 	hotspotOnly := flag.Bool("hotspot-only", false, "run only the shifting-hotspot repartition scenario")
 	hostloadOnly := flag.Bool("hostload-only", false, "run only the host-load (serial vs batch vs flood-fill) scenario")
 	quick := flag.Bool("quick", false, "one iteration per cell (CI smoke; structural columns exact, timing noisy)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	exclusive := 0
 	for _, f := range []bool{*hierOnly, *workersOnly, *hotspotOnly, *hostloadOnly} {
 		if f {
@@ -88,10 +105,22 @@ func main() {
 			results = append(results, r)
 		}
 	}
+	benchsweep.AnnotateSpeedup(results)
 	if *out != "" {
 		if err := benchsweep.WriteJSON(*out, results); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -9,7 +9,9 @@
 //	         [-p 0.05] [-weight 0.8] [-delay 2] [-ms 500]
 //	         [-faillink "1,1,E"] [-raster] [-seed 1] [-workers 0]
 //	         [-partition auto] [-boards WxH] [-boardlink slow]
-//	         [-repartition] [-snapshot ckpt.snap] [-restore ckpt.snap]
+//	         [-repartition] [-queue wheel] [-snapshot ckpt.snap]
+//	         [-restore ckpt.snap] [-cpuprofile run.cpu.pprof]
+//	         [-memprofile run.mem.pprof]
 //
 // -snapshot writes a checkpoint image after the run; -restore resumes
 // from one instead of building a machine (only -ms, -workers, -partition,
@@ -23,6 +25,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"spinngo"
@@ -46,9 +50,23 @@ func main() {
 	boards := flag.String("boards", "", "board tiling in chips, e.g. \"8x2\" ('' = uniform fabric); board-crossing links use board-to-board PHY params")
 	boardlink := flag.String("boardlink", "", "board-to-board link preset: slow (default) or uniform; requires -boards")
 	repartition := flag.Bool("repartition", false, "re-partition at quiescence boundaries when the observed event density warrants it; any setting yields the same results")
+	queue := flag.String("queue", "", "event queue implementation: wheel (default) or heap (debug reference); any choice yields the same results; ignored with -restore")
 	snapshotPath := flag.String("snapshot", "", "write a checkpoint image to this file after the run")
 	restorePath := flag.String("restore", "", "resume from a checkpoint image; -workers/-partition pick the execution strategy, everything else comes from the image")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var machine *spinngo.Machine
 	var stimPop, excPop spinngo.Pop
@@ -80,6 +98,7 @@ func main() {
 		machine, err = spinngo.NewMachine(spinngo.MachineConfig{
 			Width: *w, Height: *h, Seed: *seed, Workers: *workers, Partition: *partition,
 			Boards: *boards, BoardLinkParams: *boardlink, Repartition: policy,
+			EventQueue: *queue,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -181,6 +200,17 @@ func main() {
 	}
 	if *raster && havePops {
 		printRaster(machine, excPop, *ms)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -2,7 +2,7 @@
 // end-to-end machine benchmark in one place, so that the
 // BenchmarkMachineBioSecondWorkers sub-benchmarks (`make bench-workers`,
 // the CI smoke step) and the JSON bench emitter (`make bench`, written
-// to BENCH_PR5.json) measure exactly the same workloads.
+// to BENCH_PR7.json) measure exactly the same workloads.
 //
 // Four sweeps share the harness. The worker sweep is the 8x8 reference
 // machine of BENCH_PR2: fragments spread across all chips, a dense
@@ -120,6 +120,12 @@ type Result struct {
 	// Spikes fingerprints the workload: identical for every cell of the
 	// same (torus, boards) pair, per the determinism contract.
 	Spikes float64 `json:"spikes"`
+	// SpeedupVsW1 is this cell's wall-clock speedup over the workers=1
+	// cell of the same (torus, boards, partition, scenario) — the
+	// multi-core scaling row. Filled by AnnotateSpeedup; 0 when the
+	// sweep holds no 1-worker base for the cell. On a single-core host
+	// the honest value hovers at or below 1.
+	SpeedupVsW1 float64 `json:"speedup_vs_w1,omitempty"`
 	// Repartitions counts runtime partition swaps (0 for fixed cells).
 	Repartitions uint64 `json:"repartitions,omitempty"`
 	// HostTransitions and BytesLoaded are the host-load scenario's
@@ -323,6 +329,28 @@ func MeasureQuick(cfg Config) (Result, error) {
 		r.EventsPerWindow = float64(events) / float64(windows)
 	}
 	return r, nil
+}
+
+// AnnotateSpeedup fills each result's SpeedupVsW1 from the workers=1
+// cell sharing its machine and scenario, turning the worker sweep into
+// an explicit wall-clock scaling row.
+func AnnotateSpeedup(results []Result) {
+	type key struct {
+		w, h                        int
+		boards, partition, scenario string
+	}
+	base := make(map[key]int64)
+	for _, r := range results {
+		if r.Workers == 1 && r.NsPerOp > 0 {
+			base[key{r.Width, r.Height, r.Boards, r.Partition, r.Scenario}] = r.NsPerOp
+		}
+	}
+	for i := range results {
+		r := &results[i]
+		if b, ok := base[key{r.Width, r.Height, r.Boards, r.Partition, r.Scenario}]; ok && r.NsPerOp > 0 {
+			r.SpeedupVsW1 = float64(b) / float64(r.NsPerOp)
+		}
+	}
 }
 
 // Report is the file written by `make bench`.

@@ -29,9 +29,10 @@ import (
 const (
 	cmdPing uint32 = iota + 1
 	cmdPong
-	cmdReboot // payload: forced monitor core
-	cmdCoord  // payload: packed claimed coordinate
-	cmdBlock  // payload: block index
+	cmdReboot   // payload: forced monitor core
+	cmdCoord    // payload: packed claimed coordinate
+	cmdBlock    // payload: block index
+	cmdCoordReq // a late riser asking its rescuer to re-flood coordinates
 )
 
 // Config parameterises a boot run.
@@ -62,6 +63,12 @@ type Config struct {
 	// the host link's flood-fill batch instead, under parallel windows.
 	// Result.Loaded and LoadTime stay zero.
 	SkipLoad bool
+	// Seed decorrelates the per-chip rescue RNG streams. Rescue monitor
+	// elections draw from a chip-local stream (seeded from Seed and the
+	// chip index) rather than the controller's setup RNG, so event-time
+	// draws never depend on cross-shard event interleaving — and a
+	// healthy boot draws nothing from them at all.
+	Seed uint64
 }
 
 // DefaultConfig returns paper-scale boot parameters.
@@ -76,14 +83,29 @@ func DefaultConfig() Config {
 	}
 }
 
-// nodeState is one chip's boot progress.
+// nodeState is one chip's boot progress. Every field is written only by
+// the chip's own events (or the sequential phase setup), which is what
+// lets the boot drains run under parallel windows: a shard never
+// touches another shard's node state.
 type nodeState struct {
 	chip     *chip.Chip
 	alive    bool
 	rescued  bool
+	monitor  int // elected monitor core, -1 until boot
 	hasCoord bool
 	derived  topo.Coord
 	p2pReady bool
+	// pongSeen records, per outgoing link, that the probed neighbour
+	// answered — the chip-local fact the rescue timeout consults
+	// instead of peeking at the neighbour's alive flag.
+	pongSeen [topo.NumDirs]bool
+	// nnSent counts nearest-neighbour packets this chip originated;
+	// summed into Result.NNPackets at finalise.
+	nnSent uint64
+	// rescueRNG drives this chip's rescue-path monitor election. It is
+	// deterministic in (Config.Seed, chip index) alone and untouched on
+	// a healthy boot.
+	rescueRNG *sim.RNG
 	// blocks maps block index -> copies seen.
 	blocks     map[uint32]int
 	loadedAt   sim.Time
@@ -116,10 +138,11 @@ type Result struct {
 	NNPackets uint64
 }
 
-// Controller orchestrates a boot over a fabric. It keeps cross-chip
-// state (counters, rescue bookkeeping), so the boot phases run in the
-// Runner's deterministic sequential mode; per-chip events are scheduled
-// on each chip's own (possibly sharded) engine.
+// Controller orchestrates a boot over a fabric. The sequential phase
+// setup (self-test, probe scheduling, flood seeding) runs on the caller
+// between drains; every event handler touches only the receiving
+// chip's own state, so the drains themselves run under the Runner's
+// normal PDES windows — boot parallelises like any other workload.
 type Controller struct {
 	run   sim.Runner
 	fab   *router.Fabric
@@ -144,8 +167,11 @@ func NewController(run sim.Runner, fab *router.Fabric, cfg Config) *Controller {
 	}
 	for _, n := range fab.Nodes() {
 		c.nodes[n.Coord] = &nodeState{
-			chip:   chip.New(n.Domain(), n.Coord, cfg.Cores),
-			blocks: make(map[uint32]int),
+			chip:    chip.New(n.Domain(), n.Coord, cfg.Cores),
+			monitor: -1,
+			blocks:  make(map[uint32]int),
+			rescueRNG: sim.NewRNG(cfg.Seed ^
+				0x9e3779b97f4a7c15*uint64(n.Index()+1)),
 		}
 	}
 	fab.OnNN = c.handleNN
@@ -155,26 +181,28 @@ func NewController(run sim.Runner, fab *router.Fabric, cfg Config) *Controller {
 // Chip exposes a node's chip (for inspection in tests and the host).
 func (c *Controller) Chip(at topo.Coord) *chip.Chip { return c.nodes[at].chip }
 
-// send wraps fabric nn transmission with accounting.
+// send wraps fabric nn transmission with accounting. The tally lives on
+// the sending chip (shard-owned); finalise sums the machine-wide count.
 func (c *Controller) send(from topo.Coord, d topo.Dir, cmd, payload uint32) {
-	c.res.NNPackets++
+	c.nodes[from].nnSent++
 	c.fab.SendNN(from, d, packet.NewNN(cmd, payload))
 }
 
 // Run executes the whole boot sequence and reports the result. The
-// engine is run to quiescence inside.
+// engine is drained to quiescence between phases, under its normal
+// execution mode — parallel windows on a sharded engine.
 func (c *Controller) Run() (*Result, error) {
 	if c.cfg.Redundancy < 1 {
 		return nil, fmt.Errorf("boot: redundancy must be >= 1")
 	}
 	c.phaseLocalBoot()
 	c.phaseProbeAndRescue()
-	c.run.Run()
+	c.run.Drain()
 	c.phaseCoordinates()
-	c.run.Run()
+	c.run.Drain()
 	if !c.cfg.SkipLoad {
 		c.phaseLoad()
-		c.run.Run()
+		c.run.Drain()
 	}
 	c.finalise()
 	return &c.res, nil
@@ -185,7 +213,6 @@ func (c *Controller) Run() (*Result, error) {
 // must not depend on map iteration order, or the boot (and everything
 // seeded after it) stops being reproducible.
 func (c *Controller) phaseLocalBoot() {
-	c.res.Monitors = make(map[topo.Coord]int)
 	for _, n := range c.fab.Nodes() {
 		coord := n.Coord
 		st := c.nodes[coord]
@@ -199,14 +226,18 @@ func (c *Controller) phaseLocalBoot() {
 		}
 		if id, err := st.chip.ElectMonitor(c.run.RNG()); err == nil {
 			st.alive = true
-			c.res.Monitors[coord] = id
+			st.monitor = id
 			c.res.BootedLocally++
 		}
 	}
 }
 
 // phaseProbeAndRescue: alive chips ping all six neighbours; missing
-// responses trigger a rescue reboot over nn.
+// responses trigger a rescue reboot over nn. The timeout consults the
+// chip's own pong record, never the neighbour's state: a rescue nudge
+// sent to a chip that was alive (or already rescued) all along is
+// simply ignored on arrival, exactly as redundant reboot requests from
+// multiple rescuers already are.
 func (c *Controller) phaseProbeAndRescue() {
 	for _, n := range c.fab.Nodes() {
 		coord := n.Coord
@@ -222,9 +253,8 @@ func (c *Controller) phaseProbeAndRescue() {
 			})
 			// If the neighbour stays silent, attempt the rescue: copy
 			// boot code (abstracted) and force a reboot.
-			nb := c.torus.Neighbor(coord, d)
 			dom.After(c.cfg.ProbeTimeout, func() {
-				if !c.nodes[nb].alive && !c.cfg.HardDeadChips[nb] {
+				if !st.pongSeen[d] {
 					c.send(coord, d, cmdReboot, 0)
 				}
 			})
@@ -280,22 +310,29 @@ func (c *Controller) handleNN(n *router.Node, from topo.Dir, pkt packet.Packet) 
 			c.send(n.Coord, from, cmdPong, 0)
 		}
 	case cmdPong:
-		// Liveness confirmed; nothing further needed in this model.
+		// Liveness confirmed: remember it on the probing chip, where the
+		// rescue timeout will look.
+		st.pongSeen[from] = true
 	case cmdReboot:
 		if st.alive || c.cfg.HardDeadChips[n.Coord] {
 			return
 		}
 		// Boot code arrives over nn; the neighbour forces the monitor
-		// choice and the chip reboots.
-		if id, err := st.chip.ElectMonitor(c.run.RNG()); err == nil {
+		// choice and the chip reboots. The election draws from this
+		// chip's own rescue stream — never the shared setup RNG, whose
+		// event-time draw order would depend on shard interleaving.
+		if id, err := st.chip.ElectMonitor(st.rescueRNG); err == nil {
 			st.alive = true
 			st.rescued = true
-			c.res.Monitors[n.Coord] = id
-			c.res.Rescued++
-			// A late riser must learn its coordinates too.
-			if nbSt := c.nodes[c.torus.Neighbor(n.Coord, from)]; nbSt.hasCoord {
-				c.propagateCoord(c.torus.Neighbor(n.Coord, from))
-			}
+			st.monitor = id
+			// A late riser must learn its coordinates too: ask the
+			// rescuer to re-flood, rather than reaching into its state
+			// from this chip's event.
+			c.send(n.Coord, from, cmdCoordReq, 0)
+		}
+	case cmdCoordReq:
+		if st.alive && st.hasCoord {
+			c.propagateCoord(n.Coord)
 		}
 	case cmdCoord:
 		if !st.alive || st.hasCoord {
@@ -360,16 +397,27 @@ func BlockContent(idx uint32, size int) []byte {
 	return out
 }
 
-// finalise computes the result summary.
+// finalise computes the result summary, folding the per-chip tallies
+// (monitor elections, rescues, nn packet counts) into the machine-wide
+// Result — integer sums and index-ordered map fills, independent of the
+// event interleaving that produced them.
 func (c *Controller) finalise() {
+	c.res.Monitors = make(map[topo.Coord]int)
 	coordOK := true
 	var lastCoord, lastLoad sim.Time
 	for _, n := range c.fab.Nodes() {
 		coord := n.Coord
 		st := c.nodes[coord]
+		c.res.NNPackets += st.nnSent
 		if !st.alive {
 			c.res.DeadForever++
 			continue
+		}
+		if st.monitor >= 0 {
+			c.res.Monitors[coord] = st.monitor
+		}
+		if st.rescued {
+			c.res.Rescued++
 		}
 		if st.hasCoord {
 			if st.derived != coord {

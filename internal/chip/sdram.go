@@ -57,6 +57,18 @@ func (s *SDRAM) Transfer(size int, done func()) { s.TransferD(size, nil, done) }
 // TransferD is Transfer with a snapshot descriptor attached to the
 // completion event, making an in-flight transfer snapshot-safe.
 func (s *SDRAM) TransferD(size int, desc *sim.Desc, done func()) {
+	s.eng.AtD(s.admit(size), desc, done)
+}
+
+// TransferP is Transfer with a pre-allocated completion payload — the
+// zero-alloc form for steady-state hot paths (see sim.Payload).
+func (s *SDRAM) TransferP(size int, p sim.Payload) {
+	s.eng.AtP(s.admit(size), p)
+}
+
+// admit prices a transfer through the serialised server and returns its
+// completion instant.
+func (s *SDRAM) admit(size int) sim.Time {
 	if size < 0 {
 		panic("chip: negative transfer size")
 	}
@@ -70,7 +82,7 @@ func (s *SDRAM) TransferD(size int, desc *sim.Desc, done func()) {
 	s.busyUntil = end
 	s.Transfers++
 	s.BytesMoved += uint64(size)
-	s.eng.AtD(end, desc, done)
+	return end
 }
 
 // Store writes data at the given address in the segment store. It fails
@@ -165,11 +177,28 @@ type DMARequest struct {
 // requests issued to the shared SDRAM one at a time (Fig 4). The Fig-7
 // kernel enqueues a synaptic-data fetch per incoming spike and processes
 // rows on the completion interrupt.
+//
+// The steady-state fetch path is allocation-free: install OnDone and
+// DescFor once and enqueue requests with only Size and Tag set — the
+// completion interrupt and the snapshot descriptor are produced from
+// the controller's own state instead of per-request closures. Requests
+// carrying explicit Done/Desc still work and take precedence.
 type DMAController struct {
 	eng   sim.Scheduler
 	sdram *SDRAM
 	queue []DMARequest
+	head  int
 	busy  bool
+	cur   DMARequest // the in-flight request (valid while busy)
+	doneP dmaDoneEv  // cached completion payload (≤1 pending: FIFO server)
+
+	// OnDone, when set, runs at each completed read (non-Write) request
+	// with its Tag — the closure-free completion interrupt. Write-backs
+	// complete silently, as with a nil Done.
+	OnDone func(tag uint32)
+	// DescFor, when set, builds the snapshot descriptor for an
+	// in-flight request on demand (only when a snapshot asks).
+	DescFor func(req DMARequest) *sim.Desc
 
 	// Completed counts finished requests.
 	Completed uint64
@@ -179,13 +208,39 @@ type DMAController struct {
 
 // NewDMAController returns a controller bound to the shared SDRAM.
 func NewDMAController(eng sim.Scheduler, sdram *SDRAM) *DMAController {
-	return &DMAController{eng: eng, sdram: sdram}
+	d := &DMAController{eng: eng, sdram: sdram}
+	d.doneP.d = d
+	return d
+}
+
+// dmaDoneEv is the in-flight transfer's completion event (sim.Payload).
+type dmaDoneEv struct{ d *DMAController }
+
+func (p *dmaDoneEv) Run() {
+	d := p.d
+	d.Completed++
+	if d.cur.Done != nil {
+		d.cur.Done()
+	} else if !d.cur.Write && d.OnDone != nil {
+		d.OnDone(d.cur.Tag)
+	}
+	d.next()
+}
+
+func (p *dmaDoneEv) EventDesc() *sim.Desc {
+	if p.d.cur.Desc != nil {
+		return p.d.cur.Desc
+	}
+	if p.d.DescFor != nil {
+		return p.d.DescFor(p.d.cur)
+	}
+	return nil
 }
 
 // Enqueue adds a request; it is served after all earlier ones.
 func (d *DMAController) Enqueue(req DMARequest) {
 	d.queue = append(d.queue, req)
-	occupancy := len(d.queue)
+	occupancy := len(d.queue) - d.head
 	if d.busy {
 		occupancy++
 	}
@@ -199,7 +254,7 @@ func (d *DMAController) Enqueue(req DMARequest) {
 
 // QueueLen reports outstanding requests (including the active one).
 func (d *DMAController) QueueLen() int {
-	n := len(d.queue)
+	n := len(d.queue) - d.head
 	if d.busy {
 		n++
 	}
@@ -207,14 +262,19 @@ func (d *DMAController) QueueLen() int {
 }
 
 func (d *DMAController) next() {
-	if len(d.queue) == 0 {
+	if d.head == len(d.queue) {
+		// Drained: rewind so the buffer's capacity is reused (a plain
+		// [1:] pop would strand it and re-grow on every burst).
+		d.queue = d.queue[:0]
+		d.head = 0
 		d.busy = false
 		return
 	}
 	d.busy = true
-	req := d.queue[0]
-	d.queue = d.queue[1:]
-	d.sdram.TransferD(req.Size, req.Desc, func() { d.FinishTransfer(req.Done) })
+	d.cur = d.queue[d.head]
+	d.queue[d.head] = DMARequest{} // release closure references
+	d.head++
+	d.sdram.TransferP(d.cur.Size, &d.doneP)
 }
 
 // FinishTransfer completes the in-flight request: it counts the
@@ -244,7 +304,7 @@ type DMAState struct {
 // event heap as a described event).
 func (d *DMAController) ExportState() DMAState {
 	st := DMAState{Busy: d.busy, Completed: d.Completed, MaxQueue: d.MaxQueue}
-	for _, req := range d.queue {
+	for _, req := range d.queue[d.head:] {
 		st.Queue = append(st.Queue, DMARequest{Size: req.Size, Write: req.Write, Tag: req.Tag})
 	}
 	return st
@@ -256,6 +316,7 @@ func (d *DMAController) ExportState() DMAState {
 // separately from the event heap.
 func (d *DMAController) RestoreState(st DMAState) {
 	d.queue = append([]DMARequest(nil), st.Queue...)
+	d.head = 0
 	d.busy = st.Busy
 	d.Completed = st.Completed
 	d.MaxQueue = st.MaxQueue

@@ -87,7 +87,7 @@ type Core struct {
 	cfg Config
 
 	handlers [numEventTypes]Handler
-	queues   [numEventTypes][]Event
+	queues   [numEventTypes]evQueue
 	running  bool
 	stopped  bool
 
@@ -99,6 +99,13 @@ type Core struct {
 	// restore can route them back to this core. Cores without a tag
 	// schedule undescribed events and cannot be snapshotted.
 	tag []uint64
+
+	// timerP and dispatchP are the core's two self-scheduled events,
+	// allocated once and re-armed in place (sim.Payload): the timer
+	// chain and the dispatch chain each keep at most one pending, so a
+	// core's steady-state event processing allocates nothing.
+	timerP    timerEv
+	dispatchP dispatchEv
 
 	// Instrumentation.
 	BusyTime     sim.Time
@@ -122,8 +129,55 @@ func NewCore(eng sim.Scheduler, cfg Config) *Core {
 	if cfg.TimerPeriod <= 0 {
 		panic("kernel: timer period must be positive")
 	}
-	return &Core{eng: eng, cfg: cfg}
+	c := &Core{eng: eng, cfg: cfg}
+	c.timerP.c = c
+	c.dispatchP.c = c
+	return c
 }
+
+// evQueue is a head-indexed FIFO: pop advances head, and draining
+// rewinds to the buffer start, so steady-state traffic reuses the
+// buffer instead of reallocating. (The previous q = q[1:] pop strands
+// the capacity before the slice, forcing every later append to grow a
+// fresh backing array — the single biggest allocator in the spike
+// path.)
+type evQueue struct {
+	buf  []Event
+	head int
+}
+
+func (q *evQueue) len() int      { return len(q.buf) - q.head }
+func (q *evQueue) push(ev Event) { q.buf = append(q.buf, ev) }
+
+func (q *evQueue) pop() Event {
+	ev := q.buf[q.head]
+	q.buf[q.head] = Event{} // release payload references
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return ev
+}
+
+// pending views the queued events in order (snapshot export).
+func (q *evQueue) pending() []Event { return q.buf[q.head:] }
+
+// timerEv is the pending millisecond tick (sim.Payload); the tick
+// counter is updated in place on each re-arm.
+type timerEv struct {
+	c    *Core
+	tick uint64
+}
+
+func (p *timerEv) Run()                 { p.c.TimerTick(p.tick) }
+func (p *timerEv) EventDesc() *sim.Desc { return p.c.desc("core.timer", p.tick) }
+
+// dispatchEv is the pending end-of-event continuation (sim.Payload).
+type dispatchEv struct{ c *Core }
+
+func (p *dispatchEv) Run()                 { p.c.dispatch() }
+func (p *dispatchEv) EventDesc() *sim.Desc { return p.c.desc("core.dispatch") }
 
 // On installs the handler for an event type (like spin1 callback
 // registration). Must be called before Start.
@@ -155,11 +209,12 @@ func (c *Core) Start() {
 	c.armTimer(0)
 }
 
-// armTimer schedules the next timer tick as a described event: the
-// self-rescheduling chain replaces the closure-based Ticker so pending
-// ticks survive a snapshot round-trip.
+// armTimer schedules the next timer tick by re-arming the core's cached
+// timer payload: the self-rescheduling chain keeps pending ticks
+// snapshot-safe (EventDesc describes them) without allocating per tick.
 func (c *Core) armTimer(tick uint64) {
-	c.eng.AfterD(c.cfg.TimerPeriod, c.desc("core.timer", tick), func() { c.TimerTick(tick) })
+	c.timerP.tick = tick
+	c.eng.AfterP(c.cfg.TimerPeriod, &c.timerP)
 }
 
 // TimerTick fires one millisecond tick: it counts an overrun if the
@@ -170,7 +225,7 @@ func (c *Core) TimerTick(tick uint64) {
 	if c.stopped {
 		return
 	}
-	if len(c.queues[EvTimer]) > 0 {
+	if c.queues[EvTimer].len() > 0 {
 		c.Overruns++
 	}
 	c.Post(Event{Type: EvTimer, Tick: tick})
@@ -195,7 +250,7 @@ func (c *Core) Post(ev Event) {
 	if c.stopped {
 		return
 	}
-	c.queues[ev.Type] = append(c.queues[ev.Type], ev)
+	c.queues[ev.Type].push(ev)
 	if b := c.backlog(); b > c.MaxBacklog {
 		c.MaxBacklog = b
 	}
@@ -215,7 +270,7 @@ func (c *Core) PostDMADone(tag uint32) { c.Post(Event{Type: EvDMADone, Tag: tag}
 func (c *Core) backlog() int {
 	n := 0
 	for i := range c.queues {
-		n += len(c.queues[i])
+		n += c.queues[i].len()
 	}
 	return n
 }
@@ -229,9 +284,8 @@ func (c *Core) dispatch() {
 	var ev Event
 	found := false
 	for t := EventType(0); t < numEventTypes; t++ {
-		if len(c.queues[t]) > 0 {
-			ev = c.queues[t][0]
-			c.queues[t] = c.queues[t][1:]
+		if c.queues[t].len() > 0 {
+			ev = c.queues[t].pop()
 			found = true
 			break
 		}
@@ -252,7 +306,7 @@ func (c *Core) dispatch() {
 	c.Instructions += instr
 	dur := c.instrTime(instr)
 	c.BusyTime += dur
-	c.eng.AfterD(dur, c.desc("core.dispatch"), c.dispatch)
+	c.eng.AfterP(dur, &c.dispatchP)
 }
 
 // Dispatch resumes the event-processing loop; snapshot restore uses it
@@ -308,7 +362,7 @@ func (c *Core) ExportState() State {
 		Overruns: c.Overruns, MaxBacklog: c.MaxBacklog,
 	}
 	for i := range c.queues {
-		st.Queues[i] = append([]Event(nil), c.queues[i]...)
+		st.Queues[i] = append([]Event(nil), c.queues[i].pending()...)
 	}
 	return st
 }
@@ -316,7 +370,7 @@ func (c *Core) ExportState() State {
 // RestoreState overlays a captured state onto a freshly built core.
 func (c *Core) RestoreState(st State) {
 	for i := range c.queues {
-		c.queues[i] = append([]Event(nil), st.Queues[i]...)
+		c.queues[i] = evQueue{buf: append([]Event(nil), st.Queues[i]...)}
 	}
 	c.running = st.Running
 	c.stopped = st.Stopped

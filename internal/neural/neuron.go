@@ -158,7 +158,9 @@ func (n *Izhikevich) Reset() { n.v = n.c; n.u = n.b.Mul(n.v) }
 
 // ExportNeuronState returns a neuron's dynamic state words — the values
 // that evolve during simulation, excluding the parameters a rebuild
-// reproduces. A nil neuron (killed) exports nil.
+// reproduces. A nil neuron (killed) exports nil. The
+// structure-of-arrays views export the identical words as their
+// standalone counterparts, so the snapshot format is layout-blind.
 func ExportNeuronState(n Neuron) []Fix {
 	switch m := n.(type) {
 	case nil:
@@ -167,6 +169,10 @@ func ExportNeuronState(n Neuron) []Fix {
 		return []Fix{m.v, Fix(m.cooling)}
 	case *Izhikevich:
 		return []Fix{m.v, m.u}
+	case *lifRef:
+		return []Fix{m.p.v[m.i], Fix(m.p.cooling[m.i])}
+	case *izhRef:
+		return []Fix{m.p.v[m.i], m.p.u[m.i]}
 	default:
 		panic(fmt.Sprintf("neural: cannot snapshot neuron type %T", n))
 	}
@@ -175,17 +181,18 @@ func ExportNeuronState(n Neuron) []Fix {
 // RestoreNeuronState overlays dynamic state words captured by
 // ExportNeuronState onto a freshly built neuron of the same model.
 func RestoreNeuronState(n Neuron, st []Fix) {
+	if len(st) != 2 {
+		panic(fmt.Sprintf("neural: %T state length %d, want 2", n, len(st)))
+	}
 	switch m := n.(type) {
 	case *LIF:
-		if len(st) != 2 {
-			panic("neural: LIF state length mismatch")
-		}
 		m.v, m.cooling = st[0], int(st[1])
 	case *Izhikevich:
-		if len(st) != 2 {
-			panic("neural: Izhikevich state length mismatch")
-		}
 		m.v, m.u = st[0], st[1]
+	case *lifRef:
+		m.p.v[m.i], m.p.cooling[m.i] = st[0], int32(st[1])
+	case *izhRef:
+		m.p.v[m.i], m.p.u[m.i] = st[0], st[1]
 	default:
 		panic(fmt.Sprintf("neural: cannot restore neuron type %T", n))
 	}

@@ -2,6 +2,7 @@ package neural
 
 import (
 	"fmt"
+	"math"
 
 	"spinngo/internal/sim"
 )
@@ -66,10 +67,31 @@ func (r *Recorder) RestoreState(st RecorderState) {
 	copy(r.counts, st.Counts)
 }
 
+// popModel selects a population's stepping path.
+type popModel uint8
+
+const (
+	// modelGeneric steps each neuron through the Neuron interface — the
+	// fallback for factory-built (possibly heterogeneous) populations.
+	modelGeneric popModel = iota
+	// modelLIF and modelIzh step structure-of-arrays state inline.
+	modelLIF
+	modelIzh
+)
+
 // Population is the set of neurons simulated by one core: the neurons,
 // their deferred-event input ring, the SDRAM synaptic matrix, and a
 // recorder. It provides the three Fig-7 task bodies; the machine layer
 // wires them to kernel events.
+//
+// Homogeneous populations built with NewLIFPopulation or
+// NewIzhikevichPopulation hold their dynamic state as parallel slices
+// (v/cooling for LIF, v/u for Izhikevich) and step them in one tight
+// loop: no interface dispatch, no per-neuron pointer chase, and the
+// shared parameters live once on the population. The Neurons slice is
+// still populated — with per-index views over the arrays — so
+// everything written against the Neuron interface (snapshot export,
+// KillNeuron's nil marking, tests) works identically on both layouts.
 type Population struct {
 	Neurons []Neuron
 	Ring    *InputRing
@@ -80,27 +102,162 @@ type Population struct {
 	// WeightScale converts SynWord weights to currents.
 	WeightScale Fix
 
+	// Structure-of-arrays state and shared parameters for the
+	// homogeneous models. v is the membrane potential for both; cooling
+	// is LIF's refractory countdown, u is Izhikevich's recovery
+	// variable. A neuron is dead exactly when Neurons[i] is nil,
+	// keeping liveness in one place for every layout.
+	model   popModel
+	v       []Fix
+	cooling []int32
+	u       []Fix
+	decay   Fix // LIF: 1 - exp(-dt/tau)
+	vRest   Fix
+	vReset  Fix
+	vThresh Fix
+	rMem    Fix
+	refrac  int32
+	izhA    Fix
+	izhB    Fix
+	izhC    Fix
+	izhD    Fix
+
 	tick uint64
 	// OnSpike is invoked for each local neuron that fires; the machine
 	// layer turns this into a multicast packet (AER).
 	OnSpike func(neuron int)
 }
 
-// NewPopulation builds a population of n neurons from a factory.
-func NewPopulation(n, maxDelay int, factory func(i int) Neuron) *Population {
+func newPopulation(n, maxDelay int) *Population {
 	if n <= 0 {
 		panic("neural: empty population")
 	}
-	p := &Population{
+	return &Population{
 		Ring:        NewInputRing(n, maxDelay),
 		Matrix:      NewMatrix(),
 		Rec:         NewRecorder(n),
 		WeightScale: F(1.0 / 256), // weights stored as 1/256 nA units
 	}
+}
+
+// NewPopulation builds a population of n neurons from a factory,
+// stepping each through the Neuron interface. Homogeneous populations
+// should prefer NewLIFPopulation / NewIzhikevichPopulation, whose
+// structure-of-arrays stepping is substantially cheaper.
+func NewPopulation(n, maxDelay int, factory func(i int) Neuron) *Population {
+	p := newPopulation(n, maxDelay)
 	for i := 0; i < n; i++ {
 		p.Neurons = append(p.Neurons, factory(i))
 	}
 	return p
+}
+
+// NewLIFPopulation builds n identical leaky integrate-and-fire neurons
+// with their dynamic state in parallel slices.
+func NewLIFPopulation(n, maxDelay int, params LIFParams) *Population {
+	p := newPopulation(n, maxDelay)
+	p.model = modelLIF
+	p.v = make([]Fix, n)
+	p.cooling = make([]int32, n)
+	p.decay = F(1 - math.Exp(-1.0/params.TauM))
+	p.vRest = F(params.VRest)
+	p.vReset = F(params.VReset)
+	p.vThresh = F(params.VThresh)
+	p.rMem = F(params.RMem)
+	p.refrac = int32(params.TRefrac)
+	refs := make([]lifRef, n)
+	p.Neurons = make([]Neuron, n)
+	for i := range refs {
+		p.v[i] = p.vRest
+		refs[i] = lifRef{p: p, i: int32(i)}
+		p.Neurons[i] = &refs[i]
+	}
+	return p
+}
+
+// NewIzhikevichPopulation builds n identical Izhikevich neurons with
+// their dynamic state in parallel slices.
+func NewIzhikevichPopulation(n, maxDelay int, params IzhikevichParams) *Population {
+	p := newPopulation(n, maxDelay)
+	p.model = modelIzh
+	p.v = make([]Fix, n)
+	p.u = make([]Fix, n)
+	p.izhA, p.izhB, p.izhC, p.izhD = F(params.A), F(params.B), F(params.C), F(params.D)
+	refs := make([]izhRef, n)
+	p.Neurons = make([]Neuron, n)
+	for i := range refs {
+		p.v[i] = p.izhC
+		p.u[i] = p.izhB.Mul(p.v[i])
+		refs[i] = izhRef{p: p, i: int32(i)}
+		p.Neurons[i] = &refs[i]
+	}
+	return p
+}
+
+// stepLIF advances neuron i one tick — the exact arithmetic of
+// LIF.Step, operating on the population arrays. It is the single copy
+// of the update rule; both the batch loop and the interface view call
+// it, so the two layouts cannot drift.
+func (p *Population) stepLIF(i int, input Fix) bool {
+	if p.cooling[i] > 0 {
+		p.cooling[i]--
+		return false
+	}
+	target := p.vRest + p.rMem.Mul(input)
+	v := p.v[i] + p.decay.Mul(target-p.v[i])
+	if v >= p.vThresh {
+		p.v[i] = p.vReset
+		p.cooling[i] = p.refrac
+		return true
+	}
+	p.v[i] = v
+	return false
+}
+
+// stepIzh advances neuron i one tick — the exact arithmetic of
+// Izhikevich.Step (two 0.5 ms half-steps) on the population arrays.
+func (p *Population) stepIzh(i int, input Fix) bool {
+	v, u := p.v[i], p.u[i]
+	for half := 0; half < 2; half++ {
+		dv := iz004.Mul(v).Mul(v) + iz5.Mul(v) + iz140 - u + input
+		v += izHalf.Mul(dv)
+		if v >= iz30 {
+			v = p.izhC
+			u += p.izhD
+			// u update for this tick still applies below.
+			u += p.izhA.Mul(p.izhB.Mul(v) - u)
+			p.v[i], p.u[i] = v, u
+			return true
+		}
+	}
+	u += p.izhA.Mul(p.izhB.Mul(v) - u)
+	p.v[i], p.u[i] = v, u
+	return false
+}
+
+// lifRef is the Neuron-interface view of one slot of a LIF
+// structure-of-arrays population.
+type lifRef struct {
+	p *Population
+	i int32
+}
+
+func (n *lifRef) Step(input Fix) bool { return n.p.stepLIF(int(n.i), input) }
+func (n *lifRef) V() Fix              { return n.p.v[n.i] }
+func (n *lifRef) Reset()              { n.p.v[n.i] = n.p.vRest; n.p.cooling[n.i] = 0 }
+
+// izhRef is the Neuron-interface view of one slot of an Izhikevich
+// structure-of-arrays population.
+type izhRef struct {
+	p *Population
+	i int32
+}
+
+func (n *izhRef) Step(input Fix) bool { return n.p.stepIzh(int(n.i), input) }
+func (n *izhRef) V() Fix              { return n.p.v[n.i] }
+func (n *izhRef) Reset() {
+	n.p.v[n.i] = n.p.izhC
+	n.p.u[n.i] = n.p.izhB.Mul(n.p.v[n.i])
 }
 
 // Size reports the neuron count.
@@ -127,28 +284,55 @@ func (p *Population) ProcessRow(row Row) (instructions uint64) {
 // StepTick advances all neurons one millisecond (Fig 7 update_Neurons):
 // consume the ring slot due now, integrate, fire. It reports the
 // instruction cost (~30 instructions per quiet neuron, ~100 extra per
-// spike, matching published SpiNNaker kernel budgets).
+// spike, matching published SpiNNaker kernel budgets). Homogeneous
+// populations step their state arrays directly; factory-built ones go
+// through the Neuron interface. Both orders, costs and spike streams
+// are identical.
 func (p *Population) StepTick() (instructions uint64) {
 	inputs := p.Ring.Advance()
 	p.tick++
 	var cost uint64 = 60
-	for i, n := range p.Neurons {
-		if n == nil { // dead neuron (fault-injection experiments)
-			cost += 2
-			continue
-		}
-		if n.Step(inputs[i] + p.Bias) {
-			p.Rec.Record(p.tick, i)
-			if p.OnSpike != nil {
-				p.OnSpike(i)
+	switch p.model {
+	case modelLIF:
+		for i := range p.v {
+			if p.Neurons[i] == nil { // dead neuron (fault-injection experiments)
+				cost += 2
+				continue
 			}
-			cost += 130
-		} else {
-			cost += 30
+			cost += p.fired(p.stepLIF(i, inputs[i]+p.Bias), i)
+		}
+	case modelIzh:
+		for i := range p.v {
+			if p.Neurons[i] == nil {
+				cost += 2
+				continue
+			}
+			cost += p.fired(p.stepIzh(i, inputs[i]+p.Bias), i)
+		}
+	default:
+		for i, n := range p.Neurons {
+			if n == nil {
+				cost += 2
+				continue
+			}
+			cost += p.fired(n.Step(inputs[i]+p.Bias), i)
 		}
 	}
 	p.Ring.ClearCurrent()
 	return cost
+}
+
+// fired records and fans out a spike, returning the per-neuron
+// instruction cost of the step.
+func (p *Population) fired(spiked bool, i int) uint64 {
+	if !spiked {
+		return 30
+	}
+	p.Rec.Record(p.tick, i)
+	if p.OnSpike != nil {
+		p.OnSpike(i)
+	}
+	return 130
 }
 
 // KillNeuron removes a neuron (the biological fault-tolerance

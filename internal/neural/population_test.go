@@ -135,3 +135,80 @@ func TestPopulationTickCounter(t *testing.T) {
 		t.Errorf("Size = %d", p.Size())
 	}
 }
+
+// TestSoAMatchesInterfaceStepping is the bit-exactness contract of the
+// structure-of-arrays layout: a LIF and an Izhikevich population built
+// through the SoA constructors must produce the identical spike raster,
+// membrane trajectories and instruction costs as the same neurons
+// stepped one by one through the Neuron interface, under a shared
+// pseudo-random input drive.
+func TestSoAMatchesInterfaceStepping(t *testing.T) {
+	const n, ticks = 32, 400
+	cases := []struct {
+		name     string
+		soa, ref *Population
+	}{
+		{"lif",
+			NewLIFPopulation(n, MaxSynDelay, DefaultLIF()),
+			NewPopulation(n, MaxSynDelay, func(int) Neuron { return NewLIF(DefaultLIF()) })},
+		{"izh",
+			NewIzhikevichPopulation(n, MaxSynDelay, RegularSpiking()),
+			NewPopulation(n, MaxSynDelay, func(int) Neuron { return NewIzhikevich(RegularSpiking()) })},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			c.soa.Bias = F(0.4)
+			c.ref.Bias = F(0.4)
+			// A killed neuron exercises the dead-slot path on both layouts.
+			if err := c.soa.KillNeuron(5); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.ref.KillNeuron(5); err != nil {
+				t.Fatal(err)
+			}
+			rng := sim.NewRNG(99)
+			for tick := 0; tick < ticks; tick++ {
+				for dep := 0; dep < 4; dep++ {
+					tgt := rng.Intn(n)
+					delay := rng.Intn(MaxSynDelay)
+					w := Fix(rng.Intn(1 << 18))
+					c.soa.Ring.Deposit(delay, tgt, w)
+					c.ref.Ring.Deposit(delay, tgt, w)
+				}
+				if cs, cr := c.soa.StepTick(), c.ref.StepTick(); cs != cr {
+					t.Fatalf("tick %d: SoA cost %d != interface cost %d", tick, cs, cr)
+				}
+				for i := 0; i < n; i++ {
+					if i == 5 {
+						continue
+					}
+					if vs, vr := c.soa.Neurons[i].V(), c.ref.Neurons[i].V(); vs != vr {
+						t.Fatalf("tick %d neuron %d: SoA v=%v, interface v=%v", tick, i, vs, vr)
+					}
+				}
+			}
+			ss, rs := c.soa.Rec.ExportState(), c.ref.Rec.ExportState()
+			if len(ss.Spikes) != len(rs.Spikes) {
+				t.Fatalf("SoA recorded %d spikes, interface %d", len(ss.Spikes), len(rs.Spikes))
+			}
+			for i := range ss.Spikes {
+				if ss.Spikes[i] != rs.Spikes[i] {
+					t.Fatalf("spike %d: SoA %+v, interface %+v", i, ss.Spikes[i], rs.Spikes[i])
+				}
+			}
+			// The exported state words must be layout-blind too.
+			for i := 0; i < n; i++ {
+				sw := ExportNeuronState(c.soa.Neurons[i])
+				rw := ExportNeuronState(c.ref.Neurons[i])
+				if len(sw) != len(rw) {
+					t.Fatalf("neuron %d export length %d vs %d", i, len(sw), len(rw))
+				}
+				for k := range sw {
+					if sw[k] != rw[k] {
+						t.Fatalf("neuron %d state word %d: SoA %v, interface %v", i, k, sw[k], rw[k])
+					}
+				}
+			}
+		})
+	}
+}

@@ -188,12 +188,23 @@ type flit struct {
 // link carries its own PHY parameter block, resolved once at build time
 // from the fabric's board tiling, so the transmit path prices frames
 // per link without re-deriving the class per packet.
+//
+// Link occupancy is a timestamp, not a busy flag: freeAt is when the
+// current frame clears the wire. An idle, empty link launches a packet
+// inline inside the sender's event — no transmit-complete event at all
+// — and only a genuinely queued link arms its single re-usable drain
+// event at freeAt. An uncongested hop therefore costs exactly one
+// scheduled event (the arrival at the neighbour), where the busy-flag
+// protocol paid a transmit-done event per launch whether or not anyone
+// was waiting.
 type outLink struct {
 	dir        topo.Dir
 	link       phy.LinkParams
 	failed     bool
 	queue      []flit
-	busy       bool
+	freeAt     sim.Time
+	draining   bool // the drain event is pending at >= freeAt
+	drain      *drainEv
 	Traversals uint64
 }
 
@@ -212,6 +223,14 @@ type Node struct {
 	Coord   topo.Coord
 	Table   *Table
 	out     [topo.NumDirs]outLink
+
+	// Free lists for the node's hot-path payload events. Every access
+	// happens on the shard that owns this node — pops in the same-shard
+	// deliver branch and the local inject paths, pushes at the top of
+	// Run (which executes on the owner) — so no locking is needed, and
+	// steady-state traffic recycles events instead of allocating.
+	arrivePool []*arriveEv
+	routePool  []*routeEv
 
 	// Monitor-visible fault notifications (section 5.3: "the local
 	// Monitor Processor can be informed").
@@ -341,6 +360,7 @@ func (f *Fabric) build(p Params, engOf func(i int) (*sim.Engine, int)) error {
 		for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
 			n.out[d].dir = d
 			n.out[d].link = p.LinkFor(n.Coord, d)
+			n.out[d].drain = &drainEv{n: n, d: d}
 		}
 		f.nodes[i] = n
 	}
@@ -530,18 +550,14 @@ func (f *Fabric) LinkTraversalCount(c topo.Coord, d topo.Dir) uint64 {
 func (f *Fabric) InjectMC(c topo.Coord, pkt packet.Packet) {
 	n := f.Node(c)
 	pkt.Timestamp = f.phaseAt(n)
-	fl := flit{pkt: pkt, injectedAt: n.dom.Now()}
-	// travel -1 (locally injected) rides the args as two's complement.
-	n.dom.AfterD(f.p.RouterLatency, descFlit("fab.routeMC", fl, ^uint64(0)),
-		func() { n.routeMC(fl, -1) })
+	n.dom.AfterP(f.p.RouterLatency, n.getRoute(flit{pkt: pkt, injectedAt: n.dom.Now()}))
 }
 
 // InjectP2P injects a point-to-point packet from chip src to chip dst.
 func (f *Fabric) InjectP2P(src, dst topo.Coord, data uint32) {
 	pkt := packet.NewP2P(packet.P2PAddr(src.X, src.Y), packet.P2PAddr(dst.X, dst.Y), data)
 	n := f.Node(src)
-	fl := flit{pkt: pkt, injectedAt: n.dom.Now()}
-	n.dom.AfterD(f.p.RouterLatency, descFlit("fab.routeP2P", fl), func() { n.routeP2P(fl) })
+	n.dom.AfterP(f.p.RouterLatency, n.getRoute(flit{pkt: pkt, injectedAt: n.dom.Now()}))
 }
 
 // SendNN sends a nearest-neighbour packet from chip c on link d.
@@ -607,11 +623,23 @@ func (n *Node) routeMC(fl flit, travel int) {
 		n.forward(fl, topo.Dir(travel))
 		return
 	}
-	for _, core := range route.Cores() {
-		n.deliverMC(fl, core)
+	// The fan-out is unrolled here, inside the one routing event: local
+	// core deliveries are direct calls, and each outgoing link either
+	// launches inline (idle link — see transmit) or joins that link's
+	// queue behind its single drain event. A packet reaching N cores and
+	// M links therefore costs the M arrival events at the neighbours and
+	// nothing else — O(links), not O(targets).
+	// Iterate the mask bits directly (same order as RouteMask.Cores /
+	// Links, without materialising the slices per packet).
+	for core := 0; core < MaxCores; core++ {
+		if route.HasCore(core) {
+			n.deliverMC(fl, core)
+		}
 	}
-	for _, d := range route.Links() {
-		n.forward(fl, d)
+	for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
+		if route.HasLink(d) {
+			n.forward(fl, d)
+		}
 	}
 }
 
@@ -702,34 +730,51 @@ func (n *Node) canSend(d topo.Dir) bool {
 
 // transmit serialises the packet onto link d; delivery at the neighbour
 // happens one frame time plus router latency later.
+//
+// This is the flattened fast path of the spike fan-out: a link that is
+// idle with an empty queue launches the frame inline, inside whatever
+// event is running, scheduling nothing but the arrival at the
+// neighbour. Only a link that is mid-frame (or already holds waiters)
+// queues the packet behind its single cached drain event.
 func (n *Node) transmit(fl flit, d topo.Dir) {
 	l := &n.out[d]
-	l.queue = append(l.queue, fl)
-	if !l.busy {
-		n.startTx(d)
-	}
-}
-
-// startTx arbitrates the output link: system-class packets (p2p, nn —
-// boot, management and host traffic) are served before neural mc
-// traffic, the admission-control idea the GALS interconnect supports
-// (section 4, ref [12]). Within a class the queue is FIFO.
-//
-// The arrival event at the neighbour is committed here, at serialisation
-// start, with timestamp now + frame + RouterLatency (the link health
-// check happens at launch: a dead link stalls the handshake on the
-// first symbol). Committing at launch rather than at frame completion
-// is what lets the sharded engine count the frame serialisation time
-// toward its lookahead: every cross-shard post is issued at least one
-// minimal frame plus the router pipeline ahead of its delivery.
-func (n *Node) startTx(d topo.Dir) {
-	f := n.fabric
-	l := &n.out[d]
-	if len(l.queue) == 0 {
-		l.busy = false
+	if !l.draining && len(l.queue) == 0 && n.dom.Now() >= l.freeAt {
+		n.launch(fl, l)
 		return
 	}
-	l.busy = true
+	l.queue = append(l.queue, fl)
+	n.armDrain(l)
+}
+
+// armDrain schedules the link's cached drain payload at the instant the
+// wire clears. The draining flag keeps at most one pending, which is
+// what makes re-arming the one pre-allocated drainEv sound.
+func (n *Node) armDrain(l *outLink) {
+	if l.draining {
+		return
+	}
+	l.draining = true
+	wait := l.freeAt - n.dom.Now()
+	if wait < 0 {
+		wait = 0
+	}
+	n.dom.AfterP(wait, l.drain)
+}
+
+// drainTx launches the next queued packet the moment the wire clears,
+// arbitrating the output link: system-class packets (p2p, nn — boot,
+// management and host traffic) are served before neural mc traffic, the
+// admission-control idea the GALS interconnect supports (section 4,
+// ref [12]). Within a class the queue is FIFO. It re-arms itself while
+// waiters remain — the congested-link path pays one drain event per
+// launch, exactly the pacing the busy-flag protocol's transmit-done
+// events enforced.
+func (n *Node) drainTx(d topo.Dir) {
+	l := &n.out[d]
+	l.draining = false
+	if len(l.queue) == 0 {
+		return
+	}
 	pick := 0
 	for i, q := range l.queue {
 		if q.pkt.Type != packet.MC {
@@ -739,25 +784,42 @@ func (n *Node) startTx(d topo.Dir) {
 	}
 	fl := l.queue[pick]
 	l.queue = append(l.queue[:pick], l.queue[pick+1:]...)
+	n.launch(fl, l)
+	if len(l.queue) > 0 {
+		n.armDrain(l)
+	}
+}
+
+// launch starts serialising fl onto link l, which the caller has
+// established is free, and occupies the wire until freeAt.
+//
+// The arrival event at the neighbour is committed here, at serialisation
+// start, with timestamp now + frame + RouterLatency (the link health
+// check happens at launch: a dead link stalls the handshake on the
+// first symbol). Committing at launch rather than at frame completion
+// is what lets the sharded engine count the frame serialisation time
+// toward its lookahead: every cross-shard post is issued at least one
+// minimal frame plus the router pipeline ahead of its delivery.
+func (n *Node) launch(fl flit, l *outLink) {
+	f := n.fabric
 	frame := l.link.FrameCost(fl.pkt.WireSize())
+	// The link stays occupied for the full frame whether or not the
+	// launch succeeds; the next queued packet launches when it clears.
+	l.freeAt = n.dom.Now() + frame.Time
 	if l.failed {
 		// The link is dead at launch: the handshake never completes and
 		// the frame is lost. The neighbour-side protocol (parity,
 		// monitor timeouts) handles recovery at higher layers.
 		n.dropped++
-	} else {
-		l.Traversals++
-		fl.pkt.Hops++
-		if fl.pkt.Emergency != packet.EmNormal {
-			fl.pkt.EmergencyHops++
-		}
-		neighbor := f.Node(f.p.Torus.Neighbor(n.Coord, d))
-		f.deliver(n, neighbor, d, fl, frame.Time)
+		return
 	}
-	// The link stays occupied for the full frame either way; the next
-	// queued packet launches when it clears.
-	n.dom.AfterD(frame.Time, &sim.Desc{Kind: "fab.txdone", Args: []uint64{uint64(d)}},
-		func() { n.startTx(d) })
+	l.Traversals++
+	fl.pkt.Hops++
+	if fl.pkt.Emergency != packet.EmNormal {
+		fl.pkt.EmergencyHops++
+	}
+	neighbor := f.Node(f.p.Torus.Neighbor(n.Coord, l.dir))
+	f.deliver(n, neighbor, l.dir, fl, frame.Time)
 }
 
 // deliver schedules the arrival of a link traversal at the neighbour —
@@ -776,13 +838,96 @@ func (n *Node) startTx(d topo.Dir) {
 func (f *Fabric) deliver(from, to *Node, d topo.Dir, fl flit, frame sim.Time) {
 	from.sendSeq++
 	at := from.dom.Now() + frame + f.p.RouterLatency
-	desc := descFlit("fab.arrive", fl, uint64(d))
-	fn := func() { to.receive(fl, d) }
 	if f.pe == nil || from.shard == to.shard {
-		to.dom.DeliverAtD(at, from.idx, from.sendSeq, desc, fn)
+		// Same shard: the receiver's free list is ours to touch.
+		to.dom.DeliverAtP(at, from.idx, from.sendSeq, to.getArrive(fl, d))
 		return
 	}
-	f.pe.PostD(from.shard, to.shard, to.dom, at, from.idx, from.sendSeq, desc, fn)
+	f.pe.PostP(from.shard, to.shard, to.dom, at, from.idx, from.sendSeq, &arriveEv{to: to, fl: fl, d: d})
+}
+
+// Payload events for the hot fabric paths (sim.Payload). The event
+// carries the payload pointer itself — one small allocation for a
+// route/arrival, none at all for the cached per-link drain — instead of
+// the closure, descriptor, args slice and encoded blob the
+// descriptor-based form pays per event. The descriptor is materialised
+// lazily, only if the event is still pending at snapshot export.
+
+// arriveEv is one link traversal's arrival at the neighbouring router.
+type arriveEv struct {
+	to *Node
+	fl flit
+	d  topo.Dir
+}
+
+// getArrive pops a recycled arrival event or allocates one. Only the
+// shard owning n may call this (see the pool fields).
+func (n *Node) getArrive(fl flit, d topo.Dir) *arriveEv {
+	if k := len(n.arrivePool); k > 0 {
+		p := n.arrivePool[k-1]
+		n.arrivePool = n.arrivePool[:k-1]
+		p.fl, p.d = fl, d
+		return p
+	}
+	return &arriveEv{to: n, fl: fl, d: d}
+}
+
+func (p *arriveEv) Run() {
+	to, fl, d := p.to, p.fl, p.d
+	to.arrivePool = append(to.arrivePool, p) // runs on to's shard
+	to.receive(fl, d)
+}
+func (p *arriveEv) EventDesc() *sim.Desc { return descFlit("fab.arrive", p.fl, uint64(p.d)) }
+
+// routeEv is a locally injected packet entering its own router after
+// the pipeline delay.
+type routeEv struct {
+	n  *Node
+	fl flit
+}
+
+// getRoute pops a recycled route event or allocates one. Injection and
+// routing both happen on n's own shard.
+func (n *Node) getRoute(fl flit) *routeEv {
+	if k := len(n.routePool); k > 0 {
+		p := n.routePool[k-1]
+		n.routePool = n.routePool[:k-1]
+		p.fl = fl
+		return p
+	}
+	return &routeEv{n: n, fl: fl}
+}
+
+func (p *routeEv) Run() {
+	n, fl := p.n, p.fl
+	n.routePool = append(n.routePool, p)
+	if fl.pkt.Type == packet.P2P {
+		n.routeP2P(fl)
+		return
+	}
+	n.routeMC(fl, -1)
+}
+
+func (p *routeEv) EventDesc() *sim.Desc {
+	if p.fl.pkt.Type == packet.P2P {
+		return descFlit("fab.routeP2P", p.fl)
+	}
+	// travel -1 (locally injected) rides the args as two's complement.
+	return descFlit("fab.routeMC", p.fl, ^uint64(0))
+}
+
+// drainEv is the transmit-drain event of one output link, allocated
+// once at build time and re-armed in place. The link's draining flag
+// guarantees at most one is ever pending — the re-arm contract a
+// cached sim.Payload requires.
+type drainEv struct {
+	n *Node
+	d topo.Dir
+}
+
+func (p *drainEv) Run() { p.n.drainTx(p.d) }
+func (p *drainEv) EventDesc() *sim.Desc {
+	return &sim.Desc{Kind: "fab.txdrain", Args: []uint64{uint64(p.d)}}
 }
 
 // drop abandons a packet, records it in the dropped-packet register for

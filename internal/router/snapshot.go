@@ -127,12 +127,12 @@ func (f *Fabric) EventFn(nodeIdx int, kind string, args []uint64, blob []byte) (
 		}
 		d, t0 := topo.Dir(args[0]), sim.Time(int64(args[1]))
 		return func() { n.retry(fl, d, t0) }, nil
-	case "fab.txdone":
+	case "fab.txdrain":
 		if err := need(1); err != nil {
 			return nil, err
 		}
 		d := topo.Dir(args[0])
-		return func() { n.startTx(d) }, nil
+		return func() { n.drainTx(d) }, nil
 	case "fab.arrive":
 		if err := need(1); err != nil {
 			return nil, err
@@ -183,7 +183,8 @@ func (n *Node) EncodeState(w *snap.Writer) {
 	for d := range n.out {
 		l := &n.out[d]
 		w.Bool(l.failed)
-		w.Bool(l.busy)
+		w.I64(int64(l.freeAt))
+		w.Bool(l.draining)
 		w.U64(l.Traversals)
 		w.Len(len(l.queue))
 		for _, fl := range l.queue {
@@ -217,7 +218,8 @@ func (n *Node) DecodeState(r *snap.Reader) error {
 	for d := range n.out {
 		l := &n.out[d]
 		l.failed = r.Bool()
-		l.busy = r.Bool()
+		l.freeAt = sim.Time(r.I64())
+		l.draining = r.Bool()
 		l.Traversals = r.U64()
 		l.queue = nil
 		for i, k := 0, r.Len(); i < k && r.Err() == nil; i++ {

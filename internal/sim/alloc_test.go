@@ -1,0 +1,63 @@
+//go:build !race
+
+package sim
+
+import "testing"
+
+// These tests pin the zero-allocation contract of the flattened event
+// path: a steady-state schedule/dispatch cycle — slab-recycled event
+// records, payload re-arming instead of fresh closures, reused window
+// scratch — must not allocate. They are build-gated out of -race runs
+// (the race runtime instruments allocations) and gated in CI.
+
+// rearmPayload schedules itself left more times, the shape of every
+// steady-state hot path (kernel dispatch, timers, router drains).
+type rearmPayload struct {
+	d    *Domain
+	left int
+}
+
+func (p *rearmPayload) Run() {
+	if p.left > 0 {
+		p.left--
+		p.d.AfterP(10, p)
+	}
+}
+
+func (p *rearmPayload) EventDesc() *Desc { return &Desc{Kind: "test.rearm"} }
+
+func TestDispatchZeroAlloc(t *testing.T) {
+	eng := New(1)
+	d := eng.Domain(0)
+	p := &rearmPayload{d: d}
+	cycle := func() {
+		p.left = 256
+		d.AfterP(1, p)
+		eng.Run()
+	}
+	cycle() // warm the slab, free list and bucket capacities
+	if allocs := testing.AllocsPerRun(50, cycle); allocs > 0 {
+		t.Fatalf("steady-state event dispatch allocates %.1f times per 257 events, want 0", allocs)
+	}
+}
+
+func TestWindowDispatchZeroAlloc(t *testing.T) {
+	pe := NewParallel(1, 2, 1)
+	pe.SetLookahead(100)
+	d0 := pe.Shard(0).Domain(0)
+	d1 := pe.Shard(1).Domain(1)
+	p0 := &rearmPayload{d: d0}
+	p1 := &rearmPayload{d: d1}
+	var deadline Time
+	cycle := func() {
+		p0.left, p1.left = 128, 128
+		d0.AfterP(1, p0)
+		d1.AfterP(1, p1)
+		deadline += 10 * 128 * 4
+		pe.RunUntil(deadline)
+	}
+	cycle() // warm shard queues and window scratch
+	if allocs := testing.AllocsPerRun(50, cycle); allocs > 0 {
+		t.Fatalf("steady-state window execution allocates %.1f times per cycle, want 0", allocs)
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -59,12 +58,45 @@ type Desc struct {
 	Blob []byte
 }
 
+// Payload is a pre-allocated, re-armable alternative to the (desc, fn)
+// pair: Run executes the event and EventDesc produces its snapshot
+// descriptor on demand. Hot paths (router transmit drains, kernel
+// dispatch, timer ticks) keep one payload value alive and re-schedule
+// it instead of allocating a fresh closure + descriptor per event —
+// the descriptor is only materialised if a snapshot actually happens.
+// A payload value must not be re-armed while it is still pending.
+type Payload interface {
+	Run()
+	EventDesc() *Desc
+}
+
 // An event is a closure scheduled to run at a simulated instant,
-// optionally carrying a serialisable descriptor for snapshots.
+// optionally carrying a serialisable descriptor for snapshots. Events
+// scheduled through the payload surfaces carry payload instead of
+// (desc, fn).
 type event struct {
-	key  eventKey
-	desc *Desc
-	fn   func()
+	key     eventKey
+	desc    *Desc
+	fn      func()
+	payload Payload
+}
+
+// run executes the event body.
+func (ev *event) run() {
+	if ev.payload != nil {
+		ev.payload.Run()
+		return
+	}
+	ev.fn()
+}
+
+// snapDesc resolves the event's snapshot descriptor, materialising a
+// payload's lazily.
+func (ev *event) snapDesc() *Desc {
+	if ev.payload != nil {
+		return ev.payload.EventDesc()
+	}
+	return ev.desc
 }
 
 type eventHeap []event
@@ -93,6 +125,10 @@ type Scheduler interface {
 	// descriptor, making the event snapshot-safe (see Desc).
 	AtD(t Time, desc *Desc, fn func())
 	AfterD(d Time, desc *Desc, fn func())
+	// AtP/AfterP schedule a pre-allocated payload event (see Payload) —
+	// the zero-alloc form of AtD/AfterD for steady-state hot paths.
+	AtP(t Time, p Payload)
+	AfterP(d Time, p Payload)
 	Ticker(period Time, fn func(tick uint64)) (cancel func())
 }
 
@@ -101,7 +137,7 @@ type Scheduler interface {
 type Engine struct {
 	now       Time
 	seq       uint64
-	events    eventHeap
+	q         eventQueue
 	rng       *RNG
 	processed uint64
 	stopped   bool
@@ -115,9 +151,19 @@ var _ Scheduler = (*Engine)(nil)
 var _ Scheduler = (*Domain)(nil)
 
 // New returns an Engine whose clock starts at 0 and whose random stream is
-// derived from seed.
+// derived from seed. The pending-event structure defaults to the
+// calendar queue; SetQueue swaps in the reference heap for debugging.
 func New(seed uint64) *Engine {
-	return &Engine{rng: NewRNG(seed)}
+	return &Engine{rng: NewRNG(seed), q: newQueue("")}
+}
+
+// SetQueue selects the pending-event structure (QueueWheel or
+// QueueHeap). It may only be called while no events are pending.
+func (e *Engine) SetQueue(kind string) {
+	if e.q.len() > 0 {
+		panic("sim: SetQueue with events pending")
+	}
+	e.q = newQueue(kind)
 }
 
 // Now reports the current simulated time.
@@ -139,31 +185,26 @@ func (e *Engine) RNG() *RNG {
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending reports how many events are waiting in the queue.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.q.len() }
 
 // NextAt reports the timestamp of the earliest pending event, if any.
 func (e *Engine) NextAt() (Time, bool) {
-	if len(e.events) == 0 {
-		return 0, false
-	}
-	return e.events[0].key.at, true
+	key, ok := e.q.peekKey()
+	return key.at, ok
 }
 
 // nextKey reports the full canonical key of the earliest pending event,
 // used by the ParallelEngine's sequential mode to pick the globally
 // least event across shards.
 func (e *Engine) nextKey() (eventKey, bool) {
-	if len(e.events) == 0 {
-		return eventKey{}, false
-	}
-	return e.events[0].key, true
+	return e.q.peekKey()
 }
 
-func (e *Engine) push(key eventKey, desc *Desc, fn func()) {
-	if key.at < e.now {
-		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", key.at, e.now))
+func (e *Engine) push(ev event) {
+	if ev.key.at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", ev.key.at, e.now))
 	}
-	heap.Push(&e.events, event{key: key, desc: desc, fn: fn})
+	e.q.push(ev)
 }
 
 // At schedules fn to run at absolute simulated time t, in the engine's
@@ -174,7 +215,22 @@ func (e *Engine) At(t Time, fn func()) { e.AtD(t, nil, fn) }
 // AtD is At with a snapshot descriptor attached to the event.
 func (e *Engine) AtD(t Time, desc *Desc, fn func()) {
 	e.seq++
-	e.push(eventKey{at: t, domain: -1, k1: e.seq}, desc, fn)
+	e.push(event{key: eventKey{at: t, domain: -1, k1: e.seq}, desc: desc, fn: fn})
+}
+
+// AtP schedules a payload event at absolute time t in the anonymous
+// domain.
+func (e *Engine) AtP(t Time, p Payload) {
+	e.seq++
+	e.push(event{key: eventKey{at: t, domain: -1, k1: e.seq}, payload: p})
+}
+
+// AfterP schedules a payload event d nanoseconds from now.
+func (e *Engine) AfterP(d Time, p Payload) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.AtP(e.now+d, p)
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -191,13 +247,13 @@ func (e *Engine) AfterD(d Time, desc *Desc, fn func()) {
 // Step executes the next event, if any, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if e.q.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.q.pop()
 	e.now = ev.key.at
 	e.processed++
-	ev.fn()
+	ev.run()
 	return true
 }
 
@@ -208,13 +264,16 @@ func (e *Engine) Run() {
 	}
 }
 
+// Drain is Run on a single event stream (see Runner.Drain).
+func (e *Engine) Drain() { e.Run() }
+
 // RunUntil executes events with timestamps <= deadline, advancing the
 // clock to exactly deadline when the queue drains early or only later
 // events remain.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.events) == 0 || e.events[0].key.at > deadline {
+		if key, ok := e.q.peekKey(); !ok || key.at > deadline {
 			break
 		}
 		e.Step()
@@ -230,7 +289,10 @@ func (e *Engine) RunUntil(deadline Time) {
 // It is the per-window primitive of the sharded ParallelEngine.
 func (e *Engine) RunBefore(limit Time) {
 	e.stopped = false
-	for !e.stopped && len(e.events) > 0 && e.events[0].key.at < limit {
+	for !e.stopped {
+		if key, ok := e.q.peekKey(); !ok || key.at >= limit {
+			break
+		}
 		e.Step()
 	}
 }
@@ -245,7 +307,10 @@ func (e *Engine) RunBefore(limit Time) {
 // here resume from an instant that is identical for every shard count.
 func (e *Engine) RunBeforeCond(limit Time, halt func() bool) bool {
 	e.stopped = false
-	for !e.stopped && len(e.events) > 0 && e.events[0].key.at < limit {
+	for !e.stopped {
+		if key, ok := e.q.peekKey(); !ok || key.at >= limit {
+			break
+		}
 		e.Step()
 		if halt() {
 			return true
@@ -261,9 +326,9 @@ func (e *Engine) advanceTo(t Time) {
 	if t <= e.now {
 		return
 	}
-	if len(e.events) > 0 && e.events[0].key.at < t {
+	if key, ok := e.q.peekKey(); ok && key.at < t {
 		panic(fmt.Sprintf("sim: advancing clock to %v over pending event at %v",
-			t, e.events[0].key.at))
+			t, key.at))
 	}
 	e.now = t
 }
@@ -352,7 +417,22 @@ func (d *Domain) At(t Time, fn func()) { d.AtD(t, nil, fn) }
 // AtD is At with a snapshot descriptor attached to the event.
 func (d *Domain) AtD(t Time, desc *Desc, fn func()) {
 	d.seq++
-	d.eng.push(eventKey{at: t, domain: d.id, k1: d.seq}, desc, fn)
+	d.eng.push(event{key: eventKey{at: t, domain: d.id, k1: d.seq}, desc: desc, fn: fn})
+}
+
+// AtP schedules a domain-local payload event at absolute time t.
+func (d *Domain) AtP(t Time, p Payload) {
+	d.seq++
+	d.eng.push(event{key: eventKey{at: t, domain: d.id, k1: d.seq}, payload: p})
+}
+
+// AfterP schedules a domain-local payload event dur nanoseconds from
+// now.
+func (d *Domain) AfterP(dur Time, p Payload) {
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", dur))
+	}
+	d.AtP(d.eng.now+dur, p)
 }
 
 // After schedules a domain-local event d nanoseconds from now.
@@ -382,7 +462,12 @@ func (d *Domain) DeliverAt(t Time, src int32, srcSeq uint64, fn func()) {
 
 // DeliverAtD is DeliverAt with a snapshot descriptor attached.
 func (d *Domain) DeliverAtD(t Time, src int32, srcSeq uint64, desc *Desc, fn func()) {
-	d.eng.push(eventKey{at: t, domain: d.id, class: 1, k1: uint64(src), k2: srcSeq}, desc, fn)
+	d.eng.push(event{key: eventKey{at: t, domain: d.id, class: 1, k1: uint64(src), k2: srcSeq}, desc: desc, fn: fn})
+}
+
+// DeliverAtP is DeliverAt carrying a payload instead of a closure.
+func (d *Domain) DeliverAtP(t Time, src int32, srcSeq uint64, p Payload) {
+	d.eng.push(event{key: eventKey{at: t, domain: d.id, class: 1, k1: uint64(src), k2: srcSeq}, payload: p})
 }
 
 // Inject re-creates an event with an explicit canonical key — exactly as
@@ -392,7 +477,7 @@ func (d *Domain) DeliverAtD(t Time, src int32, srcSeq uint64, desc *Desc, fn fun
 // must follow up with RestoreSeq so future locally-scheduled events sort
 // after the re-injected ones.
 func (d *Domain) Inject(t Time, class uint8, k1, k2 uint64, desc *Desc, fn func()) {
-	d.eng.push(eventKey{at: t, domain: d.id, class: class, k1: k1, k2: k2}, desc, fn)
+	d.eng.push(event{key: eventKey{at: t, domain: d.id, class: class, k1: k1, k2: k2}, desc: desc, fn: fn})
 }
 
 // RestoreSeq overwrites the domain's local sequence counter. Snapshot

@@ -82,6 +82,130 @@ func TestEventKeyFieldPrecedence(t *testing.T) {
 // insertion order — including split across two heaps that are then
 // merged, the shape of a re-partition migration — pops the identical
 // sequence.
+// TestCalendarQueueMatchesHeap is the differential property test behind
+// the wheel's correctness claim: driven by the same randomized stream
+// of canonical-key pushes and pops — with the monotone time floor the
+// engine enforces, and occasional year-scale jumps that force bucket
+// rollover — the calendar queue and the reference heap must pop the
+// identical event sequence.
+func TestCalendarQueueMatchesHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		wheel := newQueue(QueueWheel)
+		ref := newQueue(QueueHeap)
+		seen := make(map[eventKey]bool)
+		var floor Time
+		pending := 0
+		for op := 0; op < 4000; op++ {
+			if pending > 0 && rng.Intn(3) == 0 {
+				a, b := wheel.pop(), ref.pop()
+				if a.key != b.key {
+					t.Fatalf("trial %d op %d: wheel popped %+v, heap popped %+v", trial, op, a.key, b.key)
+				}
+				floor = a.key.at
+				pending--
+				continue
+			}
+			// Jumps span the wheel's regimes: same-bucket ties, nearby
+			// slots, multi-year leaps that trigger the rotation fallback.
+			var jump Time
+			switch rng.Intn(10) {
+			case 0:
+				jump = 0
+			case 1, 2, 3, 4, 5:
+				jump = Time(rng.Intn(64))
+			case 6, 7:
+				jump = Time(rng.Intn(4096))
+			case 8:
+				jump = Time(rng.Intn(1 << 20))
+			case 9:
+				jump = Time(rng.Int63n(1 << 40))
+			}
+			key := eventKey{
+				at:     floor + jump,
+				domain: int32(rng.Intn(4)) - 1,
+				class:  uint8(rng.Intn(2)),
+				k1:     uint64(rng.Intn(4)),
+				k2:     uint64(rng.Intn(4)),
+			}
+			if seen[key] {
+				continue // domains never reuse a canonical key
+			}
+			seen[key] = true
+			wheel.push(event{key: key})
+			ref.push(event{key: key})
+			pending++
+		}
+		for pending > 0 {
+			a, b := wheel.pop(), ref.pop()
+			if a.key != b.key {
+				t.Fatalf("trial %d drain: wheel popped %+v, heap popped %+v", trial, a.key, b.key)
+			}
+			pending--
+		}
+		if wheel.len() != 0 || ref.len() != 0 {
+			t.Fatalf("trial %d: queues not empty after drain: wheel %d, heap %d", trial, wheel.len(), ref.len())
+		}
+	}
+}
+
+// FuzzCalendarQueueRollover drives the wheel with fuzz-chosen timestamp
+// deltas — the seeds pin year-boundary rollovers and jumps far beyond a
+// full bucket rotation — and checks the pop order against the reference
+// heap. Each input byte pair encodes one push (delta exponent + tie
+// fields); a zero byte pops.
+func FuzzCalendarQueueRollover(f *testing.F) {
+	f.Add([]byte{0x11, 0x22, 0x00, 0x7f, 0xff, 0x00, 0x00})
+	// One push per slot width, then a jump past a whole rotation
+	// (calMinBuckets*calInitWidth = 1024 ns) and another past 2^40.
+	f.Add([]byte{0x31, 0x32, 0x33, 0x34, 0xa1, 0x00, 0x00, 0x00, 0xf1, 0x00})
+	f.Add([]byte{0xff, 0xfe, 0xfd, 0x00, 0xfc, 0x00, 0x01, 0x02, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wheel := newQueue(QueueWheel)
+		ref := newQueue(QueueHeap)
+		seen := make(map[eventKey]bool)
+		var floor Time
+		var seq uint64
+		for _, b := range data {
+			if b == 0 {
+				if wheel.len() == 0 {
+					continue
+				}
+				a, r := wheel.pop(), ref.pop()
+				if a.key != r.key {
+					t.Fatalf("wheel popped %+v, heap popped %+v", a.key, r.key)
+				}
+				floor = a.key.at
+				continue
+			}
+			// High nibble scales the jump exponentially: 0 keeps ties in
+			// one slot, 15 leaps ~2^45 ns — thousands of rotations.
+			exp := uint(b >> 4)
+			jump := Time(0)
+			if exp > 0 {
+				jump = Time(uint64(b&0x0f+1) << (3 * exp))
+			}
+			seq++
+			key := eventKey{at: floor + jump, domain: int32(b & 3), k1: seq}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			wheel.push(event{key: key})
+			ref.push(event{key: key})
+		}
+		for wheel.len() > 0 {
+			a, r := wheel.pop(), ref.pop()
+			if a.key != r.key {
+				t.Fatalf("drain: wheel popped %+v, heap popped %+v", a.key, r.key)
+			}
+		}
+		if ref.len() != 0 {
+			t.Fatalf("heap retains %d events after wheel drained", ref.len())
+		}
+	})
+}
+
 func TestHeapMergePermutationInvariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	events := make([]event, 200)

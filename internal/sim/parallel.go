@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime"
 	"sort"
@@ -23,6 +22,13 @@ type Runner interface {
 	RNG() *RNG
 	// Run executes events to quiescence in a deterministic global order.
 	Run()
+	// Drain executes events to quiescence like Run, but a sharded
+	// engine is free to use parallel lookahead windows: callers must
+	// only depend on the quiescent end state, not on observing events
+	// in global order along the way. Control phases whose handlers
+	// respect the PDES contract (chip-local state, lookahead-priced
+	// cross-chip traffic) drain here and parallelise for free.
+	Drain()
 	// Step executes the single globally-earliest event, if any.
 	Step() bool
 	// RunUntil executes events with timestamps <= deadline and advances
@@ -39,12 +45,13 @@ var _ Runner = (*ParallelEngine)(nil)
 // per-sender sequence), so insertion order into the destination heap is
 // irrelevant: the heap sorts deliveries by their keys.
 type mailMsg struct {
-	at     Time
-	dst    *Domain
-	src    int32
-	srcSeq uint64
-	desc   *Desc
-	fn     func()
+	at      Time
+	dst     *Domain
+	src     int32
+	srcSeq  uint64
+	desc    *Desc
+	fn      func()
+	payload Payload
 }
 
 // poolJob hands one shard's window to a parked pool worker. Jobs carry
@@ -176,6 +183,10 @@ type ParallelEngine struct {
 	shardEvents    []uint64
 	activeBefore   []uint64
 	activeScratch  []int // coordinator-local active-set buffer
+
+	// queueKind is the pending-event structure every shard runs on
+	// (QueueWheel by default); Repartition builds new shards to match.
+	queueKind string
 }
 
 // soloThreshold is the events-per-active-shard-per-window level below
@@ -210,6 +221,7 @@ func NewParallel(seed uint64, shards, workers int) *ParallelEngine {
 		shardEvents:    make([]uint64, shards),
 		activeBefore:   make([]uint64, shards),
 		activeScratch:  make([]int, 0, shards),
+		queueKind:      QueueWheel,
 	}
 	for i := range pe.shards {
 		pe.shards[i] = New(seed)
@@ -252,6 +264,16 @@ func (pe *ParallelEngine) Close() {
 	defer pe.poolMu.Unlock()
 	pe.pool.Swap(nil).close()
 	runtime.SetFinalizer(pe, nil)
+}
+
+// SetEventQueue selects the pending-event structure for every shard
+// (QueueWheel or QueueHeap — see Engine.SetQueue). Legal only before
+// any events are scheduled; the chosen kind survives Repartition.
+func (pe *ParallelEngine) SetEventQueue(kind string) {
+	for _, s := range pe.shards {
+		s.SetQueue(kind)
+	}
+	pe.queueKind = kind
 }
 
 // SetAdaptive enables adaptive worker selection: each window is
@@ -316,14 +338,30 @@ func (pe *ParallelEngine) Transitions() uint64 { return pe.transitions }
 // counters. It is the observed per-shard density a re-partitioning
 // policy steers by; like every window statistic it derives from the
 // simulation trajectory only, so policy decisions based on it are
-// identical run to run.
-func (pe *ParallelEngine) TakeShardEvents() []uint64 {
-	out := make([]uint64, len(pe.shardEvents))
-	copy(out, pe.shardEvents)
+// identical run to run. The result is appended into buf (which may be
+// nil), so a polling caller can reuse one buffer across calls.
+func (pe *ParallelEngine) TakeShardEvents(buf []uint64) []uint64 {
+	buf = append(buf[:0], pe.shardEvents...)
 	for i := range pe.shardEvents {
 		pe.shardEvents[i] = 0
 	}
-	return out
+	return buf
+}
+
+// PendingByDomain adds 1 to counts[id] for every pending event owned by
+// domain id (cross-domain deliveries count at their destination);
+// domains outside the slice — including anonymous engine events — are
+// skipped. Cheap to read off the wheel at quiescence, it gives the
+// re-partitioning policy the backlog the next windows will execute, to
+// weigh alongside the executed-density history.
+func (pe *ParallelEngine) PendingByDomain(counts []uint64) {
+	for _, s := range pe.shards {
+		s.q.forEach(func(ev *event) {
+			if d := ev.key.domain; d >= 0 && int(d) < len(counts) {
+				counts[d]++
+			}
+		})
+	}
 }
 
 // Shard returns shard i's engine. Model components owned by a shard
@@ -390,6 +428,22 @@ func (pe *ParallelEngine) PostD(src, dst int, dstDom *Domain, at Time, srcID int
 		mailMsg{at: at, dst: dstDom, src: srcID, srcSeq: srcSeq, desc: desc, fn: fn})
 }
 
+// PostP is Post carrying a pre-allocated payload instead of a
+// (descriptor, closure) pair.
+func (pe *ParallelEngine) PostP(src, dst int, dstDom *Domain, at Time, srcID int32, srcSeq uint64, p Payload) {
+	if !pe.inWindow.Load() {
+		dstDom.DeliverAtP(at, srcID, srcSeq, p)
+		return
+	}
+	if at < Time(pe.curLimit.Load()) {
+		panic(fmt.Sprintf("sim: cross-shard post at %v violates lookahead window ending %v",
+			at, Time(pe.curLimit.Load())))
+	}
+	k := len(pe.shards)
+	pe.mail[src*k+dst] = append(pe.mail[src*k+dst],
+		mailMsg{at: at, dst: dstDom, src: srcID, srcSeq: srcSeq, payload: p})
+}
+
 // NextEventAt reports the earliest pending timestamp across shards.
 // Sequential-mode drivers (the host link) peek it to decide whether the
 // next event lies beyond their deadline before executing it.
@@ -419,7 +473,11 @@ func (pe *ParallelEngine) drainMail() {
 				continue
 			}
 			for _, m := range box {
-				m.dst.DeliverAtD(m.at, m.src, m.srcSeq, m.desc, m.fn)
+				if m.payload != nil {
+					m.dst.DeliverAtP(m.at, m.src, m.srcSeq, m.payload)
+				} else {
+					m.dst.DeliverAtD(m.at, m.src, m.srcSeq, m.desc, m.fn)
+				}
 			}
 			pe.mail[src*k+dst] = box[:0]
 		}
@@ -455,6 +513,35 @@ func (pe *ParallelEngine) Step() bool {
 func (pe *ParallelEngine) Run() {
 	pe.transitions++
 	for pe.Step() {
+	}
+	pe.SyncClocks()
+}
+
+// Drain executes events to quiescence under parallel lookahead windows
+// and synchronises every shard clock to the global last-event time —
+// the same end state Run reaches, minus the promise of observing
+// events in global order along the way. Control phases whose handlers
+// keep to the PDES contract (chip-local state, cross-chip influence
+// only through lookahead-priced fabric traffic) use it to parallelise
+// their drains.
+func (pe *ParallelEngine) Drain() {
+	pe.transitions++
+	if len(pe.shards) == 1 {
+		s := pe.shards[0]
+		before := s.Processed()
+		s.Run()
+		if ev := s.Processed() - before; ev > 0 {
+			pe.noteWindow(1, ev)
+			pe.shardEvents[0] += ev
+		}
+		return
+	}
+	for {
+		next, ok := pe.NextEventAt()
+		if !ok {
+			break
+		}
+		pe.runWindow(next+pe.lookahead, nil)
 	}
 	pe.SyncClocks()
 }
@@ -528,10 +615,14 @@ func (pe *ParallelEngine) Repartition(shards, workers int, owner func(domain int
 				return err
 			}
 		}
-		for _, ev := range s.events {
-			if _, err := ownerOf(ev.key.domain); err != nil {
-				return err
+		var evErr error
+		s.q.forEach(func(ev *event) {
+			if _, err := ownerOf(ev.key.domain); err != nil && evErr == nil {
+				evErr = err
 			}
+		})
+		if evErr != nil {
+			return evErr
 		}
 	}
 	// New shard engines, all at the common quiescent instant. The
@@ -540,7 +631,7 @@ func (pe *ParallelEngine) Repartition(shards, workers int, owner func(domain int
 	// the rest keep a nil RNG — the same poison NewParallel applies.
 	ns := make([]*Engine, shards)
 	for i := range ns {
-		ns[i] = &Engine{now: now}
+		ns[i] = &Engine{now: now, q: newQueue(pe.queueKind)}
 	}
 	var seqMax uint64
 	for _, s := range pe.shards {
@@ -557,20 +648,22 @@ func (pe *ParallelEngine) Repartition(shards, workers int, owner func(domain int
 			d.eng = ns[o]
 			ns[o].domains = append(ns[o].domains, d)
 		}
-		for _, ev := range s.events {
+		// Events migrate queue-to-queue carrying their canonical keys
+		// unchanged; insertion order is irrelevant to the pop order.
+		s.q.forEach(func(ev *event) {
 			o, _ := ownerOf(ev.key.domain)
-			ns[o].events = append(ns[o].events, ev)
-		}
-	}
-	for _, e := range ns {
-		heap.Init(&e.events)
+			ns[o].q.push(*ev)
+		})
 	}
 	pe.shards = ns
 	pe.workers = workers
-	pe.mail = make([][]mailMsg, shards*shards)
-	pe.shardEvents = make([]uint64, shards)
-	pe.activeBefore = make([]uint64, shards)
-	pe.activeScratch = make([]int, 0, shards)
+	// Reuse the mailbox matrix and window-statistics buffers when the
+	// old capacity covers the new layout — ms-granular drivers
+	// repartition often enough for the churn to show up in profiles.
+	pe.mail = reuseMail(pe.mail, shards*shards)
+	pe.shardEvents = reuseCounts(pe.shardEvents, shards)
+	pe.activeBefore = reuseCounts(pe.activeBefore, shards)
+	pe.activeScratch = pe.activeScratch[:0]
 	// Swap the pool generation: the old helpers drain and exit, a fresh
 	// pool parks helpers for the new worker bound.
 	var next *workerPool
@@ -586,6 +679,32 @@ func (pe *ParallelEngine) Repartition(shards, workers int, owner func(domain int
 	pe.poolMu.Unlock()
 	pe.repartitions++
 	return nil
+}
+
+// reuseMail returns a mailbox matrix of n empty boxes, reusing the old
+// backing array (and each box's capacity) when it is large enough.
+func reuseMail(m [][]mailMsg, n int) [][]mailMsg {
+	if cap(m) < n {
+		return make([][]mailMsg, n)
+	}
+	m = m[:n]
+	for i := range m {
+		m[i] = m[i][:0]
+	}
+	return m
+}
+
+// reuseCounts returns a zeroed counter slice of length n, reusing the
+// old backing array when it is large enough.
+func reuseCounts(c []uint64, n int) []uint64 {
+	if cap(c) < n {
+		return make([]uint64, n)
+	}
+	c = c[:n]
+	for i := range c {
+		c[i] = 0
+	}
+	return c
 }
 
 // noteWindow folds one window's event count into the density estimate
@@ -736,7 +855,10 @@ func (pe *ParallelEngine) RunUntilAnyOf(deadline Time, watch *Domain, cond func(
 		s := pe.shards[0]
 		before := s.Processed()
 		halted := false
-		for len(s.events) > 0 && s.events[0].key.at <= deadline {
+		for {
+			if key, ok := s.q.peekKey(); !ok || key.at > deadline {
+				break
+			}
 			s.Step()
 			if cond() {
 				halted = true
@@ -840,18 +962,28 @@ func (pe *ParallelEngine) ExportEvents() ([]EventRecord, error) {
 		return nil, err
 	}
 	var out []EventRecord
+	var expErr error
 	for _, s := range pe.shards {
-		for _, ev := range s.events {
-			if ev.key.domain < 0 {
-				return nil, fmt.Errorf("sim: pending anonymous-domain event at %v cannot be snapshotted", ev.key.at)
+		s.q.forEach(func(ev *event) {
+			if expErr != nil {
+				return
 			}
-			if ev.desc == nil {
-				return nil, fmt.Errorf("sim: pending event at %v in domain %d has no descriptor", ev.key.at, ev.key.domain)
+			if ev.key.domain < 0 {
+				expErr = fmt.Errorf("sim: pending anonymous-domain event at %v cannot be snapshotted", ev.key.at)
+				return
+			}
+			desc := ev.snapDesc()
+			if desc == nil {
+				expErr = fmt.Errorf("sim: pending event at %v in domain %d has no descriptor", ev.key.at, ev.key.domain)
+				return
 			}
 			out = append(out, EventRecord{
 				At: ev.key.at, Domain: ev.key.domain, Class: ev.key.class,
-				K1: ev.key.k1, K2: ev.key.k2, Desc: *ev.desc,
+				K1: ev.key.k1, K2: ev.key.k2, Desc: *desc,
 			})
+		})
+		if expErr != nil {
+			return nil, expErr
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -867,7 +999,7 @@ func (pe *ParallelEngine) ExportEvents() ([]EventRecord, error) {
 // re-injecting the recorded one.
 func (pe *ParallelEngine) ResetEvents() {
 	for _, s := range pe.shards {
-		s.events = nil
+		s.q.reset()
 	}
 }
 

@@ -174,7 +174,7 @@ func TestSingleShardRunUntilAccountsWindows(t *testing.T) {
 	if got := pe.EventsPerWindow(); got != 8 {
 		t.Errorf("EventsPerWindow() = %v, want 8", got)
 	}
-	ev := pe.TakeShardEvents()
+	ev := pe.TakeShardEvents(nil)
 	if len(ev) != 1 || ev[0] != 8 {
 		t.Errorf("TakeShardEvents() = %v, want [8]", ev)
 	}
@@ -192,11 +192,11 @@ func TestTakeShardEventsResets(t *testing.T) {
 	pe.Shard(0).Domain(0).At(10, func() {})
 	pe.Shard(1).Domain(1).At(20, func() {})
 	pe.RunUntil(50)
-	ev := pe.TakeShardEvents()
+	ev := pe.TakeShardEvents(nil)
 	if len(ev) != 2 || ev[0]+ev[1] != 2 {
 		t.Errorf("TakeShardEvents() = %v, want two events across two shards", ev)
 	}
-	if again := pe.TakeShardEvents(); again[0]+again[1] != 0 {
+	if again := pe.TakeShardEvents(nil); again[0]+again[1] != 0 {
 		t.Errorf("second TakeShardEvents() = %v, want zeros", again)
 	}
 }

@@ -108,6 +108,12 @@ type MachineConfig struct {
 	// uses per chip (0 = all available). Lower values spread a small
 	// model over more chips, exercising the interconnect.
 	MaxAppCoresPerChip int
+	// EventQueue selects each shard's pending-event structure: "" or
+	// EventQueueWheel for the calendar queue (the fast default), or
+	// EventQueueHeap for the reference binary heap. Both pop events in
+	// the identical canonical order, so results are byte-identical —
+	// the heap exists for differential debugging of the wheel.
+	EventQueue string
 }
 
 // Partition geometry names accepted by MachineConfig.Partition.
@@ -128,6 +134,12 @@ const (
 const (
 	RepartitionOff  = "off"
 	RepartitionAuto = "auto"
+)
+
+// Event-queue structures accepted by MachineConfig.EventQueue.
+const (
+	EventQueueWheel = sim.QueueWheel
+	EventQueueHeap  = sim.QueueHeap
 )
 
 func (c *MachineConfig) fillDefaults() {
@@ -193,6 +205,12 @@ func (c MachineConfig) Validate() error {
 	default:
 		return fmt.Errorf("spinngo: unknown Repartition %q (want %q or %q)",
 			c.Repartition, RepartitionOff, RepartitionAuto)
+	}
+	switch c.EventQueue {
+	case "", EventQueueWheel, EventQueueHeap:
+	default:
+		return fmt.Errorf("spinngo: unknown EventQueue %q (want %q or %q)",
+			c.EventQueue, EventQueueWheel, EventQueueHeap)
 	}
 	if _, err := c.hostOrigin(); err != nil {
 		return err
@@ -379,9 +397,20 @@ type Machine struct {
 	// (windows x lookahead / events), a property of the trajectory — not
 	// of the shard layout — that projects how many barriers a candidate
 	// lookahead would pay. 0 until first observed; only multi-shard
-	// stretches update it (a single shard runs windowless).
+	// stretches update it (a single shard runs windowless). Smoothed as
+	// an exponentially-decaying average so one anomalous stretch (a
+	// boot flood, a migration storm) cannot whipsaw the policy, while a
+	// genuine workload shift still moves it within a few evaluations.
 	evSpacingNS float64
+	// shardEvBuf and actBuf are reused evaluation scratch (the policy
+	// runs at every quiescence boundary of an ms-granular driver).
+	shardEvBuf []uint64
+	actBuf     []uint64
 }
+
+// evSpacingDecay weights the newest spacing observation in the
+// exponentially-decaying evSpacingNS average.
+const evSpacingDecay = 0.4
 
 // MigrationDetectMS is how long the monitor's watchdog takes to notice a
 // silent application core before starting a migration (abstract:
@@ -404,6 +433,9 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	}
 	part, adaptive := choosePartition(cfg, torus, params)
 	pe := sim.NewParallel(cfg.Seed, part.Shards(), part.Shards())
+	if cfg.EventQueue != "" {
+		pe.SetEventQueue(cfg.EventQueue)
+	}
 	pe.SetAdaptive(adaptive)
 	// The lookahead folds each cut link's frame serialisation time into
 	// the router pipeline latency, minimised over the partition's actual
@@ -689,16 +721,24 @@ func (m *Machine) maybeRepartition() error {
 		return nil
 	}
 	var signal uint64
-	for _, ev := range m.pe.TakeShardEvents() {
+	m.shardEvBuf = m.pe.TakeShardEvents(m.shardEvBuf)
+	for _, ev := range m.shardEvBuf {
 		signal += ev
 	}
 	// Refresh the event-spacing estimate from the windows the last
 	// stretch actually ran (only multi-shard stretches run windows
-	// bounded by the lookahead; a single shard is windowless).
+	// bounded by the lookahead; a single shard is windowless). The
+	// observation folds into a decaying average rather than replacing
+	// the estimate outright.
 	windowsDelta := m.pe.Windows() - m.lastWindows
 	m.lastWindows = m.pe.Windows()
 	if m.part.Shards() > 1 && windowsDelta > 0 && signal > 0 {
-		m.evSpacingNS = float64(windowsDelta) * float64(m.pe.Lookahead()) / float64(signal)
+		obs := float64(windowsDelta) * float64(m.pe.Lookahead()) / float64(signal)
+		if m.evSpacingNS == 0 {
+			m.evSpacingNS = obs
+		} else {
+			m.evSpacingNS = (1-evSpacingDecay)*m.evSpacingNS + evSpacingDecay*obs
+		}
 	}
 	var migs uint64
 	for i := range m.tallies {
@@ -710,13 +750,26 @@ func (m *Machine) maybeRepartition() error {
 	if signal < repartitionMinEvents && !urgent {
 		return nil
 	}
-	act := make([]uint64, len(m.activityAt))
-	var total uint64
+	if cap(m.actBuf) < len(m.activityAt) {
+		m.actBuf = make([]uint64, len(m.activityAt))
+	}
+	act := m.actBuf[:len(m.activityAt)]
+	for i := range act {
+		act[i] = 0
+	}
 	for i, n := range m.fab.Nodes() {
 		s := n.Domain().Scheduled()
 		act[i] = s - m.activityAt[i]
 		m.activityAt[i] = s
-		total += act[i]
+	}
+	// Fold in the pending backlog per chip — the work the next windows
+	// will execute, read cheaply off the calendar queues. A hotspot that
+	// has queued a burst but not yet executed it shows up here one
+	// evaluation earlier than in the executed-density history alone.
+	m.pe.PendingByDomain(act)
+	var total uint64
+	for _, a := range act {
+		total += a
 	}
 	if total == 0 {
 		return nil
@@ -806,11 +859,10 @@ func (m *Machine) runBatch(b *host.Batch) error {
 
 // Boot runs the section-5.2 sequence: self-test, monitor election,
 // neighbour rescue, coordinate flood, p2p configuration and flood-fill
-// load of the system image. The control phases keep cross-chip state
-// and execute in the engine's deterministic sequential mode; the image
-// load — the expensive part — runs as a pipelined batch of flood-fill
-// writes through the host endpoint, under normal parallel lookahead
-// windows.
+// load of the system image. The whole sequence — control phases and
+// the image load alike — drains under the engine's normal parallel
+// lookahead windows; only the phase setup between drains runs on the
+// caller.
 func (m *Machine) Boot() (*BootReport, error) {
 	if m.booted {
 		return nil, fmt.Errorf("spinngo: already booted")
@@ -818,6 +870,7 @@ func (m *Machine) Boot() (*BootReport, error) {
 	cfg := boot.DefaultConfig()
 	cfg.Cores = m.cfg.CoresPerChip
 	cfg.CoreFaultProb = m.cfg.CoreFaultProb
+	cfg.Seed = m.cfg.Seed
 	cfg.SkipLoad = true // the image loads through the host batch below
 	m.boot = boot.NewController(m.pe, m.fab, cfg)
 	res, err := m.boot.Run()
@@ -859,7 +912,7 @@ func (m *Machine) Boot() (*BootReport, error) {
 	// forwards are still draining; run them out (no tickers exist yet,
 	// so quiescence is finite) rather than let boot debris contend with
 	// the application load's link queues.
-	m.pe.Run()
+	m.pe.Drain()
 	loadTime := m.pe.Now() - loadStart
 	appCores := 0
 	for _, n := range m.fab.Nodes() {
@@ -985,7 +1038,7 @@ func (m *Machine) Load(model *Model) (*LoadReport, error) {
 	}
 	// Drain straggler load traffic before the model starts (no tickers
 	// yet), so the run begins on a quiet fabric from a quiescent instant.
-	m.pe.Run()
+	m.pe.Drain()
 	loadTime := m.pe.Now() - loadStart
 	// Model time starts here: spike ticks, rasters and InjectSpike times
 	// are measured from the end of loading.
@@ -1052,6 +1105,17 @@ func (m *Machine) buildUnitAt(f *mapping.Fragment, fragIdx, slot int, tickBase u
 	// (fragment, generation) so a restore can resolve them back to this
 	// unit on any partition geometry.
 	u.core.SetSnapshotTag(uint64(fragIdx), uint64(gen))
+	// Closure-free DMA wiring: completions post the DMA-done interrupt
+	// by tag, and snapshot descriptors are built only when a snapshot
+	// asks — so the per-spike fetch enqueues allocate nothing.
+	u.dma.OnDone = u.core.PostDMADone
+	u.dma.DescFor = func(req chip.DMARequest) *sim.Desc {
+		kind := "dma.row"
+		if req.Write {
+			kind = "dma.wb"
+		}
+		return &sim.Desc{Kind: kind, Args: []uint64{uint64(fragIdx), uint64(gen), uint64(req.Tag)}}
+	}
 	cd := m.dplan.Cores[f.Chip][f.Core]
 
 	pop := f.Pop
@@ -1061,11 +1125,9 @@ func (m *Machine) buildUnitAt(f *mapping.Fragment, fragIdx, slot int, tickBase u
 		u.pop = neural.NewPopulation(f.Size(), neural.MaxSynDelay,
 			func(int) neural.Neuron { return nil })
 	case mapping.ModelIzhikevich:
-		u.pop = neural.NewPopulation(f.Size(), neural.MaxSynDelay,
-			func(int) neural.Neuron { return neural.NewIzhikevich(pop.Izh) })
+		u.pop = neural.NewIzhikevichPopulation(f.Size(), neural.MaxSynDelay, pop.Izh)
 	default:
-		u.pop = neural.NewPopulation(f.Size(), neural.MaxSynDelay,
-			func(int) neural.Neuron { return neural.NewLIF(pop.LIF) })
+		u.pop = neural.NewLIFPopulation(f.Size(), neural.MaxSynDelay, pop.LIF)
 	}
 	u.pop.Bias = neural.F(pop.BiasNA)
 	u.pop.SeedTick(tickBase)
@@ -1095,13 +1157,7 @@ func (m *Machine) buildUnitAt(f *mapping.Fragment, fragIdx, slot int, tickBase u
 		if !ok {
 			return 60 // no synapses here for that neuron
 		}
-		key := ev.Pkt.Key
-		u.dma.Enqueue(chip.DMARequest{
-			Size: row.SizeBytes(),
-			Tag:  key,
-			Done: func() { u.core.PostDMADone(key) },
-			Desc: &sim.Desc{Kind: "dma.row", Args: []uint64{uint64(fragIdx), uint64(gen), uint64(key)}},
-		})
+		u.dma.Enqueue(chip.DMARequest{Size: row.SizeBytes(), Tag: ev.Pkt.Key})
 		return 80
 	})
 	// Fig-7 task 2: DMA complete -> process the row into the ring;
@@ -1120,10 +1176,7 @@ func (m *Machine) buildUnitAt(f *mapping.Fragment, fragIdx, slot int, tickBase u
 			cost += c
 			if dirty {
 				tally.writeBacks++
-				u.dma.Enqueue(chip.DMARequest{
-					Size: row.SizeBytes(), Write: true, Tag: ev.Tag,
-					Desc: &sim.Desc{Kind: "dma.wb", Args: []uint64{uint64(fragIdx), uint64(gen), uint64(ev.Tag)}},
-				})
+				u.dma.Enqueue(chip.DMARequest{Size: row.SizeBytes(), Write: true, Tag: ev.Tag})
 			}
 		}
 		return cost + u.pop.ProcessRow(row)

@@ -20,7 +20,9 @@ import (
 const (
 	snapshotMagic = "SPINNGO-SNAP"
 	// SnapshotVersion is the current on-disk snapshot format version.
-	SnapshotVersion = 1
+	// v2: per-link freeAt/draining pacing state replaced the busy flag,
+	// and "fab.txdrain" replaced the per-launch "fab.txdone" events.
+	SnapshotVersion = 2
 )
 
 // Snapshot serialises the machine's complete state — pending event heaps
