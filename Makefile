@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet cover bench bench-workers check
+.PHONY: build test race vet cover bench bench-workers benchcmp check
 
 build:
 	$(GO) build ./...
@@ -32,13 +32,21 @@ cover:
 
 # Worker/partition/board-hierarchy sweep of the end-to-end machine
 # benchmark (8x8 worker grid plus 8x8/16x16/32x32 bands-vs-blocks-vs-
-# boards comparison plus the shifting-hotspot repartition scenario),
-# recorded as JSON for the bench trajectory.
+# boards comparison plus the workers x GOMAXPROCS scaling sweep plus the
+# shifting-hotspot repartition and host-load scenarios), recorded as
+# JSON for the bench trajectory.
 bench:
-	$(GO) run ./cmd/benchsweep -out BENCH_PR7.json
+	$(GO) run ./cmd/benchsweep -out BENCH_PR8.json
 
 # The same sweep through `go test -bench` (human-readable only).
 bench-workers:
 	$(GO) test -run '^$$' -bench 'BenchmarkMachineBioSecondWorkers' -benchtime 3x .
+
+# Diff two bench trajectory files cell-by-cell; override OLD/NEW to
+# compare any pair, e.g. `make benchcmp OLD=BENCH_PR5.json`.
+OLD ?= BENCH_PR7.json
+NEW ?= BENCH_PR8.json
+benchcmp:
+	$(GO) run ./cmd/benchcmp $(OLD) $(NEW)
 
 check: build vet test race

@@ -1,0 +1,158 @@
+// Command benchcmp diffs two bench trajectory files (the BENCH_PR*.json
+// reports `make bench` writes), matching cells by their full sweep key
+// and reporting the wall-clock and coordination deltas — the tool
+// behind `make benchcmp OLD=BENCH_PR7.json NEW=BENCH_PR8.json`.
+//
+// For every cell present in both files it prints old and new ns/op, the
+// percentage change, and the hand-off rate movement (the column the
+// batched hand-off work targets; old files without the column show
+// "-"). Cells whose spike fingerprint differs are flagged: a changed
+// fingerprint means the workload itself changed, so the timing delta is
+// not a like-for-like claim. With -fail, a mean slowdown beyond
+// -threshold percent across comparable cells exits nonzero — the CI
+// regression gate.
+//
+// Usage:
+//
+//	benchcmp [-threshold 10] [-fail] old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"spinngo/internal/benchsweep"
+)
+
+// cellKey identifies one sweep cell across reports: everything that
+// picks the machine, workload and execution strategy.
+type cellKey struct {
+	w, h, workers, procs                      int
+	boards, partition, repart, scenario, mode string
+}
+
+func key(r benchsweep.Result) cellKey {
+	return cellKey{
+		w: r.Width, h: r.Height, workers: r.Workers, procs: r.Procs,
+		boards: r.Boards, partition: r.Partition, repart: r.Repartition,
+		scenario: r.Scenario, mode: r.Mode,
+	}
+}
+
+func (k cellKey) String() string {
+	s := fmt.Sprintf("%dx%d", k.w, k.h)
+	if k.boards != "" {
+		s += " brd=" + k.boards
+	}
+	if k.partition != "" {
+		s += " " + k.partition
+	}
+	s += fmt.Sprintf(" w=%d", k.workers)
+	if k.procs > 0 {
+		s += fmt.Sprintf(" procs=%d", k.procs)
+	}
+	if k.repart != "" {
+		s += " repart=" + k.repart
+	}
+	if k.scenario != "" {
+		s += " [" + k.scenario + "]"
+	}
+	if k.mode != "" {
+		s += " mode=" + k.mode
+	}
+	return s
+}
+
+func load(path string) (benchsweep.Report, error) {
+	var rep benchsweep.Report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	return rep, json.Unmarshal(buf, &rep)
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "mean slowdown percent considered a regression")
+	fail := flag.Bool("fail", false, "exit nonzero when the mean slowdown exceeds -threshold")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold 10] [-fail] old.json new.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("%s: %v", flag.Arg(0), err)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		log.Fatalf("%s: %v", flag.Arg(1), err)
+	}
+
+	olds := make(map[cellKey]benchsweep.Result, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		olds[key(r)] = r
+	}
+
+	var compared, reworked, added int
+	var sumDelta float64
+	fmt.Printf("%-52s %14s %14s %8s  %s\n", "cell", "old ns/op", "new ns/op", "delta", "handoffs/biosec")
+	for _, nr := range newRep.Results {
+		k := key(nr)
+		or, ok := olds[k]
+		if !ok {
+			added++
+			fmt.Printf("%-52s %14s %14d %8s  %s\n", k, "-", nr.NsPerOp, "new", ho(or, nr))
+			continue
+		}
+		delete(olds, k)
+		if or.Spikes != nr.Spikes {
+			// Different spike fingerprint = different trajectory: the cell
+			// was re-worked, not sped up or slowed down.
+			reworked++
+			fmt.Printf("%-52s %14d %14d %8s  %s\n", k, or.NsPerOp, nr.NsPerOp, "rework", ho(or, nr))
+			continue
+		}
+		if or.NsPerOp <= 0 || nr.NsPerOp <= 0 {
+			continue
+		}
+		delta := 100 * (float64(nr.NsPerOp) - float64(or.NsPerOp)) / float64(or.NsPerOp)
+		compared++
+		sumDelta += delta
+		fmt.Printf("%-52s %14d %14d %+7.1f%%  %s\n", k, or.NsPerOp, nr.NsPerOp, delta, ho(or, nr))
+	}
+	for k := range olds {
+		fmt.Printf("%-52s %14s %14s %8s\n", k, "dropped", "-", "")
+	}
+
+	if compared == 0 {
+		fmt.Println("no comparable cells (disjoint grids or changed workloads)")
+		if *fail {
+			os.Exit(1)
+		}
+		return
+	}
+	mean := sumDelta / float64(compared)
+	fmt.Printf("\n%d comparable cells, %d reworked, %d new; mean wall-clock delta %+.1f%% (threshold %+.1f%%)\n",
+		compared, reworked, added, mean, *threshold)
+	if *fail && mean > *threshold {
+		fmt.Fprintf(os.Stderr, "benchcmp: mean slowdown %.1f%% exceeds threshold %.1f%%\n", mean, *threshold)
+		os.Exit(1)
+	}
+}
+
+// ho renders the hand-off rate movement for one cell; reports written
+// before the column existed show "-".
+func ho(or, nr benchsweep.Result) string {
+	newSide := "-"
+	if nr.HandoffsPerBioSecond > 0 {
+		newSide = fmt.Sprintf("%.0f", nr.HandoffsPerBioSecond)
+	}
+	if or.HandoffsPerBioSecond > 0 {
+		return fmt.Sprintf("%.0f -> %s", or.HandoffsPerBioSecond, newSide)
+	}
+	return "- -> " + newSide
+}

@@ -1,20 +1,22 @@
 // Command benchsweep measures the sharded engine's scaling across
 // partition geometries, worker counts, torus sizes and board
 // hierarchies, and writes the results as JSON — the repo's bench
-// trajectory record (`make bench` writes BENCH_PR7.json). The sweep has
-// four parts: the 8x8 reference worker sweep (bands/blocks x workers),
+// trajectory record (`make bench` writes BENCH_PR8.json). The sweep has
+// five parts: the 8x8 reference worker sweep (bands/blocks x workers),
 // the board-hierarchy comparison (bands vs blocks vs boards on
 // heterogeneous 8x8, 16x16 and 32x32 machines with slow board-to-board
-// links), and the shifting-hotspot scenario, which pits runtime
-// re-partitioning against every fixed geometry and records the
-// barrier-rate win of re-shaping the partition to the live workload,
-// and the host-load scenario, which compares serial host commands with
-// the pipelined batch and the flood-fill bulk write.
+// links), the multi-core scaling sweep (workers crossed with GOMAXPROCS,
+// every cell stamped with the host's core count so speedup claims stay
+// honest on single-core boxes), the shifting-hotspot scenario, which
+// pits runtime re-partitioning against every fixed geometry and records
+// the barrier-rate win of re-shaping the partition to the live
+// workload, and the host-load scenario, which compares serial host
+// commands with the pipelined batch and the flood-fill bulk write.
 //
 // Usage:
 //
-//	benchsweep [-out BENCH_PR7.json] [-hierarchy-only] [-workers-only]
-//	           [-hotspot-only] [-hostload-only] [-quick]
+//	benchsweep [-out BENCH_PR8.json] [-hierarchy-only] [-workers-only]
+//	           [-scaling-only] [-hotspot-only] [-hostload-only] [-quick]
 //	           [-cpuprofile sweep.cpu.pprof] [-memprofile sweep.mem.pprof]
 package main
 
@@ -30,9 +32,10 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "JSON output path ('' = stdout table only)")
+	out := flag.String("out", "BENCH_PR8.json", "JSON output path ('' = stdout table only)")
 	hierOnly := flag.Bool("hierarchy-only", false, "run only the board-hierarchy comparison")
 	workersOnly := flag.Bool("workers-only", false, "run only the 8x8 worker sweep")
+	scalingOnly := flag.Bool("scaling-only", false, "run only the workers x GOMAXPROCS scaling sweep")
 	hotspotOnly := flag.Bool("hotspot-only", false, "run only the shifting-hotspot repartition scenario")
 	hostloadOnly := flag.Bool("hostload-only", false, "run only the host-load (serial vs batch vs flood-fill) scenario")
 	quick := flag.Bool("quick", false, "one iteration per cell (CI smoke; structural columns exact, timing noisy)")
@@ -51,21 +54,26 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	exclusive := 0
-	for _, f := range []bool{*hierOnly, *workersOnly, *hotspotOnly, *hostloadOnly} {
+	for _, f := range []bool{*hierOnly, *workersOnly, *scalingOnly, *hotspotOnly, *hostloadOnly} {
 		if f {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		log.Fatal("-hierarchy-only, -workers-only, -hotspot-only and -hostload-only are mutually exclusive")
+		log.Fatal("-hierarchy-only, -workers-only, -scaling-only, -hotspot-only and -hostload-only are mutually exclusive")
 	}
+	// With no -*-only flag every section runs; with one, only it does.
+	want := func(only bool) bool { return exclusive == 0 || only }
 
 	var grid []benchsweep.Config
-	if !*hierOnly && !*hotspotOnly && !*hostloadOnly {
+	if want(*workersOnly) {
 		grid = append(grid, benchsweep.Grid()...)
 	}
-	if !*workersOnly && !*hotspotOnly && !*hostloadOnly {
+	if want(*hierOnly) {
 		grid = append(grid, benchsweep.HierarchyGrid()...)
+	}
+	if want(*scalingOnly) {
+		grid = append(grid, benchsweep.ScalingGrid()...)
 	}
 	var results []benchsweep.Result
 	fmt.Printf("partition/worker/hierarchy sweep: %dms of biological time per op\n", benchsweep.BioMS)
@@ -81,7 +89,7 @@ func main() {
 		fmt.Println(benchsweep.Row(r))
 		results = append(results, r)
 	}
-	if !*hierOnly && !*workersOnly && !*hostloadOnly {
+	if want(*hotspotOnly) {
 		fmt.Printf("shifting-hotspot scenario: %dms of biological time, %d quiescence chunks\n",
 			benchsweep.HotspotBioMS, benchsweep.HotspotChunks)
 		for _, cfg := range benchsweep.HotspotGrid() {
@@ -93,7 +101,7 @@ func main() {
 			results = append(results, r)
 		}
 	}
-	if !*hierOnly && !*workersOnly && !*hotspotOnly {
+	if want(*hostloadOnly) {
 		fmt.Printf("host-load scenario: %d B to every chip, serial vs batched vs flood-fill\n",
 			benchsweep.HostLoadBlockBytes)
 		for _, cfg := range benchsweep.HostLoadGrid() {

@@ -51,6 +51,7 @@ func main() {
 	boardlink := flag.String("boardlink", "", "board-to-board link preset: slow (default) or uniform; requires -boards")
 	repartition := flag.Bool("repartition", false, "re-partition at quiescence boundaries when the observed event density warrants it; any setting yields the same results")
 	queue := flag.String("queue", "", "event queue implementation: wheel (default) or heap (debug reference); any choice yields the same results; ignored with -restore")
+	soloThreshold := flag.Int("solothreshold", 0, "adaptive-mode solo bound in events/shard/window (0 = default 16); any value yields the same results")
 	snapshotPath := flag.String("snapshot", "", "write a checkpoint image to this file after the run")
 	restorePath := flag.String("restore", "", "resume from a checkpoint image; -workers/-partition pick the execution strategy, everything else comes from the image")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -98,7 +99,7 @@ func main() {
 		machine, err = spinngo.NewMachine(spinngo.MachineConfig{
 			Width: *w, Height: *h, Seed: *seed, Workers: *workers, Partition: *partition,
 			Boards: *boards, BoardLinkParams: *boardlink, Repartition: policy,
-			EventQueue: *queue,
+			EventQueue: *queue, SoloThresholdEvents: *soloThreshold,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -182,6 +183,8 @@ func main() {
 	st := machine.SimStats()
 	fmt.Printf("engine:          %d windows (%d parallel, %.1f events/window)\n",
 		st.Windows, st.ParallelWindows, st.EventsPerWindow)
+	fmt.Printf("hand-offs:       %d (%d batched runs covering %d windows, solo threshold %d)\n",
+		st.Handoffs, st.BatchRuns, st.BatchedWindows, st.SoloThreshold)
 	fmt.Printf("partition:       %s/%d shards after %d repartitions (lookahead %v)\n",
 		st.Geometry, st.Shards, st.Repartitions, st.Lookahead)
 	fmt.Printf("host:            %d engine transitions (boot phases + batched loads)\n",

@@ -2,9 +2,9 @@
 // end-to-end machine benchmark in one place, so that the
 // BenchmarkMachineBioSecondWorkers sub-benchmarks (`make bench-workers`,
 // the CI smoke step) and the JSON bench emitter (`make bench`, written
-// to BENCH_PR7.json) measure exactly the same workloads.
+// to BENCH_PR8.json) measure exactly the same workloads.
 //
-// Four sweeps share the harness. The worker sweep is the 8x8 reference
+// Five sweeps share the harness. The worker sweep is the 8x8 reference
 // machine of BENCH_PR2: fragments spread across all chips, a dense
 // stimulus-driven network, a quarter of a biological second per
 // iteration, across {bands, blocks} x worker counts. The hierarchy
@@ -16,9 +16,14 @@
 // shifting-hotspot scenario (hotspot.go) pits runtime re-partitioning
 // against every fixed geometry, and the host-load scenario (hostload.go)
 // pits serial host commands against the pipelined batch and the
-// flood-fill bulk write. Every cell of a given (torus, boards, scenario)
-// tuple produces a byte-identical RunReport — the determinism contract —
-// so the sweeps measure execution cost only.
+// flood-fill bulk write. The scaling sweep (ScalingGrid) crosses worker
+// counts with GOMAXPROCS so the speedup_vs_w1 column is a real
+// wall-clock scaling curve wherever the host has cores to offer — every
+// cell records runtime.NumCPU and the GOMAXPROCS it ran under, so a
+// single-core recording is honestly identifiable as one. Every cell of
+// a given (torus, boards, scenario) tuple produces a byte-identical
+// RunReport — the determinism contract — so the sweeps measure
+// execution cost only.
 package benchsweep
 
 import (
@@ -49,10 +54,16 @@ type Config struct {
 	// Repartition is the runtime re-partitioning policy ("" = off).
 	Repartition string `json:"repartition,omitempty"`
 	// Scenario tags cells that run a scripted workload instead of the
-	// steady-state reference network ("hotspot", "hostload").
+	// steady-state reference network ("hotspot", "hostload") or a
+	// dedicated grid of the reference network ("scaling").
 	Scenario string `json:"scenario,omitempty"`
 	// Mode selects the host-load variant ("serial", "batch", "fill").
 	Mode string `json:"mode,omitempty"`
+	// Procs pins runtime.GOMAXPROCS for the cell's timed run (restored
+	// afterwards); 0 leaves the process setting alone. The scaling
+	// sweep crosses it with Workers — on a single-core host the curve
+	// honestly flatlines, and the recorded NumCPU says why.
+	Procs int `json:"procs,omitempty"`
 }
 
 // Grid reports the worker sweep: the 8x8 reference machine, both
@@ -91,6 +102,31 @@ func HierarchyGrid() []Config {
 	return grid
 }
 
+// ScalingGrid reports the multi-core scaling sweep: the 8x8 reference
+// machine on the blocks geometry, worker counts crossed with GOMAXPROCS
+// values up to the host's core count. With one worker the engine runs
+// windowless regardless of GOMAXPROCS, so the workers=1 cells anchor
+// the speedup_vs_w1 column per GOMAXPROCS level; true parallel speedup
+// can only appear in cells where both workers and procs exceed 1 — on a
+// single-core host the whole curve honestly hovers at or below 1.
+func ScalingGrid() []Config {
+	procs := []int{1}
+	if n := runtime.NumCPU(); n >= 2 {
+		procs = append(procs, 2)
+		if n > 2 {
+			procs = append(procs, n)
+		}
+	}
+	var grid []Config
+	for _, pr := range procs {
+		for _, w := range []int{1, 2, 4, 8} {
+			grid = append(grid, Config{Width: 8, Height: 8, Partition: spinngo.PartitionBlocks,
+				Workers: w, Procs: pr, Scenario: "scaling"})
+		}
+	}
+	return grid
+}
+
 // Result is one measured cell of the sweep.
 type Result struct {
 	Config
@@ -117,6 +153,18 @@ type Result struct {
 	EventsPerSec        float64 `json:"events_per_sec"`
 	WindowsPerBioSecond float64 `json:"windows_per_bio_second"`
 	EventsPerWindow     float64 `json:"events_per_window"`
+	// HandoffsPerBioSecond is the coordinator hand-off + barrier rate:
+	// at most WindowsPerBioSecond, and lower exactly when runs of
+	// provably single-shard windows batched under one hand-off (BENCH
+	// files before PR8 paid one hand-off per window by construction).
+	HandoffsPerBioSecond float64 `json:"handoffs_per_bio_second,omitempty"`
+	// NumCPU and GoMaxProcs record the hardware context the wall-clock
+	// columns were measured in: NumCPU is the host's core count,
+	// GoMaxProcs the effective scheduler width for this cell (Procs if
+	// pinned). speedup_vs_w1 is only a parallel-scaling claim when both
+	// exceed 1.
+	NumCPU     int `json:"num_cpu"`
+	GoMaxProcs int `json:"gomaxprocs"`
 	// Spikes fingerprints the workload: identical for every cell of the
 	// same (torus, boards) pair, per the determinism contract.
 	Spikes float64 `json:"spikes"`
@@ -211,6 +259,26 @@ func Describe(cfg Config) (spinngo.SimStats, error) {
 	return m.SimStats(), nil
 }
 
+// setProcs pins runtime.GOMAXPROCS for a cell when cfg.Procs asks for
+// it, returning a restore function; otherwise both are no-ops.
+func setProcs(cfg Config) (restore func()) {
+	if cfg.Procs <= 0 {
+		return func() {}
+	}
+	old := runtime.GOMAXPROCS(cfg.Procs)
+	return func() { runtime.GOMAXPROCS(old) }
+}
+
+// stampHW records the hardware context a cell's wall-clock columns were
+// measured in (see Result.NumCPU).
+func stampHW(r *Result) {
+	r.NumCPU = runtime.NumCPU()
+	r.GoMaxProcs = runtime.GOMAXPROCS(0)
+	if r.Procs > 0 {
+		r.GoMaxProcs = r.Procs
+	}
+}
+
 // Bench returns the benchmark body for one cell. Machine construction,
 // boot and load run off the clock; only Machine.Run is timed. The
 // barrier and event counters are reported through b.ReportMetric, so
@@ -218,8 +286,9 @@ func Describe(cfg Config) (spinngo.SimStats, error) {
 // testing.Benchmark's Extra map (which the JSON emitter reads).
 func Bench(cfg Config) func(b *testing.B) {
 	return func(b *testing.B) {
+		defer setProcs(cfg)()
 		var spikes float64
-		var events, windows uint64
+		var events, windows, handoffs uint64
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			m, err := build(cfg)
@@ -238,6 +307,7 @@ func Bench(cfg Config) func(b *testing.B) {
 			spikes = float64(rep.TotalSpikes)
 			events += after.Events - before.Events
 			windows += after.Windows - before.Windows
+			handoffs += after.Handoffs - before.Handoffs
 			b.StartTimer()
 		}
 		b.StopTimer()
@@ -246,6 +316,7 @@ func Bench(cfg Config) func(b *testing.B) {
 			b.ReportMetric(float64(events)/s, "events/s")
 		}
 		b.ReportMetric(float64(windows)/bioSeconds, "windows/biosec")
+		b.ReportMetric(float64(handoffs)/bioSeconds, "handoffs/biosec")
 		if windows > 0 {
 			b.ReportMetric(float64(events)/float64(windows), "ev/window")
 		}
@@ -263,22 +334,25 @@ func Measure(cfg Config) (Result, error) {
 	mc := machineConfig(cfg)
 	cfg.Width, cfg.Height = mc.Width, mc.Height
 	r := testing.Benchmark(Bench(cfg))
-	return Result{
-		Config:              cfg,
-		Geometry:            st.Geometry,
-		Shards:              st.Shards,
-		CutLinks:            st.CutLinks,
-		CutOnBoard:          st.CutLinksOnBoard,
-		CutBoard:            st.CutLinksBoard,
-		LookaheadNS:         int64(st.Lookahead),
-		UniformLookaheadNS:  int64(st.UniformLookahead),
-		N:                   r.N,
-		NsPerOp:             r.NsPerOp(),
-		EventsPerSec:        r.Extra["events/s"],
-		WindowsPerBioSecond: r.Extra["windows/biosec"],
-		EventsPerWindow:     r.Extra["ev/window"],
-		Spikes:              r.Extra["spikes"],
-	}, nil
+	res := Result{
+		Config:               cfg,
+		Geometry:             st.Geometry,
+		Shards:               st.Shards,
+		CutLinks:             st.CutLinks,
+		CutOnBoard:           st.CutLinksOnBoard,
+		CutBoard:             st.CutLinksBoard,
+		LookaheadNS:          int64(st.Lookahead),
+		UniformLookaheadNS:   int64(st.UniformLookahead),
+		N:                    r.N,
+		NsPerOp:              r.NsPerOp(),
+		EventsPerSec:         r.Extra["events/s"],
+		WindowsPerBioSecond:  r.Extra["windows/biosec"],
+		HandoffsPerBioSecond: r.Extra["handoffs/biosec"],
+		EventsPerWindow:      r.Extra["ev/window"],
+		Spikes:               r.Extra["spikes"],
+	}
+	stampHW(&res)
+	return res, nil
 }
 
 // MeasureQuick runs one cell exactly once instead of letting the
@@ -290,6 +364,7 @@ func Measure(cfg Config) (Result, error) {
 func MeasureQuick(cfg Config) (Result, error) {
 	mc := machineConfig(cfg)
 	cfg.Width, cfg.Height = mc.Width, mc.Height
+	defer setProcs(cfg)()
 	m, err := build(cfg)
 	if err != nil {
 		return Result{}, err
@@ -308,19 +383,21 @@ func MeasureQuick(cfg Config) (Result, error) {
 	after := m.SimStats()
 	events := after.Events - before.Events
 	windows := after.Windows - before.Windows
+	handoffs := after.Handoffs - before.Handoffs
 	r := Result{
-		Config:              cfg,
-		Geometry:            st.Geometry,
-		Shards:              st.Shards,
-		CutLinks:            st.CutLinks,
-		CutOnBoard:          st.CutLinksOnBoard,
-		CutBoard:            st.CutLinksBoard,
-		LookaheadNS:         int64(st.Lookahead),
-		UniformLookaheadNS:  int64(st.UniformLookahead),
-		N:                   1,
-		NsPerOp:             elapsed.Nanoseconds(),
-		WindowsPerBioSecond: float64(windows) / (BioMS / 1000.0),
-		Spikes:              float64(rep.TotalSpikes),
+		Config:               cfg,
+		Geometry:             st.Geometry,
+		Shards:               st.Shards,
+		CutLinks:             st.CutLinks,
+		CutOnBoard:           st.CutLinksOnBoard,
+		CutBoard:             st.CutLinksBoard,
+		LookaheadNS:          int64(st.Lookahead),
+		UniformLookaheadNS:   int64(st.UniformLookahead),
+		N:                    1,
+		NsPerOp:              elapsed.Nanoseconds(),
+		WindowsPerBioSecond:  float64(windows) / (BioMS / 1000.0),
+		HandoffsPerBioSecond: float64(handoffs) / (BioMS / 1000.0),
+		Spikes:               float64(rep.TotalSpikes),
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		r.EventsPerSec = float64(events) / s
@@ -328,26 +405,29 @@ func MeasureQuick(cfg Config) (Result, error) {
 	if windows > 0 {
 		r.EventsPerWindow = float64(events) / float64(windows)
 	}
+	stampHW(&r)
 	return r, nil
 }
 
 // AnnotateSpeedup fills each result's SpeedupVsW1 from the workers=1
-// cell sharing its machine and scenario, turning the worker sweep into
-// an explicit wall-clock scaling row.
+// cell sharing its machine, scenario and GOMAXPROCS pin, turning the
+// worker sweep into an explicit wall-clock scaling row. Keying on Procs
+// keeps the claim honest: a workers=4 cell is only compared against a
+// 1-worker run under the same scheduler width.
 func AnnotateSpeedup(results []Result) {
 	type key struct {
-		w, h                        int
+		w, h, procs                 int
 		boards, partition, scenario string
 	}
 	base := make(map[key]int64)
 	for _, r := range results {
 		if r.Workers == 1 && r.NsPerOp > 0 {
-			base[key{r.Width, r.Height, r.Boards, r.Partition, r.Scenario}] = r.NsPerOp
+			base[key{r.Width, r.Height, r.Procs, r.Boards, r.Partition, r.Scenario}] = r.NsPerOp
 		}
 	}
 	for i := range results {
 		r := &results[i]
-		if b, ok := base[key{r.Width, r.Height, r.Boards, r.Partition, r.Scenario}]; ok && r.NsPerOp > 0 {
+		if b, ok := base[key{r.Width, r.Height, r.Procs, r.Boards, r.Partition, r.Scenario}]; ok && r.NsPerOp > 0 {
 			r.SpeedupVsW1 = float64(b) / float64(r.NsPerOp)
 		}
 	}
@@ -386,8 +466,13 @@ func Row(r Result) string {
 	if boards == "" {
 		boards = "-"
 	}
-	return fmt.Sprintf("%dx%-3d brd=%-4s %-7s w=%d shards=%-2d cut=%-4d (%d fast/%d board) la=%d/%dns %12d ns/op %11.0f ev/s %7.0f win/bios %6.1f ev/win",
+	procs := ""
+	if r.Procs > 0 {
+		procs = fmt.Sprintf(" procs=%d", r.Procs)
+	}
+	return fmt.Sprintf("%dx%-3d brd=%-4s %-7s w=%d shards=%-2d cut=%-4d (%d fast/%d board) la=%d/%dns %12d ns/op %11.0f ev/s %7.0f win/bios %7.0f ho/bios %6.1f ev/win%s",
 		r.Width, r.Height, boards, r.Partition, r.Workers, r.Shards,
 		r.CutLinks, r.CutOnBoard, r.CutBoard, r.LookaheadNS, r.UniformLookaheadNS,
-		r.NsPerOp, r.EventsPerSec, r.WindowsPerBioSecond, r.EventsPerWindow)
+		r.NsPerOp, r.EventsPerSec, r.WindowsPerBioSecond, r.HandoffsPerBioSecond,
+		r.EventsPerWindow, procs)
 }

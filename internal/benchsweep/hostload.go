@@ -143,6 +143,7 @@ func MeasureHostLoad(cfg Config) (Result, HostLoadResult, error) {
 	if ev := after.Events - before.Events; elapsed.Seconds() > 0 {
 		r.EventsPerSec = float64(ev) / elapsed.Seconds()
 	}
+	stampHW(&r)
 	return r, hr, nil
 }
 

@@ -130,21 +130,23 @@ func MeasureHotspot(cfg Config) (Result, error) {
 	after := m.SimStats()
 	events := after.Events - before.Events
 	windows := after.Windows - before.Windows
+	handoffs := after.Handoffs - before.Handoffs
 	bioSeconds := float64(HotspotBioMS) / 1000
 	r := Result{
-		Config:              cfg,
-		Geometry:            after.Geometry, // where the policy ended up
-		Shards:              after.Shards,
-		CutLinks:            after.CutLinks,
-		CutOnBoard:          after.CutLinksOnBoard,
-		CutBoard:            after.CutLinksBoard,
-		LookaheadNS:         int64(after.Lookahead),
-		UniformLookaheadNS:  int64(after.UniformLookahead),
-		N:                   1,
-		NsPerOp:             elapsed.Nanoseconds(),
-		WindowsPerBioSecond: float64(windows) / bioSeconds,
-		Spikes:              float64(rep.TotalSpikes),
-		Repartitions:        after.Repartitions,
+		Config:               cfg,
+		Geometry:             after.Geometry, // where the policy ended up
+		Shards:               after.Shards,
+		CutLinks:             after.CutLinks,
+		CutOnBoard:           after.CutLinksOnBoard,
+		CutBoard:             after.CutLinksBoard,
+		LookaheadNS:          int64(after.Lookahead),
+		UniformLookaheadNS:   int64(after.UniformLookahead),
+		N:                    1,
+		NsPerOp:              elapsed.Nanoseconds(),
+		WindowsPerBioSecond:  float64(windows) / bioSeconds,
+		HandoffsPerBioSecond: float64(handoffs) / bioSeconds,
+		Spikes:               float64(rep.TotalSpikes),
+		Repartitions:         after.Repartitions,
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		r.EventsPerSec = float64(events) / s
@@ -152,6 +154,7 @@ func MeasureHotspot(cfg Config) (Result, error) {
 	if windows > 0 {
 		r.EventsPerWindow = float64(events) / float64(windows)
 	}
+	stampHW(&r)
 	return r, nil
 }
 

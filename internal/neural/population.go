@@ -121,6 +121,12 @@ type Population struct {
 	izhB    Fix
 	izhC    Fix
 	izhD    Fix
+	// dead counts nil Neurons entries (killed neurons and stateless
+	// source slots). The chunked stepping paths are legal only when it
+	// is zero — they skip the per-neuron liveness check entirely — so
+	// every transition to nil must pass through KillNeuron to keep the
+	// counter an invariant of the slice.
+	dead int
 
 	tick uint64
 	// OnSpike is invoked for each local neuron that fires; the machine
@@ -147,7 +153,11 @@ func newPopulation(n, maxDelay int) *Population {
 func NewPopulation(n, maxDelay int, factory func(i int) Neuron) *Population {
 	p := newPopulation(n, maxDelay)
 	for i := 0; i < n; i++ {
-		p.Neurons = append(p.Neurons, factory(i))
+		nn := factory(i)
+		if nn == nil {
+			p.dead++ // stateless source slot
+		}
+		p.Neurons = append(p.Neurons, nn)
 	}
 	return p
 }
@@ -195,9 +205,10 @@ func NewIzhikevichPopulation(n, maxDelay int, params IzhikevichParams) *Populati
 }
 
 // stepLIF advances neuron i one tick — the exact arithmetic of
-// LIF.Step, operating on the population arrays. It is the single copy
-// of the update rule; both the batch loop and the interface view call
-// it, so the two layouts cannot drift.
+// LIF.Step, operating on the population arrays. The scalar fallback
+// loop and the interface view call it; stepLIFChunked repeats the same
+// expressions on hoisted parameters (integer fixed-point, identical
+// evaluation order, so bit-exact — pinned by the differential tests).
 func (p *Population) stepLIF(i int, input Fix) bool {
 	if p.cooling[i] > 0 {
 		p.cooling[i]--
@@ -233,6 +244,93 @@ func (p *Population) stepIzh(i int, input Fix) bool {
 	u += p.izhA.Mul(p.izhB.Mul(v) - u)
 	p.v[i], p.u[i] = v, u
 	return false
+}
+
+// chunk is the SIMD-width block the homogeneous stepping loops advance
+// per iteration: converting each 8-lane block to an array pointer
+// proves every lane index in range once, so the inner loop runs with no
+// bounds checks and all shared parameters in registers.
+const chunk = 8
+
+// stepLIFChunked advances the whole LIF population one tick in 8-wide
+// blocks. Legal only with no dead neurons (p.dead == 0): the per-lane
+// liveness check is gone, which — with the hoisted parameters and
+// bounds-check-free lane access — is what the fast path buys. The
+// arithmetic is stepLIF's, expression for expression; a KillNeuron from
+// inside an OnSpike callback takes effect at the next tick (the scalar
+// path is re-selected then), never mid-block.
+func (p *Population) stepLIFChunked(inputs []Fix) (cost uint64) {
+	decay, vRest, vReset, vThresh := p.decay, p.vRest, p.vReset, p.vThresh
+	rMem, refrac, bias := p.rMem, p.refrac, p.Bias
+	n := len(p.v)
+	i := 0
+	for ; i+chunk <= n; i += chunk {
+		vv := (*[chunk]Fix)(p.v[i:])
+		cc := (*[chunk]int32)(p.cooling[i:])
+		in := (*[chunk]Fix)(inputs[i:])
+		for j := 0; j < chunk; j++ {
+			if cc[j] > 0 {
+				cc[j]--
+				cost += 30
+				continue
+			}
+			target := vRest + rMem.Mul(in[j]+bias)
+			v := vv[j] + decay.Mul(target-vv[j])
+			if v >= vThresh {
+				vv[j] = vReset
+				cc[j] = refrac
+				cost += p.fired(true, i+j)
+			} else {
+				vv[j] = v
+				cost += 30
+			}
+		}
+	}
+	for ; i < n; i++ { // tail lanes (population size not a multiple of 8)
+		cost += p.fired(p.stepLIF(i, inputs[i]+p.Bias), i)
+	}
+	return cost
+}
+
+// stepIzhChunked advances the whole Izhikevich population one tick in
+// 8-wide blocks — stepIzh's two-half-step arithmetic with parameters
+// hoisted and lane access bounds-check-free. Same legality rule as
+// stepLIFChunked: no dead neurons.
+func (p *Population) stepIzhChunked(inputs []Fix) (cost uint64) {
+	a, b, c, d, bias := p.izhA, p.izhB, p.izhC, p.izhD, p.Bias
+	n := len(p.v)
+	i := 0
+	for ; i+chunk <= n; i += chunk {
+		vv := (*[chunk]Fix)(p.v[i:])
+		uu := (*[chunk]Fix)(p.u[i:])
+		in := (*[chunk]Fix)(inputs[i:])
+		for j := 0; j < chunk; j++ {
+			input := in[j] + bias
+			v, u := vv[j], uu[j]
+			spiked := false
+			for half := 0; half < 2; half++ {
+				dv := iz004.Mul(v).Mul(v) + iz5.Mul(v) + iz140 - u + input
+				v += izHalf.Mul(dv)
+				if v >= iz30 {
+					v = c
+					u += d
+					// u update for this tick still applies below.
+					u += a.Mul(b.Mul(v) - u)
+					spiked = true
+					break
+				}
+			}
+			if !spiked {
+				u += a.Mul(b.Mul(v) - u)
+			}
+			vv[j], uu[j] = v, u
+			cost += p.fired(spiked, i+j)
+		}
+	}
+	for ; i < n; i++ { // tail lanes
+		cost += p.fired(p.stepIzh(i, inputs[i]+p.Bias), i)
+	}
+	return cost
 }
 
 // lifRef is the Neuron-interface view of one slot of a LIF
@@ -285,15 +383,20 @@ func (p *Population) ProcessRow(row Row) (instructions uint64) {
 // consume the ring slot due now, integrate, fire. It reports the
 // instruction cost (~30 instructions per quiet neuron, ~100 extra per
 // spike, matching published SpiNNaker kernel budgets). Homogeneous
-// populations step their state arrays directly; factory-built ones go
-// through the Neuron interface. Both orders, costs and spike streams
-// are identical.
+// populations with every neuron alive step their state arrays in
+// SIMD-width chunks; populations carrying dead neurons fall back to the
+// scalar per-lane loop, and factory-built ones go through the Neuron
+// interface. All orders, costs and spike streams are identical.
 func (p *Population) StepTick() (instructions uint64) {
 	inputs := p.Ring.Advance()
 	p.tick++
 	var cost uint64 = 60
 	switch p.model {
 	case modelLIF:
+		if p.dead == 0 {
+			cost += p.stepLIFChunked(inputs)
+			break
+		}
 		for i := range p.v {
 			if p.Neurons[i] == nil { // dead neuron (fault-injection experiments)
 				cost += 2
@@ -302,6 +405,10 @@ func (p *Population) StepTick() (instructions uint64) {
 			cost += p.fired(p.stepLIF(i, inputs[i]+p.Bias), i)
 		}
 	case modelIzh:
+		if p.dead == 0 {
+			cost += p.stepIzhChunked(inputs)
+			break
+		}
 		for i := range p.v {
 			if p.Neurons[i] == nil {
 				cost += 2
@@ -342,9 +449,17 @@ func (p *Population) KillNeuron(i int) error {
 	if i < 0 || i >= len(p.Neurons) {
 		return fmt.Errorf("neural: no neuron %d", i)
 	}
-	p.Neurons[i] = nil
+	if p.Neurons[i] != nil {
+		p.Neurons[i] = nil
+		p.dead++
+	}
 	return nil
 }
+
+// Dead reports how many neuron slots are nil (killed or stateless);
+// while it is zero the homogeneous models step in bounds-check-free
+// chunks.
+func (p *Population) Dead() int { return p.dead }
 
 // PoissonSource emits independent Poisson spike trains for n virtual
 // neurons at the given rate; used as stimulus (Fig 7 update_Stimulus).

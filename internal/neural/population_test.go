@@ -1,6 +1,7 @@
 package neural
 
 import (
+	"fmt"
 	"testing"
 
 	"spinngo/internal/sim"
@@ -136,12 +137,92 @@ func TestPopulationTickCounter(t *testing.T) {
 	}
 }
 
+// TestChunkedSoAMatchesInterfaceAcrossSizes pins the SIMD-width chunked
+// stepping paths bit-exact against the interface models: population
+// sizes off the 8-lane grid exercise the scalar tail, and a mid-run
+// KillNeuron flips the population from the chunked path to the scalar
+// dead-slot fallback at a tick boundary — costs, membrane trajectories
+// and rasters must be identical throughout.
+func TestChunkedSoAMatchesInterfaceAcrossSizes(t *testing.T) {
+	const ticks = 240
+	for _, n := range []int{1, 7, 8, 9, 16, 33} {
+		build := []struct {
+			name     string
+			soa, ref *Population
+		}{
+			{"lif",
+				NewLIFPopulation(n, MaxSynDelay, DefaultLIF()),
+				NewPopulation(n, MaxSynDelay, func(int) Neuron { return NewLIF(DefaultLIF()) })},
+			{"izh",
+				NewIzhikevichPopulation(n, MaxSynDelay, RegularSpiking()),
+				NewPopulation(n, MaxSynDelay, func(int) Neuron { return NewIzhikevich(RegularSpiking()) })},
+		}
+		for _, c := range build {
+			t.Run(fmt.Sprintf("%s/n=%d", c.name, n), func(t *testing.T) {
+				c.soa.Bias = F(0.4)
+				c.ref.Bias = F(0.4)
+				if c.soa.Dead() != 0 {
+					t.Fatalf("fresh SoA population reports %d dead slots", c.soa.Dead())
+				}
+				dead := -1
+				rng := sim.NewRNG(7)
+				for tick := 0; tick < ticks; tick++ {
+					if tick == ticks/2 && n > 1 {
+						// Kill one neuron mid-run: the chunked fast path
+						// must hand over to the scalar fallback without a
+						// trajectory blip on the survivors.
+						dead = n / 2
+						if err := c.soa.KillNeuron(dead); err != nil {
+							t.Fatal(err)
+						}
+						if err := c.ref.KillNeuron(dead); err != nil {
+							t.Fatal(err)
+						}
+						if c.soa.Dead() != 1 {
+							t.Fatalf("Dead() = %d after one kill", c.soa.Dead())
+						}
+					}
+					for dep := 0; dep < 4; dep++ {
+						tgt := rng.Intn(n)
+						delay := rng.Intn(MaxSynDelay)
+						w := Fix(rng.Intn(1 << 18))
+						c.soa.Ring.Deposit(delay, tgt, w)
+						c.ref.Ring.Deposit(delay, tgt, w)
+					}
+					if cs, cr := c.soa.StepTick(), c.ref.StepTick(); cs != cr {
+						t.Fatalf("tick %d: SoA cost %d != interface cost %d", tick, cs, cr)
+					}
+					for i := 0; i < n; i++ {
+						if i == dead {
+							continue
+						}
+						if vs, vr := c.soa.Neurons[i].V(), c.ref.Neurons[i].V(); vs != vr {
+							t.Fatalf("tick %d neuron %d: SoA v=%v, interface v=%v", tick, i, vs, vr)
+						}
+					}
+				}
+				ss, rs := c.soa.Rec.ExportState(), c.ref.Rec.ExportState()
+				if len(ss.Spikes) != len(rs.Spikes) {
+					t.Fatalf("SoA recorded %d spikes, interface %d", len(ss.Spikes), len(rs.Spikes))
+				}
+				for i := range ss.Spikes {
+					if ss.Spikes[i] != rs.Spikes[i] {
+						t.Fatalf("spike %d: SoA %+v, interface %+v", i, ss.Spikes[i], rs.Spikes[i])
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestSoAMatchesInterfaceStepping is the bit-exactness contract of the
 // structure-of-arrays layout: a LIF and an Izhikevich population built
 // through the SoA constructors must produce the identical spike raster,
 // membrane trajectories and instruction costs as the same neurons
 // stepped one by one through the Neuron interface, under a shared
-// pseudo-random input drive.
+// pseudo-random input drive. (The up-front kill keeps this case on the
+// scalar dead-slot fallback; the chunked path has its own differential
+// test above.)
 func TestSoAMatchesInterfaceStepping(t *testing.T) {
 	const n, ticks = 32, 400
 	cases := []struct {

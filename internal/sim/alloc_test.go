@@ -61,3 +61,72 @@ func TestWindowDispatchZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state window execution allocates %.1f times per cycle, want 0", allocs)
 	}
 }
+
+// mailPayload ping-pongs between two shards through the per-source mail
+// arenas: each delivery posts the payload back across the cut with the
+// pre-allocated PostP variant, so the steady state exercises arena
+// append, barrier drain and scrub without constructing anything.
+type mailPayload struct {
+	pe       *ParallelEngine
+	src, dst int
+	dstDom   *Domain
+	peer     *mailPayload
+	seq      uint64
+	left     int
+}
+
+func (p *mailPayload) Run() {
+	if p.left > 0 {
+		p.left--
+		p.peer.left = p.left
+		p.seq++
+		at := p.pe.Shard(p.src).Now() + 100
+		p.pe.PostP(p.src, p.dst, p.dstDom, at, int32(p.src), p.seq, p.peer)
+	}
+}
+
+func (p *mailPayload) EventDesc() *Desc { return &Desc{Kind: "test.mail"} }
+
+func TestArenaMailZeroAlloc(t *testing.T) {
+	pe := NewParallel(1, 2, 1)
+	pe.SetLookahead(100)
+	d0 := pe.Shard(0).Domain(0)
+	a := &mailPayload{pe: pe, src: 0, dst: 1, dstDom: pe.Shard(1).Domain(1)}
+	b := &mailPayload{pe: pe, src: 1, dst: 0, dstDom: d0}
+	a.peer, b.peer = b, a
+	var deadline Time
+	cycle := func() {
+		a.left = 128
+		d0.AfterP(1, a)
+		deadline += 100 * 128 * 2
+		pe.RunUntil(deadline)
+	}
+	cycle() // warm the arenas to steady-state capacity
+	if allocs := testing.AllocsPerRun(50, cycle); allocs > 0 {
+		t.Fatalf("steady-state arena mail traffic allocates %.1f times per cycle, want 0", allocs)
+	}
+}
+
+func TestBatchedHandoffZeroAlloc(t *testing.T) {
+	// One busy shard next to an empty one: every RunUntil resolves to
+	// batched solo runs (the horizon proof always holds), so this pins
+	// the runSoloBatch path itself allocation-free.
+	pe := NewParallel(1, 2, 1)
+	pe.SetLookahead(100)
+	d0 := pe.Shard(0).Domain(0)
+	p0 := &rearmPayload{d: d0}
+	var deadline Time
+	cycle := func() {
+		p0.left = 256
+		d0.AfterP(1, p0)
+		deadline += 10 * 256 * 2
+		pe.RunUntil(deadline)
+	}
+	cycle()
+	if pe.BatchRuns() == 0 {
+		t.Fatal("solo workload never took the batched hand-off path")
+	}
+	if allocs := testing.AllocsPerRun(50, cycle); allocs > 0 {
+		t.Fatalf("steady-state batched hand-off allocates %.1f times per cycle, want 0", allocs)
+	}
+}

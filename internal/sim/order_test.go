@@ -160,6 +160,10 @@ func FuzzCalendarQueueRollover(f *testing.F) {
 	// (calMinBuckets*calInitWidth = 1024 ns) and another past 2^40.
 	f.Add([]byte{0x31, 0x32, 0x33, 0x34, 0xa1, 0x00, 0x00, 0x00, 0xf1, 0x00})
 	f.Add([]byte{0xff, 0xfe, 0xfd, 0x00, 0xfc, 0x00, 0x01, 0x02, 0x00})
+	// A chain of maximal jumps marches the floor ~2^51 ns out — dozens
+	// of back-to-back rotation fallbacks at ever higher anchors.
+	f.Add([]byte{0xf1, 0x00, 0xf2, 0x00, 0xf3, 0x00, 0xf4, 0x00, 0xf5, 0x00,
+		0xf6, 0x00, 0xf7, 0x00, 0xf8, 0x01, 0x02, 0x00, 0x00, 0x00})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		wheel := newQueue(QueueWheel)
 		ref := newQueue(QueueHeap)
@@ -204,6 +208,76 @@ func FuzzCalendarQueueRollover(f *testing.F) {
 			t.Fatalf("heap retains %d events after wheel drained", ref.len())
 		}
 	})
+}
+
+// TestCalendarQueueResizeExtremes drives the wheel's resize and
+// rotation machinery at the far end of the time axis, where arithmetic
+// slips would hide: dense same-slot bursts force grow resizes whose
+// derived width collapses to 1 ns, a sparse halo six orders of
+// magnitude wider forces the next resize to re-derive a usable width
+// from a huge span, and the drain between anchors crosses empty
+// stretches the rotation fallback must leap — at anchors up to a few
+// ticks short of Forever. The reference heap arbitrates every pop, and
+// popped timestamps must never regress.
+func TestCalendarQueueResizeExtremes(t *testing.T) {
+	wheel := newQueue(QueueWheel)
+	ref := newQueue(QueueHeap)
+	rng := rand.New(rand.NewSource(23))
+	seen := make(map[eventKey]bool)
+	pending := 0
+	var floor Time
+	push := func(at Time, k1 uint64) {
+		key := eventKey{
+			at:     at,
+			domain: int32(rng.Intn(4)) - 1,
+			class:  uint8(rng.Intn(2)),
+			k1:     k1,
+			k2:     uint64(rng.Intn(4)),
+		}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		wheel.push(event{key: key})
+		ref.push(event{key: key})
+		pending++
+	}
+	popN := func(n int) {
+		for ; n > 0 && pending > 0; n-- {
+			a, b := wheel.pop(), ref.pop()
+			if a.key != b.key {
+				t.Fatalf("floor %d: wheel popped %+v, heap popped %+v", floor, a.key, b.key)
+			}
+			if a.key.at < floor {
+				t.Fatalf("pop regressed: %d after floor %d", a.key.at, floor)
+			}
+			floor = a.key.at
+			pending--
+		}
+	}
+	anchors := []Time{0, 1 << 20, 1 << 40, 1 << 55, 1 << 62, Forever - (1 << 21)}
+	for _, anchor := range anchors {
+		// A same-timestamp blast: one slot holds hundreds of full-key
+		// ties across multiple grow resizes.
+		for i := 0; i < 200; i++ {
+			push(anchor, uint64(i))
+		}
+		// A dense burst over a handful of slots (spacing ~1 ns, so the
+		// re-derived bucket width bottoms out at its 1 ns floor).
+		for i := 0; i < 400; i++ {
+			push(anchor+Time(rng.Intn(32)), uint64(rng.Intn(8)))
+		}
+		// A sparse halo ~2^20 ns wide: the next resize sees a span six
+		// orders of magnitude above the burst spacing.
+		for i := 0; i < 50; i++ {
+			push(anchor+Time(rng.Int63n(1<<20)), uint64(rng.Intn(8)))
+		}
+		popN(pending / 2) // shrink resizes fire mid-drain
+		popN(pending)     // full drain; next anchor needs the rotation fallback
+	}
+	if wheel.len() != 0 || ref.len() != 0 {
+		t.Fatalf("queues not empty after drain: wheel %d, heap %d", wheel.len(), ref.len())
+	}
 }
 
 func TestHeapMergePermutationInvariant(t *testing.T) {

@@ -108,8 +108,8 @@ func (p *workerPool) active() bool { return p != nil && !p.closed.Load() }
 // bounded-asynchrony argument the paper makes for a GALS fabric of
 // locally-clocked chips (sections 3 and 5).
 //
-// Cross-shard events travel through per-(src,dst) mailboxes drained at
-// window barriers; every delivery carries a canonical (timestamp,
+// Cross-shard events travel through per-source envelope arenas drained
+// at window barriers; every delivery carries a canonical (timestamp,
 // source domain, source sequence) key assigned by the sender, so the
 // merged event order — and therefore the whole simulation — is
 // independent of goroutine scheduling and of the shard count itself.
@@ -135,8 +135,13 @@ type ParallelEngine struct {
 	lookahead Time
 	adaptive  bool
 
-	// mail[src*K+dst] is appended only by shard src's goroutine during a
-	// window and drained only by the coordinator at the barrier.
+	// mail[src] is shard src's per-window envelope arena: appended only
+	// by the goroutine executing shard src during a window, drained and
+	// length-reset (capacity kept — a bump arena) by the coordinator at
+	// the barrier. Each message carries its destination domain and a
+	// canonical key, so no (src,dst) structure is needed: the
+	// destination queue orders deliveries, and the drain is
+	// O(messages + shards) instead of an O(shards²) matrix scan.
 	mail [][]mailMsg
 
 	// curLimit/inWindow let Post assert the lookahead contract from any
@@ -184,16 +189,31 @@ type ParallelEngine struct {
 	activeBefore   []uint64
 	activeScratch  []int // coordinator-local active-set buffer
 
+	// Hand-off accounting. handoffs counts coordinator hand-off +
+	// barrier cycles: one per runWindow and one per solo batch, however
+	// many conceptual windows the batch covered — the per-window
+	// coordination cost the batching amortises (handoffs <= windows;
+	// single-shard spans run windowless and count no hand-off).
+	// batchRuns counts solo batches; batchedWindows the conceptual
+	// windows executed inside them.
+	handoffs       uint64
+	batchRuns      uint64
+	batchedWindows uint64
+
+	// soloThreshold is the adaptive-mode density bound (see
+	// SetSoloThreshold); defaultSoloThreshold unless overridden.
+	soloThreshold float64
+
 	// queueKind is the pending-event structure every shard runs on
 	// (QueueWheel by default); Repartition builds new shards to match.
 	queueKind string
 }
 
-// soloThreshold is the events-per-active-shard-per-window level below
-// which adaptive mode runs a window inline on the coordinator: under
-// ~16 events a shard, the channel handoff and barrier wake-ups cost
-// more than the serialised execution they would parallelise.
-const soloThreshold = 16
+// defaultSoloThreshold is the events-per-active-shard-per-window level
+// below which adaptive mode runs a window inline on the coordinator:
+// under ~16 events a shard, the channel handoff and barrier wake-ups
+// cost more than the serialised execution they would parallelise.
+const defaultSoloThreshold = 16
 
 // NewParallel returns a ParallelEngine with the given shard count.
 // Shard 0's random stream is seeded exactly as New(seed), so the
@@ -216,8 +236,9 @@ func NewParallel(seed uint64, shards, workers int) *ParallelEngine {
 		shards:         make([]*Engine, shards),
 		workers:        workers,
 		lookahead:      1,
-		mail:           make([][]mailMsg, shards*shards),
-		ewmaEvPerShard: 4 * soloThreshold, // start optimistic: first windows go to the pool
+		mail:           make([][]mailMsg, shards),
+		ewmaEvPerShard: 4 * defaultSoloThreshold, // start optimistic: first windows go to the pool
+		soloThreshold:  defaultSoloThreshold,
 		shardEvents:    make([]uint64, shards),
 		activeBefore:   make([]uint64, shards),
 		activeScratch:  make([]int, 0, shards),
@@ -287,6 +308,27 @@ func (pe *ParallelEngine) SetAdaptive(on bool) { pe.adaptive = on }
 // Adaptive reports whether adaptive worker selection is enabled.
 func (pe *ParallelEngine) Adaptive() bool { return pe.adaptive }
 
+// SetSoloThreshold sets the adaptive-mode density bound: windows whose
+// smoothed events-per-active-shard estimate sits below n run inline on
+// the coordinator instead of being dispatched to the pool. n < 1 resets
+// the default (16). Like every adaptive input it derives from the
+// simulation trajectory only, so changing it never changes results —
+// only which goroutines execute them.
+func (pe *ParallelEngine) SetSoloThreshold(n int) {
+	if n < 1 {
+		n = defaultSoloThreshold
+	}
+	pe.soloThreshold = float64(n)
+	if pe.windows == 0 {
+		// Keep the optimistic pre-measurement start proportional to the
+		// bound, as construction does for the default.
+		pe.ewmaEvPerShard = 4 * pe.soloThreshold
+	}
+}
+
+// SoloThreshold reports the adaptive-mode density bound.
+func (pe *ParallelEngine) SoloThreshold() int { return int(pe.soloThreshold) }
+
 // SetLookahead declares the minimum latency of any cross-shard event:
 // an event executing at time t may only Post events with timestamps
 // >= t + d. Windows are bounded by this value; Post enforces it.
@@ -314,6 +356,21 @@ func (pe *ParallelEngine) Windows() uint64 { return pe.windows }
 // (the rest ran inline: single active shard, no pool, or adaptive
 // solo).
 func (pe *ParallelEngine) ParallelWindows() uint64 { return pe.parWindows }
+
+// Handoffs reports coordinator hand-off + barrier cycles: one per
+// ordinary window plus one per solo batch (a batch settles many
+// conceptual windows under a single hand-off, so Handoffs <= Windows;
+// the gap is the synchronisation the batching saved). Single-shard
+// spans run windowless and count none.
+func (pe *ParallelEngine) Handoffs() uint64 { return pe.handoffs }
+
+// BatchRuns reports how many solo batches were dispatched; each is one
+// hand-off covering one or more conceptual windows.
+func (pe *ParallelEngine) BatchRuns() uint64 { return pe.batchRuns }
+
+// BatchedWindows reports how many conceptual windows executed inside
+// solo batches (each also counted in Windows).
+func (pe *ParallelEngine) BatchedWindows() uint64 { return pe.batchedWindows }
 
 // EventsPerWindow reports the mean events per window over all windows
 // so far (0 before the first window).
@@ -408,7 +465,9 @@ func (pe *ParallelEngine) Pending() int {
 // Domain.DeliverAt. During a parallel window the timestamp must respect
 // the lookahead bound (at >= window end); violating it is a causality
 // bug in the model, not a recoverable condition. Outside a window
-// (sequential mode) the delivery is inserted immediately.
+// (sequential mode) the delivery is inserted immediately. dst is
+// retained for the caller's addressing symmetry; routing needs only
+// dstDom, so the envelope lands in shard src's arena.
 func (pe *ParallelEngine) Post(src, dst int, dstDom *Domain, at Time, srcID int32, srcSeq uint64, fn func()) {
 	pe.PostD(src, dst, dstDom, at, srcID, srcSeq, nil, fn)
 }
@@ -423,8 +482,7 @@ func (pe *ParallelEngine) PostD(src, dst int, dstDom *Domain, at Time, srcID int
 		panic(fmt.Sprintf("sim: cross-shard post at %v violates lookahead window ending %v",
 			at, Time(pe.curLimit.Load())))
 	}
-	k := len(pe.shards)
-	pe.mail[src*k+dst] = append(pe.mail[src*k+dst],
+	pe.mail[src] = append(pe.mail[src],
 		mailMsg{at: at, dst: dstDom, src: srcID, srcSeq: srcSeq, desc: desc, fn: fn})
 }
 
@@ -439,8 +497,7 @@ func (pe *ParallelEngine) PostP(src, dst int, dstDom *Domain, at Time, srcID int
 		panic(fmt.Sprintf("sim: cross-shard post at %v violates lookahead window ending %v",
 			at, Time(pe.curLimit.Load())))
 	}
-	k := len(pe.shards)
-	pe.mail[src*k+dst] = append(pe.mail[src*k+dst],
+	pe.mail[src] = append(pe.mail[src],
 		mailMsg{at: at, dst: dstDom, src: srcID, srcSeq: srcSeq, payload: p})
 }
 
@@ -459,28 +516,29 @@ func (pe *ParallelEngine) NextEventAt() (Time, bool) {
 	return best, found
 }
 
-// drainMail moves barrier mailboxes into the destination engines.
-// Deliveries carry canonical (timestamp, source domain, source
-// sequence) keys, so the heaps order them identically no matter which
+// drainMail moves the per-source envelope arenas into the destination
+// engines and length-resets them (capacity kept: steady-state windows
+// recycle the same backing arrays and allocate nothing). Deliveries
+// carry canonical (timestamp, source domain, source sequence) keys, so
+// the destination queues order them identically no matter which
 // goroutine produced them first or in what order this loop inserts
 // them — execution interleaving cannot leak into the event order.
 func (pe *ParallelEngine) drainMail() {
-	k := len(pe.shards)
-	for src := 0; src < k; src++ {
-		for dst := 0; dst < k; dst++ {
-			box := pe.mail[src*k+dst]
-			if len(box) == 0 {
-				continue
-			}
-			for _, m := range box {
-				if m.payload != nil {
-					m.dst.DeliverAtP(m.at, m.src, m.srcSeq, m.payload)
-				} else {
-					m.dst.DeliverAtD(m.at, m.src, m.srcSeq, m.desc, m.fn)
-				}
-			}
-			pe.mail[src*k+dst] = box[:0]
+	for src := range pe.mail {
+		box := pe.mail[src]
+		if len(box) == 0 {
+			continue
 		}
+		for i := range box {
+			m := &box[i]
+			if m.payload != nil {
+				m.dst.DeliverAtP(m.at, m.src, m.srcSeq, m.payload)
+			} else {
+				m.dst.DeliverAtD(m.at, m.src, m.srcSeq, m.desc, m.fn)
+			}
+			*m = mailMsg{} // drop references so the arena pins nothing
+		}
+		pe.mail[src] = box[:0]
 	}
 }
 
@@ -537,9 +595,13 @@ func (pe *ParallelEngine) Drain() {
 		return
 	}
 	for {
-		next, ok := pe.NextEventAt()
+		next, solo, n2, ok := pe.nextHorizons()
 		if !ok {
 			break
+		}
+		if next+pe.lookahead <= n2 {
+			pe.runSoloBatch(solo, n2, Forever)
+			continue
 		}
 		pe.runWindow(next+pe.lookahead, nil)
 	}
@@ -569,7 +631,7 @@ func (pe *ParallelEngine) SyncClocks() {
 // Pending events migrate heap-to-heap carrying their canonical
 // (time, domain, class, key) keys unchanged, the control-plane RNG
 // stream moves to the new shard 0 mid-stream, and anonymous
-// (engine-level) events pin to the control shard. The mailbox matrix
+// (engine-level) events pin to the control shard. The envelope arenas
 // and the persistent worker pool are rebuilt for the new shard count.
 // Because the canonical keys — not the shard layout — define the event
 // order, a repartitioned run executes exactly the schedule the old
@@ -657,10 +719,10 @@ func (pe *ParallelEngine) Repartition(shards, workers int, owner func(domain int
 	}
 	pe.shards = ns
 	pe.workers = workers
-	// Reuse the mailbox matrix and window-statistics buffers when the
+	// Reuse the envelope arenas and window-statistics buffers when the
 	// old capacity covers the new layout — ms-granular drivers
 	// repartition often enough for the churn to show up in profiles.
-	pe.mail = reuseMail(pe.mail, shards*shards)
+	pe.mail = reuseMail(pe.mail, shards)
 	pe.shardEvents = reuseCounts(pe.shardEvents, shards)
 	pe.activeBefore = reuseCounts(pe.activeBefore, shards)
 	pe.activeScratch = pe.activeScratch[:0]
@@ -681,8 +743,8 @@ func (pe *ParallelEngine) Repartition(shards, workers int, owner func(domain int
 	return nil
 }
 
-// reuseMail returns a mailbox matrix of n empty boxes, reusing the old
-// backing array (and each box's capacity) when it is large enough.
+// reuseMail returns n empty envelope arenas, reusing the old backing
+// array (and each arena's capacity) when it is large enough.
 func reuseMail(m [][]mailMsg, n int) [][]mailMsg {
 	if cap(m) < n {
 		return make([][]mailMsg, n)
@@ -748,7 +810,7 @@ func (pe *ParallelEngine) runWindow(end Time, pre func() (skip int, limit Time))
 	}
 	pool := pe.pool.Load()
 	pooled := rest > 1 && pool.active() &&
-		(!pe.adaptive || pe.ewmaEvPerShard >= soloThreshold)
+		(!pe.adaptive || pe.ewmaEvPerShard >= pe.soloThreshold)
 	if pooled {
 		first := -1
 		for _, i := range active {
@@ -781,6 +843,85 @@ func (pe *ParallelEngine) runWindow(end Time, pre func() (skip int, limit Time))
 		events += ev
 	}
 	pe.noteWindow(len(active), events)
+	pe.handoffs++
+	pe.drainMail()
+}
+
+// nextHorizons scans the shard queues once and reports the global
+// earliest pending timestamp (next), the index of the shard holding it
+// (solo — the first such shard; ok is false when every queue is empty),
+// and the earliest pending timestamp over every *other* shard (n2,
+// Forever when none). next and n2 are the two horizons the batching
+// rule compares: a window starting at next stays single-shard exactly
+// when it ends at or before n2.
+func (pe *ParallelEngine) nextHorizons() (next Time, solo int, n2 Time, ok bool) {
+	next, solo, n2 = Forever, -1, Forever
+	for i, s := range pe.shards {
+		t, tok := s.NextAt()
+		if !tok {
+			continue
+		}
+		if solo < 0 || t < next {
+			if solo >= 0 && next < n2 {
+				n2 = next
+			}
+			next, solo = t, i
+		} else if t < n2 {
+			n2 = t
+		}
+	}
+	return next, solo, n2, solo >= 0
+}
+
+// runSoloBatch executes a run of consecutive lookahead windows owned
+// entirely by shard solo under a single hand-off + barrier cycle. The
+// caller proved the first window sound (next + lookahead <= n2, the
+// other shards' horizon); each further window re-proves it before
+// running. Three things end the batch: a window that would reach n2 (a
+// peer becomes active — fall back to the ordinary protocol), the solo
+// shard posting cross-shard mail (deliveries may move n2, so the batch
+// settles at the barrier exactly as an unbatched window would), or the
+// deadline. n2 itself cannot move inside the batch — only mail
+// deliveries change a peer's queue, and mail sits in the arena until
+// the barrier.
+//
+// Every conceptual window runs the same RunBefore span with the same
+// end the unbatched loop would use and is accounted through the same
+// noteWindow, so Windows, EventsPerWindow, the adaptive density
+// estimate and the per-shard event tallies — everything policy
+// decisions read — are identical with batching on or off: the batch
+// elides coordination, never trajectory.
+func (pe *ParallelEngine) runSoloBatch(solo int, n2, deadline Time) {
+	s := pe.shards[solo]
+	pe.inWindow.Store(true)
+	var batched uint64
+	for {
+		t, ok := s.NextAt()
+		if !ok || t > deadline {
+			break
+		}
+		end := t + pe.lookahead
+		if end > deadline {
+			end = deadline + 1 // final window: include events at the deadline
+		}
+		if end > n2 {
+			break
+		}
+		pe.curLimit.Store(int64(end))
+		before := s.Processed()
+		s.RunBefore(end)
+		ev := s.Processed() - before
+		pe.shardEvents[solo] += ev
+		pe.noteWindow(1, ev)
+		batched++
+		if len(pe.mail[solo]) > 0 {
+			break
+		}
+	}
+	pe.inWindow.Store(false)
+	pe.handoffs++
+	pe.batchRuns++
+	pe.batchedWindows += batched
 	pe.drainMail()
 }
 
@@ -789,8 +930,9 @@ func (pe *ParallelEngine) runWindow(end Time, pre func() (skip int, limit Time))
 // deadline. Shards with events inside the current window run
 // concurrently on the persistent pool (up to the worker bound); the
 // coordinator always executes one of them itself so single-shard
-// windows cost no handoff, and adaptive mode keeps whole thin windows
-// on the coordinator.
+// windows cost no handoff, adaptive mode keeps whole thin windows on
+// the coordinator, and runs of provably single-shard windows batch
+// under one hand-off (see runSoloBatch).
 func (pe *ParallelEngine) RunUntil(deadline Time) {
 	if len(pe.shards) == 1 {
 		// Sequential execution: the whole span runs as one barrier-free
@@ -807,9 +949,13 @@ func (pe *ParallelEngine) RunUntil(deadline Time) {
 		return
 	}
 	for {
-		next, ok := pe.NextEventAt()
+		next, solo, n2, ok := pe.nextHorizons()
 		if !ok || next > deadline {
 			break
+		}
+		if next+pe.lookahead <= n2 {
+			pe.runSoloBatch(solo, n2, deadline)
+			continue
 		}
 		end := next + pe.lookahead
 		if end > deadline {

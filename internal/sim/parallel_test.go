@@ -260,6 +260,215 @@ func TestWiderLookaheadReducesWindows(t *testing.T) {
 	}
 }
 
+// quietCut builds a workload with long provably single-shard stretches:
+// shard 0 steps a dense self-chain (period 10) while shard 1 wakes only
+// every 2000 ticks; each shard 1 wake posts a cross-shard event back to
+// shard 0, and every 100th shard 0 step posts one to shard 1. Between
+// those exchanges the horizons prove shard 0 is alone, so the engine
+// may batch its windows under one hand-off.
+func quietCut(pe *ParallelEngine, deadline Time) []string {
+	const period, wake, la = 10, 2000, 100
+	per := make([][]string, pe.Shards())
+	doms := []*Domain{pe.Shard(0).Domain(0), pe.Shard(1).Domain(1)}
+	var seq [2]uint64
+	var n0 int
+	// Self-chains via rearming payloads, so both shards keep native work.
+	var rearm0 func()
+	rearm0 = func() {
+		eng := pe.Shard(0)
+		per[0] = append(per[0], fmt.Sprintf("s0@%d", eng.Now()))
+		n0++
+		if n0%100 == 0 && eng.Now()+la <= deadline {
+			seq[0]++
+			pe.Post(0, 1, doms[1], eng.Now()+la, 0, seq[0], func() {
+				per[1] = append(per[1], fmt.Sprintf("s1m@%d", pe.Shard(1).Now()))
+			})
+		}
+		if eng.Now()+period <= deadline {
+			eng.At(eng.Now()+period, rearm0)
+		}
+	}
+	var rearm1 func()
+	rearm1 = func() {
+		eng := pe.Shard(1)
+		per[1] = append(per[1], fmt.Sprintf("s1@%d", eng.Now()))
+		if eng.Now()+la <= deadline {
+			seq[1]++
+			pe.Post(1, 0, doms[0], eng.Now()+la, 1, seq[1], func() {
+				per[0] = append(per[0], fmt.Sprintf("s0m@%d", pe.Shard(0).Now()))
+			})
+		}
+		if eng.Now()+wake <= deadline {
+			eng.At(eng.Now()+wake, rearm1)
+		}
+	}
+	pe.Shard(0).At(0, rearm0)
+	pe.Shard(1).At(5, rearm1)
+	pe.RunUntil(deadline)
+	return append(per[0], per[1]...)
+}
+
+func TestBatchedSoloMatchesSequential(t *testing.T) {
+	// The batched hand-off path is pure execution strategy: the quiet-cut
+	// workload must yield the identical per-shard trace whether windows
+	// run one-per-hand-off (sequential reference) or batched.
+	const deadline = 20000
+	run := func(parallel bool) (*ParallelEngine, []string) {
+		pe := NewParallel(1, 2, 2)
+		pe.SetLookahead(100)
+		if !parallel {
+			// Sequential global-order reference: no windows at all.
+			per := quietCutSequential(pe, deadline)
+			return pe, per
+		}
+		return pe, quietCut(pe, deadline)
+	}
+	peSeq, seq := run(false)
+	pePar, par := run(true)
+	defer peSeq.Close()
+	defer pePar.Close()
+	if len(seq) == 0 {
+		t.Fatal("no events ran")
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("sequential ran %d events, batched parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("trace diverged at %d: %s vs %s", i, seq[i], par[i])
+		}
+	}
+	// And batching must actually have engaged on this workload.
+	if pePar.BatchRuns() == 0 || pePar.BatchedWindows() == 0 {
+		t.Errorf("quiet-cut workload ran %d batch runs over %d windows; expected batching to engage",
+			pePar.BatchRuns(), pePar.BatchedWindows())
+	}
+	if pePar.Handoffs() >= pePar.Windows() {
+		t.Errorf("handoffs %d >= windows %d; batching saved nothing",
+			pePar.Handoffs(), pePar.Windows())
+	}
+}
+
+// quietCutSequential replays the quietCut workload under Run()'s global
+// event order (the ground-truth trajectory, no windows or batching).
+func quietCutSequential(pe *ParallelEngine, deadline Time) []string {
+	const period, wake, la = 10, 2000, 100
+	per := make([][]string, pe.Shards())
+	doms := []*Domain{pe.Shard(0).Domain(0), pe.Shard(1).Domain(1)}
+	var seq [2]uint64
+	var n0 int
+	var rearm0 func()
+	rearm0 = func() {
+		eng := pe.Shard(0)
+		per[0] = append(per[0], fmt.Sprintf("s0@%d", eng.Now()))
+		n0++
+		if n0%100 == 0 && eng.Now()+la <= deadline {
+			seq[0]++
+			pe.Post(0, 1, doms[1], eng.Now()+la, 0, seq[0], func() {
+				per[1] = append(per[1], fmt.Sprintf("s1m@%d", pe.Shard(1).Now()))
+			})
+		}
+		if eng.Now()+period <= deadline {
+			eng.At(eng.Now()+period, rearm0)
+		}
+	}
+	var rearm1 func()
+	rearm1 = func() {
+		eng := pe.Shard(1)
+		per[1] = append(per[1], fmt.Sprintf("s1@%d", eng.Now()))
+		if eng.Now()+la <= deadline {
+			seq[1]++
+			pe.Post(1, 0, doms[0], eng.Now()+la, 1, seq[1], func() {
+				per[0] = append(per[0], fmt.Sprintf("s0m@%d", pe.Shard(0).Now()))
+			})
+		}
+		if eng.Now()+wake <= deadline {
+			eng.At(eng.Now()+wake, rearm1)
+		}
+	}
+	pe.Shard(0).At(0, rearm0)
+	pe.Shard(1).At(5, rearm1)
+	pe.Run()
+	return append(per[0], per[1]...)
+}
+
+func TestBatchAccountingInvariant(t *testing.T) {
+	// Every conceptual window pays exactly one hand-off unless it ran
+	// inside a batch: windows - batchedWindows == handoffs - batchRuns,
+	// and hand-offs never exceed windows.
+	pe := NewParallel(1, 2, 2)
+	defer pe.Close()
+	pe.SetLookahead(100)
+	quietCut(pe, 20000)
+	w, bw := pe.Windows(), pe.BatchedWindows()
+	h, br := pe.Handoffs(), pe.BatchRuns()
+	if w-bw != h-br {
+		t.Errorf("accounting broken: windows %d - batched %d != handoffs %d - batchRuns %d", w, bw, h, br)
+	}
+	if h > w {
+		t.Errorf("handoffs %d > windows %d", h, w)
+	}
+}
+
+func TestBatchingPreservesStatistics(t *testing.T) {
+	// Interleaved ping-pong traffic never proves a solo run mid-stream —
+	// each shard's next event sits within one lookahead of the other's —
+	// so it must pay a hand-off for essentially every window. The only
+	// legal batch is the tail, once the far shard has drained to empty.
+	pe := NewParallel(1, 2, 2)
+	defer pe.Close()
+	pe.SetLookahead(100)
+	pingPong(pe, 100, 300*100, true)
+	if pe.BatchedWindows() > 2 {
+		t.Errorf("interleaved ping-pong batched %d windows; only the drained tail may batch",
+			pe.BatchedWindows())
+	}
+	if h, w, bw, br := pe.Handoffs(), pe.Windows(), pe.BatchedWindows(), pe.BatchRuns(); w-bw != h-br {
+		t.Errorf("accounting broken: windows %d - batched %d != handoffs %d - batchRuns %d", w, bw, h, br)
+	}
+}
+
+func TestSetSoloThreshold(t *testing.T) {
+	pe := NewParallel(1, 2, 2)
+	defer pe.Close()
+	if got := pe.SoloThreshold(); got != 16 {
+		t.Errorf("default solo threshold = %d, want 16", got)
+	}
+	pe.SetSoloThreshold(5)
+	if got := pe.SoloThreshold(); got != 5 {
+		t.Errorf("SoloThreshold after SetSoloThreshold(5) = %d", got)
+	}
+	pe.SetSoloThreshold(0) // reset to default
+	if got := pe.SoloThreshold(); got != 16 {
+		t.Errorf("SoloThreshold after reset = %d, want 16", got)
+	}
+}
+
+func TestSoloThresholdChangesDispatchNotTrajectory(t *testing.T) {
+	// The threshold only picks solo vs pooled window execution; the
+	// trace must be byte-identical across extreme settings.
+	const la = 100
+	const deadline = 100 * la
+	run := func(threshold int) []string {
+		pe := NewParallel(1, 2, 2)
+		defer pe.Close()
+		pe.SetLookahead(la)
+		pe.SetAdaptive(true)
+		pe.SetSoloThreshold(threshold)
+		return pingPong(pe, la, deadline, true)
+	}
+	lo := run(1)
+	hi := run(1 << 20)
+	if len(lo) == 0 || len(lo) != len(hi) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(lo), len(hi))
+	}
+	for i := range lo {
+		if lo[i] != hi[i] {
+			t.Fatalf("trace diverged at %d: %s vs %s", i, lo[i], hi[i])
+		}
+	}
+}
+
 func TestTimeStatsMergeOrderIndependent(t *testing.T) {
 	var a, b, whole TimeStats
 	samples := []Time{5, 3, 9, 1, 12, 7}

@@ -114,6 +114,13 @@ type MachineConfig struct {
 	// the identical canonical order, so results are byte-identical —
 	// the heap exists for differential debugging of the wheel.
 	EventQueue string
+	// SoloThresholdEvents tunes the adaptive engine's solo bound: a
+	// PDES window whose smoothed events-per-active-shard density sits
+	// below it runs inline on the coordinator instead of paying a pool
+	// hand-off. 0 keeps the default (16, calibrated on the reference
+	// sweep); negative values are rejected. Purely an execution-cost
+	// knob: like Workers and Partition it never changes results.
+	SoloThresholdEvents int
 }
 
 // Partition geometry names accepted by MachineConfig.Partition.
@@ -211,6 +218,10 @@ func (c MachineConfig) Validate() error {
 	default:
 		return fmt.Errorf("spinngo: unknown EventQueue %q (want %q or %q)",
 			c.EventQueue, EventQueueWheel, EventQueueHeap)
+	}
+	if c.SoloThresholdEvents < 0 {
+		return fmt.Errorf("spinngo: SoloThresholdEvents must be non-negative (0 = default), got %d",
+			c.SoloThresholdEvents)
 	}
 	if _, err := c.hostOrigin(); err != nil {
 		return err
@@ -437,6 +448,9 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		pe.SetEventQueue(cfg.EventQueue)
 	}
 	pe.SetAdaptive(adaptive)
+	if cfg.SoloThresholdEvents > 0 {
+		pe.SetSoloThreshold(cfg.SoloThresholdEvents)
+	}
 	// The lookahead folds each cut link's frame serialisation time into
 	// the router pipeline latency, minimised over the partition's actual
 	// boundary cut: a board-aligned cut of slow board-to-board links
@@ -519,6 +533,17 @@ type SimStats struct {
 	Windows         uint64
 	ParallelWindows uint64
 	EventsPerWindow float64
+	// Handoffs counts coordinator hand-off + barrier cycles: one per
+	// ordinary window plus one per batched run of provably single-shard
+	// windows, so Handoffs <= Windows and the gap is synchronisation
+	// the window batching elided. BatchRuns counts those batched runs
+	// and BatchedWindows the windows they covered; SoloThreshold echoes
+	// the adaptive density bound in force (SoloThresholdEvents or the
+	// default).
+	Handoffs       uint64
+	BatchRuns      uint64
+	BatchedWindows uint64
+	SoloThreshold  int
 	// Events counts simulation events executed across all shards,
 	// cumulative across re-partitionings.
 	Events uint64
@@ -551,6 +576,10 @@ func (m *Machine) SimStats() SimStats {
 		Windows:          m.pe.Windows(),
 		ParallelWindows:  m.pe.ParallelWindows(),
 		EventsPerWindow:  m.pe.EventsPerWindow(),
+		Handoffs:         m.pe.Handoffs(),
+		BatchRuns:        m.pe.BatchRuns(),
+		BatchedWindows:   m.pe.BatchedWindows(),
+		SoloThreshold:    m.pe.SoloThreshold(),
 		Events:           m.pe.Processed(),
 		Repartitions:     m.pe.Repartitions(),
 		HostTransitions:  m.pe.Transitions(),

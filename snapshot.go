@@ -923,7 +923,10 @@ func decUnitState(r *snap.Reader, u *unit) error {
 	}
 	for i := range u.pop.Neurons {
 		if !r.Bool() {
-			u.pop.Neurons[i] = nil // killed (or a stateless source slot)
+			// Killed (or a stateless source slot, already nil). Routing
+			// through KillNeuron keeps the population's dead-slot counter
+			// — which gates the chunked stepping path — consistent.
+			_ = u.pop.KillNeuron(i)
 			continue
 		}
 		if u.pop.Neurons[i] == nil {
