@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet cover bench bench-workers benchcmp check
+.PHONY: build test race vet cover bench bench-workers benchcmp scale-smoke check
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ vet:
 # the race detector on every change.
 race:
 	$(GO) test -race ./internal/sim/ ./internal/router/ ./internal/benchsweep/
-	$(GO) test -race -run 'TestDeterminism|TestDifferentSeeds|TestBoardLookahead|TestRepartition|TestShiftingHotspot|TestBatch|TestFillMem|TestHostOrigin|TestHostTimeout|TestSnapshot' .
+	$(GO) test -race -run 'TestDeterminism|TestDifferentSeeds|TestBoardLookahead|TestCabinetLookahead|TestRepartition|TestShiftingHotspot|TestBatch|TestFillMem|TestHostOrigin|TestHostTimeout|TestSnapshot' .
 
 # Tier-1 coverage of the engine + host + snapshot-codec packages, gated
 # in CI at the pre-PR-5 baseline (93.0%).
@@ -33,10 +33,18 @@ cover:
 # Worker/partition/board-hierarchy sweep of the end-to-end machine
 # benchmark (8x8 worker grid plus 8x8/16x16/32x32 bands-vs-blocks-vs-
 # boards comparison plus the workers x GOMAXPROCS scaling sweep plus the
-# shifting-hotspot repartition and host-load scenarios), recorded as
-# JSON for the bench trajectory.
+# shifting-hotspot repartition, host-load and scale scenarios), recorded
+# as JSON for the bench trajectory.
 bench:
-	$(GO) run ./cmd/benchsweep -out BENCH_PR8.json
+	$(GO) run ./cmd/benchsweep -out BENCH_PR9.json
+
+# The scale scenario alone: bytes of live heap per chip on idle and
+# booted machines up to a 256x256 torus, plus the achieved lookahead of
+# each packaging level. The memory ceiling keeps a sparse-state
+# regression (anything proportional to torus size on the boot path) from
+# passing silently; CI runs this as its scale smoke.
+scale-smoke:
+	GOMEMLIMIT=512MiB $(GO) run ./cmd/benchsweep -scale-only -out ''
 
 # The same sweep through `go test -bench` (human-readable only).
 bench-workers:
@@ -44,8 +52,8 @@ bench-workers:
 
 # Diff two bench trajectory files cell-by-cell; override OLD/NEW to
 # compare any pair, e.g. `make benchcmp OLD=BENCH_PR5.json`.
-OLD ?= BENCH_PR7.json
-NEW ?= BENCH_PR8.json
+OLD ?= BENCH_PR8.json
+NEW ?= BENCH_PR9.json
 benchcmp:
 	$(GO) run ./cmd/benchcmp $(OLD) $(NEW)
 

@@ -1,8 +1,8 @@
 // Command benchsweep measures the sharded engine's scaling across
 // partition geometries, worker counts, torus sizes and board
 // hierarchies, and writes the results as JSON — the repo's bench
-// trajectory record (`make bench` writes BENCH_PR8.json). The sweep has
-// five parts: the 8x8 reference worker sweep (bands/blocks x workers),
+// trajectory record (`make bench` writes BENCH_PR9.json). The sweep has
+// six parts: the 8x8 reference worker sweep (bands/blocks x workers),
 // the board-hierarchy comparison (bands vs blocks vs boards on
 // heterogeneous 8x8, 16x16 and 32x32 machines with slow board-to-board
 // links), the multi-core scaling sweep (workers crossed with GOMAXPROCS,
@@ -10,13 +10,17 @@
 // honest on single-core boxes), the shifting-hotspot scenario, which
 // pits runtime re-partitioning against every fixed geometry and records
 // the barrier-rate win of re-shaping the partition to the live
-// workload, and the host-load scenario, which compares serial host
-// commands with the pipelined batch and the flood-fill bulk write.
+// workload, the host-load scenario, which compares serial host
+// commands with the pipelined batch and the flood-fill bulk write, and
+// the scale scenario, which measures bytes of live heap per chip on
+// idle and booted machines up to 256x256 and the achieved lookahead of
+// each packaging level (uniform, board, cabinet).
 //
 // Usage:
 //
-//	benchsweep [-out BENCH_PR8.json] [-hierarchy-only] [-workers-only]
-//	           [-scaling-only] [-hotspot-only] [-hostload-only] [-quick]
+//	benchsweep [-out BENCH_PR9.json] [-hierarchy-only] [-workers-only]
+//	           [-scaling-only] [-hotspot-only] [-hostload-only]
+//	           [-scale-only] [-quick]
 //	           [-cpuprofile sweep.cpu.pprof] [-memprofile sweep.mem.pprof]
 package main
 
@@ -32,12 +36,13 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR8.json", "JSON output path ('' = stdout table only)")
+	out := flag.String("out", "BENCH_PR9.json", "JSON output path ('' = stdout table only)")
 	hierOnly := flag.Bool("hierarchy-only", false, "run only the board-hierarchy comparison")
 	workersOnly := flag.Bool("workers-only", false, "run only the 8x8 worker sweep")
 	scalingOnly := flag.Bool("scaling-only", false, "run only the workers x GOMAXPROCS scaling sweep")
 	hotspotOnly := flag.Bool("hotspot-only", false, "run only the shifting-hotspot repartition scenario")
 	hostloadOnly := flag.Bool("hostload-only", false, "run only the host-load (serial vs batch vs flood-fill) scenario")
+	scaleOnly := flag.Bool("scale-only", false, "run only the scale (sparse heap + hierarchy lookahead) scenario")
 	quick := flag.Bool("quick", false, "one iteration per cell (CI smoke; structural columns exact, timing noisy)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
@@ -54,17 +59,20 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	exclusive := 0
-	for _, f := range []bool{*hierOnly, *workersOnly, *scalingOnly, *hotspotOnly, *hostloadOnly} {
+	for _, f := range []bool{*hierOnly, *workersOnly, *scalingOnly, *hotspotOnly, *hostloadOnly, *scaleOnly} {
 		if f {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		log.Fatal("-hierarchy-only, -workers-only, -scaling-only, -hotspot-only and -hostload-only are mutually exclusive")
+		log.Fatal("-hierarchy-only, -workers-only, -scaling-only, -hotspot-only, -hostload-only and -scale-only are mutually exclusive")
 	}
 	// With no -*-only flag every section runs; with one, only it does.
 	want := func(only bool) bool { return exclusive == 0 || only }
 
+	// The timed sweeps skip cells when a single -*-only scenario is
+	// chosen; the scale grid (memory, not throughput) runs separately
+	// below so its cells never pass through the benchmark harness.
 	var grid []benchsweep.Config
 	if want(*workersOnly) {
 		grid = append(grid, benchsweep.Grid()...)
@@ -110,6 +118,17 @@ func main() {
 				log.Fatalf("hostload %s: %v", cfg.Mode, err)
 			}
 			fmt.Println(benchsweep.HostLoadRow(r))
+			results = append(results, r)
+		}
+	}
+	if want(*scaleOnly) {
+		fmt.Println("scale scenario: live heap per torus chip, idle vs booted, plus lookahead per packaging level")
+		for _, cfg := range benchsweep.ScaleGrid() {
+			r, err := benchsweep.MeasureScale(cfg)
+			if err != nil {
+				log.Fatalf("scale %dx%d %s: %v", cfg.Width, cfg.Height, cfg.Mode, err)
+			}
+			fmt.Println(benchsweep.ScaleRow(r))
 			results = append(results, r)
 		}
 	}

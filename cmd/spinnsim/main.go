@@ -9,9 +9,9 @@
 //	         [-p 0.05] [-weight 0.8] [-delay 2] [-ms 500]
 //	         [-faillink "1,1,E"] [-raster] [-seed 1] [-workers 0]
 //	         [-partition auto] [-boards WxH] [-boardlink slow]
-//	         [-repartition] [-queue wheel] [-snapshot ckpt.snap]
-//	         [-restore ckpt.snap] [-cpuprofile run.cpu.pprof]
-//	         [-memprofile run.mem.pprof]
+//	         [-cabinets WxH] [-cabinetlink slow] [-repartition]
+//	         [-queue wheel] [-snapshot ckpt.snap] [-restore ckpt.snap]
+//	         [-cpuprofile run.cpu.pprof] [-memprofile run.mem.pprof]
 //
 // -snapshot writes a checkpoint image after the run; -restore resumes
 // from one instead of building a machine (only -ms, -workers, -partition,
@@ -46,9 +46,11 @@ func main() {
 	raster := flag.Bool("raster", false, "print an ASCII spike raster")
 	seed := flag.Uint64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "simulation shards run in parallel (0 = automatic); any value yields the same results")
-	partition := flag.String("partition", "auto", "shard geometry: bands, blocks, boards or auto; any value yields the same results")
+	partition := flag.String("partition", "auto", "shard geometry: bands, blocks, boards, cabinets or auto; any value yields the same results")
 	boards := flag.String("boards", "", "board tiling in chips, e.g. \"8x2\" ('' = uniform fabric); board-crossing links use board-to-board PHY params")
 	boardlink := flag.String("boardlink", "", "board-to-board link preset: slow (default) or uniform; requires -boards")
+	cabinets := flag.String("cabinets", "", "cabinet tiling in boards, e.g. \"2x2\" ('' = no cabinet level); requires -boards; cabinet-crossing links use cabinet-to-cabinet PHY params")
+	cabinetlink := flag.String("cabinetlink", "", "cabinet-to-cabinet link preset: slow (default) or uniform; requires -cabinets")
 	repartition := flag.Bool("repartition", false, "re-partition at quiescence boundaries when the observed event density warrants it; any setting yields the same results")
 	queue := flag.String("queue", "", "event queue implementation: wheel (default) or heap (debug reference); any choice yields the same results; ignored with -restore")
 	soloThreshold := flag.Int("solothreshold", 0, "adaptive-mode solo bound in events/shard/window (0 = default 16); any value yields the same results")
@@ -99,15 +101,17 @@ func main() {
 		machine, err = spinngo.NewMachine(spinngo.MachineConfig{
 			Width: *w, Height: *h, Seed: *seed, Workers: *workers, Partition: *partition,
 			Boards: *boards, BoardLinkParams: *boardlink, Repartition: policy,
+			Cabinets: *cabinets, CabinetLinkParams: *cabinetlink,
 			EventQueue: *queue, SoloThresholdEvents: *soloThreshold,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		st := machine.SimStats()
-		fmt.Printf("engine: %d %s shards, boards %s\n", st.Shards, st.Geometry, st.Boards)
-		fmt.Printf("cut:    %d links (%d on-board + %d board-to-board)\n",
-			st.CutLinks, st.CutLinksOnBoard, st.CutLinksBoard)
+		fmt.Printf("engine: %d %s shards, boards %s, cabinets %s\n",
+			st.Shards, st.Geometry, st.Boards, st.Cabinets)
+		fmt.Printf("cut:    %d links (%d on-board + %d board-to-board + %d cabinet-to-cabinet)\n",
+			st.CutLinks, st.CutLinksOnBoard, st.CutLinksBoard, st.CutLinksCabinet)
 		fmt.Printf("lookahead: %v (uniform-params bound %v)\n", st.Lookahead, st.UniformLookahead)
 		bootRep, err := machine.Boot()
 		if err != nil {
@@ -189,6 +193,10 @@ func main() {
 		st.Geometry, st.Shards, st.Repartitions, st.Lookahead)
 	fmt.Printf("host:            %d engine transitions (boot phases + batched loads)\n",
 		st.HostTransitions)
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	fmt.Printf("memory:          %.1f MiB heap in use, %d of %d chips instantiated\n",
+		float64(mem.HeapInuse)/(1<<20), machine.InstantiatedChips(), machine.TorusChips())
 
 	if *snapshotPath != "" {
 		image, err := machine.Snapshot()

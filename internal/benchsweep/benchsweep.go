@@ -2,9 +2,9 @@
 // end-to-end machine benchmark in one place, so that the
 // BenchmarkMachineBioSecondWorkers sub-benchmarks (`make bench-workers`,
 // the CI smoke step) and the JSON bench emitter (`make bench`, written
-// to BENCH_PR8.json) measure exactly the same workloads.
+// to BENCH_PR9.json) measure exactly the same workloads.
 //
-// Five sweeps share the harness. The worker sweep is the 8x8 reference
+// Six sweeps share the harness. The worker sweep is the 8x8 reference
 // machine of BENCH_PR2: fragments spread across all chips, a dense
 // stimulus-driven network, a quarter of a biological second per
 // iteration, across {bands, blocks} x worker counts. The hierarchy
@@ -20,7 +20,11 @@
 // counts with GOMAXPROCS so the speedup_vs_w1 column is a real
 // wall-clock scaling curve wherever the host has cores to offer — every
 // cell records runtime.NumCPU and the GOMAXPROCS it ran under, so a
-// single-core recording is honestly identifiable as one. Every cell of
+// single-core recording is honestly identifiable as one. The scale
+// scenario (scale.go) measures the sparse-state model — live heap per
+// chip on idle and booted machines up to 256x256 — and the achieved
+// lookahead of each packaging level (uniform, board, cabinet cuts) on
+// one three-level machine. Every cell of
 // a given (torus, boards, scenario) tuple produces a byte-identical
 // RunReport — the determinism contract — so the sweeps measure
 // execution cost only.
@@ -48,7 +52,10 @@ type Config struct {
 	Height int `json:"height"`
 	// Boards is the board tiling ("" = uniform fabric); board-to-board
 	// links use the slow defaults when set.
-	Boards    string `json:"boards,omitempty"`
+	Boards string `json:"boards,omitempty"`
+	// Cabinets is the cabinet tiling in boards ("" = no cabinet level);
+	// cabinet-crossing links use the slow defaults when set.
+	Cabinets  string `json:"cabinets,omitempty"`
 	Partition string `json:"partition"`
 	Workers   int    `json:"workers"`
 	// Repartition is the runtime re-partitioning policy ("" = off).
@@ -131,16 +138,17 @@ func ScalingGrid() []Config {
 type Result struct {
 	Config
 	// Geometry, Shards, CutLinks and LookaheadNS describe the effective
-	// partition (what the config resolved to); CutOnBoard/CutBoard
-	// split the cut by link class, and UniformLookaheadNS is the bound
-	// a single shared link-parameter block would have allowed —
-	// LookaheadNS exceeds it exactly on board-aligned cuts of slow
-	// links.
+	// partition (what the config resolved to); CutOnBoard, CutBoard and
+	// CutCabinet split the cut by link class, and UniformLookaheadNS is
+	// the bound a single shared link-parameter block would have allowed
+	// — LookaheadNS exceeds it exactly on cable-aligned cuts of slow
+	// links, one notch per hierarchy level.
 	Geometry           string `json:"geometry"`
 	Shards             int    `json:"shards"`
 	CutLinks           int    `json:"cut_links"`
 	CutOnBoard         int    `json:"cut_on_board"`
 	CutBoard           int    `json:"cut_board"`
+	CutCabinet         int    `json:"cut_cabinet,omitempty"`
 	LookaheadNS        int64  `json:"lookahead_ns"`
 	UniformLookaheadNS int64  `json:"uniform_lookahead_ns"`
 	// N and NsPerOp are the benchmark iteration count and wall time per
@@ -181,6 +189,16 @@ type Result struct {
 	// delivered machine-wide.
 	HostTransitions uint64 `json:"host_transitions,omitempty"`
 	BytesLoaded     int    `json:"bytes_loaded,omitempty"`
+	// The scale scenario's columns: live heap the machine retains (GC'd
+	// before and after construction), how many of the torus's chips that
+	// heap actually instantiated, and the quotient over the full torus
+	// address space — the sparse-state figure of merit. An idle machine's
+	// BytesPerChip falls with torus size (only the address table is
+	// dense); a booted one's is flat (boot touches every chip).
+	HeapBytes         int64   `json:"heap_bytes,omitempty"`
+	InstantiatedChips int     `json:"instantiated_chips,omitempty"`
+	TorusChips        int     `json:"torus_chips,omitempty"`
+	BytesPerChip      float64 `json:"bytes_per_chip,omitempty"`
 }
 
 // machineConfig is the single definition of the measured machines; the
@@ -200,6 +218,10 @@ func machineConfig(cfg Config) spinngo.MachineConfig {
 	if cfg.Boards != "" {
 		mc.Boards = cfg.Boards
 		mc.BoardLinkParams = spinngo.BoardLinkSlow
+	}
+	if cfg.Cabinets != "" {
+		mc.Cabinets = cfg.Cabinets
+		mc.CabinetLinkParams = spinngo.CabinetLinkSlow
 	}
 	switch {
 	case mc.Width*mc.Height >= 1024:
@@ -341,6 +363,7 @@ func Measure(cfg Config) (Result, error) {
 		CutLinks:             st.CutLinks,
 		CutOnBoard:           st.CutLinksOnBoard,
 		CutBoard:             st.CutLinksBoard,
+		CutCabinet:           st.CutLinksCabinet,
 		LookaheadNS:          int64(st.Lookahead),
 		UniformLookaheadNS:   int64(st.UniformLookahead),
 		N:                    r.N,
@@ -391,6 +414,7 @@ func MeasureQuick(cfg Config) (Result, error) {
 		CutLinks:             st.CutLinks,
 		CutOnBoard:           st.CutLinksOnBoard,
 		CutBoard:             st.CutLinksBoard,
+		CutCabinet:           st.CutLinksCabinet,
 		LookaheadNS:          int64(st.Lookahead),
 		UniformLookaheadNS:   int64(st.UniformLookahead),
 		N:                    1,
@@ -470,9 +494,9 @@ func Row(r Result) string {
 	if r.Procs > 0 {
 		procs = fmt.Sprintf(" procs=%d", r.Procs)
 	}
-	return fmt.Sprintf("%dx%-3d brd=%-4s %-7s w=%d shards=%-2d cut=%-4d (%d fast/%d board) la=%d/%dns %12d ns/op %11.0f ev/s %7.0f win/bios %7.0f ho/bios %6.1f ev/win%s",
+	return fmt.Sprintf("%dx%-3d brd=%-4s %-7s w=%d shards=%-2d cut=%-4d (%d fast/%d board/%d cab) la=%d/%dns %12d ns/op %11.0f ev/s %7.0f win/bios %7.0f ho/bios %6.1f ev/win%s",
 		r.Width, r.Height, boards, r.Partition, r.Workers, r.Shards,
-		r.CutLinks, r.CutOnBoard, r.CutBoard, r.LookaheadNS, r.UniformLookaheadNS,
+		r.CutLinks, r.CutOnBoard, r.CutBoard, r.CutCabinet, r.LookaheadNS, r.UniformLookaheadNS,
 		r.NsPerOp, r.EventsPerSec, r.WindowsPerBioSecond, r.HandoffsPerBioSecond,
 		r.EventsPerWindow, procs)
 }

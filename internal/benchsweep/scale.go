@@ -1,0 +1,123 @@
+package benchsweep
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"spinngo"
+)
+
+// The scale scenario measures the million-core story directly: how much
+// live heap a machine retains per chip of its torus address space, and
+// what conservative lookahead each packaging level of the cut buys.
+//
+// Memory cells come in two modes. "idle" constructs the machine and
+// stops — the sparse-state showcase, where an untouched 256x256 torus
+// holds only its chip address table and bytes/chip falls with size.
+// "boot" runs the full section-5.2 boot including the flood-fill image
+// load — every chip is touched, so the per-chip figure is flat and the
+// interesting bound is the absolute heap: the system image is stored
+// once per machine and aliased into every chip's SDRAM, not copied.
+//
+// Lookahead cells re-partition one three-level machine along each
+// hierarchy level (bands cutting board interiors, the board-aligned
+// boards cut, the cabinet-aligned cabinets cut) and record the achieved
+// lookahead notch per level without running a workload.
+
+// scaleBoards and scaleCabinets tile every scale-scenario machine the
+// same way: 8x8-chip boards in 2x2-board (16x16-chip) cabinets, which
+// divide all the swept torus sizes.
+const (
+	scaleBoards   = "8x8"
+	scaleCabinets = "2x2"
+)
+
+// ScaleGrid reports the scale scenario's cells.
+func ScaleGrid() []Config {
+	var grid []Config
+	for _, s := range []int{32, 64, 128, 256} {
+		grid = append(grid, Config{Width: s, Height: s, Boards: scaleBoards,
+			Cabinets: scaleCabinets, Partition: spinngo.PartitionCabinets,
+			Workers: 4, Scenario: "scale", Mode: "idle"})
+	}
+	for _, s := range []int{32, 64} {
+		grid = append(grid, Config{Width: s, Height: s, Boards: scaleBoards,
+			Cabinets: scaleCabinets, Partition: spinngo.PartitionCabinets,
+			Workers: 4, Scenario: "scale", Mode: "boot"})
+	}
+	// At 8 shards on the 32x32 machine the three geometries land on
+	// three distinct cuts: bands slice board interiors (uniform bound),
+	// boards cut only cables (board notch), cabinets clamp to one shard
+	// per cabinet and cut only machine-room cables (cabinet notch).
+	for _, p := range []string{spinngo.PartitionBands, spinngo.PartitionBoards, spinngo.PartitionCabinets} {
+		grid = append(grid, Config{Width: 32, Height: 32, Boards: scaleBoards,
+			Cabinets: scaleCabinets, Partition: p,
+			Workers: 8, Scenario: "scale", Mode: "lookahead"})
+	}
+	return grid
+}
+
+// liveHeap reports the live heap after a full collection.
+func liveHeap() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// MeasureScale runs one scale cell. Unlike the timed sweeps it measures
+// memory, not throughput: heap is sampled after a GC on either side of
+// the machine's life so HeapBytes is the live state the cell retains,
+// and NsPerOp is the construction (plus, in boot mode, boot) wall time.
+func MeasureScale(cfg Config) (Result, error) {
+	mc := machineConfig(cfg)
+	cfg.Width, cfg.Height = mc.Width, mc.Height
+	before := liveHeap()
+	start := time.Now()
+	m, err := spinngo.NewMachine(mc)
+	if err != nil {
+		return Result{}, err
+	}
+	defer m.Close()
+	if cfg.Mode == "boot" {
+		if _, err := m.Boot(); err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	st := m.SimStats()
+	heap := liveHeap() - before
+	if heap < 0 {
+		heap = 0
+	}
+	r := Result{
+		Config:             cfg,
+		Geometry:           st.Geometry,
+		Shards:             st.Shards,
+		CutLinks:           st.CutLinks,
+		CutOnBoard:         st.CutLinksOnBoard,
+		CutBoard:           st.CutLinksBoard,
+		CutCabinet:         st.CutLinksCabinet,
+		LookaheadNS:        int64(st.Lookahead),
+		UniformLookaheadNS: int64(st.UniformLookahead),
+		N:                  1,
+		NsPerOp:            elapsed.Nanoseconds(),
+		HeapBytes:          heap,
+		InstantiatedChips:  m.InstantiatedChips(),
+		TorusChips:         m.TorusChips(),
+		BytesPerChip:       float64(heap) / float64(m.TorusChips()),
+	}
+	stampHW(&r)
+	return r, nil
+}
+
+// ScaleRow renders one scale result as a human-readable table line.
+func ScaleRow(r Result) string {
+	return fmt.Sprintf("%dx%-4d %-9s %-8s shards=%-3d cut=%-5d (%d fast/%d board/%d cab) la=%d/%dns chips=%6d/%-6d heap=%7.1f KiB %8.1f B/chip %12d ns",
+		r.Width, r.Height, r.Mode, r.Partition, r.Shards,
+		r.CutLinks, r.CutOnBoard, r.CutBoard, r.CutCabinet,
+		r.LookaheadNS, r.UniformLookaheadNS,
+		r.InstantiatedChips, r.TorusChips,
+		float64(r.HeapBytes)/1024, r.BytesPerChip, r.NsPerOp)
+}

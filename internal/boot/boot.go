@@ -102,11 +102,16 @@ type nodeState struct {
 	// nnSent counts nearest-neighbour packets this chip originated;
 	// summed into Result.NNPackets at finalise.
 	nnSent uint64
+	// idx is the chip's torus index, the per-chip term in the lazy
+	// rescue-RNG seed.
+	idx int
 	// rescueRNG drives this chip's rescue-path monitor election. It is
-	// deterministic in (Config.Seed, chip index) alone and untouched on
-	// a healthy boot.
+	// deterministic in (Config.Seed, chip index) alone, created on first
+	// draw — a healthy boot never touches it, so a healthy chip never
+	// pays for the stream state.
 	rescueRNG *sim.RNG
-	// blocks maps block index -> copies seen.
+	// blocks maps block index -> copies seen; created on the first
+	// arriving block, so a SkipLoad boot allocates no maps at all.
 	blocks     map[uint32]int
 	loadedAt   sim.Time
 	coordAt    sim.Time
@@ -149,6 +154,9 @@ type Controller struct {
 	cfg   Config
 	torus topo.Torus
 	nodes map[topo.Coord]*nodeState
+	// blockCache holds each boot-image block exactly once, generated on
+	// the sequential phase setup and aliased into every chip's SDRAM.
+	blockCache [][]byte
 
 	loadStart sim.Time
 	res       Result
@@ -158,24 +166,36 @@ type Controller struct {
 // run drives the whole machine (a single Engine or a ParallelEngine);
 // each chip's hardware binds to its own node's engine.
 func NewController(run sim.Runner, fab *router.Fabric, cfg Config) *Controller {
+	// A real boot touches every chip — self-test, neighbour probe,
+	// coordinate flood — so the whole torus materialises here, in index
+	// order: the dense degenerate case of the sparse fabric, with the
+	// historical RNG draw order preserved.
+	fab.MaterialiseAll()
 	c := &Controller{
 		run:   run,
 		fab:   fab,
 		cfg:   cfg,
 		torus: fab.Params().Torus,
-		nodes: make(map[topo.Coord]*nodeState),
+		nodes: make(map[topo.Coord]*nodeState, fab.Size()),
 	}
 	for _, n := range fab.Nodes() {
 		c.nodes[n.Coord] = &nodeState{
 			chip:    chip.New(n.Domain(), n.Coord, cfg.Cores),
 			monitor: -1,
-			blocks:  make(map[uint32]int),
-			rescueRNG: sim.NewRNG(cfg.Seed ^
-				0x9e3779b97f4a7c15*uint64(n.Index()+1)),
+			idx:     n.Index(),
 		}
 	}
 	fab.OnNN = c.handleNN
 	return c
+}
+
+// rescue returns the chip's rescue RNG, creating the stream on first
+// draw.
+func (st *nodeState) rescue(seed uint64) *sim.RNG {
+	if st.rescueRNG == nil {
+		st.rescueRNG = sim.NewRNG(seed ^ 0x9e3779b97f4a7c15*uint64(st.idx+1))
+	}
+	return st.rescueRNG
 }
 
 // Chip exposes a node's chip (for inspection in tests and the host).
@@ -201,6 +221,7 @@ func (c *Controller) Run() (*Result, error) {
 	c.phaseCoordinates()
 	c.run.Drain()
 	if !c.cfg.SkipLoad {
+		c.primeBlocks()
 		c.phaseLoad()
 		c.run.Drain()
 	}
@@ -285,6 +306,19 @@ func (c *Controller) propagateCoord(from topo.Coord) {
 	}
 }
 
+// primeBlocks generates the boot image once, on the sequential phase
+// setup: receiveBlock runs under parallel windows and must not race a
+// lazily-filled shared cache.
+func (c *Controller) primeBlocks() {
+	if c.blockCache != nil {
+		return
+	}
+	c.blockCache = make([][]byte, c.cfg.ImageBlocks)
+	for b := range c.blockCache {
+		c.blockCache[b] = BlockContent(uint32(b), c.cfg.BlockBytes)
+	}
+}
+
 // phaseLoad: flood-fill the application image from the origin.
 func (c *Controller) phaseLoad() {
 	origin := topo.Coord{X: 0, Y: 0}
@@ -321,7 +355,7 @@ func (c *Controller) handleNN(n *router.Node, from topo.Dir, pkt packet.Packet) 
 		// choice and the chip reboots. The election draws from this
 		// chip's own rescue stream — never the shared setup RNG, whose
 		// event-time draw order would depend on shard interleaving.
-		if id, err := st.chip.ElectMonitor(st.rescueRNG); err == nil {
+		if id, err := st.chip.ElectMonitor(st.rescue(c.cfg.Seed)); err == nil {
 			st.alive = true
 			st.rescued = true
 			st.monitor = id
@@ -356,14 +390,19 @@ func (c *Controller) handleNN(n *router.Node, from topo.Dir, pkt packet.Packet) 
 // receiveBlock handles one flood-fill block arriving at a chip: store it
 // once, forward while the copy count is within the redundancy budget.
 func (c *Controller) receiveBlock(at topo.Coord, blockIdx uint32) {
+	if int(blockIdx) >= len(c.blockCache) {
+		return
+	}
 	st := c.nodes[at]
+	if st.blocks == nil {
+		st.blocks = make(map[uint32]int, c.cfg.ImageBlocks)
+	}
 	st.blocks[blockIdx]++
 	if st.blocks[blockIdx] == 1 {
-		// First copy: store the block in SDRAM (content is generated
-		// deterministically from the index; any sender's copy is
-		// identical).
-		data := BlockContent(blockIdx, c.cfg.BlockBytes)
-		if err := st.chip.SDRAM.Store(BlockAddr(blockIdx), data); err == nil {
+		// First copy: every chip's segment aliases the one machine-wide
+		// block (any sender's copy is identical) — a 64k-chip torus
+		// holds one image, not 64k of them.
+		if err := st.chip.SDRAM.StoreShared(BlockAddr(blockIdx), c.blockCache[blockIdx]); err == nil {
 			if len(st.blocks) == c.cfg.ImageBlocks && !st.everLoaded {
 				st.everLoaded = true
 				st.loadedAt = c.fab.DomainAt(at).Now()

@@ -97,6 +97,23 @@ func (s *SDRAM) Store(addr uint32, data []byte) error {
 	return nil
 }
 
+// StoreShared is Store without the defensive copy: the segment aliases
+// the caller's slice. For machine-wide immutable payloads — the boot
+// image's flood-fill blocks, a host fill's data — this keeps one copy
+// per machine instead of one per chip, the dominant heap term when a
+// 64k-chip torus loads an image. The caller must not mutate data
+// afterwards; Load and ExportState copy out, so readers never alias it
+// back.
+func (s *SDRAM) StoreShared(addr uint32, data []byte) error {
+	old := len(s.segments[addr])
+	if s.used-old+len(data) > SDRAMBytes {
+		return fmt.Errorf("chip: SDRAM overflow storing %d bytes at %#x", len(data), addr)
+	}
+	s.used += len(data) - old
+	s.segments[addr] = data
+	return nil
+}
+
 // Load reads back a segment stored at addr.
 func (s *SDRAM) Load(addr uint32) ([]byte, bool) {
 	d, ok := s.segments[addr]

@@ -111,6 +111,11 @@ type Accounting struct {
 	// driving a connector and cable costs several times an on-board
 	// trace (matches phy.DefaultBoardToBoard().EnergyPerTransition).
 	BoardWireTransitionPJ float64
+	// CabinetWireTransitionPJ prices one cabinet-to-cabinet wire
+	// transition: metres of machine-room cable are the costliest wires
+	// in the machine (matches
+	// phy.DefaultCabinetToCabinet().EnergyPerTransition).
+	CabinetWireTransitionPJ float64
 	// SDRAMBytePJ prices one byte moved to/from SDRAM.
 	SDRAMBytePJ float64
 	// ChipStaticW is per-chip leakage and always-on logic.
@@ -120,13 +125,14 @@ type Accounting struct {
 // DefaultAccounting returns a 130 nm-era SpiNNaker-like model.
 func DefaultAccounting() Accounting {
 	return Accounting{
-		InstrPJ:               200,
-		WFIPowerW:             0.001,
-		BusyOverheadW:         0.015,
-		WireTransitionPJ:      6,
-		BoardWireTransitionPJ: 20,
-		SDRAMBytePJ:           100,
-		ChipStaticW:           0.05,
+		InstrPJ:                 200,
+		WFIPowerW:               0.001,
+		BusyOverheadW:           0.015,
+		WireTransitionPJ:        6,
+		BoardWireTransitionPJ:   20,
+		CabinetWireTransitionPJ: 60,
+		SDRAMBytePJ:             100,
+		ChipStaticW:             0.05,
 	}
 }
 
@@ -138,19 +144,24 @@ type Activity struct {
 	SleepTime    sim.Time
 	// WireTransitions counts transitions on on-board links;
 	// WireTransitionsBoard those on board-to-board links (zero on a
-	// uniform fabric with no board hierarchy).
-	WireTransitions      uint64
-	WireTransitionsBoard uint64
-	SDRAMBytes           uint64
-	Chips                int
-	Elapsed              sim.Time
+	// uniform fabric with no board hierarchy); WireTransitionsCabinet
+	// those on cabinet-to-cabinet links (zero without a cabinet
+	// hierarchy).
+	WireTransitions        uint64
+	WireTransitionsBoard   uint64
+	WireTransitionsCabinet uint64
+	SDRAMBytes             uint64
+	Chips                  int
+	Elapsed                sim.Time
 }
 
 // WireJoules reports the link-transition share of the energy, split by
-// class: the on-board and board-to-board totals in joules.
-func (a Accounting) WireJoules(act Activity) (onBoardJ, boardJ float64) {
+// class: the on-board, board-to-board and cabinet-to-cabinet totals in
+// joules.
+func (a Accounting) WireJoules(act Activity) (onBoardJ, boardJ, cabinetJ float64) {
 	return float64(act.WireTransitions) * a.WireTransitionPJ * 1e-12,
-		float64(act.WireTransitionsBoard) * a.BoardWireTransitionPJ * 1e-12
+		float64(act.WireTransitionsBoard) * a.BoardWireTransitionPJ * 1e-12,
+		float64(act.WireTransitionsCabinet) * a.CabinetWireTransitionPJ * 1e-12
 }
 
 // Joules computes total energy for the activity.
@@ -158,6 +169,7 @@ func (a Accounting) Joules(act Activity) float64 {
 	pj := float64(act.Instructions)*a.InstrPJ +
 		float64(act.WireTransitions)*a.WireTransitionPJ +
 		float64(act.WireTransitionsBoard)*a.BoardWireTransitionPJ +
+		float64(act.WireTransitionsCabinet)*a.CabinetWireTransitionPJ +
 		float64(act.SDRAMBytes)*a.SDRAMBytePJ
 	j := pj * 1e-12
 	j += act.BusyTime.Seconds() * a.BusyOverheadW
@@ -190,8 +202,9 @@ func (a Accounting) Validate() error {
 	for name, v := range map[string]float64{
 		"InstrPJ": a.InstrPJ, "WFIPowerW": a.WFIPowerW,
 		"BusyOverheadW": a.BusyOverheadW, "WireTransitionPJ": a.WireTransitionPJ,
-		"BoardWireTransitionPJ": a.BoardWireTransitionPJ,
-		"SDRAMBytePJ":           a.SDRAMBytePJ, "ChipStaticW": a.ChipStaticW,
+		"BoardWireTransitionPJ":   a.BoardWireTransitionPJ,
+		"CabinetWireTransitionPJ": a.CabinetWireTransitionPJ,
+		"SDRAMBytePJ":             a.SDRAMBytePJ, "ChipStaticW": a.ChipStaticW,
 	} {
 		if v < 0 {
 			return fmt.Errorf("energy: negative %s", name)

@@ -87,19 +87,21 @@ func TestJoulesComposition(t *testing.T) {
 func TestWireEnergySplitByClass(t *testing.T) {
 	a := DefaultAccounting()
 	act := Activity{
-		WireTransitions:      1000, // on-board, 6 pJ each
-		WireTransitionsBoard: 100,  // board-to-board, 20 pJ each
-		Elapsed:              sim.Second,
+		WireTransitions:        1000, // on-board, 6 pJ each
+		WireTransitionsBoard:   100,  // board-to-board, 20 pJ each
+		WireTransitionsCabinet: 10,   // cabinet-to-cabinet, 60 pJ each
+		Elapsed:                sim.Second,
 	}
-	onJ, boardJ := a.WireJoules(act)
-	if math.Abs(onJ-6000e-12) > 1e-18 || math.Abs(boardJ-2000e-12) > 1e-18 {
-		t.Errorf("WireJoules = %g, %g; want 6e-9, 2e-9", onJ, boardJ)
+	onJ, boardJ, cabJ := a.WireJoules(act)
+	if math.Abs(onJ-6000e-12) > 1e-18 || math.Abs(boardJ-2000e-12) > 1e-18 ||
+		math.Abs(cabJ-600e-12) > 1e-18 {
+		t.Errorf("WireJoules = %g, %g, %g; want 6e-9, 2e-9, 6e-10", onJ, boardJ, cabJ)
 	}
 	// The split is exhaustive: it sums to the wire share of Joules.
 	wireOnly := act
 	wireShare := a.Joules(wireOnly)
-	if math.Abs(wireShare-(onJ+boardJ)) > 1e-18 {
-		t.Errorf("wire share %g != split sum %g", wireShare, onJ+boardJ)
+	if math.Abs(wireShare-(onJ+boardJ+cabJ)) > 1e-18 {
+		t.Errorf("wire share %g != split sum %g", wireShare, onJ+boardJ+cabJ)
 	}
 	// A tenth of the traffic on cabled links costs a third of the wire
 	// budget at default prices — the frugality argument for keeping
@@ -110,6 +112,11 @@ func TestWireEnergySplitByClass(t *testing.T) {
 	a.BoardWireTransitionPJ = -1
 	if a.Validate() == nil {
 		t.Error("negative board transition price accepted")
+	}
+	a = DefaultAccounting()
+	a.CabinetWireTransitionPJ = -1
+	if a.Validate() == nil {
+		t.Error("negative cabinet transition price accepted")
 	}
 }
 

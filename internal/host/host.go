@@ -668,8 +668,11 @@ func (h *Host) fillArrive(n *router.Node, key uint32) {
 		// reports receipt; verification is the host's business. A
 		// straggler completing after the command was stripped has no
 		// payload left to store.
+		// StoreShared: every chip's segment aliases the command's one
+		// payload slice (immutable in flight) rather than copying it per
+		// chip — a machine-size image load costs one image, not n.
 		if !cmd.stripped {
-			_ = h.ctl.Chip(n.Coord).SDRAM.Store(cmd.addr, cmd.data)
+			_ = h.ctl.Chip(n.Coord).SDRAM.StoreShared(cmd.addr, cmd.data)
 		}
 		h.fillMaybeAck(n, seq, cmd, fa)
 	}

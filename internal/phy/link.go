@@ -24,17 +24,27 @@ const (
 	// transitions. Its longer serialisation floor is what widens the
 	// sharded engine's lookahead on board-aligned partition cuts.
 	BoardToBoard
+	// CabinetToCabinet is a link whose endpoints sit in different
+	// cabinets: the longest cables in the machine, with metres of wire
+	// flight and the highest per-transition drive energy. It is the
+	// third level of the packaging hierarchy; a cabinet-aligned
+	// partition cut made entirely of these links earns the widest
+	// conservative lookahead of all.
+	CabinetToCabinet
 	// NumLinkClasses sizes per-class tally arrays.
-	NumLinkClasses = 2
+	NumLinkClasses = 3
 )
 
-// String names the class ("on-board", "board-to-board").
+// String names the class ("on-board", "board-to-board",
+// "cabinet-to-cabinet").
 func (c LinkClass) String() string {
 	switch c {
 	case OnBoard:
 		return "on-board"
 	case BoardToBoard:
 		return "board-to-board"
+	case CabinetToCabinet:
+		return "cabinet-to-cabinet"
 	}
 	return "link-class(?)"
 }
@@ -85,11 +95,33 @@ func DefaultBoardToBoard() LinkParams {
 	}
 }
 
+// DefaultCabinetToCabinet returns parameters for a link leaving the
+// cabinet: still 2-of-7 NRZ, but the handshake loop now closes over
+// metres of inter-cabinet cabling, so the wire flight dominates
+// everything else and each transition drives the largest capacitance in
+// the machine. As with board-to-board links the self-timed protocol
+// simply slows to the speed the wires allow; the machine-wide
+// consequence is a serialisation floor several times the board level's,
+// which the sharded engine converts into the widest lookahead notch on
+// cabinet-aligned cuts.
+func DefaultCabinetToCabinet() LinkParams {
+	return LinkParams{
+		Class:               CabinetToCabinet,
+		Code:                NRZ2of7,
+		WireDelay:           40 * sim.Nanosecond, // metres of cabinet cable
+		LogicDelay:          5 * sim.Nanosecond,  // repeater + pad at each end
+		EnergyPerTransition: 60.0,                // pJ: long-cable drive
+	}
+}
+
 // DefaultLinkParams returns the default parameter block for a link
 // class — the per-class PHY model a heterogeneous fabric starts from.
 func DefaultLinkParams(c LinkClass) LinkParams {
-	if c == BoardToBoard {
+	switch c {
+	case BoardToBoard:
 		return DefaultBoardToBoard()
+	case CabinetToCabinet:
+		return DefaultCabinetToCabinet()
 	}
 	return DefaultInterChip()
 }

@@ -2,6 +2,8 @@ package router
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"spinngo/internal/packet"
 	"spinngo/internal/phy"
@@ -26,11 +28,21 @@ type Params struct {
 	// typically slower and costlier per transition than Link. It is
 	// consulted only when Boards is non-zero.
 	BoardLink phy.LinkParams
+	// CabinetLink carries the link model for cabinet-to-cabinet links —
+	// the machine-room cables, slower and costlier again than
+	// BoardLink. It is consulted only when Cabinets is non-zero.
+	CabinetLink phy.LinkParams
 	// Boards is the physical board tiling of the torus. When set, each
 	// directed link is classed by whether it leaves its source chip's
 	// board, and LinkFor returns per-link parameters accordingly; the
 	// zero value means a uniform fabric where every link uses Link.
 	Boards topo.BoardGeometry
+	// Cabinets is the cabinet tiling of the board grid — the third
+	// packaging level. When set (it requires Boards), a link leaving
+	// its source chip's cabinet classes as CabinetToCabinet before the
+	// board test is consulted; the zero value means every off-board
+	// link is plain board-to-board.
+	Cabinets topo.CabinetGeometry
 	// LinkQueueDepth is the output buffering per link; a full queue is
 	// a congested link.
 	LinkQueueDepth int
@@ -57,11 +69,20 @@ type Params struct {
 // parameter block (a board tiling is configured).
 func (p Params) Heterogeneous() bool { return !p.Boards.IsZero() }
 
+// HasCabinets reports whether the third packaging level is configured.
+func (p Params) HasCabinets() bool { return !p.Cabinets.IsZero() }
+
 // ClassOf reports the PHY class of the directed link leaving c in
-// direction d: BoardToBoard when the hop leaves c's board (including
+// direction d: CabinetToCabinet when the hop leaves c's cabinet,
+// BoardToBoard when it leaves c's board but not its cabinet (including
 // torus wrap links, which are cabled between edge boards), OnBoard
-// otherwise — always OnBoard on a uniform fabric.
+// otherwise — always OnBoard on a uniform fabric. A cabinet crossing
+// is by construction also a board crossing, so the cabinet test runs
+// first.
 func (p Params) ClassOf(c topo.Coord, d topo.Dir) phy.LinkClass {
+	if p.HasCabinets() && p.Cabinets.Crosses(p.Boards, c, d) {
+		return phy.CabinetToCabinet
+	}
 	if p.Heterogeneous() && p.Boards.Crosses(c, d) {
 		return phy.BoardToBoard
 	}
@@ -80,8 +101,11 @@ func (p Params) LinkFor(c topo.Coord, d topo.Dir) phy.LinkParams {
 
 // ClassParams reports the parameter block a link class resolves to.
 func (p Params) ClassParams(cl phy.LinkClass) phy.LinkParams {
-	if cl == phy.BoardToBoard {
+	switch cl {
+	case phy.BoardToBoard:
 		return p.BoardLink
+	case phy.CabinetToCabinet:
+		return p.CabinetLink
 	}
 	return p.Link
 }
@@ -104,6 +128,11 @@ func (p Params) MinHopLatency() sim.Time {
 	if p.Heterogeneous() {
 		if b := p.hopLatency(p.BoardLink); b < la {
 			la = b
+		}
+	}
+	if p.HasCabinets() {
+		if c := p.hopLatency(p.CabinetLink); c < la {
+			la = c
 		}
 	}
 	return la
@@ -157,6 +186,11 @@ func (p Params) LookaheadForLive(part topo.Partition, failed func(topo.Coord, to
 				la = b
 			}
 		}
+		if p.HasCabinets() {
+			if c := p.hopLatency(p.CabinetLink); c > la {
+				la = c
+			}
+		}
 	}
 	return la
 }
@@ -168,6 +202,7 @@ func DefaultParams(w, h int) Params {
 		RouterLatency:    100 * sim.Nanosecond,
 		Link:             phy.DefaultInterChip(),
 		BoardLink:        phy.DefaultBoardToBoard(),
+		CabinetLink:      phy.DefaultCabinetToCabinet(),
 		LinkQueueDepth:   16,
 		EmergencyWait:    1 * sim.Microsecond,
 		EmergencyTry:     4 * sim.Microsecond,
@@ -254,6 +289,12 @@ type Node struct {
 	// route p2p traffic only after the coordinate flood has told it
 	// where it is).
 	p2pReady bool
+
+	// drainEvs embeds the six per-link drain events in the node itself
+	// (out[d].drain points at drainEvs[d]), so materialising a chip is
+	// a single slab cell, not seven allocations. Node values must never
+	// be copied once published.
+	drainEvs [topo.NumDirs]drainEv
 }
 
 // Domain returns the node's scheduling domain. All model components
@@ -290,15 +331,41 @@ type DroppedPacket struct {
 }
 
 // Fabric is the machine-wide communications network: one Node per chip
-// on the torus. In single-engine mode every node shares one
-// discrete-event engine; in sharded mode each node binds to its
-// partition's shard engine and cross-shard link deliveries travel
-// through the ParallelEngine's barrier mailboxes.
+// coordinate on the torus, instantiated lazily. A chip's node (router,
+// link queues, scheduling domain) materialises on its first touch —
+// boot, a routing-table install, an injection, or a packet arriving
+// over a link — so an idle region of a large torus costs one pointer
+// slot per chip and nothing else. Dense behaviour is the degenerate
+// case where every chip has been touched. In single-engine mode every
+// node shares one discrete-event engine; in sharded mode each node
+// binds to its partition's shard engine and cross-shard link
+// deliveries travel through the ParallelEngine's barrier mailboxes.
 type Fabric struct {
-	pe    *sim.ParallelEngine // nil in single-engine mode
-	p     Params
-	part  topo.Partition // the active partition (zero in single-engine mode)
-	nodes []*Node
+	pe   *sim.ParallelEngine // nil in single-engine mode
+	p    Params
+	part topo.Partition // the active partition (zero in single-engine mode)
+
+	// nodes holds one atomic slot per torus index; nil means the chip
+	// has never been touched. Reads on the hot path are single atomic
+	// loads; creation is serialised by matMu (double-checked), because
+	// a packet launched on one shard may materialise a neighbour owned
+	// by another shard mid-window.
+	nodes []atomic.Pointer[Node]
+	// engOf resolves a node index to its owning engine and shard under
+	// the *current* partition, so late-materialised chips bind
+	// correctly even after runtime re-partitions.
+	engOf func(i int) (*sim.Engine, int)
+	// matMu serialises node materialisation (and the engine-side domain
+	// registration it performs).
+	matMu sync.Mutex
+	// arena is the current node slab: chips materialise region-pooled,
+	// nodeArenaSize neighbours to an allocation, instead of one heap
+	// object each.
+	arena        []Node
+	instantiated atomic.Int64
+	// allP2P records that ConfigureAllP2P ran, so chips materialised
+	// afterwards come up with their p2p tables configured too.
+	allP2P bool
 
 	// OnDeliverMC is invoked for each local core a multicast packet
 	// reaches. latency is injection-to-delivery simulated time. In
@@ -319,9 +386,14 @@ type Fabric struct {
 // state a fully booted machine is in. Standalone fabric users (tests,
 // experiments without a boot phase) call this once; the boot package
 // configures nodes one by one as the coordinate flood reaches them.
+// Chips materialised later inherit the configured state, so the call
+// covers the whole torus without instantiating it.
 func (f *Fabric) ConfigureAllP2P() {
-	for _, n := range f.nodes {
-		n.ConfigureP2P()
+	f.allP2P = true
+	for i := range f.nodes {
+		if n := f.nodes[i].Load(); n != nil {
+			n.ConfigureP2P()
+		}
 	}
 }
 
@@ -345,6 +417,14 @@ func (f *Fabric) build(p Params, engOf func(i int) (*sim.Engine, int)) error {
 			return err
 		}
 	}
+	if p.HasCabinets() {
+		if err := p.Cabinets.Validate(p.Torus, p.Boards); err != nil {
+			return err
+		}
+		if err := p.CabinetLink.Validate(); err != nil {
+			return err
+		}
+	}
 	if p.Torus.Size() == 0 {
 		return fmt.Errorf("router: empty torus")
 	}
@@ -352,19 +432,84 @@ func (f *Fabric) build(p Params, engOf func(i int) (*sim.Engine, int)) error {
 		return fmt.Errorf("router: link queue depth must be positive")
 	}
 	f.p = p
-	f.nodes = make([]*Node, p.Torus.Size())
-	for i := range f.nodes {
-		eng, shard := engOf(i)
-		n := &Node{fabric: f, dom: eng.Domain(i), shard: shard, idx: int32(i),
-			Coord: p.Torus.CoordOf(i), Table: NewTable(p.TableSize)}
-		for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
-			n.out[d].dir = d
-			n.out[d].link = p.LinkFor(n.Coord, d)
-			n.out[d].drain = &drainEv{n: n, d: d}
-		}
-		f.nodes[i] = n
-	}
+	f.engOf = engOf
+	f.nodes = make([]atomic.Pointer[Node], p.Torus.Size())
 	return nil
+}
+
+// nodeArenaSize is how many nodes one materialisation slab holds.
+// Chips materialise in bursts of spatial neighbours (a mapped region, a
+// boot flood front), so pooling them slab-wise keeps a region's routers
+// contiguous and cuts the allocation count 64-fold.
+const nodeArenaSize = 64
+
+// node returns the chip at torus index i, materialising it on first
+// touch. The fast path is one atomic load; creation takes the
+// materialisation lock and re-checks, because packets launched on
+// different shards may race to touch the same silent neighbour.
+func (f *Fabric) node(i int) *Node {
+	if n := f.nodes[i].Load(); n != nil {
+		return n
+	}
+	return f.materialise(i)
+}
+
+func (f *Fabric) materialise(i int) *Node {
+	f.matMu.Lock()
+	defer f.matMu.Unlock()
+	if n := f.nodes[i].Load(); n != nil {
+		return n
+	}
+	if len(f.arena) == 0 {
+		f.arena = make([]Node, nodeArenaSize)
+	}
+	n := &f.arena[0]
+	f.arena = f.arena[1:]
+	eng, shard := f.engOf(i)
+	n.fabric = f
+	n.dom = eng.Domain(i)
+	n.shard = shard
+	n.idx = int32(i)
+	n.Coord = f.p.Torus.CoordOf(i)
+	n.Table = NewTable(f.p.TableSize)
+	n.p2pReady = f.allP2P
+	for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
+		n.out[d].dir = d
+		n.out[d].link = f.p.LinkFor(n.Coord, d)
+		n.drainEvs[d] = drainEv{n: n, d: d}
+		n.out[d].drain = &n.drainEvs[d]
+	}
+	f.nodes[i].Store(n)
+	f.instantiated.Add(1)
+	return n
+}
+
+// ExistingAt returns the chip at torus index i, or nil if it has never
+// been touched — the non-materialising read the aggregate accessors and
+// snapshot extents use.
+func (f *Fabric) ExistingAt(i int) *Node { return f.nodes[i].Load() }
+
+// NodeAt returns the chip at torus index i, materialising it on demand
+// — the snapshot-restore dispatch point for recorded state and events.
+func (f *Fabric) NodeAt(i int) *Node { return f.node(i) }
+
+// Instantiated reports how many chips have materialised; Size is the
+// torus address space they are drawn from. Their ratio is the sparse
+// win: an idle region costs one nil pointer slot per chip.
+func (f *Fabric) Instantiated() int { return int(f.instantiated.Load()) }
+
+// Size reports the torus address space (chip slots, touched or not).
+func (f *Fabric) Size() int { return len(f.nodes) }
+
+// MaterialiseAll instantiates every chip on the torus in index order —
+// the dense degenerate case. The boot controller calls this: a real
+// boot touches every chip (self-test, probe, coordinate flood), and
+// index order keeps the control-plane RNG draw order identical to the
+// historical dense build.
+func (f *Fabric) MaterialiseAll() {
+	for i := range f.nodes {
+		f.node(i)
+	}
 }
 
 // NewFabric builds the fabric with every node on the given engine
@@ -396,8 +541,11 @@ func NewShardedFabric(pe *sim.ParallelEngine, part topo.Partition, p Params) (*F
 			la, pe.Lookahead())
 	}
 	f := &Fabric{pe: pe, part: part}
+	// engOf reads f.part (not the constructor argument): a chip that
+	// materialises after a runtime repartition must bind to the shard
+	// that owns it now.
 	if err := f.build(p, func(i int) (*sim.Engine, int) {
-		s := part.ShardOfIndex(i)
+		s := f.part.ShardOfIndex(i)
 		return pe.Shard(s), s
 	}); err != nil {
 		return nil, err
@@ -437,8 +585,10 @@ func (f *Fabric) Repartition(part topo.Partition) error {
 		return fmt.Errorf("router: live cross-shard hop floor %v below engine lookahead %v",
 			la, f.pe.Lookahead())
 	}
-	for i, n := range f.nodes {
-		n.shard = part.ShardOfIndex(i)
+	for i := range f.nodes {
+		if n := f.nodes[i].Load(); n != nil {
+			n.shard = part.ShardOfIndex(i)
+		}
 	}
 	f.part = part
 	return nil
@@ -450,11 +600,26 @@ func (f *Fabric) DomainAt(c topo.Coord) *sim.Domain { return f.Node(c).dom }
 // Params returns the fabric configuration.
 func (f *Fabric) Params() Params { return f.p }
 
-// Node returns the chip at c.
-func (f *Fabric) Node(c topo.Coord) *Node { return f.nodes[f.p.Torus.Index(c)] }
+// Node returns the chip at c, materialising it on first touch.
+func (f *Fabric) Node(c topo.Coord) *Node { return f.node(f.p.Torus.Index(c)) }
 
-// Nodes returns all chips in index order.
-func (f *Fabric) Nodes() []*Node { return f.nodes }
+// Existing returns the chip at c, or nil if it has never been touched.
+func (f *Fabric) Existing(c topo.Coord) *Node { return f.nodes[f.p.Torus.Index(c)].Load() }
+
+// Nodes returns the instantiated chips in index order. On a machine
+// whose whole torus has been touched (any booted machine — see
+// MaterialiseAll) this is every chip; on a sparse one, only the active
+// region. The slice is built per call: hold it, don't re-query in a
+// loop.
+func (f *Fabric) Nodes() []*Node {
+	out := make([]*Node, 0, f.instantiated.Load())
+	for i := range f.nodes {
+		if n := f.nodes[i].Load(); n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
 
 // DeliveredMC counts multicast core deliveries machine-wide.
 func (f *Fabric) DeliveredMC() uint64 { return f.sum(func(n *Node) uint64 { return n.deliveredMC }) }
@@ -494,7 +659,11 @@ func (f *Fabric) LinkTraversals() uint64 {
 // accounting prices. On a uniform fabric every traversal is on-board.
 func (f *Fabric) LinkTraversalsByClass() [phy.NumLinkClasses]uint64 {
 	var t [phy.NumLinkClasses]uint64
-	for _, n := range f.nodes {
+	for i := range f.nodes {
+		n := f.nodes[i].Load()
+		if n == nil {
+			continue
+		}
 		for d := range n.out {
 			t[n.out[d].link.Class] += n.out[d].Traversals
 		}
@@ -504,8 +673,10 @@ func (f *Fabric) LinkTraversalsByClass() [phy.NumLinkClasses]uint64 {
 
 func (f *Fabric) sum(get func(n *Node) uint64) uint64 {
 	var t uint64
-	for _, n := range f.nodes {
-		t += get(n)
+	for i := range f.nodes {
+		if n := f.nodes[i].Load(); n != nil {
+			t += get(n)
+		}
 	}
 	return t
 }
@@ -538,12 +709,22 @@ func (f *Fabric) FailLinkPair(c topo.Coord, d topo.Dir) {
 	f.FailLink(f.p.Torus.Neighbor(c, d), d.Opposite())
 }
 
-// LinkFailed reports the state of a directed link.
-func (f *Fabric) LinkFailed(c topo.Coord, d topo.Dir) bool { return f.Node(c).out[d].failed }
+// LinkFailed reports the state of a directed link. An untouched chip's
+// links are healthy by definition, so this never materialises — live
+// lookahead pricing walks whole partition cuts through here and must
+// not instantiate them.
+func (f *Fabric) LinkFailed(c topo.Coord, d topo.Dir) bool {
+	n := f.Existing(c)
+	return n != nil && n.out[d].failed
+}
 
 // LinkTraversalCount reports how many packets crossed the directed link.
 func (f *Fabric) LinkTraversalCount(c topo.Coord, d topo.Dir) uint64 {
-	return f.Node(c).out[d].Traversals
+	n := f.Existing(c)
+	if n == nil {
+		return 0
+	}
+	return n.out[d].Traversals
 }
 
 // InjectMC injects a multicast packet from a local core of chip c.
@@ -968,7 +1149,12 @@ func (n *Node) ReinjectDropped() int {
 }
 
 // QueueLen reports the occupancy of the output queue on link d of chip c
-// (useful to assert the lightly-loaded regime in tests).
+// (useful to assert the lightly-loaded regime in tests). Untouched
+// chips have empty queues and are not materialised by asking.
 func (f *Fabric) QueueLen(c topo.Coord, d topo.Dir) int {
-	return len(f.Node(c).out[d].queue)
+	n := f.Existing(c)
+	if n == nil {
+		return 0
+	}
+	return len(n.out[d].queue)
 }

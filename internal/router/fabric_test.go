@@ -493,7 +493,7 @@ func TestLookaheadForMixedCuts(t *testing.T) {
 	}
 	alignedBands := topo.NewBands(p.Torus, 2) // boundaries at y=0, y=4
 	for _, part := range []topo.Partition{boards, alignedBands} {
-		if on, _ := part.CutComposition(p.Boards); on != 0 {
+		if on, _, _ := part.CutComposition(p.Boards, topo.CabinetGeometry{}); on != 0 {
 			t.Fatalf("%v cut not board-aligned", part.Geometry())
 		}
 		if got := p.LookaheadFor(part); got != slow {
@@ -503,7 +503,7 @@ func TestLookaheadForMixedCuts(t *testing.T) {
 
 	// A misaligned cut mixes classes: any fast link tightens the bound.
 	misaligned := topo.NewBands(p.Torus, 4) // y=2 and y=6 cut board interiors
-	if on, board := misaligned.CutComposition(p.Boards); on == 0 || board == 0 {
+	if on, board, _ := misaligned.CutComposition(p.Boards, topo.CabinetGeometry{}); on == 0 || board == 0 {
 		t.Fatalf("bands/4 cut composition %d+%d: want both classes", on, board)
 	}
 	if got := p.LookaheadFor(misaligned); got != fast {

@@ -20,7 +20,7 @@ func TestLookaheadForLiveRepricesGuttedCut(t *testing.T) {
 	slow := p.RouterLatency + p.BoardLink.SerialisationFloor(packet.MinWireSize)
 
 	misaligned := topo.NewBands(p.Torus, 4) // y=2 and y=6 cut board interiors
-	if on, board := misaligned.CutComposition(p.Boards); on == 0 || board == 0 {
+	if on, board, _ := misaligned.CutComposition(p.Boards, topo.CabinetGeometry{}); on == 0 || board == 0 {
 		t.Fatalf("bands/4 cut composition %d+%d: want both classes", on, board)
 	}
 	if got := p.LookaheadForLive(misaligned, nil); got != fast {

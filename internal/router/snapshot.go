@@ -90,7 +90,7 @@ func (f *Fabric) EventFn(nodeIdx int, kind string, args []uint64, blob []byte) (
 	if nodeIdx < 0 || nodeIdx >= len(f.nodes) {
 		return nil, fmt.Errorf("router: event for node %d outside torus", nodeIdx)
 	}
-	n := f.nodes[nodeIdx]
+	n := f.node(nodeIdx) // a chip with pending events must exist after restore
 	need := func(k int) error {
 		if len(args) != k {
 			return fmt.Errorf("router: %s expects %d args, got %d", kind, k, len(args))

@@ -79,9 +79,9 @@ func TestNewBoardsAligned(t *testing.T) {
 		if p.Boards() != g {
 			t.Fatalf("Boards() = %v, want %v", p.Boards(), g)
 		}
-		onBoard, boardCut := p.CutComposition(g)
-		if onBoard != 0 {
-			t.Errorf("shards=%d: %d on-board links in a board-aligned cut", shards, onBoard)
+		onBoard, boardCut, cabCut := p.CutComposition(g, CabinetGeometry{})
+		if onBoard != 0 || cabCut != 0 {
+			t.Errorf("shards=%d: %d on-board + %d cabinet links in a board-aligned cut", shards, onBoard, cabCut)
 		}
 		if p.Shards() > 1 && boardCut == 0 {
 			t.Errorf("shards=%d: multi-shard partition with an empty cut", shards)
@@ -125,17 +125,17 @@ func TestCutCompositionMixed(t *testing.T) {
 	g := BoardGeometry{W: 8, H: 4} // two boards stacked vertically
 
 	aligned := NewBands(torus, 2) // boundaries at y=0 and y=4: board edges
-	if on, board := aligned.CutComposition(g); on != 0 || board != aligned.CutLinks() {
+	if on, board, _ := aligned.CutComposition(g, CabinetGeometry{}); on != 0 || board != aligned.CutLinks() {
 		t.Errorf("aligned bands: composition %d+%d, want 0+%d", on, board, aligned.CutLinks())
 	}
 
 	misaligned := NewBands(torus, 4) // boundaries at y=2 and y=6 cut board interiors
-	if on, board := misaligned.CutComposition(g); on == 0 || board == 0 {
+	if on, board, _ := misaligned.CutComposition(g, CabinetGeometry{}); on == 0 || board == 0 {
 		t.Errorf("misaligned bands: composition %d+%d, want both classes present", on, board)
 	}
 
 	// Zero geometry: everything is on-board.
-	if on, board := misaligned.CutComposition(BoardGeometry{}); board != 0 || on != misaligned.CutLinks() {
+	if on, board, _ := misaligned.CutComposition(BoardGeometry{}, CabinetGeometry{}); board != 0 || on != misaligned.CutLinks() {
 		t.Errorf("uniform: composition %d+%d, want %d+0", on, board, misaligned.CutLinks())
 	}
 }

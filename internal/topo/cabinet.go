@@ -1,0 +1,101 @@
+package topo
+
+import "fmt"
+
+// CabinetGeometry describes the third level of the physical packaging
+// hierarchy: boards are racked W x H-board cabinets, and the cabinets
+// tile the board grid exactly. Links between chips on boards in the
+// same cabinet are at worst board-to-board cables; links whose
+// endpoints sit in different cabinets cross the machine-room cabling —
+// the slowest, most expensive interconnect in the machine. The zero
+// value means "no cabinet hierarchy": every link is cabinet-internal.
+//
+// A cabinet is measured in boards, not chips; its chip-level footprint
+// is derived by composing with the BoardGeometry (ChipTile), which is
+// also how crossing tests are delegated to the board-level maths.
+type CabinetGeometry struct {
+	W, H int
+}
+
+// ParseCabinetGeometry parses the "WxH" cabinet-tiling notation used by
+// configuration ("4x2" = eight-board cabinets, four boards wide).
+func ParseCabinetGeometry(s string) (CabinetGeometry, error) {
+	var g CabinetGeometry
+	// The %c probe rejects trailing garbage, as in ParseBoardGeometry.
+	var trailing byte
+	if n, _ := fmt.Sscanf(s, "%dx%d%c", &g.W, &g.H, &trailing); n != 2 {
+		return CabinetGeometry{}, fmt.Errorf("topo: bad cabinet geometry %q (want \"WxH\")", s)
+	}
+	if g.W <= 0 || g.H <= 0 {
+		return CabinetGeometry{}, fmt.Errorf("topo: bad cabinet geometry %q (non-positive side)", s)
+	}
+	return g, nil
+}
+
+// String renders the "WxH" notation; the zero geometry renders "none".
+func (g CabinetGeometry) String() string {
+	if g.IsZero() {
+		return "none"
+	}
+	return fmt.Sprintf("%dx%d", g.W, g.H)
+}
+
+// IsZero reports whether no cabinet hierarchy is configured.
+func (g CabinetGeometry) IsZero() bool { return g == CabinetGeometry{} }
+
+// ChipTile reports the cabinet's chip-level footprint under board
+// tiling b: a W x H-board cabinet of bW x bH-chip boards is a
+// W·bW x H·bH-chip rectangle. The zero cabinet (or zero board) tile is
+// zero, which never crosses.
+func (g CabinetGeometry) ChipTile(b BoardGeometry) BoardGeometry {
+	if g.IsZero() || b.IsZero() {
+		return BoardGeometry{}
+	}
+	return BoardGeometry{W: g.W * b.W, H: g.H * b.H}
+}
+
+// Validate checks that the cabinets tile the board grid of t exactly; a
+// cabinet hierarchy without a board hierarchy underneath is rejected —
+// cabinets hold boards, not bare chips.
+func (g CabinetGeometry) Validate(t Torus, b BoardGeometry) error {
+	if g.W <= 0 || g.H <= 0 {
+		return fmt.Errorf("topo: invalid cabinet geometry %dx%d", g.W, g.H)
+	}
+	if b.IsZero() {
+		return fmt.Errorf("topo: cabinet geometry %s needs a board geometry beneath it", g)
+	}
+	if err := b.Validate(t); err != nil {
+		return err
+	}
+	bw, bh := b.Grid(t)
+	if bw%g.W != 0 || bh%g.H != 0 {
+		return fmt.Errorf("topo: %dx%d-board cabinets do not tile the %dx%d board grid", g.W, g.H, bw, bh)
+	}
+	return nil
+}
+
+// Grid reports how many cabinets tile the torus along each axis.
+func (g CabinetGeometry) Grid(t Torus, b BoardGeometry) (cw, ch int) {
+	tile := g.ChipTile(b)
+	return t.W / tile.W, t.H / tile.H
+}
+
+// Cabinets reports the total cabinet count.
+func (g CabinetGeometry) Cabinets(t Torus, b BoardGeometry) int {
+	cw, ch := g.Grid(t, b)
+	return cw * ch
+}
+
+// CabinetOf reports the cabinet-grid cell holding the chip at c (which
+// must be a canonical on-torus coordinate).
+func (g CabinetGeometry) CabinetOf(b BoardGeometry, c Coord) (cx, cy int) {
+	return g.ChipTile(b).BoardOf(c)
+}
+
+// Crosses reports whether the directed link leaving c in direction d
+// leaves c's cabinet. Torus wrap links always cross, as at board level:
+// the wrap-around is cabled between edge cabinets. A zero geometry
+// never crosses.
+func (g CabinetGeometry) Crosses(b BoardGeometry, c Coord, d Dir) bool {
+	return g.ChipTile(b).Crosses(c, d)
+}

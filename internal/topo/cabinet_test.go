@@ -1,0 +1,191 @@
+package topo
+
+import "testing"
+
+func TestParseCabinetGeometry(t *testing.T) {
+	g, err := ParseCabinetGeometry("4x2")
+	if err != nil || g != (CabinetGeometry{W: 4, H: 2}) {
+		t.Fatalf("ParseCabinetGeometry(4x2) = %v, %v", g, err)
+	}
+	if g.String() != "4x2" {
+		t.Errorf("String() = %q, want 4x2", g.String())
+	}
+	if (CabinetGeometry{}).String() != "none" {
+		t.Errorf("zero String() = %q, want none", CabinetGeometry{}.String())
+	}
+	for _, bad := range []string{"", "4", "x", "0x2", "4x-1", "axb", "4x2x2", "4x2u"} {
+		if _, err := ParseCabinetGeometry(bad); err == nil {
+			t.Errorf("ParseCabinetGeometry(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCabinetGeometryValidate(t *testing.T) {
+	torus := MustTorus(8, 8)
+	boards := BoardGeometry{W: 4, H: 2} // 2x4 board grid
+	if err := (CabinetGeometry{W: 2, H: 2}).Validate(torus, boards); err != nil {
+		t.Errorf("2x2 cabinets should tile the 2x4 board grid: %v", err)
+	}
+	if err := (CabinetGeometry{W: 1, H: 4}).Validate(torus, boards); err != nil {
+		t.Errorf("1x4 cabinets should tile the 2x4 board grid: %v", err)
+	}
+	// Cabinets hold boards, not bare chips.
+	if err := (CabinetGeometry{W: 2, H: 2}).Validate(torus, BoardGeometry{}); err == nil {
+		t.Error("cabinet hierarchy without boards accepted")
+	}
+	for _, g := range []CabinetGeometry{{W: 3, H: 2}, {W: 2, H: 3}, {W: 4, H: 1}} {
+		if err := g.Validate(torus, boards); err == nil {
+			t.Errorf("%v should not tile the 2x4 board grid", g)
+		}
+	}
+	// An untileable board geometry fails through the cabinet check too.
+	if err := (CabinetGeometry{W: 1, H: 1}).Validate(torus, BoardGeometry{W: 3, H: 2}); err == nil {
+		t.Error("cabinets over untileable boards accepted")
+	}
+}
+
+func TestCabinetGridAndOf(t *testing.T) {
+	torus := MustTorus(8, 8)
+	boards := BoardGeometry{W: 2, H: 2} // 4x4 board grid
+	cab := CabinetGeometry{W: 2, H: 2}  // 2x2 cabinet grid, 4x4 chips each
+	if tile := cab.ChipTile(boards); tile != (BoardGeometry{W: 4, H: 4}) {
+		t.Fatalf("ChipTile = %v, want 4x4 chips", tile)
+	}
+	if cw, ch := cab.Grid(torus, boards); cw != 2 || ch != 2 {
+		t.Errorf("Grid = %dx%d, want 2x2", cw, ch)
+	}
+	if n := cab.Cabinets(torus, boards); n != 4 {
+		t.Errorf("Cabinets = %d, want 4", n)
+	}
+	for _, tc := range []struct {
+		c            Coord
+		wantX, wantY int
+	}{
+		{Coord{0, 0}, 0, 0}, {Coord{3, 3}, 0, 0},
+		{Coord{4, 0}, 1, 0}, {Coord{0, 4}, 0, 1}, {Coord{7, 7}, 1, 1},
+	} {
+		if cx, cy := cab.CabinetOf(boards, tc.c); cx != tc.wantX || cy != tc.wantY {
+			t.Errorf("CabinetOf(%v) = (%d,%d), want (%d,%d)", tc.c, cx, cy, tc.wantX, tc.wantY)
+		}
+	}
+}
+
+// TestCabinetCrosses pins the third-level link classification: crossing
+// a cabinet edge is crossing the tile composed of cabinet x board, with
+// torus wrap links always crossing (the wrap is machine-room cabling
+// between edge cabinets).
+func TestCabinetCrosses(t *testing.T) {
+	boards := BoardGeometry{W: 2, H: 2}
+	cab := CabinetGeometry{W: 2, H: 2} // 4x4-chip cabinets on an 8x8 torus
+	for _, tc := range []struct {
+		c    Coord
+		d    Dir
+		want bool
+	}{
+		{Coord{1, 1}, East, false},     // interior of cabinet (0,0)
+		{Coord{3, 1}, East, true},      // over the x=4 cabinet edge
+		{Coord{3, 1}, West, false},     // away from the edge
+		{Coord{1, 3}, North, true},     // over the y=4 cabinet edge
+		{Coord{3, 3}, NorthEast, true}, // diagonal over the corner
+		{Coord{7, 1}, East, true},      // torus wrap: cabled
+		{Coord{1, 0}, South, true},     // torus wrap the other way
+		{Coord{2, 1}, East, false},     // board edge inside the cabinet
+	} {
+		if got := cab.Crosses(boards, tc.c, tc.d); got != tc.want {
+			t.Errorf("Crosses(%v, %v) = %v, want %v", tc.c, tc.d, got, tc.want)
+		}
+	}
+	// The zero cabinet geometry never crosses: no third level.
+	if (CabinetGeometry{}).Crosses(boards, Coord{3, 1}, East) {
+		t.Error("zero cabinet geometry reported a crossing")
+	}
+}
+
+// TestNewCabinetsAligned pins the Cabinets geometry's defining property:
+// every boundary link crosses a cabinet edge, for every reachable shard
+// count — entitling the partition to the cabinet-class lookahead.
+func TestNewCabinetsAligned(t *testing.T) {
+	torus := MustTorus(8, 8)
+	boards := BoardGeometry{W: 2, H: 2}
+	cab := CabinetGeometry{W: 1, H: 2} // 4x2 cabinet grid
+	for shards := 1; shards <= 8; shards++ {
+		p, err := NewCabinets(torus, boards, cab, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Geometry() != Cabinets {
+			t.Fatalf("geometry = %v", p.Geometry())
+		}
+		if p.Boards() != boards || p.Cabinets() != cab {
+			t.Fatalf("tilings = %v/%v, want %v/%v", p.Boards(), p.Cabinets(), boards, cab)
+		}
+		onBoard, boardCut, cabCut := p.CutComposition(boards, cab)
+		if onBoard != 0 || boardCut != 0 {
+			t.Errorf("shards=%d: %d on-board + %d board links in a cabinet-aligned cut",
+				shards, onBoard, boardCut)
+		}
+		if p.Shards() > 1 && cabCut == 0 {
+			t.Errorf("shards=%d: multi-shard partition with an empty cut", shards)
+		}
+		if cabCut != p.CutLinks() {
+			t.Errorf("shards=%d: composition %d+%d+%d != CutLinks %d",
+				shards, onBoard, boardCut, cabCut, p.CutLinks())
+		}
+		// Chips in one cabinet share a shard.
+		tile := cab.ChipTile(boards)
+		for i := 0; i < torus.Size(); i++ {
+			c := torus.CoordOf(i)
+			base := Coord{X: c.X - c.X%tile.W, Y: c.Y - c.Y%tile.H}
+			if p.Shard(c) != p.Shard(base) {
+				t.Fatalf("shards=%d: cabinet split across shards at %v", shards, c)
+			}
+		}
+	}
+}
+
+// TestNewCabinetsClamps pins the granularity: shard count clamps to the
+// cabinet count, and untileable geometries error.
+func TestNewCabinetsClamps(t *testing.T) {
+	torus := MustTorus(8, 8)
+	boards := BoardGeometry{W: 4, H: 4}
+	p, err := NewCabinets(torus, boards, CabinetGeometry{W: 1, H: 1}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != 4 { // only 4 cabinets exist
+		t.Errorf("Shards() = %d, want 4 (one per cabinet)", p.Shards())
+	}
+	if _, err := NewCabinets(torus, boards, CabinetGeometry{W: 2, H: 3}, 2); err == nil {
+		t.Error("untileable cabinet geometry accepted")
+	}
+	if _, err := NewCabinets(torus, BoardGeometry{W: 3, H: 2}, CabinetGeometry{W: 1, H: 1}, 2); err == nil {
+		t.Error("untileable board geometry accepted")
+	}
+}
+
+// TestCutCompositionThreeLevels checks the three-way classification of a
+// chip-granular cut: a cabinet crossing is always also a board crossing
+// and must be counted exactly once, in the cabinet bucket.
+func TestCutCompositionThreeLevels(t *testing.T) {
+	torus := MustTorus(8, 8)
+	boards := BoardGeometry{W: 4, H: 2} // 2x4 board grid
+	cab := CabinetGeometry{W: 2, H: 2}  // one 8x4-chip cabinet row pair
+
+	// One-chip-wide bands: boundaries at every y, cutting board interiors
+	// (y=1,3,5,7 edges), board edges inside a cabinet (y=2,6) and the
+	// cabinet edge (y=4, plus the wrap at y=0).
+	p := NewBands(torus, 8)
+	on, board, cabCut := p.CutComposition(boards, cab)
+	if on == 0 || board == 0 || cabCut == 0 {
+		t.Fatalf("composition %d+%d+%d: want all three classes present", on, board, cabCut)
+	}
+	if on+board+cabCut != p.CutLinks() {
+		t.Errorf("composition %d+%d+%d != CutLinks %d", on, board, cabCut, p.CutLinks())
+	}
+
+	// A zero cabinet geometry folds the third bucket into the second.
+	on2, board2, cab2 := p.CutComposition(boards, CabinetGeometry{})
+	if cab2 != 0 || on2 != on || board2 != board+cabCut {
+		t.Errorf("no-cabinet composition %d+%d+%d, want %d+%d+0", on2, board2, cab2, on, board+cabCut)
+	}
+}

@@ -29,10 +29,17 @@ const (
 	// latency is the slow links' — at the price of shard granularity
 	// limited to whole boards.
 	Boards
+	// Cabinets tiles the torus with an r×c grid of whole cabinets
+	// (CabinetGeometry over a BoardGeometry), so every shard boundary
+	// coincides with a cabinet edge and every cut link is a
+	// cabinet-to-cabinet cable — the slowest class in the hierarchy,
+	// and therefore the widest conservative lookahead, at the price of
+	// shard granularity limited to whole cabinets.
+	Cabinets
 )
 
 // String names the geometry as it appears in configuration ("bands",
-// "blocks", "boards").
+// "blocks", "boards", "cabinets").
 func (g Geometry) String() string {
 	switch g {
 	case Bands:
@@ -41,6 +48,8 @@ func (g Geometry) String() string {
 		return "blocks"
 	case Boards:
 		return "boards"
+	case Cabinets:
+		return "cabinets"
 	}
 	return "geometry(?)"
 }
@@ -61,7 +70,8 @@ type BoundaryLink struct {
 type Partition struct {
 	t        Torus
 	geom     Geometry
-	boards   BoardGeometry // cell size of the Boards geometry; zero otherwise
+	boards   BoardGeometry   // board tiling of the Boards/Cabinets geometries; zero otherwise
+	cabinets CabinetGeometry // cabinet tiling of the Cabinets geometry; zero otherwise
 	shards   int
 	rows     int   // block-grid rows (Blocks2D; bands-by-row have rows=shards)
 	cols     int   // block-grid columns
@@ -176,6 +186,47 @@ func NewBoards(t Torus, g BoardGeometry, shards int) (Partition, error) {
 	return best, nil
 }
 
+// NewCabinets decomposes t into at most shards groups of whole
+// cab-sized cabinets of g-sized boards, so that every shard boundary
+// runs along cabinet edges and the cut set contains only
+// cabinet-to-cabinet links. The cabinet grid is split with the same
+// minimum-cut r×c search Boards uses, at cabinet granularity; the
+// effective shard count is the largest s <= shards that factorises
+// within the cabinet grid, clamping to the cabinet count. It errors
+// when cab does not tile the board grid of t.
+func NewCabinets(t Torus, g BoardGeometry, cab CabinetGeometry, shards int) (Partition, error) {
+	if err := cab.Validate(t, g); err != nil {
+		return Partition{}, err
+	}
+	cw, ch := cab.Grid(t, g)
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > cw*ch {
+		shards = cw * ch
+	}
+	best := Partition{}
+	found := false
+	for s := shards; s >= 1 && !found; s-- {
+		for r := 1; r <= s && r <= ch; r++ {
+			if s%r != 0 {
+				continue
+			}
+			c := s / r
+			if c > cw {
+				continue
+			}
+			cand := Partition{t: t, geom: Cabinets, boards: g, cabinets: cab, shards: s, rows: r, cols: c}
+			cand.build()
+			if !found || cand.betterGridThan(best) {
+				best = cand
+				found = true
+			}
+		}
+	}
+	return best, nil
+}
+
 // betterGridThan orders candidate grids with the same shard count:
 // fewest cut links first, then squarest (smallest |rows-cols|), then
 // more rows — a total, deterministic order.
@@ -199,9 +250,14 @@ func (p Partition) betterGridThan(q Partition) bool {
 func (p *Partition) build() {
 	extW, extH := p.t.W, p.t.H
 	cell := func(c Coord) (x, y int) { return c.X, c.Y }
-	if p.geom == Boards {
+	switch p.geom {
+	case Boards:
 		extW, extH = p.boards.Grid(p.t)
 		cell = func(c Coord) (x, y int) { return p.boards.BoardOf(c) }
+	case Cabinets:
+		tile := p.cabinets.ChipTile(p.boards)
+		extW, extH = tile.Grid(p.t)
+		cell = func(c Coord) (x, y int) { return tile.BoardOf(c) }
 	}
 	rowOf := bandOf(extH, p.rows)
 	colOf := bandOf(extW, p.cols)
@@ -277,9 +333,13 @@ func (p Partition) BoundaryLinks() []BoundaryLink { return p.boundary }
 // Blocks2D minimises.
 func (p Partition) CutLinks() int { return len(p.boundary) }
 
-// Boards reports the board tiling the Boards geometry banded over; it
-// is zero for chip-granular geometries.
+// Boards reports the board tiling the Boards (or Cabinets) geometry
+// banded over; it is zero for chip-granular geometries.
 func (p Partition) Boards() BoardGeometry { return p.boards }
+
+// Cabinets reports the cabinet tiling the Cabinets geometry banded
+// over; it is zero for every other geometry.
+func (p Partition) Cabinets() CabinetGeometry { return p.cabinets }
 
 // Equal reports whether two partitions assign every chip to the same
 // shard — the test a runtime re-partitioner uses to recognise a no-op
@@ -311,20 +371,28 @@ func (p Partition) Diff(q Partition) (moved, cutDelta int) {
 	return moved, q.CutLinks() - p.CutLinks()
 }
 
-// CutComposition classifies the boundary links under board tiling g:
-// onBoard counts cut links whose endpoints share a board (short PCB
-// traces), boardCut those crossing a board edge (cabled board-to-board
-// interconnect). A zero g classes every link as on-board. A Boards
-// partition built from the same g always reports onBoard == 0 — its
-// shard boundaries are board edges by construction — which is what
-// entitles it to the slow links' wider conservative lookahead.
-func (p Partition) CutComposition(g BoardGeometry) (onBoard, boardCut int) {
+// CutComposition classifies the boundary links under board tiling g and
+// cabinet tiling cab: onBoard counts cut links whose endpoints share a
+// board (short PCB traces), boardCut those crossing a board edge but
+// staying inside one cabinet (board-to-board cables), cabinetCut those
+// leaving the cabinet (machine-room cabling). A cabinet crossing is
+// always also a board crossing, so the three buckets partition the cut.
+// A zero g classes every link as on-board; a zero cab classes every
+// board crossing as board-to-board. A Boards partition built from the
+// same g always reports onBoard == 0, and a Cabinets partition built
+// from the same (g, cab) additionally reports boardCut == 0 — its shard
+// boundaries are cabinet edges by construction — which is what entitles
+// each to its level's wider conservative lookahead.
+func (p Partition) CutComposition(g BoardGeometry, cab CabinetGeometry) (onBoard, boardCut, cabinetCut int) {
 	for _, bl := range p.boundary {
-		if g.Crosses(bl.From, bl.Dir) {
+		switch {
+		case cab.Crosses(g, bl.From, bl.Dir):
+			cabinetCut++
+		case g.Crosses(bl.From, bl.Dir):
 			boardCut++
-		} else {
+		default:
 			onBoard++
 		}
 	}
-	return onBoard, boardCut
+	return onBoard, boardCut, cabinetCut
 }

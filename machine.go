@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"spinngo/internal/boot"
 	"spinngo/internal/chip"
@@ -82,6 +84,22 @@ type MachineConfig struct {
 	// BoardLinkUniform to reuse the on-board parameters (hierarchy
 	// without PHY heterogeneity, the ablation). Requires Boards.
 	BoardLinkParams string
+	// Cabinets is the cabinet tiling of the board grid in boards per
+	// cabinet as "WxH" (e.g. "2x2" racks four boards to a cabinet). ""
+	// means no third packaging level. Requires Boards; the cabinets must
+	// tile the board grid exactly. When set, links crossing a cabinet
+	// edge (including torus wrap links, cabled between edge cabinets)
+	// use the cabinet-to-cabinet PHY parameters — the slowest, costliest
+	// wires in the machine — and the PartitionCabinets strategy becomes
+	// available, whose cabinet-aligned cuts earn the widest lookahead of
+	// all.
+	Cabinets string
+	// CabinetLinkParams selects the cabinet-to-cabinet PHY preset: "" or
+	// CabinetLinkSlow for the long-cable defaults (the realistic model),
+	// or CabinetLinkUniform to reuse the board-to-board parameters (a
+	// third level without extra PHY heterogeneity, the ablation).
+	// Requires Cabinets.
+	CabinetLinkParams string
 	// Repartition selects the runtime re-partitioning policy: "" or
 	// RepartitionOff freezes the construction-time partition (the
 	// historical behaviour), RepartitionAuto re-runs the geometry/shard
@@ -125,16 +143,23 @@ type MachineConfig struct {
 
 // Partition geometry names accepted by MachineConfig.Partition.
 const (
-	PartitionAuto   = "auto"
-	PartitionBands  = "bands"
-	PartitionBlocks = "blocks"
-	PartitionBoards = "boards"
+	PartitionAuto     = "auto"
+	PartitionBands    = "bands"
+	PartitionBlocks   = "blocks"
+	PartitionBoards   = "boards"
+	PartitionCabinets = "cabinets"
 )
 
 // Board-to-board link presets accepted by MachineConfig.BoardLinkParams.
 const (
 	BoardLinkSlow    = "slow"
 	BoardLinkUniform = "uniform"
+)
+
+// Cabinet link presets accepted by MachineConfig.CabinetLinkParams.
+const (
+	CabinetLinkSlow    = "slow"
+	CabinetLinkUniform = "uniform"
 )
 
 // Re-partitioning policies accepted by MachineConfig.Repartition.
@@ -179,10 +204,11 @@ func (c MachineConfig) Validate() error {
 			c.Workers, c.Width, c.Height, max)
 	}
 	switch c.Partition {
-	case "", PartitionAuto, PartitionBands, PartitionBlocks, PartitionBoards:
+	case "", PartitionAuto, PartitionBands, PartitionBlocks, PartitionBoards, PartitionCabinets:
 	default:
-		return fmt.Errorf("spinngo: unknown Partition %q (want %q, %q, %q or %q)",
-			c.Partition, PartitionAuto, PartitionBands, PartitionBlocks, PartitionBoards)
+		return fmt.Errorf("spinngo: unknown Partition %q (want %q, %q, %q, %q or %q)",
+			c.Partition, PartitionAuto, PartitionBands, PartitionBlocks, PartitionBoards,
+			PartitionCabinets)
 	}
 	if c.Boards != "" {
 		bg, err := topo.ParseBoardGeometry(c.Boards)
@@ -206,6 +232,32 @@ func (c MachineConfig) Validate() error {
 	default:
 		return fmt.Errorf("spinngo: unknown BoardLinkParams %q (want %q or %q)",
 			c.BoardLinkParams, BoardLinkSlow, BoardLinkUniform)
+	}
+	if c.Cabinets != "" {
+		if c.Boards == "" {
+			return fmt.Errorf("spinngo: Cabinets requires Boards (the board tiling, e.g. \"8x6\")")
+		}
+		cg, err := topo.ParseCabinetGeometry(c.Cabinets)
+		if err != nil {
+			return fmt.Errorf("spinngo: bad Cabinets: %v", err)
+		}
+		if err := cg.Validate(topo.MustTorus(c.Width, c.Height), c.boardGeometry()); err != nil {
+			return fmt.Errorf("spinngo: bad Cabinets: %v", err)
+		}
+	} else {
+		if c.Partition == PartitionCabinets {
+			return fmt.Errorf("spinngo: Partition %q requires Cabinets (the cabinet tiling, e.g. \"2x2\")",
+				PartitionCabinets)
+		}
+		if c.CabinetLinkParams != "" {
+			return fmt.Errorf("spinngo: CabinetLinkParams %q requires Cabinets", c.CabinetLinkParams)
+		}
+	}
+	switch c.CabinetLinkParams {
+	case "", CabinetLinkSlow, CabinetLinkUniform:
+	default:
+		return fmt.Errorf("spinngo: unknown CabinetLinkParams %q (want %q or %q)",
+			c.CabinetLinkParams, CabinetLinkSlow, CabinetLinkUniform)
 	}
 	switch c.Repartition {
 	case "", RepartitionOff, RepartitionAuto:
@@ -263,6 +315,20 @@ func (c MachineConfig) boardGeometry() topo.BoardGeometry {
 	return bg
 }
 
+// cabinetGeometry resolves the configured cabinet tiling; zero when no
+// third packaging level is configured. Valid only after Validate has
+// accepted the config.
+func (c MachineConfig) cabinetGeometry() topo.CabinetGeometry {
+	if c.Cabinets == "" {
+		return topo.CabinetGeometry{}
+	}
+	cg, err := topo.ParseCabinetGeometry(c.Cabinets)
+	if err != nil {
+		panic(err) // Validate accepted it
+	}
+	return cg
+}
+
 // choosePartition resolves the configured geometry and worker count
 // into a concrete partition, and reports whether the engine should run
 // with adaptive worker selection (automatic geometry AND automatic
@@ -290,6 +356,12 @@ func choosePartition(cfg MachineConfig, torus topo.Torus, params router.Params) 
 			panic(err) // Validate accepted the tiling
 		}
 		return part, false
+	case PartitionCabinets:
+		part, err := topo.NewCabinets(torus, params.Boards, params.Cabinets, workers)
+		if err != nil {
+			panic(err) // Validate accepted the tiling
+		}
+		return part, false
 	}
 	// Automatic geometry: whichever strategy reaches the requested
 	// parallelism; at equal shard counts the wider lookahead wins (on a
@@ -301,6 +373,11 @@ func choosePartition(cfg MachineConfig, torus topo.Torus, params router.Params) 
 	if params.Heterogeneous() {
 		if boards, err := topo.NewBoards(torus, params.Boards, workers); err == nil {
 			candidates = append(candidates, boards)
+		}
+	}
+	if params.HasCabinets() {
+		if cab, err := topo.NewCabinets(torus, params.Boards, params.Cabinets, workers); err == nil {
+			candidates = append(candidates, cab)
 		}
 	}
 	best := candidates[0]
@@ -354,6 +431,62 @@ type chipTallies struct {
 	_                 [8]uint64 // keep neighbouring chips off each other's cache lines
 }
 
+// Chunk sizing for the lazily-materialised per-chip stores (tallies,
+// activity counters): 64 chips to a chunk, matching the fabric's node
+// arena, so an idle region of a large torus costs one nil pointer per
+// 64 chips instead of dense state.
+const (
+	chipChunkBits = 6
+	chipChunkSize = 1 << chipChunkBits
+	chipChunkMask = chipChunkSize - 1
+)
+
+// chunked is a fixed-index array whose storage materialises chunk by
+// chunk on first touch. The entry for a chip is only ever written by
+// the shard that owns the chip, but chips of different shards share
+// chunks, so chunk creation is atomic-pointer published under a mutex —
+// the same double-checked pattern the fabric uses for its nodes.
+type chunked[T any] struct {
+	mu     sync.Mutex
+	chunks []atomic.Pointer[[chipChunkSize]T]
+}
+
+func newChunked[T any](n int) chunked[T] {
+	return chunked[T]{chunks: make([]atomic.Pointer[[chipChunkSize]T], (n+chipChunkMask)>>chipChunkBits)}
+}
+
+// at returns the entry at index i, materialising its chunk on first
+// touch.
+func (s *chunked[T]) at(i int) *T {
+	ci := i >> chipChunkBits
+	c := s.chunks[ci].Load()
+	if c == nil {
+		s.mu.Lock()
+		if c = s.chunks[ci].Load(); c == nil {
+			c = new([chipChunkSize]T)
+			s.chunks[ci].Store(c)
+		}
+		s.mu.Unlock()
+	}
+	return &c[i&chipChunkMask]
+}
+
+// each visits every materialised entry in index order — untouched
+// chunks hold only zero values, which every aggregation here treats as
+// absent, so skipping them is exact.
+func (s *chunked[T]) each(fn func(i int, v *T)) {
+	for ci := range s.chunks {
+		c := s.chunks[ci].Load()
+		if c == nil {
+			continue
+		}
+		base := ci << chipChunkBits
+		for j := range c {
+			fn(base+j, &c[j])
+		}
+	}
+}
+
 // Machine is a simulated SpiNNaker machine. The torus is partitioned
 // into contiguous shards, each advanced by its own deterministic event
 // engine; shards synchronise only at lookahead-window barriers bounded
@@ -389,7 +522,7 @@ type Machine struct {
 	// gives a deterministic order regardless of migration timing.
 	fragUnits [][]*unit
 
-	tallies []chipTallies
+	tallies chunked[chipTallies]
 	bioMS   uint64
 
 	// Runtime re-partitioning state. baseWorkers is the construction-
@@ -400,7 +533,7 @@ type Machine struct {
 	// storms); lastMigrations detects those storms.
 	autoRepartition   bool
 	baseWorkers       int
-	activityAt        []uint64
+	activityAt        chunked[uint64]
 	repartitionUrgent bool
 	lastMigrations    uint64
 	lastWindows       uint64
@@ -442,6 +575,12 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	if cfg.BoardLinkParams == BoardLinkUniform {
 		params.BoardLink = params.Link // hierarchy without heterogeneity
 	}
+	params.Cabinets = cfg.cabinetGeometry()
+	if cfg.CabinetLinkParams == CabinetLinkUniform {
+		// Third level without extra heterogeneity: cabinet cables price
+		// like board cables, so the hierarchy buys no extra lookahead.
+		params.CabinetLink = params.BoardLink
+	}
 	part, adaptive := choosePartition(cfg, torus, params)
 	pe := sim.NewParallel(cfg.Seed, part.Shards(), part.Shards())
 	if cfg.EventQueue != "" {
@@ -469,18 +608,27 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		fab:             fab,
 		hostOrigin:      origin,
 		units:           make(map[topo.Coord]map[int]*unit),
-		tallies:         make([]chipTallies, torus.Size()),
+		tallies:         newChunked[chipTallies](torus.Size()),
 		autoRepartition: cfg.Repartition == RepartitionAuto,
 		baseWorkers:     part.Shards(),
-		activityAt:      make([]uint64, torus.Size()),
+		activityAt:      newChunked[uint64](torus.Size()),
 	}, nil
 }
 
 // tallyAt returns chip c's slice of the run accounting. The index is
 // the chip's torus index — stable across re-partitioning.
 func (m *Machine) tallyAt(c topo.Coord) *chipTallies {
-	return &m.tallies[m.part.Torus().Index(c)]
+	return m.tallies.at(m.part.Torus().Index(c))
 }
+
+// InstantiatedChips reports how many chips have materialised router and
+// accounting state; TorusChips is the torus address space they are
+// drawn from. On an idle large machine the former stays proportional to
+// the touched region while the latter is WxH — the sparse-state win.
+func (m *Machine) InstantiatedChips() int { return m.fab.Instantiated() }
+
+// TorusChips reports the total chip address space (Width x Height).
+func (m *Machine) TorusChips() int { return m.fab.Size() }
 
 // Close releases the machine's persistent worker pool. Optional — an
 // abandoned machine's pool is reclaimed by a finalizer — but callers
@@ -500,10 +648,13 @@ func (m *Machine) Workers() int { return m.part.Shards() }
 // live outside it.
 type SimStats struct {
 	// Geometry is the effective partition geometry ("bands", "blocks",
-	// "boards").
+	// "boards", "cabinets").
 	Geometry string
 	// Boards is the configured board tiling ("none" = uniform fabric).
 	Boards string
+	// Cabinets is the configured cabinet tiling in boards per cabinet
+	// ("none" = no third packaging level).
+	Cabinets string
 	// Shards and Workers are the effective shard count and parallelism
 	// bound; Adaptive reports whether per-window worker selection is on.
 	Shards   int
@@ -511,11 +662,14 @@ type SimStats struct {
 	Adaptive bool
 	// CutLinks counts directed inter-chip links crossing shard
 	// boundaries — the traffic that must pass barrier mailboxes.
-	// CutLinksOnBoard and CutLinksBoard split the cut by link class;
-	// the cut is board-aligned exactly when CutLinksOnBoard is zero.
+	// CutLinksOnBoard, CutLinksBoard and CutLinksCabinet split the cut
+	// by link class; the cut is board-aligned exactly when
+	// CutLinksOnBoard is zero, and cabinet-aligned when only
+	// CutLinksCabinet is non-zero.
 	CutLinks        int
 	CutLinksOnBoard int
 	CutLinksBoard   int
+	CutLinksCabinet int
 	// Lookahead is the achieved cross-shard latency bound: router
 	// pipeline plus minimum frame serialisation over the *actual*
 	// boundary cut. UniformLookahead is the bound a single shared
@@ -561,16 +715,18 @@ type SimStats struct {
 // SimStats snapshots the engine's execution statistics.
 func (m *Machine) SimStats() SimStats {
 	params := m.fab.Params()
-	onBoard, boardCut := m.part.CutComposition(params.Boards)
+	onBoard, boardCut, cabinetCut := m.part.CutComposition(params.Boards, params.Cabinets)
 	return SimStats{
 		Geometry:         m.part.Geometry().String(),
 		Boards:           params.Boards.String(),
+		Cabinets:         params.Cabinets.String(),
 		Shards:           m.pe.Shards(),
 		Workers:          m.pe.Workers(),
 		Adaptive:         m.pe.Adaptive(),
 		CutLinks:         m.part.CutLinks(),
 		CutLinksOnBoard:  onBoard,
 		CutLinksBoard:    boardCut,
+		CutLinksCabinet:  cabinetCut,
 		Lookahead:        m.pe.Lookahead(),
 		UniformLookahead: params.MinHopLatency(),
 		Windows:          m.pe.Windows(),
@@ -628,9 +784,14 @@ func (m *Machine) buildPartition(geometry string, workers int) (topo.Partition, 
 			return topo.Partition{}, fmt.Errorf("spinngo: partition %q requires Boards", PartitionBoards)
 		}
 		return topo.NewBoards(torus, params.Boards, workers)
+	case PartitionCabinets:
+		if !params.HasCabinets() {
+			return topo.Partition{}, fmt.Errorf("spinngo: partition %q requires Cabinets", PartitionCabinets)
+		}
+		return topo.NewCabinets(torus, params.Boards, params.Cabinets, workers)
 	}
-	return topo.Partition{}, fmt.Errorf("spinngo: unknown partition geometry %q (want %q, %q or %q)",
-		geometry, PartitionBands, PartitionBlocks, PartitionBoards)
+	return topo.Partition{}, fmt.Errorf("spinngo: unknown partition geometry %q (want %q, %q, %q or %q)",
+		geometry, PartitionBands, PartitionBlocks, PartitionBoards, PartitionCabinets)
 }
 
 // Repartition re-shapes the machine's shard decomposition at runtime:
@@ -702,6 +863,11 @@ func (m *Machine) repartitionCandidates() []topo.Partition {
 				add(b)
 			}
 		}
+		if params.HasCabinets() {
+			if cb, err := topo.NewCabinets(torus, params.Boards, params.Cabinets, w); err == nil {
+				add(cb)
+			}
+		}
 	}
 	return cands
 }
@@ -770,26 +936,30 @@ func (m *Machine) maybeRepartition() error {
 		}
 	}
 	var migs uint64
-	for i := range m.tallies {
-		migs += m.tallies[i].migrations
-	}
+	m.tallies.each(func(_ int, t *chipTallies) { migs += t.migrations })
 	urgent := m.repartitionUrgent || migs != m.lastMigrations
 	m.repartitionUrgent = false
 	m.lastMigrations = migs
 	if signal < repartitionMinEvents && !urgent {
 		return nil
 	}
-	if cap(m.actBuf) < len(m.activityAt) {
-		m.actBuf = make([]uint64, len(m.activityAt))
+	size := m.part.Torus().Size()
+	if cap(m.actBuf) < size {
+		m.actBuf = make([]uint64, size)
 	}
-	act := m.actBuf[:len(m.activityAt)]
+	act := m.actBuf[:size]
 	for i := range act {
 		act[i] = 0
 	}
-	for i, n := range m.fab.Nodes() {
+	// Only instantiated chips have domains (and so activity); act is
+	// indexed by torus index, which on a sparse machine is not the
+	// node's position in the Nodes slice.
+	for _, n := range m.fab.Nodes() {
+		i := n.Index()
 		s := n.Domain().Scheduled()
-		act[i] = s - m.activityAt[i]
-		m.activityAt[i] = s
+		last := m.activityAt.at(i)
+		act[i] = s - *last
+		*last = s
 	}
 	// Fold in the pending backlog per chip — the work the next windows
 	// will execute, read cheaply off the calendar queues. A hotspot that
@@ -1087,7 +1257,7 @@ func (m *Machine) Load(model *Model) (*LoadReport, error) {
 	// on the destination chip's shard, so it may only touch that
 	// shard's tally slice and the chip's own unit.
 	m.fab.OnDeliverMC = func(n *router.Node, coreSlot int, pkt packet.Packet, lat sim.Time) {
-		m.tallies[n.Index()].latencies.Add(lat)
+		m.tallies.at(n.Index()).latencies.Add(lat)
 		if chipUnits := m.units[n.Coord]; chipUnits != nil {
 			if u := chipUnits[coreSlot]; u != nil {
 				u.core.PostPacket(pkt)

@@ -37,16 +37,20 @@ type RunReport struct {
 	Instructions uint64
 	// EnergyJ prices the run with the default accounting model.
 	EnergyJ float64
-	// WireTransitionsOnBoard and WireTransitionsBoard count link wire
-	// transitions by class; on a uniform fabric (no Boards configured)
-	// the board count is zero.
+	// WireTransitionsOnBoard, WireTransitionsBoard and
+	// WireTransitionsCabinet count link wire transitions by class; on a
+	// uniform fabric (no Boards configured) the board count is zero, and
+	// without a cabinet hierarchy the cabinet count is zero.
 	WireTransitionsOnBoard uint64
 	WireTransitionsBoard   uint64
-	// WireEnergyOnBoardJ and WireEnergyBoardJ split the link share of
-	// EnergyJ by class: board-to-board transitions cost several times an
-	// on-board trace, so a few cabled hops can dominate the wire budget.
+	WireTransitionsCabinet uint64
+	// WireEnergyOnBoardJ, WireEnergyBoardJ and WireEnergyCabinetJ split
+	// the link share of EnergyJ by class: board-to-board transitions
+	// cost several times an on-board trace, and cabinet cables several
+	// times again, so a few long hops can dominate the wire budget.
 	WireEnergyOnBoardJ float64
 	WireEnergyBoardJ   float64
+	WireEnergyCabinetJ float64
 	// MeanPowerW is the average machine power over the run.
 	MeanPowerW float64
 	// MIPSPerWatt is delivered instruction throughput per watt.
@@ -72,13 +76,12 @@ type RunReport struct {
 func (m *Machine) report() *RunReport {
 	var lat sim.TimeStats
 	var writeBacks, migrations, migrationFailures uint64
-	for i := range m.tallies {
-		t := &m.tallies[i]
+	m.tallies.each(func(_ int, t *chipTallies) {
 		lat.Merge(t.latencies)
 		writeBacks += t.writeBacks
 		migrations += t.migrations
 		migrationFailures += t.migrationFailures
-	}
+	})
 	r := &RunReport{
 		BioTimeMS:            m.bioMS,
 		PacketsDelivered:     m.fab.DeliveredMC(),
@@ -125,6 +128,8 @@ func (m *Machine) report() *RunReport {
 		uint64(params.ClassParams(phy.OnBoard).FrameCost(5).Transitions)
 	act.WireTransitionsBoard = traversals[phy.BoardToBoard] *
 		uint64(params.ClassParams(phy.BoardToBoard).FrameCost(5).Transitions)
+	act.WireTransitionsCabinet = traversals[phy.CabinetToCabinet] *
+		uint64(params.ClassParams(phy.CabinetToCabinet).FrameCost(5).Transitions)
 	// SDRAM traffic from every chip.
 	for _, n := range m.fab.Nodes() {
 		if m.boot != nil && m.boot.Alive(n.Coord) {
@@ -137,7 +142,8 @@ func (m *Machine) report() *RunReport {
 	r.MIPSPerWatt = acc.EffectiveMIPSPerWatt(act)
 	r.WireTransitionsOnBoard = act.WireTransitions
 	r.WireTransitionsBoard = act.WireTransitionsBoard
-	r.WireEnergyOnBoardJ, r.WireEnergyBoardJ = acc.WireJoules(act)
+	r.WireTransitionsCabinet = act.WireTransitionsCabinet
+	r.WireEnergyOnBoardJ, r.WireEnergyBoardJ, r.WireEnergyCabinetJ = acc.WireJoules(act)
 	return r
 }
 
@@ -157,6 +163,9 @@ func (r *RunReport) String() string {
 	if r.WireTransitionsBoard > 0 {
 		fmt.Fprintf(&b, "wire energy:     %.4g J on-board + %.4g J board-to-board\n",
 			r.WireEnergyOnBoardJ, r.WireEnergyBoardJ)
+	}
+	if r.WireTransitionsCabinet > 0 {
+		fmt.Fprintf(&b, "cabinet energy:  %.4g J cabinet-to-cabinet\n", r.WireEnergyCabinetJ)
 	}
 	return b.String()
 }

@@ -9,6 +9,7 @@ import (
 	"spinngo/internal/mapping"
 	"spinngo/internal/neural"
 	"spinngo/internal/packet"
+	"spinngo/internal/router"
 	"spinngo/internal/sim"
 	"spinngo/internal/snap"
 	"spinngo/internal/topo"
@@ -22,7 +23,12 @@ const (
 	// SnapshotVersion is the current on-disk snapshot format version.
 	// v2: per-link freeAt/draining pacing state replaced the busy flag,
 	// and "fab.txdrain" replaced the per-launch "fab.txdone" events.
-	SnapshotVersion = 2
+	// v3: per-chip sections (domain sequences, node states, SDRAM/DMA)
+	// are framed as index extents over the instantiated chips, chip
+	// tallies as non-zero entries, so a sparse machine's untouched
+	// regions cost nothing on disk; the config block gains the Cabinets
+	// and CabinetLinkParams fields of the third packaging level.
+	SnapshotVersion = 3
 )
 
 // Snapshot serialises the machine's complete state — pending event heaps
@@ -65,21 +71,28 @@ func (m *Machine) Snapshot() ([]byte, error) {
 	w.U64(m.pe.AnonSeq())
 
 	nodes := m.fab.Nodes()
-	w.Len(len(nodes))
-	for _, n := range nodes {
+	encNodeSection(&w, nodes, func(n *router.Node) {
 		w.U64(n.Domain().Scheduled())
-	}
+	})
 
-	w.Len(len(m.tallies))
-	for i := range m.tallies {
-		t := &m.tallies[i]
+	// Chip tallies serialise as their non-zero entries — a canonical
+	// form independent of which chunks happen to have materialised, so
+	// a restored machine re-snapshots byte-identically.
+	var tallyIdx []int
+	m.tallies.each(func(i int, t *chipTallies) {
+		if *t != (chipTallies{}) {
+			tallyIdx = append(tallyIdx, i)
+		}
+	})
+	encIndexExtents(&w, tallyIdx, func(i int) {
+		t := m.tallies.at(i)
 		w.U64(t.latencies.N)
 		w.I64(int64(t.latencies.Sum))
 		w.I64(int64(t.latencies.Max))
 		w.U64(t.writeBacks)
 		w.U64(t.migrations)
 		w.U64(t.migrationFailures)
-	}
+	})
 
 	w.Len(len(m.fragUnits))
 	for fragIdx, gens := range m.fragUnits {
@@ -147,11 +160,11 @@ func (m *Machine) Snapshot() ([]byte, error) {
 		}
 	}
 
-	for _, n := range nodes {
+	encNodeSection(&w, nodes, func(n *router.Node) {
 		n.EncodeState(&w)
-	}
+	})
 
-	for _, n := range nodes {
+	encNodeSection(&w, nodes, func(n *router.Node) {
 		ch := m.boot.Chip(n.Coord)
 		encSDRAM(&w, ch.SDRAM.ExportState())
 		slots := m.appCoreSlots(n.Coord)
@@ -159,7 +172,7 @@ func (m *Machine) Snapshot() ([]byte, error) {
 		for _, hw := range slots {
 			encDMA(&w, hw.DMA.ExportState())
 		}
-	}
+	})
 
 	m.host.EncodeState(&w)
 
@@ -249,26 +262,26 @@ func restore(data []byte, override func(*MachineConfig)) (*Machine, error) {
 		return nil, fmt.Errorf("spinngo: restore rebuild diverged: load ended at %v, snapshot recorded %v (was the machine altered before loading?)", m.epoch, epoch)
 	}
 
-	nodes := m.fab.Nodes()
-	if n := r.Len(); r.Err() != nil || n != len(nodes) {
-		return nil, fmt.Errorf("spinngo: snapshot has %d domains, machine has %d", n, len(nodes))
-	}
-	domSeqs := make([]uint64, len(nodes))
-	for i := range domSeqs {
+	size := m.fab.Size()
+	domSeqs := make([]uint64, size)
+	if err := decIndexExtents(r, size, func(i int) error {
 		domSeqs[i] = r.U64()
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("spinngo: domain sequences: %w", err)
 	}
 
-	if n := r.Len(); r.Err() != nil || n != len(m.tallies) {
-		return nil, fmt.Errorf("spinngo: snapshot has %d chip tallies, machine has %d", n, len(m.tallies))
-	}
-	for i := range m.tallies {
-		t := &m.tallies[i]
+	if err := decIndexExtents(r, size, func(i int) error {
+		t := m.tallies.at(i)
 		t.latencies.N = r.U64()
 		t.latencies.Sum = sim.Time(r.I64())
 		t.latencies.Max = sim.Time(r.I64())
 		t.writeBacks = r.U64()
 		t.migrations = r.U64()
 		t.migrationFailures = r.U64()
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("spinngo: chip tallies: %w", err)
 	}
 
 	// Phase 2 — unit history replay and overlay. Generations ≥ 1 are
@@ -349,26 +362,36 @@ func restore(data []byte, override func(*MachineConfig)) (*Machine, error) {
 		return nil, fmt.Errorf("spinngo: corrupt unit history: %w", err)
 	}
 
-	// Phase 3 — overlay fabric, memory and host state.
-	for _, n := range nodes {
+	// Phase 3 — overlay fabric, memory and host state. A chip with
+	// recorded state materialises on demand if the rebuild left it
+	// untouched.
+	if err := decIndexExtents(r, size, func(i int) error {
+		n := m.fab.NodeAt(i)
 		if err := n.DecodeState(r); err != nil {
-			return nil, fmt.Errorf("spinngo: node %v: %w", n.Coord, err)
+			return fmt.Errorf("node %v: %w", n.Coord, err)
 		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("spinngo: %w", err)
 	}
-	for _, n := range nodes {
+	if err := decIndexExtents(r, size, func(i int) error {
+		n := m.fab.NodeAt(i)
 		ch := m.boot.Chip(n.Coord)
 		ch.SDRAM.RestoreState(decSDRAM(r))
 		slots := m.appCoreSlots(n.Coord)
 		if k := r.Len(); r.Err() != nil || k != len(slots) {
-			return nil, fmt.Errorf("spinngo: chip %v has %d app slots, snapshot %d", n.Coord, len(slots), k)
+			return fmt.Errorf("chip %v has %d app slots, snapshot %d", n.Coord, len(slots), k)
 		}
 		for si, hw := range slots {
 			st := decDMA(r)
 			if err := m.rebindDMAQueue(n.Coord, si, &st); err != nil {
-				return nil, err
+				return err
 			}
 			hw.DMA.RestoreState(st)
 		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("spinngo: %w", err)
 	}
 	if err := m.host.DecodeState(r); err != nil {
 		return nil, fmt.Errorf("spinngo: host state: %w", err)
@@ -403,7 +426,7 @@ func restore(data []byte, override func(*MachineConfig)) (*Machine, error) {
 		if r.Err() != nil {
 			break
 		}
-		if rec.Domain < 0 || int(rec.Domain) >= len(nodes) {
+		if rec.Domain < 0 || int(rec.Domain) >= size {
 			return nil, fmt.Errorf("spinngo: event %d targets domain %d outside the torus", i, rec.Domain)
 		}
 		fn, err := m.snapshotEventFn(rec)
@@ -411,7 +434,7 @@ func restore(data []byte, override func(*MachineConfig)) (*Machine, error) {
 			return nil, fmt.Errorf("spinngo: event %d: %w", i, err)
 		}
 		desc := rec.Desc // re-attach so a second snapshot round-trips
-		nodes[rec.Domain].Domain().Inject(rec.At, rec.Class, rec.K1, rec.K2, &desc, fn)
+		m.fab.NodeAt(int(rec.Domain)).Domain().Inject(rec.At, rec.Class, rec.K1, rec.K2, &desc, fn)
 	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("spinngo: corrupt event section: %w", err)
@@ -421,8 +444,8 @@ func restore(data []byte, override func(*MachineConfig)) (*Machine, error) {
 	}
 
 	// Phase 5 — counters that future scheduling draws from.
-	for i, n := range nodes {
-		n.Domain().RestoreSeq(domSeqs[i])
+	for _, n := range m.fab.Nodes() {
+		n.Domain().RestoreSeq(domSeqs[n.Index()])
 	}
 	m.pe.RestoreAnonSeq(anonSeq)
 	m.pe.RNG().SetState(ctrlRNG)
@@ -580,6 +603,71 @@ func (m *Machine) eventFn(kind string, args []uint64) (func(), error) {
 	}
 }
 
+// ---- extent framing (v3) ----
+
+// encIndexExtents writes an ordered chip-index set as contiguous
+// extents: the extent count, then each extent's start index and length
+// followed by one payload per index. A fully-booted machine writes one
+// extent covering the torus; a sparse machine's untouched regions cost
+// nothing.
+func encIndexExtents(w *snap.Writer, idxs []int, enc func(i int)) {
+	var exts [][2]int // position in idxs, run length
+	for i := 0; i < len(idxs); {
+		j := i + 1
+		for j < len(idxs) && idxs[j] == idxs[j-1]+1 {
+			j++
+		}
+		exts = append(exts, [2]int{i, j - i})
+		i = j
+	}
+	w.Len(len(exts))
+	for _, e := range exts {
+		w.Int(idxs[e[0]])
+		w.Len(e[1])
+		for k := 0; k < e[1]; k++ {
+			enc(idxs[e[0]+k])
+		}
+	}
+}
+
+// encNodeSection writes one per-chip section as index extents over the
+// instantiated chips (nodes is Fabric.Nodes(): index order).
+func encNodeSection(w *snap.Writer, nodes []*router.Node, enc func(n *router.Node)) {
+	idxs := make([]int, len(nodes))
+	for i, n := range nodes {
+		idxs[i] = n.Index()
+	}
+	pos := 0
+	encIndexExtents(w, idxs, func(int) {
+		enc(nodes[pos])
+		pos++
+	})
+}
+
+// decIndexExtents reads a section written by encIndexExtents /
+// encNodeSection, invoking dec once per recorded index.
+func decIndexExtents(r *snap.Reader, size int, dec func(i int) error) error {
+	for e, k := 0, r.Len(); e < k && r.Err() == nil; e++ {
+		start := r.Int()
+		n := r.Len()
+		if r.Err() != nil {
+			break
+		}
+		if start < 0 || n < 0 || start+n > size {
+			return fmt.Errorf("extent [%d,%d) outside the %d-chip torus", start, start+n, size)
+		}
+		for i := start; i < start+n; i++ {
+			if err := dec(i); err != nil {
+				return err
+			}
+			if r.Err() != nil {
+				break
+			}
+		}
+	}
+	return r.Err()
+}
+
 // ---- section codecs ----
 
 func encRNG(w *snap.Writer, st [4]uint64) {
@@ -612,6 +700,8 @@ func encConfig(w *snap.Writer, cfg MachineConfig) {
 	w.U8(uint8(cfg.Placement))
 	w.F64(cfg.CoreFaultProb)
 	w.Int(cfg.MaxAppCoresPerChip)
+	w.String(cfg.Cabinets)
+	w.String(cfg.CabinetLinkParams)
 }
 
 func decConfig(r *snap.Reader) MachineConfig {
@@ -632,6 +722,8 @@ func decConfig(r *snap.Reader) MachineConfig {
 	cfg.Placement = Placement(r.U8())
 	cfg.CoreFaultProb = r.F64()
 	cfg.MaxAppCoresPerChip = r.Int()
+	cfg.Cabinets = r.String()
+	cfg.CabinetLinkParams = r.String()
 	return cfg
 }
 
