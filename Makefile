@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet cover bench bench-workers benchcmp scale-smoke check
+.PHONY: build test race vet cover bench bench-workers benchcmp scale-smoke fuzz check
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,11 @@ vet:
 # host traffic) and the sim/router/benchsweep packages; keep them under
 # the race detector on every change.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/router/ ./internal/benchsweep/
-	$(GO) test -race -run 'TestDeterminism|TestDifferentSeeds|TestBoardLookahead|TestCabinetLookahead|TestRepartition|TestShiftingHotspot|TestBatch|TestFillMem|TestHostOrigin|TestHostTimeout|TestSnapshot' .
+	$(GO) test -race ./internal/sim/ ./internal/router/ ./internal/benchsweep/ ./internal/workload/
+	$(GO) test -race -run 'TestDeterminism|TestDifferentSeeds|TestBoardLookahead|TestCabinetLookahead|TestRepartition|TestShiftingHotspot|TestBatch|TestFillMem|TestHostOrigin|TestHostTimeout|TestSnapshot|TestCampaign|TestFailChip|TestFillRedundancy|TestWorkload' .
 
 # Tier-1 coverage of the engine + host + snapshot-codec packages, gated
-# in CI at the pre-PR-5 baseline (93.0%).
+# in CI at the PR-10 baseline (93.2%).
 cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic \
 		-coverpkg=spinngo/internal/sim,spinngo/internal/host,spinngo/internal/snap \
@@ -33,10 +33,17 @@ cover:
 # Worker/partition/board-hierarchy sweep of the end-to-end machine
 # benchmark (8x8 worker grid plus 8x8/16x16/32x32 bands-vs-blocks-vs-
 # boards comparison plus the workers x GOMAXPROCS scaling sweep plus the
-# shifting-hotspot repartition, host-load and scale scenarios), recorded
-# as JSON for the bench trajectory.
+# shifting-hotspot repartition, host-load, scale and fault-campaign
+# scenarios), recorded as JSON for the bench trajectory.
 bench:
-	$(GO) run ./cmd/benchsweep -out BENCH_PR9.json
+	$(GO) run ./cmd/benchsweep -out BENCH_PR10.json
+
+# A short coverage-guided fuzz pass over the workload/campaign parsers;
+# the seed corpora live in internal/workload/testdata/fuzz. CI runs the
+# same smoke.
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzParseWorkload' -fuzztime 10s ./internal/workload/
+	$(GO) test -run '^$$' -fuzz 'FuzzParseCampaign' -fuzztime 10s ./internal/workload/
 
 # The scale scenario alone: bytes of live heap per chip on idle and
 # booted machines up to a 256x256 torus, plus the achieved lookahead of
@@ -52,8 +59,8 @@ bench-workers:
 
 # Diff two bench trajectory files cell-by-cell; override OLD/NEW to
 # compare any pair, e.g. `make benchcmp OLD=BENCH_PR5.json`.
-OLD ?= BENCH_PR8.json
-NEW ?= BENCH_PR9.json
+OLD ?= BENCH_PR9.json
+NEW ?= BENCH_PR10.json
 benchcmp:
 	$(GO) run ./cmd/benchcmp $(OLD) $(NEW)
 

@@ -8,7 +8,10 @@
 // batched hand-off work targets; old files without the column show
 // "-"). Cells whose spike fingerprint differs are flagged: a changed
 // fingerprint means the workload itself changed, so the timing delta is
-// not a like-for-like claim. With -fail, a mean slowdown beyond
+// not a like-for-like claim. Cells present in only one file are listed
+// as added or removed — in a deterministic order, counted in the
+// summary — so a sweep-grid change is visible, not silent. With -fail,
+// a mean slowdown beyond
 // -threshold percent across comparable cells exits nonzero — the CI
 // regression gate.
 //
@@ -23,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"spinngo/internal/benchsweep"
 )
@@ -105,7 +109,7 @@ func main() {
 		or, ok := olds[k]
 		if !ok {
 			added++
-			fmt.Printf("%-52s %14s %14d %8s  %s\n", k, "-", nr.NsPerOp, "new", ho(or, nr))
+			fmt.Printf("%-52s %14s %14d %8s  %s\n", k, "-", nr.NsPerOp, "added", ho(or, nr))
 			continue
 		}
 		delete(olds, k)
@@ -124,9 +128,19 @@ func main() {
 		sumDelta += delta
 		fmt.Printf("%-52s %14d %14d %+7.1f%%  %s\n", k, or.NsPerOp, nr.NsPerOp, delta, ho(or, nr))
 	}
+	// Cells only the old file has: report them in a deterministic order
+	// (map iteration would shuffle the rows between runs).
+	removedKeys := make([]cellKey, 0, len(olds))
 	for k := range olds {
-		fmt.Printf("%-52s %14s %14s %8s\n", k, "dropped", "-", "")
+		removedKeys = append(removedKeys, k)
 	}
+	sort.Slice(removedKeys, func(i, j int) bool {
+		return removedKeys[i].String() < removedKeys[j].String()
+	})
+	for _, k := range removedKeys {
+		fmt.Printf("%-52s %14d %14s %8s\n", k, olds[k].NsPerOp, "-", "removed")
+	}
+	removed := len(removedKeys)
 
 	if compared == 0 {
 		fmt.Println("no comparable cells (disjoint grids or changed workloads)")
@@ -136,8 +150,8 @@ func main() {
 		return
 	}
 	mean := sumDelta / float64(compared)
-	fmt.Printf("\n%d comparable cells, %d reworked, %d new; mean wall-clock delta %+.1f%% (threshold %+.1f%%)\n",
-		compared, reworked, added, mean, *threshold)
+	fmt.Printf("\n%d comparable cells, %d reworked, %d added, %d removed; mean wall-clock delta %+.1f%% (threshold %+.1f%%)\n",
+		compared, reworked, added, removed, mean, *threshold)
 	if *fail && mean > *threshold {
 		fmt.Fprintf(os.Stderr, "benchcmp: mean slowdown %.1f%% exceeds threshold %.1f%%\n", mean, *threshold)
 		os.Exit(1)

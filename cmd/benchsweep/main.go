@@ -11,16 +11,20 @@
 // pits runtime re-partitioning against every fixed geometry and records
 // the barrier-rate win of re-shaping the partition to the live
 // workload, the host-load scenario, which compares serial host
-// commands with the pipelined batch and the flood-fill bulk write, and
-// the scale scenario, which measures bytes of live heap per chip on
-// idle and booted machines up to 256x256 and the achieved lookahead of
-// each packaging level (uniform, board, cabinet).
+// commands with the pipelined batch and the flood-fill bulk write, the
+// scale scenario, which measures bytes of live heap per chip on idle
+// and booted machines up to 256x256 and the achieved lookahead of each
+// packaging level (uniform, board, cabinet), and the fault-campaign
+// scenario, which runs the storm-campaign conformance workload — link
+// waves, a chip-death storm, a repair and a severed region — across
+// every partition geometry and records what surviving it costs each
+// one.
 //
 // Usage:
 //
-//	benchsweep [-out BENCH_PR9.json] [-hierarchy-only] [-workers-only]
+//	benchsweep [-out BENCH_PR10.json] [-hierarchy-only] [-workers-only]
 //	           [-scaling-only] [-hotspot-only] [-hostload-only]
-//	           [-scale-only] [-quick]
+//	           [-scale-only] [-campaign-only] [-quick]
 //	           [-cpuprofile sweep.cpu.pprof] [-memprofile sweep.mem.pprof]
 package main
 
@@ -36,13 +40,14 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR9.json", "JSON output path ('' = stdout table only)")
+	out := flag.String("out", "BENCH_PR10.json", "JSON output path ('' = stdout table only)")
 	hierOnly := flag.Bool("hierarchy-only", false, "run only the board-hierarchy comparison")
 	workersOnly := flag.Bool("workers-only", false, "run only the 8x8 worker sweep")
 	scalingOnly := flag.Bool("scaling-only", false, "run only the workers x GOMAXPROCS scaling sweep")
 	hotspotOnly := flag.Bool("hotspot-only", false, "run only the shifting-hotspot repartition scenario")
 	hostloadOnly := flag.Bool("hostload-only", false, "run only the host-load (serial vs batch vs flood-fill) scenario")
 	scaleOnly := flag.Bool("scale-only", false, "run only the scale (sparse heap + hierarchy lookahead) scenario")
+	campaignOnly := flag.Bool("campaign-only", false, "run only the fault-campaign (storm-campaign workload) scenario")
 	quick := flag.Bool("quick", false, "one iteration per cell (CI smoke; structural columns exact, timing noisy)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
@@ -59,13 +64,13 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	exclusive := 0
-	for _, f := range []bool{*hierOnly, *workersOnly, *scalingOnly, *hotspotOnly, *hostloadOnly, *scaleOnly} {
+	for _, f := range []bool{*hierOnly, *workersOnly, *scalingOnly, *hotspotOnly, *hostloadOnly, *scaleOnly, *campaignOnly} {
 		if f {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		log.Fatal("-hierarchy-only, -workers-only, -scaling-only, -hotspot-only, -hostload-only and -scale-only are mutually exclusive")
+		log.Fatal("-hierarchy-only, -workers-only, -scaling-only, -hotspot-only, -hostload-only, -scale-only and -campaign-only are mutually exclusive")
 	}
 	// With no -*-only flag every section runs; with one, only it does.
 	want := func(only bool) bool { return exclusive == 0 || only }
@@ -118,6 +123,18 @@ func main() {
 				log.Fatalf("hostload %s: %v", cfg.Mode, err)
 			}
 			fmt.Println(benchsweep.HostLoadRow(r))
+			results = append(results, r)
+		}
+	}
+	if want(*campaignOnly) {
+		fmt.Printf("fault-campaign scenario: the %q workload across partition geometries\n",
+			benchsweep.CampaignWorkload)
+		for _, cfg := range benchsweep.CampaignGrid() {
+			r, err := benchsweep.MeasureCampaign(cfg)
+			if err != nil {
+				log.Fatalf("campaign %s/%d: %v", cfg.Partition, cfg.Workers, err)
+			}
+			fmt.Println(benchsweep.CampaignRow(r))
 			results = append(results, r)
 		}
 	}

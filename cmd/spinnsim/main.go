@@ -11,6 +11,7 @@
 //	         [-partition auto] [-boards WxH] [-boardlink slow]
 //	         [-cabinets WxH] [-cabinetlink slow] [-repartition]
 //	         [-queue wheel] [-snapshot ckpt.snap] [-restore ckpt.snap]
+//	         [-workload storm-campaign] [-workloads]
 //	         [-cpuprofile run.cpu.pprof] [-memprofile run.mem.pprof]
 //
 // -snapshot writes a checkpoint image after the run; -restore resumes
@@ -18,6 +19,12 @@
 // -repartition, -faillink, -raster and -snapshot apply then — the
 // machine, model and seed all come from the image, and any choice of
 // workers/partition yields byte-identical results).
+//
+// -workload runs a declared workload document — a JSON file path, or
+// the name of a built-in registry entry (-workloads lists them). The
+// document pins the machine, network, stimuli, fault campaign and run
+// schedule; only -workers, -partition, -raster and -snapshot apply
+// alongside it, and the execution strategy never changes the results.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"strings"
 
 	"spinngo"
+	"spinngo/internal/workload"
 )
 
 func main() {
@@ -54,6 +62,8 @@ func main() {
 	repartition := flag.Bool("repartition", false, "re-partition at quiescence boundaries when the observed event density warrants it; any setting yields the same results")
 	queue := flag.String("queue", "", "event queue implementation: wheel (default) or heap (debug reference); any choice yields the same results; ignored with -restore")
 	soloThreshold := flag.Int("solothreshold", 0, "adaptive-mode solo bound in events/shard/window (0 = default 16); any value yields the same results")
+	workloadRef := flag.String("workload", "", "run a declared workload: a JSON file path or a registry name (see -workloads)")
+	listWorkloads := flag.Bool("workloads", false, "list the built-in workload registry and exit")
 	snapshotPath := flag.String("snapshot", "", "write a checkpoint image to this file after the run")
 	restorePath := flag.String("restore", "", "resume from a checkpoint image; -workers/-partition pick the execution strategy, everything else comes from the image")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -69,6 +79,26 @@ func main() {
 			log.Fatal(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *listWorkloads {
+		for _, name := range workload.Names() {
+			wl, err := workload.Get(name)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			campaign := ""
+			if wl.Campaign != nil {
+				campaign = fmt.Sprintf(" [campaign: %d events]", len(wl.Campaign.Events))
+			}
+			fmt.Printf("%-18s %dx%d, %dms%s\n    %s\n",
+				name, wl.Machine.Width, wl.Machine.Height, wl.Run.BioMS, campaign, wl.Description)
+		}
+		return
+	}
+	if *workloadRef != "" {
+		runWorkload(*workloadRef, *workers, *partition, *snapshotPath, *raster)
+		return
 	}
 
 	var machine *spinngo.Machine
@@ -222,6 +252,81 @@ func main() {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			log.Fatal(err)
 		}
+	}
+}
+
+// runWorkload resolves, prepares and runs a declared workload document
+// on its own chunk schedule, printing the report, per-population rates,
+// and campaign damage.
+func runWorkload(ref string, workers int, partition, snapshotPath string, raster bool) {
+	var wl *workload.Workload
+	if data, readErr := os.ReadFile(ref); readErr == nil {
+		var err error
+		if wl, err = workload.Parse(data); err != nil {
+			log.Fatalf("%s: %v", ref, err)
+		}
+	} else {
+		var getErr error
+		if wl, getErr = workload.Get(ref); getErr != nil {
+			log.Fatalf("-workload %q: %v; %v (try -workloads)", ref, readErr, getErr)
+		}
+	}
+	// Flags override the document's execution strategy when given; the
+	// strategy never changes the results either way.
+	if workers == 0 {
+		workers = wl.Machine.Workers
+	}
+	if partition == "auto" && wl.Machine.Partition != "" {
+		partition = wl.Machine.Partition
+	}
+	fmt.Printf("workload %q: %s\n", wl.Name, wl.Description)
+	machine, err := spinngo.PrepareWorkloadOn(wl, workers, partition)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer machine.Close()
+	st := machine.SimStats()
+	fmt.Printf("engine: %d %s shards, boards %s, cabinets %s\n",
+		st.Shards, st.Geometry, st.Boards, st.Cabinets)
+	if wl.Campaign != nil {
+		fmt.Printf("campaign armed: %d events (seed %d)\n", len(wl.Campaign.Events), wl.Campaign.Seed)
+	}
+	var rep *spinngo.RunReport
+	for _, n := range spinngo.WorkloadChunks(wl) {
+		if rep, err = machine.Run(n); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println()
+	fmt.Print(rep)
+	var biggest spinngo.Pop
+	biggestN := 0
+	for _, p := range wl.Populations {
+		pop, ok := machine.Pop(p.Name)
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-16s %.1f Hz\n", p.Name+" rate:", machine.MeanRateHz(pop))
+		if pop.Size() > biggestN {
+			biggest, biggestN = pop, pop.Size()
+		}
+	}
+	if dead := machine.DeadChips(); len(dead) > 0 {
+		fmt.Printf("campaign:        %d chips dead, %d alive\n", len(dead), machine.AliveChips())
+	}
+	if snapshotPath != "" {
+		image, err := machine.Snapshot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(snapshotPath, image, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checkpoint:      %d bytes (format v%d) -> %s\n",
+			len(image), spinngo.SnapshotVersion, snapshotPath)
+	}
+	if raster && biggestN > 0 {
+		printRaster(machine, biggest, wl.Run.BioMS)
 	}
 }
 

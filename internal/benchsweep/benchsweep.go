@@ -184,6 +184,9 @@ type Result struct {
 	SpeedupVsW1 float64 `json:"speedup_vs_w1,omitempty"`
 	// Repartitions counts runtime partition swaps (0 for fixed cells).
 	Repartitions uint64 `json:"repartitions,omitempty"`
+	// DeadChips counts chips the campaign scenario's fault script killed
+	// — identical across its cells, per the determinism contract.
+	DeadChips int `json:"dead_chips,omitempty"`
 	// HostTransitions and BytesLoaded are the host-load scenario's
 	// columns: engine stop/start round trips paid and payload bytes
 	// delivered machine-wide.

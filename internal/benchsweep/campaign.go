@@ -1,0 +1,109 @@
+// The fault-campaign scenario: the storm-campaign conformance workload
+// from the registry — link-failure waves, a chip-death storm, a link
+// repair and a severed region on a three-level 8x8 machine — run across
+// partition geometries. Campaign faults ride the canonical event path,
+// so every cell produces the byte-identical RunReport and dead-chip
+// set; the columns isolate what surviving the campaign costs each
+// geometry in wall clock and barriers. The run is chunked on the
+// workload's declared schedule (repairs commit at chunk boundaries —
+// the chunking is part of the experiment).
+
+package benchsweep
+
+import (
+	"fmt"
+	"time"
+
+	"spinngo"
+	wlreg "spinngo/internal/workload"
+)
+
+// CampaignWorkload names the registry document the scenario runs.
+const CampaignWorkload = "storm-campaign"
+
+// CampaignGrid reports the fault-campaign sweep: every partition
+// geometry of the conformance workload's three-level machine, at a
+// worker count each geometry can reach.
+func CampaignGrid() []Config {
+	grid := []Config{
+		{Partition: spinngo.PartitionBands, Workers: 1},
+		{Partition: spinngo.PartitionBands, Workers: 4},
+		{Partition: spinngo.PartitionBlocks, Workers: 4},
+		{Partition: spinngo.PartitionBoards, Workers: 4},
+		{Partition: spinngo.PartitionCabinets, Workers: 4},
+	}
+	for i := range grid {
+		grid[i].Scenario = "campaign"
+	}
+	return grid
+}
+
+// MeasureCampaign runs one fault-campaign cell: the registry workload
+// prepared on the cell's geometry, run on the declared chunk schedule,
+// measured once (the structural columns — spikes, dead chips, windows —
+// derive from the deterministic trajectory and are exact; only wall
+// time is noisy).
+func MeasureCampaign(cfg Config) (Result, error) {
+	wl, err := wlreg.Get(CampaignWorkload)
+	if err != nil {
+		return Result{}, err
+	}
+	// The machine comes from the document; the cell only picks the
+	// execution strategy. Record the document's machine in the config so
+	// the JSON row describes what ran.
+	cfg.Width, cfg.Height = wl.Machine.Width, wl.Machine.Height
+	cfg.Boards, cfg.Cabinets = wl.Machine.Boards, wl.Machine.Cabinets
+	m, err := spinngo.PrepareWorkloadOn(wl, cfg.Workers, cfg.Partition)
+	if err != nil {
+		return Result{}, err
+	}
+	defer m.Close()
+	before := m.SimStats()
+	var rep *spinngo.RunReport
+	start := time.Now()
+	for _, n := range spinngo.WorkloadChunks(wl) {
+		if rep, err = m.Run(n); err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	after := m.SimStats()
+	events := after.Events - before.Events
+	windows := after.Windows - before.Windows
+	handoffs := after.Handoffs - before.Handoffs
+	bioSeconds := float64(wl.Run.BioMS) / 1000
+	r := Result{
+		Config:               cfg,
+		Geometry:             after.Geometry,
+		Shards:               after.Shards,
+		CutLinks:             after.CutLinks,
+		CutOnBoard:           after.CutLinksOnBoard,
+		CutBoard:             after.CutLinksBoard,
+		CutCabinet:           after.CutLinksCabinet,
+		LookaheadNS:          int64(after.Lookahead),
+		UniformLookaheadNS:   int64(after.UniformLookahead),
+		N:                    1,
+		NsPerOp:              elapsed.Nanoseconds(),
+		WindowsPerBioSecond:  float64(windows) / bioSeconds,
+		HandoffsPerBioSecond: float64(handoffs) / bioSeconds,
+		Spikes:               float64(rep.TotalSpikes),
+		Repartitions:         after.Repartitions,
+		DeadChips:            len(m.DeadChips()),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		r.EventsPerSec = float64(events) / s
+	}
+	if windows > 0 {
+		r.EventsPerWindow = float64(events) / float64(windows)
+	}
+	stampHW(&r)
+	return r, nil
+}
+
+// CampaignRow renders one campaign result, leading with the damage the
+// cell survived — identical for every geometry, per the contract.
+func CampaignRow(r Result) string {
+	return fmt.Sprintf("campaign %-8s w=%d shards=%d dead=%d %8.0f win/bios %8.0f ho/bios %12d ns/op %7.0f spikes",
+		r.Partition, r.Workers, r.Shards, r.DeadChips,
+		r.WindowsPerBioSecond, r.HandoffsPerBioSecond, r.NsPerOp, r.Spikes)
+}

@@ -511,3 +511,21 @@ func (c *Controller) Alive(at topo.Coord) bool { return c.nodes[at].alive }
 
 // Rescued reports whether the chip was brought up by a neighbour.
 func (c *Controller) Rescued(at topo.Coord) bool { return c.nodes[at].rescued }
+
+// KillChip records a post-boot chip death (a fault campaign's
+// FailChip): the chip drops out of aliveness checks, so host commands
+// targeting it fail and the flood-fill tree routes around it on its
+// next rebuild. Idempotent; call only at sequential quiescence — the
+// host reads aliveness from inside the event stream.
+func (c *Controller) KillChip(at topo.Coord) { c.nodes[at].alive = false }
+
+// AliveChips counts chips currently alive.
+func (c *Controller) AliveChips() int {
+	n := 0
+	for _, st := range c.nodes {
+		if st.alive {
+			n++
+		}
+	}
+	return n
+}

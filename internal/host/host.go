@@ -122,13 +122,20 @@ type Config struct {
 	ChunkBytes int
 	// Timeout is the per-command deadline. Default DefaultTimeout.
 	Timeout sim.Time
+	// Redundancy is how many copies of each flood-fill chunk a chip
+	// forwards before going quiet — the same fault-tolerance/load-time
+	// trade-off as boot.Config.Redundancy. 1 (the default) forwards only
+	// the first copy; higher values keep bulk loads alive through
+	// campaigns that kill chips or links on the primary flood path, at
+	// proportionally more flood traffic. Default 1.
+	Redundancy int
 }
 
 // DefaultConfig returns 100 Mbit Ethernet with LAN latency, attached at
 // (0,0).
 func DefaultConfig() Config {
 	return Config{EthLatency: 50 * sim.Microsecond, EthBytesPerUS: 12.5,
-		ChunkBytes: 4, Timeout: DefaultTimeout}
+		ChunkBytes: 4, Timeout: DefaultTimeout, Redundancy: 1}
 }
 
 // command tracks one operation. Registration fields (op, target, addr,
@@ -160,7 +167,11 @@ type command struct {
 	timeout  sim.Time
 	resolved bool
 	timedOut bool
-	chips    int // OpFill: chips covered by the flood (partial on timeout)
+	// unreachable marks a command resolved synchronously at launch
+	// because the gateway chip itself is dead — no pipe to serialise
+	// onto, so no timeout is spent discovering it.
+	unreachable bool
+	chips       int // OpFill: chips covered by the flood (partial on timeout)
 	// respRemaining counts response-stream packets still expected at the
 	// gateway; 0 means the header has not arrived yet (the header, which
 	// arrives first, announces the stream length).
@@ -197,11 +208,14 @@ func (c *command) respChunks() int {
 // completion as a tombstone so late duplicate chunks are absorbed
 // without re-storing or re-acknowledging.
 type fillAssembly struct {
-	chunkSeen  []bool
-	chunksLeft int
-	childAcks  int // acknowledged children in the convergecast tree
-	subtree    int // chips covered by the children's aggregated acks
-	acked      bool
+	// chunkCopies counts copies of each chunk accepted so far, saturating
+	// at the configured redundancy: a chip forwards each of the first
+	// Config.Redundancy copies on all six links, then absorbs the rest.
+	chunkCopies []uint8
+	chunksLeft  int
+	childAcks   int // acknowledged children in the convergecast tree
+	subtree     int // chips covered by the children's aggregated acks
+	acked       bool
 }
 
 // Flood-fill wire encoding. Fill chunks travel as nn packets whose key
@@ -293,6 +307,9 @@ func New(eng sim.Scheduler, fab *router.Fabric, ctl *boot.Controller, cfg Config
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.Redundancy <= 0 {
+		cfg.Redundancy = 1
 	}
 	size := fab.Params().Torus.Size()
 	h := &Host{
@@ -449,6 +466,17 @@ func (h *Host) cmd(seq uint32) *command {
 // canonical event order like any completion. Gateway-shard context
 // (sequential, or inside a gateway event).
 func (h *Host) launch(cmd *command) {
+	if !h.ctl.Alive(h.origin) {
+		// The Ethernet attachment died with its gateway chip: there is
+		// no pipe to serialise onto, so the command resolves here and
+		// now with ErrUnreachable instead of hanging out its timeout.
+		cmd.launched = true
+		cmd.launchAt = h.eng.Now()
+		cmd.unreachable = true
+		h.inflight++
+		h.complete(cmd)
+		return
+	}
 	start := h.eng.Now()
 	if h.ethFreeAt > start {
 		start = h.ethFreeAt
@@ -636,17 +664,17 @@ func (h *Host) fillAssemblyFor(idx int, seq uint32, cmd *command) *fillAssembly 
 	}
 	fa := m[seq]
 	if fa == nil {
-		fa = &fillAssembly{chunkSeen: make([]bool, cmd.chunks()), chunksLeft: cmd.chunks()}
+		fa = &fillAssembly{chunkCopies: make([]uint8, cmd.chunks()), chunksLeft: cmd.chunks()}
 		m[seq] = fa
 	}
 	return fa
 }
 
 // fillArrive handles one flood-fill chunk reaching a chip: record it,
-// forward the first copy on all six links (redundancy 1, like the boot
-// image flood), and store the assembled payload when the last chunk
-// lands. All mutable state here is owned by the chip's shard; the
-// command's registered fields are immutable in flight.
+// forward each of the first Config.Redundancy copies on all six links
+// (like the boot image flood), and store the assembled payload when
+// the last chunk lands. All mutable state here is owned by the chip's
+// shard; the command's registered fields are immutable in flight.
 func (h *Host) fillArrive(n *router.Node, key uint32) {
 	seq, chunk := fillParts(key)
 	cmd := h.cmd(seq)
@@ -654,16 +682,19 @@ func (h *Host) fillArrive(n *router.Node, key uint32) {
 		return
 	}
 	fa := h.fillAssemblyFor(n.Index(), seq, cmd)
-	if chunk >= len(fa.chunkSeen) || fa.chunkSeen[chunk] {
-		return // duplicate: absorbed, not re-forwarded
+	if chunk >= len(fa.chunkCopies) || int(fa.chunkCopies[chunk]) >= h.cfg.Redundancy {
+		return // forward budget spent: absorbed, not re-forwarded
 	}
-	fa.chunkSeen[chunk] = true
-	fa.chunksLeft--
+	fa.chunkCopies[chunk]++
+	first := fa.chunkCopies[chunk] == 1
+	if first {
+		fa.chunksLeft--
+	}
 	word := leadWord(cmd.data, chunk*cmd.chunk)
 	for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
 		h.fab.SendNN(n.Coord, d, packet.NewNN(key, word))
 	}
-	if fa.chunksLeft == 0 {
+	if first && fa.chunksLeft == 0 {
 		// Store failures (SDRAM overflow) still acknowledge: the monitor
 		// reports receipt; verification is the host's business. A
 		// straggler completing after the command was stripped has no
@@ -739,6 +770,8 @@ func (h *Host) complete(cmd *command) {
 	resp := Response{Seq: cmd.seq, Op: cmd.op, From: cmd.target,
 		At: h.eng.Now(), RTT: h.eng.Now() - cmd.launchAt}
 	switch {
+	case cmd.unreachable:
+		resp.Err = fmt.Errorf("%w: gateway chip %v is dead", ErrUnreachable, h.origin)
 	case cmd.timedOut:
 		resp.Err = fmt.Errorf("%w: %v command %d", ErrTimeout, cmd.op, cmd.seq)
 		resp.Chips = cmd.chips

@@ -59,6 +59,7 @@ func (h *Host) EncodeState(w *snap.Writer) {
 		w.I64(int64(c.timeout))
 		w.Bool(c.resolved)
 		w.Bool(c.timedOut)
+		w.Bool(c.unreachable)
 		w.Int(c.chips)
 		w.Int(c.respRemaining)
 		w.Bool(c.stripped)
@@ -81,9 +82,9 @@ func (h *Host) EncodeState(w *snap.Writer) {
 		for _, seq := range seqs {
 			fa := m[seq]
 			w.U32(seq)
-			w.Len(len(fa.chunkSeen))
-			for _, b := range fa.chunkSeen {
-				w.Bool(b)
+			w.Len(len(fa.chunkCopies))
+			for _, c := range fa.chunkCopies {
+				w.U8(c)
 			}
 			w.Int(fa.chunksLeft)
 			w.Int(fa.childAcks)
@@ -123,6 +124,7 @@ func (h *Host) DecodeState(r *snap.Reader) error {
 		c.timeout = sim.Time(r.I64())
 		c.resolved = r.Bool()
 		c.timedOut = r.Bool()
+		c.unreachable = r.Bool()
 		c.chips = r.Int()
 		c.respRemaining = r.Int()
 		c.stripped = r.Bool()
@@ -150,9 +152,9 @@ func (h *Host) DecodeState(r *snap.Reader) error {
 		for j := 0; j < k && r.Err() == nil; j++ {
 			seq := r.U32()
 			fa := &fillAssembly{}
-			fa.chunkSeen = make([]bool, r.Len())
-			for b := range fa.chunkSeen {
-				fa.chunkSeen[b] = r.Bool()
+			fa.chunkCopies = make([]uint8, r.Len())
+			for b := range fa.chunkCopies {
+				fa.chunkCopies[b] = r.U8()
 			}
 			fa.chunksLeft = r.Int()
 			fa.childAcks = r.Int()

@@ -233,14 +233,21 @@ type flit struct {
 // protocol paid a transmit-done event per launch whether or not anyone
 // was waiting.
 type outLink struct {
-	dir        topo.Dir
-	link       phy.LinkParams
-	failed     bool
-	queue      []flit
-	freeAt     sim.Time
-	draining   bool // the drain event is pending at >= freeAt
-	drain      *drainEv
-	Traversals uint64
+	dir    topo.Dir
+	link   phy.LinkParams
+	failed bool
+	// pendingRepair defers a RepairLink requested from inside the event
+	// stream (a fault campaign) to the next sequential quiescence:
+	// clearing failed mid-window could tighten the true cross-shard
+	// latency below the engine's committed lookahead, so the link stays
+	// down until CommitRepairs runs between windows. Never set in a
+	// snapshot (commits precede every legal snapshot instant).
+	pendingRepair bool
+	queue         []flit
+	freeAt        sim.Time
+	draining      bool // the drain event is pending at >= freeAt
+	drain         *drainEv
+	Traversals    uint64
 }
 
 // Node is one chip's router plus its six outgoing links. Every node is
@@ -258,6 +265,12 @@ type Node struct {
 	Coord   topo.Coord
 	Table   *Table
 	out     [topo.NumDirs]outLink
+
+	// dead marks a chip killed outright (a fault campaign's FailChip):
+	// the router stops routing, arrivals die at the pins, local
+	// injections are lost, and all six output links are failed for good
+	// — RepairLink never resurrects a dead chip's links.
+	dead bool
 
 	// Free lists for the node's hot-path payload events. Every access
 	// happens on the shard that owns this node — pops in the same-shard
@@ -366,6 +379,13 @@ type Fabric struct {
 	// allP2P records that ConfigureAllP2P ran, so chips materialised
 	// afterwards come up with their p2p tables configured too.
 	allP2P bool
+
+	// deadDirty flags that FailChip ran since the driver's last
+	// quiescence sync; pendingRepairs counts links awaiting a
+	// CommitRepairs. Both are written from shard-owned fault events and
+	// consumed by the sequential driver between windows, hence atomic.
+	deadDirty      atomic.Bool
+	pendingRepairs atomic.Int64
 
 	// OnDeliverMC is invoked for each local core a multicast packet
 	// reaches. latency is injection-to-delivery simulated time. In
@@ -691,7 +711,11 @@ func (f *Fabric) FailLink(c topo.Coord, d topo.Dir) { f.Node(c).out[d].failed = 
 // protocol stays sound. Tightening at any quiescent instant is always
 // safe — it only narrows windows.
 func (f *Fabric) RepairLink(c topo.Coord, d topo.Dir) {
-	f.Node(c).out[d].failed = false
+	n := f.Node(c)
+	if n.dead {
+		return // dead chips' links never come back
+	}
+	n.out[d].failed = false
 	if f.pe == nil || f.part.Shards() == 0 {
 		return
 	}
@@ -707,6 +731,98 @@ func (f *Fabric) RepairLink(c topo.Coord, d topo.Dir) {
 func (f *Fabric) FailLinkPair(c topo.Coord, d topo.Dir) {
 	f.FailLink(c, d)
 	f.FailLink(f.p.Torus.Neighbor(c, d), d.Opposite())
+}
+
+// FailChip kills chip c outright: the node stops routing, frames
+// already queued on its output links die with it, and all six out
+// links fail for good. The caller seals the neighbours' reverse links
+// (each neighbour's link is that neighbour's own state, owned by its
+// shard). Idempotent; safe from an event on c's own domain or from
+// sequential context. Failing state only ever *widens* the true
+// cross-shard latency, so no engine bound needs touching mid-window —
+// the driver re-prices lookahead at the next quiescence.
+func (f *Fabric) FailChip(c topo.Coord) {
+	n := f.Node(c)
+	if n.dead {
+		return
+	}
+	n.dead = true
+	for d := range n.out {
+		l := &n.out[d]
+		l.failed = true
+		// In-flight frames waiting behind the wire are lost with the
+		// chip; the monitor that would recover them is dead too.
+		n.dropped += uint64(len(l.queue))
+		l.queue = l.queue[:0]
+	}
+	f.deadDirty.Store(true)
+}
+
+// ChipDead reports whether c was killed by FailChip. Untouched chips
+// are alive by definition and are not materialised by asking.
+func (f *Fabric) ChipDead(c topo.Coord) bool {
+	n := f.Existing(c)
+	return n != nil && n.dead
+}
+
+// TakeDeadDirty reports and clears the "a chip died since last sync"
+// flag. Sequential quiescence only.
+func (f *Fabric) TakeDeadDirty() bool { return f.deadDirty.Swap(false) }
+
+// DeadChips lists killed chips in torus-index order — a canonical
+// order independent of materialisation history and kill timing.
+func (f *Fabric) DeadChips() []topo.Coord {
+	var out []topo.Coord
+	for i := range f.nodes {
+		if n := f.nodes[i].Load(); n != nil && n.dead {
+			out = append(out, n.Coord)
+		}
+	}
+	return out
+}
+
+// DeferRepairLink marks the directed link for repair at the next
+// CommitRepairs. Unlike RepairLink it is safe from inside the event
+// stream (a campaign event on c's own domain): the link stays failed —
+// repairing mid-window could tighten the true cross-shard latency
+// below the engine's committed lookahead — and comes back only when
+// the driver commits at quiescence. Links of dead chips never repair.
+func (f *Fabric) DeferRepairLink(c topo.Coord, d topo.Dir) {
+	n := f.Node(c)
+	l := &n.out[d]
+	if n.dead || !l.failed || l.pendingRepair {
+		return
+	}
+	l.pendingRepair = true
+	f.pendingRepairs.Add(1)
+}
+
+// CommitRepairs applies every repair deferred by DeferRepairLink and
+// reports whether any link came back (the caller then re-prices the
+// engine lookahead over the new live cut). Sequential quiescence only.
+func (f *Fabric) CommitRepairs() bool {
+	if f.pendingRepairs.Swap(0) == 0 {
+		return false
+	}
+	repaired := false
+	for i := range f.nodes {
+		n := f.nodes[i].Load()
+		if n == nil {
+			continue
+		}
+		for d := range n.out {
+			l := &n.out[d]
+			if !l.pendingRepair {
+				continue
+			}
+			l.pendingRepair = false
+			if !n.dead { // the chip may have died after the repair was scheduled
+				l.failed = false
+				repaired = true
+			}
+		}
+	}
+	return repaired
 }
 
 // LinkFailed reports the state of a directed link. An untouched chip's
@@ -730,6 +846,10 @@ func (f *Fabric) LinkTraversalCount(c topo.Coord, d topo.Dir) uint64 {
 // InjectMC injects a multicast packet from a local core of chip c.
 func (f *Fabric) InjectMC(c topo.Coord, pkt packet.Packet) {
 	n := f.Node(c)
+	if n.dead {
+		n.dropped++ // the dead router's injection port eats the packet
+		return
+	}
 	pkt.Timestamp = f.phaseAt(n)
 	n.dom.AfterP(f.p.RouterLatency, n.getRoute(flit{pkt: pkt, injectedAt: n.dom.Now()}))
 }
@@ -738,12 +858,20 @@ func (f *Fabric) InjectMC(c topo.Coord, pkt packet.Packet) {
 func (f *Fabric) InjectP2P(src, dst topo.Coord, data uint32) {
 	pkt := packet.NewP2P(packet.P2PAddr(src.X, src.Y), packet.P2PAddr(dst.X, dst.Y), data)
 	n := f.Node(src)
+	if n.dead {
+		n.dropped++
+		return
+	}
 	n.dom.AfterP(f.p.RouterLatency, n.getRoute(flit{pkt: pkt, injectedAt: n.dom.Now()}))
 }
 
 // SendNN sends a nearest-neighbour packet from chip c on link d.
 func (f *Fabric) SendNN(c topo.Coord, d topo.Dir, pkt packet.Packet) {
 	n := f.Node(c)
+	if n.dead {
+		n.dropped++
+		return
+	}
 	fl := flit{pkt: pkt, injectedAt: n.dom.Now()}
 	n.transmit(fl, d)
 }
@@ -751,6 +879,12 @@ func (f *Fabric) SendNN(c topo.Coord, d topo.Dir, pkt packet.Packet) {
 // receive handles a packet arriving at n having travelled direction
 // travel on its final hop.
 func (n *Node) receive(fl flit, travel topo.Dir) {
+	if n.dead {
+		// A frame committed before the chip died arrives at dead pins:
+		// the handshake never completes and the packet is lost.
+		n.dropped++
+		return
+	}
 	switch fl.pkt.Type {
 	case packet.MC:
 		n.routeMC(fl, int(travel))

@@ -180,6 +180,7 @@ func (n *Node) EncodeState(w *snap.Writer) {
 	w.U64(n.p2pUnroutable)
 	w.U64(n.emergencies)
 	w.Bool(n.p2pReady)
+	w.Bool(n.dead)
 	for d := range n.out {
 		l := &n.out[d]
 		w.Bool(l.failed)
@@ -215,6 +216,7 @@ func (n *Node) DecodeState(r *snap.Reader) error {
 	n.p2pUnroutable = r.U64()
 	n.emergencies = r.U64()
 	n.p2pReady = r.Bool()
+	n.dead = r.Bool()
 	for d := range n.out {
 		l := &n.out[d]
 		l.failed = r.Bool()

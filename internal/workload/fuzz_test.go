@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"testing"
+)
+
+// The fuzz targets pin the parser's robustness half of the strict
+// contract: on arbitrary bytes it must return an error or a document
+// that re-validates and expands cleanly — never panic, never accept a
+// document Validate would reject. Seed corpora live under testdata/fuzz
+// and start from the registry documents plus small adversarial
+// fragments; CI runs a short -fuzz smoke on both targets.
+
+func FuzzParseWorkload(f *testing.F) {
+	for _, name := range Names() {
+		if data, err := Source(name); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"schema":1}`))
+	f.Add([]byte(`{"schema":1,"name":"x","machine":{"width":1,"height":1},` +
+		`"populations":[{"name":"p","kind":"lif","size":1}],"run":{"bio_ms":1}}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// A document Parse accepts must re-validate...
+		if err := w.Validate(); err != nil {
+			t.Fatalf("parsed document fails Validate: %v", err)
+		}
+		// ...and its campaign must expand without panicking, to only
+		// concrete in-range faults.
+		if w.Campaign == nil {
+			return
+		}
+		for _, fa := range w.Campaign.Expand(w.Machine.Width, w.Machine.Height) {
+			switch fa.Kind {
+			case EvFailLink, EvRepairLink, EvFailChip:
+			default:
+				t.Fatalf("expansion left macro kind %q", fa.Kind)
+			}
+			if fa.X < 0 || fa.X >= w.Machine.Width || fa.Y < 0 || fa.Y >= w.Machine.Height {
+				t.Fatalf("expansion left out-of-range chip (%d,%d)", fa.X, fa.Y)
+			}
+		}
+	})
+}
+
+func FuzzParseCampaign(f *testing.F) {
+	f.Add([]byte(`{"schema":1,"seed":9,"events":[{"at_ms":5,"kind":"fail_link","x":1,"y":2,"dir":"NE"}]}`), 8, 8)
+	f.Add([]byte(`{"schema":1,"events":[{"at_ms":0,"kind":"chip_storm","count":2}]}`), 4, 4)
+	f.Add([]byte(`{"schema":1,"events":[{"at_ms":1,"kind":"sever","region":{"x":0,"y":0,"w":1,"h":1}}]}`), 3, 3)
+	f.Add([]byte(`{"schema":1,"events":[]}`), 1, 1)
+	f.Add([]byte(`{"schema":-1}`), 0, 0)
+	f.Fuzz(func(t *testing.T, data []byte, width, height int) {
+		if width > 256 {
+			width = 256
+		}
+		if height > 256 {
+			height = 256
+		}
+		c, err := ParseCampaign(data, width, height)
+		if err != nil {
+			return
+		}
+		for _, fa := range c.Expand(width, height) {
+			if fa.X < 0 || fa.X >= width || fa.Y < 0 || fa.Y >= height {
+				t.Fatalf("expansion left out-of-range chip (%d,%d)", fa.X, fa.Y)
+			}
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The built-in registry: one JSON document per declared workload,
+// embedded so every binary carries the pinned experiment set.
+//
+//go:embed configs/*.json
+var configsFS embed.FS
+
+// Names lists the registry's workload names, sorted.
+func Names() []string {
+	entries, err := configsFS.ReadDir("configs")
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Source returns the raw JSON of a registered workload.
+func Source(name string) ([]byte, error) {
+	data, err := configsFS.ReadFile("configs/" + name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("workload: no registered workload %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return data, nil
+}
+
+// Get parses a registered workload. Registry documents are covered by
+// the conformance tests, so a parse failure here is a build defect.
+func Get(name string) (*Workload, error) {
+	data, err := Source(name)
+	if err != nil {
+		return nil, err
+	}
+	w, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("workload: registered %q: %w", name, err)
+	}
+	return w, nil
+}

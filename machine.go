@@ -126,6 +126,15 @@ type MachineConfig struct {
 	// uses per chip (0 = all available). Lower values spread a small
 	// model over more chips, exercising the interconnect.
 	MaxAppCoresPerChip int
+	// FillRedundancy is how many copies of each flood-fill chunk a chip
+	// forwards during host bulk loads (boot image, application data,
+	// FillMem) before going quiet. 0 or 1 forwards only the first copy
+	// — the historical behaviour; 2..6 keep bulk loads alive through
+	// fault campaigns that kill chips or links on the primary flood
+	// path, at proportionally more flood traffic. Changing it changes
+	// the simulated traffic, so reports differ between redundancy
+	// levels but remain byte-identical across Workers and Partition.
+	FillRedundancy int
 	// EventQueue selects each shard's pending-event structure: "" or
 	// EventQueueWheel for the calendar queue (the fast default), or
 	// EventQueueHeap for the reference binary heap. Both pop events in
@@ -274,6 +283,10 @@ func (c MachineConfig) Validate() error {
 	if c.SoloThresholdEvents < 0 {
 		return fmt.Errorf("spinngo: SoloThresholdEvents must be non-negative (0 = default), got %d",
 			c.SoloThresholdEvents)
+	}
+	if c.FillRedundancy < 0 || c.FillRedundancy > topo.NumDirs {
+		return fmt.Errorf("spinngo: FillRedundancy must be 0..%d (0 = default 1), got %d",
+			topo.NumDirs, c.FillRedundancy)
 	}
 	if _, err := c.hostOrigin(); err != nil {
 		return err
@@ -537,6 +550,15 @@ type Machine struct {
 	repartitionUrgent bool
 	lastMigrations    uint64
 	lastWindows       uint64
+	// faultDirty flags that a scripted campaign event (link failure,
+	// chip death, deferred repair) ran since the last quiescence
+	// commit. Written from shard-owned campaign events, consumed by
+	// commitFaults between windows — hence atomic.
+	faultDirty atomic.Bool
+	// deadDone tracks chips whose death has been committed at a
+	// quiescence boundary (boot aliveness flipped, cores stopped), so
+	// commitFaults touches each dead chip exactly once.
+	deadDone map[topo.Coord]bool
 	// evSpacingNS is the observed mean busy-time between window events
 	// (windows x lookahead / events), a property of the trajectory — not
 	// of the shard layout — that projects how many barriers a candidate
@@ -1032,6 +1054,11 @@ const hostLoadWindow = 8
 // geometry. Per-command failures stay in the batch's responses; the
 // returned error is reserved for batch-level faults.
 func (m *Machine) runBatch(b *host.Batch) error {
+	// Commit faults from any preceding Run before launching: a batch
+	// starts at sequential quiescence, and command routing must see the
+	// post-campaign machine (dead gateways fail fast, lookahead is
+	// already re-priced over the live cut).
+	m.commitFaults()
 	b.Launch()
 	watch := m.fab.DomainAt(m.hostOrigin)
 	for !b.Done() {
@@ -1080,6 +1107,7 @@ func (m *Machine) Boot() (*BootReport, error) {
 	// is configured, so any chip is reachable through the gateway.
 	hcfg := host.DefaultConfig()
 	hcfg.Origin = m.hostOrigin
+	hcfg.Redundancy = m.cfg.FillRedundancy
 	m.host = host.New(m.fab.DomainAt(m.hostOrigin), m.fab, m.boot, hcfg)
 	// Flood-fill the system image: one Ethernet transfer per block,
 	// every alive chip stores it (experiment E9: load time nearly
@@ -1529,6 +1557,10 @@ func (m *Machine) Run(ms int) (*RunReport, error) {
 	}
 	m.bioMS += uint64(ms)
 	m.pe.RunUntil(m.pe.Now() + sim.Time(ms)*sim.Millisecond)
+	// Quiescence boundary: commit any scripted faults the windows above
+	// injected — chip deaths reach boot/cores, deferred repairs land,
+	// the lookahead re-prices.
+	m.commitFaults()
 	return m.report(), nil
 }
 
@@ -1572,20 +1604,260 @@ func (m *Machine) MeanRateHz(p Pop) float64 {
 	return float64(total) / float64(n) / (float64(m.bioMS) / 1000)
 }
 
+// parseDir resolves a direction name ("E", "NE", "N", "W", "SW", "S").
+func parseDir(dir string) (topo.Dir, error) {
+	for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
+		if d.String() == dir {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("spinngo: unknown direction %q", dir)
+}
+
+// checkChip bounds-checks a chip coordinate against the torus.
+func (m *Machine) checkChip(x, y int) (topo.Coord, error) {
+	if x < 0 || x >= m.cfg.Width || y < 0 || y >= m.cfg.Height {
+		return topo.Coord{}, fmt.Errorf("spinngo: chip (%d,%d) outside the %dx%d machine",
+			x, y, m.cfg.Width, m.cfg.Height)
+	}
+	return topo.Coord{X: x, Y: y}, nil
+}
+
 // FailLink kills both directions of the link leaving chip (x, y) in the
 // given direction ("E", "NE", "N", "W", "SW", "S") — the fault-injection
 // hook for the emergency-routing experiments.
 func (m *Machine) FailLink(x, y int, dir string) error {
+	d, err := parseDir(dir)
+	if err != nil {
+		return err
+	}
+	c, err := m.checkChip(x, y)
+	if err != nil {
+		return err
+	}
+	m.fab.FailLinkPair(c, d)
+	// A dead link re-shapes the live cut; the auto policy takes
+	// an immediate look at the next quiescence boundary.
+	m.repartitionUrgent = true
+	return nil
+}
+
+// FailChip kills chip (x, y) outright at the current quiescent instant:
+// the node stops routing, frames queued on its links die, the
+// neighbours' reverse links seal, host commands targeting it fail, and
+// its application cores fall silent. Idempotent; permanent — RepairLink
+// never resurrects a dead chip's links. For a death scripted inside a
+// run use ScheduleFailChip, which injects it as a canonical-ordered
+// event instead.
+func (m *Machine) FailChip(x, y int) error {
+	if !m.booted {
+		return fmt.Errorf("spinngo: boot the machine before injecting faults")
+	}
+	c, err := m.checkChip(x, y)
+	if err != nil {
+		return err
+	}
+	m.fab.FailChip(c)
+	torus := m.part.Torus()
 	for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
-		if d.String() == dir {
-			m.fab.FailLinkPair(topo.Coord{X: x, Y: y}, d)
-			// A dead link re-shapes the live cut; the auto policy takes
-			// an immediate look at the next quiescence boundary.
-			m.repartitionUrgent = true
-			return nil
+		m.fab.FailLink(torus.Neighbor(c, d), d.Opposite())
+	}
+	m.commitFaults()
+	return nil
+}
+
+// DeadChips lists chips killed by FailChip (direct or campaign), in
+// torus-index order.
+func (m *Machine) DeadChips() []topo.Coord { return m.fab.DeadChips() }
+
+// AliveChips counts chips the boot controller holds alive — booted
+// chips that no fault campaign has killed. 0 before Boot.
+func (m *Machine) AliveChips() int {
+	if !m.booted {
+		return 0
+	}
+	return m.boot.AliveChips()
+}
+
+// Campaign event kinds: scripted faults ride the same canonical event
+// path as injected spikes, so a campaign is byte-identical across every
+// worker count and partition geometry, and pending campaign events
+// survive snapshot/restore like any other descriptor-carrying event.
+// Each event mutates only state owned by the domain it is scheduled on:
+// a link failure runs on the chip owning the link's transmit side, a
+// chip death on the dying chip itself (the neighbours' reverse links
+// seal through their own same-instant events).
+const (
+	campaignFailLink   = "campaign.faillink"   // args: x, y, dir
+	campaignFailChip   = "campaign.failchip"   // args: x, y
+	campaignRepairLink = "campaign.repairlink" // args: x, y, dir
+)
+
+// campaignEventFn re-creates the closure of a campaign event from its
+// descriptor — shared by arming and snapshot restore.
+func (m *Machine) campaignEventFn(kind string, args []uint64) (func(), error) {
+	wantArgs := 3
+	if kind == campaignFailChip {
+		wantArgs = 2
+	}
+	if len(args) != wantArgs {
+		return nil, fmt.Errorf("spinngo: %s expects %d args, got %d", kind, wantArgs, len(args))
+	}
+	c, err := m.checkChip(int(args[0]), int(args[1]))
+	if err != nil {
+		return nil, err
+	}
+	var d topo.Dir
+	if wantArgs == 3 {
+		if args[2] >= uint64(topo.NumDirs) {
+			return nil, fmt.Errorf("spinngo: %s direction %d out of range", kind, args[2])
+		}
+		d = topo.Dir(args[2])
+	}
+	switch kind {
+	case campaignFailLink:
+		return func() { m.fab.FailLink(c, d); m.faultDirty.Store(true) }, nil
+	case campaignFailChip:
+		return func() { m.fab.FailChip(c); m.faultDirty.Store(true) }, nil
+	case campaignRepairLink:
+		return func() { m.fab.DeferRepairLink(c, d); m.faultDirty.Store(true) }, nil
+	default:
+		return nil, fmt.Errorf("spinngo: unknown campaign event kind %q", kind)
+	}
+}
+
+// armCampaign schedules one campaign event on the owning chip's domain
+// at biological time atMS (epoch-relative, like InjectSpike).
+func (m *Machine) armCampaign(atMS int, kind string, args ...uint64) error {
+	if !m.loaded {
+		return fmt.Errorf("spinngo: load a model before scripting a campaign")
+	}
+	fn, err := m.campaignEventFn(kind, args)
+	if err != nil {
+		return err
+	}
+	dom := m.domAt(topo.Coord{X: int(args[0]), Y: int(args[1])})
+	at := m.epoch + sim.Time(atMS)*sim.Millisecond
+	if at < dom.Now() {
+		return fmt.Errorf("spinngo: campaign time %dms is in the past", atMS)
+	}
+	dom.AtD(at, &sim.Desc{Kind: kind, Args: args}, fn)
+	return nil
+}
+
+// ScheduleFailLink scripts a FailLink at biological time atMS: both
+// directions fail, each through an event on the chip that owns it.
+func (m *Machine) ScheduleFailLink(atMS, x, y int, dir string) error {
+	d, err := parseDir(dir)
+	if err != nil {
+		return err
+	}
+	c, err := m.checkChip(x, y)
+	if err != nil {
+		return err
+	}
+	nb := m.part.Torus().Neighbor(c, d)
+	if err := m.armCampaign(atMS, campaignFailLink, uint64(x), uint64(y), uint64(d)); err != nil {
+		return err
+	}
+	return m.armCampaign(atMS, campaignFailLink, uint64(nb.X), uint64(nb.Y), uint64(d.Opposite()))
+}
+
+// ScheduleRepairLink scripts the repair of both directions of a link at
+// biological time atMS. The repair defers to the quiescence boundary
+// ending the Run call it lands in — a link coming back mid-window could
+// tighten the true cross-shard latency below the engine's committed
+// lookahead — so drivers wanting prompt repairs chunk their Run calls
+// at repair times (the workload runner does).
+func (m *Machine) ScheduleRepairLink(atMS, x, y int, dir string) error {
+	d, err := parseDir(dir)
+	if err != nil {
+		return err
+	}
+	c, err := m.checkChip(x, y)
+	if err != nil {
+		return err
+	}
+	nb := m.part.Torus().Neighbor(c, d)
+	if err := m.armCampaign(atMS, campaignRepairLink, uint64(x), uint64(y), uint64(d)); err != nil {
+		return err
+	}
+	return m.armCampaign(atMS, campaignRepairLink, uint64(nb.X), uint64(nb.Y), uint64(d.Opposite()))
+}
+
+// ScheduleFailChip scripts a chip death at biological time atMS: the
+// chip's own event kills its router and purges its queues, and six
+// same-instant events on the neighbours seal their reverse links.
+func (m *Machine) ScheduleFailChip(atMS, x, y int) error {
+	c, err := m.checkChip(x, y)
+	if err != nil {
+		return err
+	}
+	if err := m.armCampaign(atMS, campaignFailChip, uint64(x), uint64(y)); err != nil {
+		return err
+	}
+	torus := m.part.Torus()
+	for d := topo.Dir(0); int(d) < topo.NumDirs; d++ {
+		nb := torus.Neighbor(c, d)
+		if err := m.armCampaign(atMS, campaignFailLink,
+			uint64(nb.X), uint64(nb.Y), uint64(d.Opposite())); err != nil {
+			return err
 		}
 	}
-	return fmt.Errorf("spinngo: unknown direction %q", dir)
+	return nil
+}
+
+// commitFaults is the sequential-quiescence half of the fault pipeline:
+// campaign events (running inside parallel windows) only flip
+// shard-owned fabric state; here — between windows — chip deaths
+// propagate to boot aliveness and application cores, deferred link
+// repairs commit, and the engine lookahead re-prices over the live cut.
+// Idempotent per fault.
+func (m *Machine) commitFaults() {
+	dirty := m.faultDirty.Swap(false)
+	if m.fab.TakeDeadDirty() {
+		if m.syncDeadChips() {
+			dirty = true
+		}
+	}
+	repaired := m.fab.CommitRepairs()
+	if dirty || repaired {
+		// Failures widen the live cut's hop floor, repairs tighten it;
+		// either way this quiescent instant is the safe place to re-aim
+		// the window bound, and the auto policy should take a fresh look.
+		m.pe.SetLookahead(m.fab.LiveLookaheadFor(m.part))
+		m.repartitionUrgent = true
+	}
+}
+
+// syncDeadChips propagates fabric-level chip deaths to the boot
+// aliveness map and the dead chips' application cores, once per chip.
+// Also called directly after a snapshot restore, where the fabric
+// overlay brings in dead chips whose machine-level commit must be
+// re-established. Reports whether any new death was committed.
+func (m *Machine) syncDeadChips() bool {
+	any := false
+	for _, c := range m.fab.DeadChips() {
+		if m.deadDone[c] {
+			continue
+		}
+		if m.deadDone == nil {
+			m.deadDone = make(map[topo.Coord]bool)
+		}
+		m.deadDone[c] = true
+		m.boot.KillChip(c)
+		// The chip's application cores die with it: stop the timers
+		// and mark the units failed, exactly as FailCoreOf does — but
+		// with no migration, since every spare on the chip died too.
+		// Recorded spikes up to the death instant stay in the raster.
+		for slot, u := range m.units[c] {
+			u.failed = true
+			u.core.Stop()
+			delete(m.units[c], slot)
+		}
+		any = true
+	}
+	return any
 }
 
 // InjectSpike forces neuron idx of population p to emit a spike at

@@ -28,7 +28,11 @@ const (
 	// tallies as non-zero entries, so a sparse machine's untouched
 	// regions cost nothing on disk; the config block gains the Cabinets
 	// and CabinetLinkParams fields of the third packaging level.
-	SnapshotVersion = 3
+	// v4: fault campaigns — the node state gains the chip-death flag,
+	// host flood-fill assemblies count per-chunk copies (redundancy)
+	// instead of a seen bit, commands carry the gateway-unreachable
+	// flag, and the config block gains FillRedundancy.
+	SnapshotVersion = 4
 )
 
 // Snapshot serialises the machine's complete state — pending event heaps
@@ -397,6 +401,12 @@ func restore(data []byte, override func(*MachineConfig)) (*Machine, error) {
 		return nil, fmt.Errorf("spinngo: host state: %w", err)
 	}
 
+	// Chip deaths restored with the fabric overlay re-commit at the
+	// machine layer — boot aliveness flips, and the recorded unit and
+	// core states (already failed/stopped in the snapshot) are left
+	// exactly as decoded.
+	m.syncDeadChips()
+
 	// Link failures restored with the node states re-shape the live cut;
 	// re-price the lookahead for the restore partition.
 	m.pe.SetLookahead(m.fab.LiveLookaheadFor(m.part))
@@ -518,6 +528,8 @@ func (m *Machine) snapshotEventFn(rec sim.EventRecord) (func(), error) {
 		return m.fab.EventFn(int(rec.Domain), kind, rec.Desc.Args, rec.Desc.Blob)
 	case strings.HasPrefix(kind, "host."):
 		return m.host.EventFn(kind, rec.Desc.Args)
+	case strings.HasPrefix(kind, "campaign."):
+		return m.campaignEventFn(kind, rec.Desc.Args)
 	default:
 		return m.eventFn(kind, rec.Desc.Args)
 	}
@@ -702,6 +714,7 @@ func encConfig(w *snap.Writer, cfg MachineConfig) {
 	w.Int(cfg.MaxAppCoresPerChip)
 	w.String(cfg.Cabinets)
 	w.String(cfg.CabinetLinkParams)
+	w.Int(cfg.FillRedundancy)
 }
 
 func decConfig(r *snap.Reader) MachineConfig {
@@ -724,6 +737,7 @@ func decConfig(r *snap.Reader) MachineConfig {
 	cfg.MaxAppCoresPerChip = r.Int()
 	cfg.Cabinets = r.String()
 	cfg.CabinetLinkParams = r.String()
+	cfg.FillRedundancy = r.Int()
 	return cfg
 }
 

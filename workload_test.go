@@ -1,0 +1,60 @@
+package spinngo
+
+import (
+	"testing"
+
+	"spinngo/internal/workload"
+)
+
+// The heavyweight campaign conformance suite lives in campaign_test.go;
+// these tests cover the registry-to-machine plumbing itself.
+
+func TestWorkloadChunks(t *testing.T) {
+	wl := &workload.Workload{Run: workload.Run{BioMS: 40, ChunkMS: 10}}
+	if got := WorkloadChunks(wl); len(got) != 4 || got[0] != 10 || got[3] != 10 {
+		t.Fatalf("chunks = %v, want [10 10 10 10]", got)
+	}
+	wl.Run = workload.Run{BioMS: 10, ChunkMS: 7}
+	if got := WorkloadChunks(wl); len(got) != 2 || got[0] != 7 || got[1] != 3 {
+		t.Fatalf("chunks = %v, want [7 3]", got)
+	}
+	wl.Run = workload.Run{BioMS: 25}
+	if got := WorkloadChunks(wl); len(got) != 1 || got[0] != 25 {
+		t.Fatalf("chunks = %v, want [25]", got)
+	}
+}
+
+// TestWorkloadRegistryRuns drives one registry document end to end: the
+// retina workload's scripted spikes must fan out into V1 activity.
+func TestWorkloadRegistryRuns(t *testing.T) {
+	wl, err := workload.Get("rank-order-retina")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, rep, err := RunWorkload(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if rep.BioTimeMS != uint64(wl.Run.BioMS) {
+		t.Fatalf("ran %dms, want %dms", rep.BioTimeMS, wl.Run.BioMS)
+	}
+	if rep.TotalSpikes == 0 {
+		t.Fatal("retina workload produced no spikes")
+	}
+}
+
+// TestWorkloadModelRejects pins that a projection naming an undeclared
+// population dies in validation, before any machine is built.
+func TestWorkloadModelRejects(t *testing.T) {
+	_, err := workload.Parse([]byte(`{
+	  "schema": 1, "name": "t",
+	  "machine": {"width": 2, "height": 2},
+	  "populations": [{"name": "a", "kind": "lif", "size": 4}],
+	  "projections": [{"from": "a", "to": "ghost", "rule": "all", "weight_na": 1}],
+	  "run": {"bio_ms": 5}
+	}`))
+	if err == nil {
+		t.Fatal("projection to undeclared population accepted")
+	}
+}
